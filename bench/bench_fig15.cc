@@ -1,0 +1,58 @@
+// Reproduces paper Figure 15 (appendix): method comparison (VAE,
+// PrivBayes, GAN) on the simulated datasets SDataNum and SDataCat.
+#include <cstdio>
+
+#include "baselines/privbayes.h"
+#include "baselines/vae.h"
+#include "bench/bench_util.h"
+
+namespace daisy::bench {
+namespace {
+
+void RunBundle(const Bundle& bundle, uint64_t seed) {
+  std::printf("\n=== Figure 15: %s ===\n", bundle.name.c_str());
+
+  std::vector<data::Table> synthetic;
+  {
+    baselines::VaeOptions vopts;
+    vopts.epochs = 30;
+    baselines::VaeSynthesizer vae(vopts, {});
+    vae.Fit(bundle.train);
+    Rng rng(seed);
+    synthetic.push_back(vae.Generate(bundle.train.num_records(), &rng));
+  }
+  for (double eps : {0.2, 0.4, 0.8, 1.6}) {
+    baselines::PrivBayesOptions popts;
+    popts.epsilon = eps;
+    baselines::PrivBayes pb(popts);
+    Rng rng(seed + static_cast<uint64_t>(eps * 10));
+    pb.Fit(bundle.train, &rng);
+    synthetic.push_back(pb.Generate(bundle.train.num_records(), &rng));
+  }
+  {
+    synth::GanOptions gopts = BenchGanOptions();
+    gopts.iterations = 150;
+    synthetic.push_back(TrainAndSynthesize(bundle, gopts, {}, 0, seed + 9));
+  }
+
+  PrintHeader("CLF", {"VAE", "PB-0.2", "PB-0.4", "PB-0.8", "PB-1.6",
+                      "GAN"});
+  for (auto kind : eval::AllClassifierKinds()) {
+    std::vector<double> row;
+    for (size_t i = 0; i < synthetic.size(); ++i)
+      row.push_back(F1DiffFor(bundle, synthetic[i], kind, seed + 20 + i));
+    PrintRow(eval::ClassifierKindName(kind), row);
+  }
+}
+
+}  // namespace
+}  // namespace daisy::bench
+
+int main() {
+  using namespace daisy::bench;
+  std::printf("Reproduction of Figure 15: method comparison on simulated "
+              "data (F1 Diff, lower is better)\n");
+  RunBundle(MakeSDataNumBundle(0.5, 0.5, 2400, 0xE1), 0xE10);
+  RunBundle(MakeSDataCatBundle(0.5, 0.5, 2400, 0xE2), 0xE20);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces paper Figure 7 (and appendix Figure 19): comparison of
+// data-synthesis methods on classification utility — VAE, PrivBayes at
+// four epsilon levels, and the (conditional) GAN. Values are F1 Diff.
+#include <cstdio>
+
+#include "baselines/privbayes.h"
+#include "baselines/vae.h"
+#include "bench/bench_util.h"
+
+namespace daisy::bench {
+namespace {
+
+void RunDataset(const std::string& name, size_t n, size_t iterations) {
+  Bundle bundle = MakeBundle(name, n, 0xF7);
+  std::printf("\n=== Figure 7: %s ===\n", name.c_str());
+
+  std::vector<std::string> cols = {"VAE", "PB-0.2", "PB-0.4",
+                                   "PB-0.8", "PB-1.6", "GAN"};
+  std::vector<data::Table> synthetic;
+
+  {
+    baselines::VaeOptions vopts;
+    vopts.epochs = 30;
+    baselines::VaeSynthesizer vae(vopts, {});
+    vae.Fit(bundle.train);
+    Rng rng(0xF71);
+    synthetic.push_back(vae.Generate(bundle.train.num_records(), &rng));
+  }
+  for (double eps : {0.2, 0.4, 0.8, 1.6}) {
+    baselines::PrivBayesOptions popts;
+    popts.epsilon = eps;
+    baselines::PrivBayes pb(popts);
+    Rng rng(0xF72 + static_cast<uint64_t>(eps * 10));
+    pb.Fit(bundle.train, &rng);
+    synthetic.push_back(pb.Generate(bundle.train.num_records(), &rng));
+  }
+  {
+    // The paper's default comparison GAN is the conditional GAN.
+    synth::GanOptions gopts = BenchGanOptions();
+    gopts.algo = synth::TrainAlgo::kCTrain;
+    gopts.iterations = std::max<size_t>(
+        10, iterations / bundle.train.schema().num_labels());
+    double secs = 0.0;
+    synthetic.push_back(
+        TrainAndSynthesize(bundle, gopts, {}, 0, 0xF73, &secs));
+    std::fprintf(stderr, "[fig7] %s GAN trained in %.1fs\n", name.c_str(),
+                 secs);
+  }
+
+  PrintHeader("CLF", cols);
+  for (auto kind : eval::AllClassifierKinds()) {
+    std::vector<double> row;
+    for (size_t i = 0; i < synthetic.size(); ++i)
+      row.push_back(F1DiffFor(bundle, synthetic[i], kind, 0xF75 + i));
+    PrintRow(eval::ClassifierKindName(kind), row);
+  }
+}
+
+}  // namespace
+}  // namespace daisy::bench
+
+int main() {
+  using daisy::bench::RunDataset;
+  std::printf("Reproduction of Figure 7 / Figure 19: method comparison on "
+              "classification utility (F1 Diff, lower is better)\n");
+  RunDataset("adult", 1800, 800);
+  RunDataset("covtype", 3000, 800);
+  RunDataset("census", 2400, 400);
+  RunDataset("sat", 1800, 600);
+  RunDataset("htru2", 2400, 800);
+  RunDataset("digits", 2400, 600);
+  RunDataset("anuran", 3000, 400);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Substrate micro-benchmarks (google-benchmark): the building blocks
+// whose cost dominates the experiment harness — matrix multiplication,
+// GMM fitting, record transformation, LSTM stepping, decision-tree
+// fitting, and AQP query execution.
+#include <benchmark/benchmark.h>
+
+#include "core/matrix.h"
+#include "data/generators/realistic.h"
+#include "eval/aqp.h"
+#include "eval/decision_tree.h"
+#include "nn/lstm.h"
+#include "stats/gmm.h"
+#include "transform/record_transformer.h"
+
+namespace daisy {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, &rng);
+  Matrix b = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GmmFit(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> values(state.range(0));
+  for (auto& v : values)
+    v = rng.Gaussian(rng.Uniform() < 0.5 ? -3.0 : 3.0, 1.0);
+  for (auto _ : state) {
+    Rng fit_rng(3);
+    stats::Gmm1d::Options opts;
+    opts.components = 5;
+    opts.max_iters = 30;
+    benchmark::DoNotOptimize(stats::Gmm1d::Fit(values, opts, &fit_rng));
+  }
+}
+BENCHMARK(BM_GmmFit)->Arg(1000)->Arg(10000);
+
+void BM_TransformTable(benchmark::State& state) {
+  Rng rng(4);
+  data::Table t = data::MakeAdultSim(state.range(0), &rng);
+  transform::TransformOptions opts;
+  auto tf = transform::RecordTransformer::Fit(t, opts, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tf.Transform(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_records());
+}
+BENCHMARK(BM_TransformTable)->Arg(1000)->Arg(5000);
+
+void BM_LstmStep(benchmark::State& state) {
+  Rng rng(5);
+  const size_t batch = state.range(0);
+  nn::LstmCell cell(32, 64, &rng);
+  Matrix x = Matrix::Randn(batch, 32, &rng);
+  for (auto _ : state) {
+    cell.ClearCache();
+    auto s = cell.InitialState(batch);
+    benchmark::DoNotOptimize(cell.StepForward(x, s));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmStep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  Rng rng(6);
+  data::Table t = data::MakeAdultSim(state.range(0), &rng);
+  Matrix x = t.FeatureMatrix();
+  auto y = t.Labels();
+  for (auto _ : state) {
+    Rng fit_rng(7);
+    eval::DecisionTree tree(eval::DecisionTreeOptions{.max_depth = 10});
+    tree.Fit(x, y, 2, &fit_rng);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_records());
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(5000);
+
+void BM_AqpQuery(benchmark::State& state) {
+  Rng rng(8);
+  data::Table t = data::MakeBingSim(state.range(0), &rng);
+  eval::AqpWorkloadOptions wopts;
+  wopts.num_queries = 1;
+  const auto workload = eval::GenerateAqpWorkload(t, wopts, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::ExecuteAqpQuery(t, workload[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_records());
+}
+BENCHMARK(BM_AqpQuery)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace daisy
+
+BENCHMARK_MAIN();

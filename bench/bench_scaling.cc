@@ -1,0 +1,65 @@
+// Extension bench: how training cost scales with table width for each
+// generator architecture — the systems-level counterpart of Table 6's
+// synthesis-time columns. Uses fixed iterations so the per-iteration
+// architectural cost is what varies.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/generators/sim_config.h"
+
+namespace daisy::bench {
+namespace {
+
+data::Table WideTable(size_t num_numeric, size_t num_categorical,
+                      size_t n, uint64_t seed) {
+  data::RandomSimOptions opts;
+  opts.num_numerical = num_numeric;
+  opts.num_categorical = num_categorical;
+  opts.num_labels = 2;
+  Rng config_rng(seed);
+  auto config = data::RandomSimConfig(opts, &config_rng);
+  Rng rng(seed ^ 1);
+  return data::GenerateSimTable(config, n, &rng);
+}
+
+void RunWidth(size_t num_numeric, size_t num_categorical) {
+  Rng rng(0x5C + num_numeric);
+  data::Table full =
+      WideTable(num_numeric, num_categorical, 1200, 0x5C0 + num_numeric);
+  auto split = data::SplitTable(full, 4.0 / 6, 1.0 / 6, &rng);
+
+  std::vector<double> row;
+  for (synth::GeneratorArch arch :
+       {synth::GeneratorArch::kCnn, synth::GeneratorArch::kMlp,
+        synth::GeneratorArch::kLstm}) {
+    synth::GanOptions opts = BenchGanOptions();
+    opts.generator = arch;
+    opts.iterations = 100;
+    opts.snapshots = 1;
+    ApplyBenchScale(&opts);
+    opts.seed = 0x5C1;
+    synth::TableSynthesizer synth(opts, {});
+    const double t0 = NowSeconds();
+    synth.Fit(split.train);
+    row.push_back(NowSeconds() - t0);
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "%zu num + %zu cat", num_numeric,
+                num_categorical);
+  PrintRow(label, row);
+}
+
+}  // namespace
+}  // namespace daisy::bench
+
+int main() {
+  using namespace daisy::bench;
+  std::printf("Extension: training time (seconds, 100 iterations) vs "
+              "table width per architecture\n\n");
+  PrintHeader("attributes", {"CNN", "MLP", "LSTM"});
+  RunWidth(4, 0);
+  RunWidth(8, 4);
+  RunWidth(16, 8);
+  RunWidth(32, 16);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Table 4: effect of the synthetic/original size
+// ratio |T'|/|T| in {50, 100, 150, 200}% on F1 Diff (classifier DT10).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace daisy::bench {
+namespace {
+
+void RunBundle(const Bundle& bundle, size_t iterations, uint64_t seed) {
+  synth::GanOptions opts = BenchGanOptions();
+  opts.iterations = iterations;
+  opts.seed = seed;
+  ApplyBenchScale(&opts);
+
+  synth::TableSynthesizer synth(opts, {});
+  synth.Fit(bundle.train);
+  eval::SnapshotSelectionOptions sopts;
+  sopts.gen_size = 500;
+  Rng sel_rng(seed ^ 1);
+  eval::SelectBestSnapshot(&synth, bundle.valid, sopts, &sel_rng);
+
+  std::vector<double> row;
+  for (double ratio : {0.5, 1.0, 1.5, 2.0}) {
+    Rng gen_rng(seed ^ 2);
+    const size_t n = static_cast<size_t>(
+        ratio * static_cast<double>(bundle.train.num_records()));
+    data::Table fake = synth.Generate(n, &gen_rng);
+    row.push_back(F1DiffFor(bundle, fake, eval::ClassifierKind::kDt10,
+                            seed ^ 3));
+  }
+  PrintRow(bundle.name, row);
+}
+
+}  // namespace
+}  // namespace daisy::bench
+
+int main() {
+  using namespace daisy::bench;
+  std::printf("Reproduction of Table 4: effect of |T'|/|T| size ratio "
+              "(DT10 F1 Diff, lower is better)\n\n");
+  PrintHeader("Dataset", {"50%", "100%", "150%", "200%"});
+  RunBundle(MakeBundle("adult", 1800, 0x14), 800, 0x141);
+  RunBundle(MakeBundle("covtype", 1800, 0x24), 800, 0x142);
+  RunBundle(MakeSDataNumBundle(0.5, 0.5, 1800, 0x34), 800, 0x143);
+  RunBundle(MakeSDataCatBundle(0.5, 0.5, 1800, 0x44), 800, 0x144);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Table 7: clustering utility DiffCST (K-Means NMI
+// difference) across generator networks and transformation schemes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/clustering_eval.h"
+
+namespace daisy::bench {
+namespace {
+
+using transform::CategoricalEncoding;
+using transform::NumericalNormalization;
+
+void RunDataset(const std::string& name, size_t n, size_t iterations,
+                bool include_cnn) {
+  Bundle bundle = MakeBundle(name, n, 0x17);
+
+  struct Config {
+    std::string label;
+    synth::GeneratorArch arch;
+    NumericalNormalization num;
+  };
+  std::vector<Config> configs;
+  if (include_cnn)
+    configs.push_back({"CNN", synth::GeneratorArch::kCnn,
+                       NumericalNormalization::kSimple});
+  configs.push_back({"MLP sn/ht", synth::GeneratorArch::kMlp,
+                     NumericalNormalization::kSimple});
+  configs.push_back({"MLP gn/ht", synth::GeneratorArch::kMlp,
+                     NumericalNormalization::kGmm});
+  configs.push_back({"LSTM sn/ht", synth::GeneratorArch::kLstm,
+                     NumericalNormalization::kSimple});
+  configs.push_back({"LSTM gn/ht", synth::GeneratorArch::kLstm,
+                     NumericalNormalization::kGmm});
+
+  std::vector<double> row;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    synth::GanOptions opts = BenchGanOptions();
+    opts.generator = configs[i].arch;
+    opts.iterations = configs[i].arch == synth::GeneratorArch::kLstm
+                          ? iterations
+                          : iterations * 4;
+    transform::TransformOptions topts;
+    topts.numerical = configs[i].num;
+    topts.categorical = CategoricalEncoding::kOneHot;
+    data::Table fake =
+        TrainAndSynthesize(bundle, opts, topts, 0, 0x170 + i);
+    Rng rng(0x175 + i);
+    row.push_back(eval::ClusteringDiff(bundle.train, fake, &rng));
+  }
+  // Pad the CNN column for datasets where it is not applicable.
+  if (!include_cnn) row.insert(row.begin(), -1.0);
+  PrintRow(name, row);
+}
+
+}  // namespace
+}  // namespace daisy::bench
+
+int main() {
+  using namespace daisy::bench;
+  std::printf("Reproduction of Table 7: clustering utility DiffCST by "
+              "network (lower is better; -1 = CNN not applicable)\n\n");
+  PrintHeader("Dataset", {"CNN", "MLP sn/ht", "MLP gn/ht", "LSTM sn/ht",
+                          "LSTM gn/ht"});
+  RunDataset("htru2", 1500, 150, true);
+  RunDataset("adult", 1500, 150, true);
+  RunDataset("covtype", 2400, 150, false);
+  RunDataset("digits", 2400, 120, false);
+  RunDataset("anuran", 2400, 80, false);
+  RunDataset("census", 2400, 60, true);
+  RunDataset("sat", 1800, 60, false);
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace daisy::bench {
+
+namespace {
+
+Bundle SplitToBundle(std::string name, const data::Table& full,
+                     uint64_t seed) {
+  Rng rng(seed);
+  auto split = data::SplitTable(full, 4.0 / 6.0, 1.0 / 6.0, &rng);
+  Bundle b;
+  b.name = std::move(name);
+  b.train = std::move(split.train);
+  b.valid = std::move(split.valid);
+  b.test = std::move(split.test);
+  return b;
+}
+
+}  // namespace
+
+Bundle MakeBundle(const std::string& name, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return SplitToBundle(name, data::MakeDatasetByName(name, n, &rng),
+                       seed ^ 0x5555);
+}
+
+Bundle MakeSDataNumBundle(double correlation, double positive_ratio,
+                          size_t n, uint64_t seed) {
+  Rng rng(seed);
+  data::SDataNumOptions opts;
+  opts.num_records = n;
+  opts.correlation = correlation;
+  opts.positive_ratio = positive_ratio;
+  char name[64];
+  std::snprintf(name, sizeof(name), "SDataNum-%.1f%s", correlation,
+                positive_ratio < 0.3 ? "-skew" : "");
+  return SplitToBundle(name, data::MakeSDataNum(opts, &rng), seed ^ 0x5555);
+}
+
+Bundle MakeSDataCatBundle(double diagonal_p, double positive_ratio,
+                          size_t n, uint64_t seed) {
+  Rng rng(seed);
+  data::SDataCatOptions opts;
+  opts.num_records = n;
+  opts.diagonal_p = diagonal_p;
+  opts.positive_ratio = positive_ratio;
+  char name[64];
+  std::snprintf(name, sizeof(name), "SDataCat-%.1f%s", diagonal_p,
+                positive_ratio < 0.3 ? "-skew" : "");
+  return SplitToBundle(name, data::MakeSDataCat(opts, &rng), seed ^ 0x5555);
+}
+
+synth::GanOptions BenchGanOptions() {
+  synth::GanOptions opts;
+  opts.iterations = 150;
+  opts.batch_size = 64;
+  opts.g_hidden = {64, 64};
+  opts.d_hidden = {64, 64};
+  opts.lstm_hidden = 48;
+  opts.lstm_feature = 24;
+  opts.noise_dim = 16;
+  opts.snapshots = 10;
+  return opts;
+}
+
+void ApplyBenchScale(synth::GanOptions* opts) {
+  if (std::getenv("DAISY_BENCH_FAST") != nullptr) {
+    opts->iterations = std::max<size_t>(20, opts->iterations / 5);
+  }
+}
+
+data::Table TrainAndSynthesize(const Bundle& bundle,
+                               const synth::GanOptions& gan_opts,
+                               const transform::TransformOptions& topts,
+                               size_t gen_size, uint64_t seed,
+                               double* train_seconds) {
+  synth::GanOptions opts = gan_opts;
+  opts.seed = seed;
+  ApplyBenchScale(&opts);
+  synth::TableSynthesizer synth(opts, topts);
+  const double t0 = NowSeconds();
+  synth.Fit(bundle.train);
+
+  eval::SnapshotSelectionOptions sopts;
+  sopts.gen_size = std::min<size_t>(bundle.valid.num_records() * 2, 1000);
+  Rng sel_rng(seed ^ 0xABCD);
+  eval::SelectBestSnapshot(&synth, bundle.valid, sopts, &sel_rng);
+  if (train_seconds) *train_seconds = NowSeconds() - t0;
+
+  Rng gen_rng(seed ^ 0x1234);
+  const size_t n = gen_size > 0 ? gen_size : bundle.train.num_records();
+  return synth.Generate(n, &gen_rng);
+}
+
+double F1DiffFor(const Bundle& bundle, const data::Table& synthetic,
+                 eval::ClassifierKind kind, uint64_t seed) {
+  Rng rng(seed);
+  return eval::F1Diff(bundle.train, synthetic, bundle.test, kind, &rng);
+}
+
+void PrintHeader(const std::string& first,
+                 const std::vector<std::string>& columns) {
+  std::printf("%-22s", first.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < 22 + 14 * columns.size(); ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& first, const std::vector<double>& values) {
+  std::printf("%-22s", first.c_str());
+  for (double v : values) std::printf("%14.3f", v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace daisy::bench

@@ -1,0 +1,70 @@
+// Shared plumbing for the experiment benches: dataset bundles with the
+// paper's 4:1:1 split, GAN training with validation-based snapshot
+// selection, and fixed-width table printing that mirrors the paper's
+// row/column layout.
+#ifndef DAISY_BENCH_BENCH_UTIL_H_
+#define DAISY_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generators/realistic.h"
+#include "data/generators/sdata.h"
+#include "data/table.h"
+#include "eval/classifier.h"
+#include "eval/utility.h"
+#include "synth/synthesizer.h"
+
+namespace daisy::bench {
+
+/// A dataset split 4:1:1 as in paper §6.2.
+struct Bundle {
+  std::string name;
+  data::Table train;
+  data::Table valid;
+  data::Table test;
+};
+
+/// Builds a named realistic-sim bundle ("adult", "covtype", ...).
+Bundle MakeBundle(const std::string& name, size_t n, uint64_t seed);
+
+/// Bundles for the paper's simulated datasets.
+Bundle MakeSDataNumBundle(double correlation, double positive_ratio,
+                          size_t n, uint64_t seed);
+Bundle MakeSDataCatBundle(double diagonal_p, double positive_ratio,
+                          size_t n, uint64_t seed);
+
+/// Default GAN options scaled for CPU benches.
+synth::GanOptions BenchGanOptions();
+
+/// Honors the DAISY_BENCH_FAST environment variable: when set, cuts
+/// training iterations ~5x for smoke runs. Called by
+/// TrainAndSynthesize; call it manually when driving TableSynthesizer
+/// directly.
+void ApplyBenchScale(synth::GanOptions* opts);
+
+/// Trains a synthesizer on bundle.train, performs the paper's
+/// validation-based snapshot selection, and generates `gen_size`
+/// records (0 = train size). Returns the synthetic table and, via
+/// out-params, the selected snapshot index and wall-clock seconds.
+data::Table TrainAndSynthesize(const Bundle& bundle,
+                               const synth::GanOptions& gan_opts,
+                               const transform::TransformOptions& topts,
+                               size_t gen_size, uint64_t seed,
+                               double* train_seconds = nullptr);
+
+/// F1 Diff (Eq. 1) of one classifier kind over a synthetic table.
+double F1DiffFor(const Bundle& bundle, const data::Table& synthetic,
+                 eval::ClassifierKind kind, uint64_t seed);
+
+/// Prints "name  v1  v2 ..." with fixed-width columns.
+void PrintHeader(const std::string& first,
+                 const std::vector<std::string>& columns);
+void PrintRow(const std::string& first, const std::vector<double>& values);
+
+/// Seconds since an arbitrary epoch (monotonic).
+double NowSeconds();
+
+}  // namespace daisy::bench
+
+#endif  // DAISY_BENCH_BENCH_UTIL_H_

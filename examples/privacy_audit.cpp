@@ -1,0 +1,67 @@
+// Scenario (paper §7.2.2): before releasing a synthetic table, audit
+// its re-identification risk with the paper's two metrics — hitting
+// rate and distance-to-closest-record — and, when provable guarantees
+// are required, switch to DPGAN and account the epsilon spent.
+#include <cstdio>
+
+#include "data/generators/realistic.h"
+#include "eval/privacy.h"
+#include "synth/dp_accountant.h"
+#include "synth/synthesizer.h"
+
+int main() {
+  using namespace daisy;
+
+  Rng rng(3);
+  data::Table train = data::MakeAdultSim(2000, &rng);
+
+  auto audit = [&](const char* name, data::Table synthetic) {
+    eval::HittingRateOptions hopts;
+    hopts.num_synthetic_samples = 500;
+    eval::DcrOptions dopts;
+    dopts.num_original_samples = 300;
+    Rng r1(5), r2(6);
+    const double hit = eval::HittingRate(train, synthetic, hopts, &r1);
+    const double dcr =
+        eval::DistanceToClosestRecord(train, synthetic, dopts, &r2);
+    std::printf("%-12s hitting-rate=%5.2f%%   DCR=%.3f\n", name,
+                100.0 * hit, dcr);
+  };
+
+  // Release candidate 1: the raw table itself — maximal risk, for
+  // reference (every record "hits" itself, DCR = 0).
+  audit("raw-copy", train);
+
+  // Release candidate 2: standard (non-DP) GAN synthesis.
+  {
+    synth::GanOptions opts;
+    opts.iterations = 400;
+    synth::TableSynthesizer synth(opts, {});
+    synth.Fit(train);
+    Rng gen_rng(7);
+    audit("GAN", synth.Generate(train.num_records(), &gen_rng));
+  }
+
+  // Release candidate 3: DPGAN with a target epsilon. The accountant
+  // maps epsilon to the gradient-noise multiplier (Algorithm 4).
+  {
+    const double target_eps = 0.8;
+    synth::GanOptions opts;
+    opts.algo = synth::TrainAlgo::kDPTrain;
+    opts.iterations = 300;
+    opts.d_steps = 2;
+    opts.dp_noise_scale = synth::NoiseForEpsilon(
+        target_eps, opts.iterations * opts.d_steps, opts.batch_size,
+        train.num_records());
+    std::printf("\nDPGAN: eps=%.2f -> noise multiplier %.3f\n", target_eps,
+                opts.dp_noise_scale);
+    synth::TableSynthesizer synth(opts, {});
+    synth.Fit(train);
+    Rng gen_rng(9);
+    audit("DPGAN-0.8", synth.Generate(train.num_records(), &gen_rng));
+  }
+
+  std::printf("\nLower hitting rate and higher DCR = lower "
+              "re-identification risk.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baselines/copula.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::baselines {
+
+namespace {
+// Clamp empirical CDF values away from 0/1 so normal scores stay
+// finite.
+double ClampU(double u, size_t n) {
+  const double eps = 0.5 / static_cast<double>(n);
+  return std::clamp(u, eps, 1.0 - eps);
+}
+}  // namespace
+
+double GaussianCopulaSynthesizer::ToNormalScore(size_t attr,
+                                                double value) const {
+  const Marginal& m = marginals_[attr];
+  if (m.categorical) {
+    // Midpoint of the category's cumulative band.
+    const size_t c = static_cast<size_t>(std::llround(value));
+    DAISY_CHECK(c < m.cumulative.size());
+    const double lo = c == 0 ? 0.0 : m.cumulative[c - 1];
+    const double hi = m.cumulative[c];
+    return stats::NormalQuantile(
+        ClampU(0.5 * (lo + hi), m.cumulative.size() * 4));
+  }
+  // Empirical CDF via binary search (mid-rank of ties).
+  const auto lo_it =
+      std::lower_bound(m.sorted.begin(), m.sorted.end(), value);
+  const auto hi_it =
+      std::upper_bound(m.sorted.begin(), m.sorted.end(), value);
+  const double rank =
+      0.5 * static_cast<double>((lo_it - m.sorted.begin()) +
+                                (hi_it - m.sorted.begin()));
+  const double u = ClampU((rank + 0.5) / static_cast<double>(m.sorted.size()),
+                          m.sorted.size());
+  return stats::NormalQuantile(u);
+}
+
+double GaussianCopulaSynthesizer::FromUniform(size_t attr, double u,
+                                              Rng* rng) const {
+  const Marginal& m = marginals_[attr];
+  if (m.categorical) {
+    for (size_t c = 0; c < m.cumulative.size(); ++c)
+      if (u <= m.cumulative[c]) return static_cast<double>(c);
+    return static_cast<double>(m.cumulative.size() - 1);
+  }
+  // Inverse empirical CDF with linear interpolation between order
+  // statistics; a touch of within-gap jitter avoids producing only
+  // the observed support.
+  const double pos = u * static_cast<double>(m.sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(pos);
+  const size_t nxt = std::min(idx + 1, m.sorted.size() - 1);
+  double frac = pos - static_cast<double>(idx);
+  if (rng != nullptr) frac = std::clamp(frac + rng->Uniform(-0.05, 0.05),
+                                        0.0, 1.0);
+  return m.sorted[idx] + frac * (m.sorted[nxt] - m.sorted[idx]);
+}
+
+void GaussianCopulaSynthesizer::Fit(const data::Table& train) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 1);
+  fitted_ = true;
+  schema_ = train.schema();
+  const size_t d = schema_.num_attributes();
+  const size_t n = train.num_records();
+
+  marginals_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    Marginal& m = marginals_[j];
+    m.categorical = schema_.attribute(j).is_categorical();
+    if (m.categorical) {
+      const size_t domain = schema_.attribute(j).domain_size();
+      std::vector<double> counts(domain, 0.0);
+      for (size_t i = 0; i < n; ++i) counts[train.category(i, j)] += 1.0;
+      m.cumulative.resize(domain);
+      double acc = 0.0;
+      for (size_t c = 0; c < domain; ++c) {
+        acc += counts[c] / static_cast<double>(n);
+        m.cumulative[c] = acc;
+      }
+      m.cumulative.back() = 1.0;
+    } else {
+      m.sorted = train.Column(j);
+      std::sort(m.sorted.begin(), m.sorted.end());
+    }
+  }
+
+  // Latent normal scores, then their correlation.
+  Matrix scores(n, d);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j)
+      scores(i, j) = ToNormalScore(j, train.value(i, j));
+  correlation_ = stats::CorrelationMatrix(scores);
+  Matrix regularized =
+      stats::RegularizeCovariance(correlation_, opts_.shrinkage);
+  auto chol = stats::Cholesky(regularized);
+  // Shrinkage guarantees positive definiteness for any valid
+  // correlation matrix.
+  DAISY_CHECK(chol.ok());
+  sampler_ = std::make_unique<stats::MvnSampler>(chol.take());
+}
+
+data::Table GaussianCopulaSynthesizer::Generate(size_t n, Rng* rng) const {
+  DAISY_CHECK(fitted_);
+  data::Table out(schema_);
+  out.Reserve(n);
+  const size_t d = schema_.num_attributes();
+  std::vector<double> record(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto z = sampler_->Sample(rng);
+    for (size_t j = 0; j < d; ++j)
+      record[j] = FromUniform(j, stats::NormalCdf(z[j]), rng);
+    out.AppendRecord(record);
+  }
+  return out;
+}
+
+}  // namespace daisy::baselines

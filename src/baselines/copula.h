@@ -1,0 +1,61 @@
+// Gaussian-copula synthesizer — the classic statistical baseline the
+// paper's related work cites via DPSynthesizer [35] and the Synthetic
+// Data Vault [46]. Each attribute is mapped to a standard-normal score
+// through its (empirical) marginal CDF; the joint dependence is a
+// single correlation matrix; sampling inverts the construction.
+#ifndef DAISY_BASELINES_COPULA_H_
+#define DAISY_BASELINES_COPULA_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/table.h"
+#include "stats/mvn.h"
+
+namespace daisy::baselines {
+
+struct CopulaOptions {
+  /// Shrinkage toward the identity applied to the estimated
+  /// correlation matrix before factorization; keeps the factorization
+  /// positive definite on degenerate data.
+  double shrinkage = 0.05;
+};
+
+class GaussianCopulaSynthesizer {
+ public:
+  explicit GaussianCopulaSynthesizer(const CopulaOptions& options = {})
+      : opts_(options) {}
+
+  /// Fits per-attribute marginals and the latent correlation matrix.
+  void Fit(const data::Table& train);
+
+  /// Samples n records.
+  data::Table Generate(size_t n, Rng* rng) const;
+
+  /// The latent correlation matrix (for tests).
+  const Matrix& correlation() const { return correlation_; }
+
+ private:
+  struct Marginal {
+    bool categorical = false;
+    // Numeric: sorted empirical values.
+    std::vector<double> sorted;
+    // Categorical: cumulative probabilities (last entry 1.0).
+    std::vector<double> cumulative;
+  };
+
+  double ToNormalScore(size_t attr, double value) const;
+  double FromUniform(size_t attr, double u, Rng* rng) const;
+
+  CopulaOptions opts_;
+  data::Schema schema_;
+  std::vector<Marginal> marginals_;
+  Matrix correlation_;
+  std::unique_ptr<stats::MvnSampler> sampler_;
+  bool fitted_ = false;
+};
+
+}  // namespace daisy::baselines
+
+#endif  // DAISY_BASELINES_COPULA_H_

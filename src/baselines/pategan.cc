@@ -1,0 +1,194 @@
+#include "baselines/pategan.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace daisy::baselines {
+
+PateGanSynthesizer::PateGanSynthesizer(
+    const PateGanOptions& options,
+    const transform::TransformOptions& transform_opts)
+    : opts_(options), topts_(transform_opts), rng_(options.seed) {
+  DAISY_CHECK(opts_.num_teachers >= 1);
+  topts_.form = transform::SampleForm::kVector;
+  topts_.exclude_label = false;
+}
+
+void PateGanSynthesizer::Fit(const data::Table& train) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() >= opts_.num_teachers);
+  fitted_ = true;
+
+  transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::Fit(train, topts_, &rng_));
+  const Matrix real_all = transformer_->Transform(train);
+  const size_t sample_dim = transformer_->sample_dim();
+
+  Rng init = rng_.Split();
+  generator_ = std::make_unique<synth::MlpGenerator>(
+      opts_.noise_dim, 0, opts_.hidden, transformer_->segments(), &init);
+  g_opt_ = std::make_unique<nn::Adam>(generator_->Params(), opts_.lr);
+
+  student_ = std::make_unique<synth::MlpDiscriminator>(
+      sample_dim, 0, opts_.hidden, false, &init);
+  student_opt_ = std::make_unique<nn::Adam>(student_->Params(), opts_.lr);
+
+  // Disjoint partition of the real records across teachers.
+  Rng part_rng = rng_.Split();
+  const auto perm = part_rng.Permutation(train.num_records());
+  std::vector<std::vector<size_t>> partitions(opts_.num_teachers);
+  for (size_t i = 0; i < perm.size(); ++i)
+    partitions[i % opts_.num_teachers].push_back(perm[i]);
+
+  teachers_.clear();
+  teacher_opts_.clear();
+  for (size_t t = 0; t < opts_.num_teachers; ++t) {
+    teachers_.push_back(std::make_unique<synth::MlpDiscriminator>(
+        sample_dim, 0, opts_.hidden, /*simplified=*/true, &init));
+    teacher_opts_.push_back(
+        std::make_unique<nn::Adam>(teachers_[t]->Params(), opts_.teacher_lr));
+  }
+
+  // ---- DP marginal anchor ------------------------------------------
+  // PATE-GAN's generator receives gradient only through the student,
+  // which never sees real data; at small scale the teachers saturate
+  // to "fake" and the student's labels lose contrast, letting the
+  // generator drift into collapse. We anchor it with ONE differentially
+  // private query: per-column means (and variances for scalar
+  // dimensions) of the transformed table, Laplace-noised with the
+  // marginal_epsilon budget. The noised statistics are packed into two
+  // pseudo-rows whose column means/variances equal the targets, so the
+  // shared KlRegularizer can treat them as a "real" reference batch.
+  if (opts_.marginal_epsilon > 0.0) {
+    const double n = static_cast<double>(real_all.rows());
+    // Each record contributes 1/n to every column mean; crude global
+    // sensitivity bound for the full query vector.
+    const double noise_b =
+        2.0 * static_cast<double>(sample_dim) / (n * opts_.marginal_epsilon);
+    Rng noise_rng = rng_.Split();
+    Matrix mean = real_all.ColMean();
+    Matrix var(1, sample_dim);
+    for (size_t c = 0; c < sample_dim; ++c) {
+      for (size_t r = 0; r < real_all.rows(); ++r) {
+        const double d = real_all(r, c) - mean(0, c);
+        var(0, c) += d * d;
+      }
+      var(0, c) /= n;
+      mean(0, c) += noise_rng.Laplace(noise_b);
+      var(0, c) = std::max(0.0, var(0, c) + noise_rng.Laplace(noise_b));
+    }
+    anchor_targets_ = Matrix(2, sample_dim);
+    for (size_t c = 0; c < sample_dim; ++c) {
+      const double sd = std::sqrt(var(0, c));
+      anchor_targets_(0, c) = mean(0, c) + sd;
+      anchor_targets_(1, c) = mean(0, c) - sd;
+    }
+    anchor_ = std::make_unique<synth::KlRegularizer>(
+        transformer_->segments());
+    epsilon_spent_ += opts_.marginal_epsilon;
+  }
+
+  Rng train_rng = rng_.Split();
+  const double vote_noise_scale = 2.0 / std::max(opts_.lambda, 1e-12);
+  const double half = static_cast<double>(opts_.num_teachers) / 2.0;
+
+  for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+    // ---- Teachers: real (from own partition) vs fake --------------
+    for (size_t t = 0; t < opts_.num_teachers; ++t) {
+      const auto& pool = partitions[t];
+      std::vector<size_t> rows(opts_.batch_size);
+      for (auto& r : rows) r = pool[train_rng.UniformInt(pool.size())];
+      Matrix real = real_all.GatherRows(rows);
+      Matrix z = Matrix::Randn(opts_.batch_size, opts_.noise_dim,
+                               &train_rng);
+      Matrix fake = generator_->Forward(z, Matrix(), true);
+
+      teachers_[t]->ZeroGrad();
+      {
+        Matrix logits = teachers_[t]->Forward(real, Matrix(), true);
+        Matrix grad;
+        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0), &grad);
+        teachers_[t]->Backward(grad);
+      }
+      {
+        Matrix logits = teachers_[t]->Forward(fake, Matrix(), true);
+        Matrix grad;
+        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 0.0), &grad);
+        teachers_[t]->Backward(grad);
+      }
+      teacher_opts_[t]->Step();
+    }
+
+    // ---- Student: generated samples labeled by noisy votes --------
+    for (size_t s = 0; s < opts_.student_steps; ++s) {
+      Matrix z = Matrix::Randn(opts_.batch_size, opts_.noise_dim,
+                               &train_rng);
+      Matrix fake = generator_->Forward(z, Matrix(), true);
+      Matrix labels(opts_.batch_size, 1);
+      for (size_t i = 0; i < opts_.batch_size; ++i) {
+        Matrix row(1, fake.cols());
+        for (size_t c = 0; c < fake.cols(); ++c) row(0, c) = fake(i, c);
+        double votes = 0.0;
+        for (auto& teacher : teachers_) {
+          const Matrix logit = teacher->Forward(row, Matrix(), false);
+          votes += logit(0, 0) > 0.0 ? 1.0 : 0.0;
+        }
+        votes += train_rng.Laplace(vote_noise_scale);
+        labels(i, 0) = votes > half ? 1.0 : 0.0;
+        epsilon_spent_ += opts_.lambda;
+      }
+      student_->ZeroGrad();
+      Matrix logits = student_->Forward(fake, Matrix(), true);
+      Matrix grad;
+      nn::BceWithLogitsLoss(logits, labels, &grad);
+      student_->Backward(grad);
+      student_opt_->Step();
+    }
+
+    // ---- Generator vs student -------------------------------------
+    {
+      Matrix z = Matrix::Randn(opts_.batch_size, opts_.noise_dim,
+                               &train_rng);
+      generator_->ZeroGrad();
+      student_->ZeroGrad();
+      Matrix fake = generator_->Forward(z, Matrix(), true);
+      Matrix logits = student_->Forward(fake, Matrix(), true);
+      Matrix grad_logits;
+      nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
+                            &grad_logits);
+      Matrix grad_fake = student_->Backward(grad_logits);
+      if (anchor_) {
+        anchor_->Compute(anchor_targets_, fake, opts_.marginal_weight,
+                         &grad_fake);
+      }
+      generator_->Backward(grad_fake);
+      g_opt_->Step();
+    }
+  }
+}
+
+data::Table PateGanSynthesizer::Generate(size_t n, Rng* rng) {
+  DAISY_CHECK(fitted_);
+  constexpr size_t kGenBatch = 256;
+  data::Table out(transformer_->schema());
+  out.Reserve(n);
+  size_t produced = 0;
+  std::vector<double> record;
+  while (produced < n) {
+    const size_t m = std::min(kGenBatch, n - produced);
+    Matrix z = Matrix::Randn(m, opts_.noise_dim, rng);
+    Matrix samples = generator_->Forward(z, Matrix(), false);
+    data::Table decoded = transformer_->InverseTransform(samples);
+    for (size_t i = 0; i < m; ++i) {
+      record.assign(decoded.num_attributes(), 0.0);
+      for (size_t j = 0; j < decoded.num_attributes(); ++j)
+        record[j] = decoded.value(i, j);
+      out.AppendRecord(record);
+    }
+    produced += m;
+  }
+  return out;
+}
+
+}  // namespace daisy::baselines

@@ -1,0 +1,232 @@
+#include "baselines/privbayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::baselines {
+
+namespace {
+
+/// Mutual information I(X; Y) from a joint count table (x_dom x y_dom).
+double MutualInformation(const std::vector<double>& joint, size_t x_dom,
+                         size_t y_dom, double n) {
+  if (n <= 0.0) return 0.0;
+  std::vector<double> px(x_dom, 0.0), py(y_dom, 0.0);
+  for (size_t x = 0; x < x_dom; ++x)
+    for (size_t y = 0; y < y_dom; ++y) {
+      px[x] += joint[x * y_dom + y];
+      py[y] += joint[x * y_dom + y];
+    }
+  double mi = 0.0;
+  for (size_t x = 0; x < x_dom; ++x) {
+    for (size_t y = 0; y < y_dom; ++y) {
+      const double pxy = joint[x * y_dom + y] / n;
+      if (pxy <= 0.0) continue;
+      mi += pxy * std::log(pxy / ((px[x] / n) * (py[y] / n)));
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+}  // namespace
+
+size_t PrivBayes::Discretize(size_t attr, double value) const {
+  const AttrDisc& d = disc_[attr];
+  if (d.categorical) {
+    const long long idx = std::llround(value);
+    DAISY_CHECK(idx >= 0 && idx < static_cast<long long>(d.domain));
+    return static_cast<size_t>(idx);
+  }
+  if (d.width <= 0.0) return 0;
+  const double rel = (value - d.lo) / d.width;
+  const long long bin = static_cast<long long>(std::floor(rel));
+  return static_cast<size_t>(
+      std::clamp<long long>(bin, 0, static_cast<long long>(d.domain) - 1));
+}
+
+double PrivBayes::UnDiscretize(size_t attr, size_t bin, Rng* rng) const {
+  const AttrDisc& d = disc_[attr];
+  if (d.categorical) return static_cast<double>(bin);
+  return d.lo + (static_cast<double>(bin) + rng->Uniform()) * d.width;
+}
+
+void PrivBayes::Fit(const data::Table& train, Rng* rng) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 0);
+  fitted_ = true;
+  schema_ = train.schema();
+  const size_t d = schema_.num_attributes();
+  const size_t n = train.num_records();
+  const double nd = static_cast<double>(n);
+
+  // Discretization spec per attribute.
+  disc_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    if (schema_.attribute(j).is_categorical()) {
+      disc_[j].categorical = true;
+      disc_[j].domain = schema_.attribute(j).domain_size();
+    } else {
+      disc_[j].categorical = false;
+      disc_[j].domain = opts_.num_bins;
+      const double lo = train.AttributeMin(j);
+      const double hi = train.AttributeMax(j);
+      disc_[j].lo = lo;
+      disc_[j].width =
+          hi > lo ? (hi - lo) / static_cast<double>(opts_.num_bins) : 1.0;
+    }
+  }
+
+  // Discretized data matrix.
+  std::vector<std::vector<size_t>> data(d, std::vector<size_t>(n));
+  for (size_t j = 0; j < d; ++j)
+    for (size_t i = 0; i < n; ++i)
+      data[j][i] = Discretize(j, train.value(i, j));
+
+  // ---- Structure learning (eps/2) ----------------------------------
+  const double eps1 = opts_.epsilon / 2.0;
+  const double eps_step = d > 1 ? eps1 / static_cast<double>(d - 1) : eps1;
+  // Sensitivity of MI, upper-bounded by (2/n) log2 n + 2/n.
+  const double mi_sensitivity =
+      (2.0 / nd) * std::log2(std::max(nd, 2.0)) + 2.0 / nd;
+
+  order_.clear();
+  parents_.assign(d, {});
+  std::vector<bool> chosen(d, false);
+  const size_t first = rng->UniformInt(d);
+  order_.push_back(first);
+  chosen[first] = true;
+
+  auto parent_domain = [&](const std::vector<size_t>& pset) {
+    size_t dom = 1;
+    for (size_t p : pset) {
+      dom *= disc_[p].domain;
+      if (dom > opts_.max_parent_configs) return opts_.max_parent_configs + 1;
+    }
+    return dom;
+  };
+  auto parent_config_of = [&](const std::vector<size_t>& pset, size_t row) {
+    size_t cfg = 0;
+    for (size_t p : pset) cfg = cfg * disc_[p].domain + data[p][row];
+    return cfg;
+  };
+  auto mi_of = [&](size_t attr, const std::vector<size_t>& pset) {
+    const size_t pdom = parent_domain(pset);
+    const size_t adom = disc_[attr].domain;
+    std::vector<double> joint(pdom * adom, 0.0);
+    for (size_t i = 0; i < n; ++i)
+      joint[parent_config_of(pset, i) * adom + data[attr][i]] += 1.0;
+    return MutualInformation(joint, pdom, adom, nd);
+  };
+
+  while (order_.size() < d) {
+    double best_score = -1e300;
+    size_t best_attr = 0;
+    std::vector<size_t> best_parents;
+
+    for (size_t a = 0; a < d; ++a) {
+      if (chosen[a]) continue;
+      // Singleton candidates: every chosen attribute.
+      std::vector<std::pair<double, size_t>> singles;
+      for (size_t p : order_) {
+        std::vector<size_t> pset{p};
+        if (parent_domain(pset) > opts_.max_parent_configs) continue;
+        const double mi = mi_of(a, pset);
+        singles.push_back({mi, p});
+        const double noisy = mi + rng->Laplace(mi_sensitivity / eps_step);
+        if (noisy > best_score) {
+          best_score = noisy;
+          best_attr = a;
+          best_parents = pset;
+        }
+      }
+      // Pair candidates drawn from the strongest singletons (prunes the
+      // quadratic explosion while keeping high-MI pairs in play).
+      if (opts_.max_parents >= 2 && singles.size() >= 2) {
+        std::sort(singles.rbegin(), singles.rend());
+        const size_t top = std::min<size_t>(4, singles.size());
+        for (size_t i = 0; i < top; ++i) {
+          for (size_t j = i + 1; j < top; ++j) {
+            std::vector<size_t> pset{singles[i].second, singles[j].second};
+            if (parent_domain(pset) > opts_.max_parent_configs) continue;
+            const double noisy =
+                mi_of(a, pset) + rng->Laplace(mi_sensitivity / eps_step);
+            if (noisy > best_score) {
+              best_score = noisy;
+              best_attr = a;
+              best_parents = pset;
+            }
+          }
+        }
+      }
+      // Parentless fallback (also covers the degenerate d == 1 case).
+      const double noisy = rng->Laplace(mi_sensitivity / eps_step);
+      if (best_parents.empty() && noisy > best_score) {
+        best_score = noisy;
+        best_attr = a;
+        best_parents.clear();
+      }
+    }
+
+    order_.push_back(best_attr);
+    chosen[best_attr] = true;
+    parents_[best_attr] = best_parents;
+  }
+
+  // ---- Parameter learning (eps/2) -----------------------------------
+  const double eps2 = opts_.epsilon / 2.0;
+  // Each record contributes to d conditional tables; Laplace scale
+  // 2d / eps2 on raw counts (PrivBayes Lemma 4.1 style).
+  const double count_noise_scale = 2.0 * static_cast<double>(d) / eps2;
+
+  conditional_.assign(d, {});
+  parent_configs_.assign(d, 1);
+  for (size_t a = 0; a < d; ++a) {
+    const auto& pset = parents_[a];
+    const size_t pdom = parent_domain(pset);
+    DAISY_CHECK(pdom <= opts_.max_parent_configs);
+    const size_t adom = disc_[a].domain;
+    parent_configs_[a] = pdom;
+    std::vector<double> counts(pdom * adom, 0.0);
+    for (size_t i = 0; i < n; ++i)
+      counts[parent_config_of(pset, i) * adom + data[a][i]] += 1.0;
+    // Noise + clamp + per-parent-config normalization.
+    for (auto& c : counts)
+      c = std::max(0.0, c + rng->Laplace(count_noise_scale));
+    for (size_t cfg = 0; cfg < pdom; ++cfg) {
+      double sum = 0.0;
+      for (size_t v = 0; v < adom; ++v) sum += counts[cfg * adom + v];
+      if (sum <= 0.0) {
+        for (size_t v = 0; v < adom; ++v)
+          counts[cfg * adom + v] = 1.0 / static_cast<double>(adom);
+      } else {
+        for (size_t v = 0; v < adom; ++v) counts[cfg * adom + v] /= sum;
+      }
+    }
+    conditional_[a] = std::move(counts);
+  }
+}
+
+data::Table PrivBayes::Generate(size_t n, Rng* rng) const {
+  DAISY_CHECK(fitted_);
+  data::Table out(schema_);
+  out.Reserve(n);
+  const size_t d = schema_.num_attributes();
+  std::vector<size_t> bins(d);
+  std::vector<double> record(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a : order_) {
+      size_t cfg = 0;
+      for (size_t p : parents_[a]) cfg = cfg * disc_[p].domain + bins[p];
+      const size_t adom = disc_[a].domain;
+      std::vector<double> probs(adom);
+      for (size_t v = 0; v < adom; ++v)
+        probs[v] = conditional_[a][cfg * adom + v];
+      bins[a] = rng->Categorical(probs);
+      record[a] = UnDiscretize(a, bins[a], rng);
+    }
+    out.AppendRecord(record);
+  }
+  return out;
+}
+
+}  // namespace daisy::baselines

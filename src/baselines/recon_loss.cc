@@ -1,0 +1,55 @@
+#include "baselines/recon_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::baselines {
+
+double ReconstructionLoss(
+    const Matrix& recon, const Matrix& target,
+    const std::vector<transform::AttrSegment>& segments, Matrix* grad) {
+  using transform::AttrSegment;
+  DAISY_CHECK(recon.SameShape(target));
+  *grad = Matrix(recon.rows(), recon.cols());
+  const double inv_n = 1.0 / static_cast<double>(recon.rows());
+  double loss = 0.0;
+  constexpr double kEps = 1e-9;
+
+  auto scalar_mse = [&](size_t col) {
+    for (size_t r = 0; r < recon.rows(); ++r) {
+      const double d = recon(r, col) - target(r, col);
+      loss += d * d * inv_n;
+      (*grad)(r, col) = 2.0 * d * inv_n;
+    }
+  };
+  auto block_ce = [&](size_t offset, size_t width) {
+    for (size_t r = 0; r < recon.rows(); ++r) {
+      for (size_t c = 0; c < width; ++c) {
+        const double t = target(r, offset + c);
+        if (t <= 0.0) continue;
+        const double p = std::max(recon(r, offset + c), kEps);
+        loss += -t * std::log(p) * inv_n;
+        (*grad)(r, offset + c) = -t / p * inv_n;
+      }
+    }
+  };
+
+  for (const auto& seg : segments) {
+    switch (seg.kind) {
+      case AttrSegment::Kind::kSimpleNumeric:
+      case AttrSegment::Kind::kOrdinalCat:
+        scalar_mse(seg.offset);
+        break;
+      case AttrSegment::Kind::kGmmNumeric:
+        scalar_mse(seg.offset);
+        block_ce(seg.offset + 1, seg.width - 1);
+        break;
+      case AttrSegment::Kind::kOneHotCat:
+        block_ce(seg.offset, seg.width);
+        break;
+    }
+  }
+  return loss;
+}
+
+}  // namespace daisy::baselines

@@ -1,0 +1,22 @@
+// Segment-aware reconstruction loss shared by the autoencoder-based
+// synthesizers (VAE, medGAN): cross-entropy on probability blocks
+// (one-hot and GMM-component softmax outputs), MSE on scalar
+// dimensions.
+#ifndef DAISY_BASELINES_RECON_LOSS_H_
+#define DAISY_BASELINES_RECON_LOSS_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "transform/record_transformer.h"
+
+namespace daisy::baselines {
+
+/// Returns the loss and writes dLoss/dRecon into `grad`.
+double ReconstructionLoss(
+    const Matrix& recon, const Matrix& target,
+    const std::vector<transform::AttrSegment>& segments, Matrix* grad);
+
+}  // namespace daisy::baselines
+
+#endif  // DAISY_BASELINES_RECON_LOSS_H_

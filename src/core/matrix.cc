@@ -1,0 +1,289 @@
+#include "core/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+
+namespace daisy {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    DAISY_CHECK(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Randn(size_t rows, size_t cols, Rng* rng, double stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::RandUniform(size_t rows, size_t cols, Rng* rng, double lo,
+                           double hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng->Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  DAISY_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  const size_t k = cols_, m = other.cols_;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double aip = a[p];
+      if (aip == 0.0) continue;
+      const double* b = other.row(p);
+      for (size_t j = 0; j < m; ++j) o[j] += aip * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  // (this^T)(other): this is (n x k), other is (n x m) -> (k x m).
+  DAISY_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  const size_t m = other.cols_;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    const double* b = other.row(i);
+    for (size_t p = 0; p < cols_; ++p) {
+      const double aip = a[p];
+      if (aip == 0.0) continue;
+      double* o = out.row(p);
+      for (size_t j = 0; j < m; ++j) o[j] += aip * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  // this (n x k) * other^T where other is (m x k) -> (n x m).
+  DAISY_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < cols_; ++p) acc += a[p] * b[p];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  DAISY_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  DAISY_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix Matrix::CWiseMul(const Matrix& other) const {
+  DAISY_CHECK(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row_vec) {
+  DAISY_CHECK(row_vec.rows_ == 1 && row_vec.cols_ == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* d = row(r);
+    for (size_t c = 0; c < cols_; ++c) d[c] += row_vec.data_[c];
+  }
+  return *this;
+}
+
+Matrix Matrix::Apply(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v = f(v);
+  return out;
+}
+
+void Matrix::ApplyInPlace(const std::function<double(double)>& f) {
+  for (auto& v : data_) v = f(v);
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* d = row(r);
+    for (size_t c = 0; c < cols_; ++c) out.data_[c] += d[c];
+  }
+  return out;
+}
+
+Matrix Matrix::ColMean() const {
+  DAISY_CHECK(rows_ > 0);
+  Matrix out = ColSum();
+  out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+double Matrix::Mean() const {
+  DAISY_CHECK(!data_.empty());
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::RowRange(size_t begin, size_t end) const {
+  DAISY_CHECK(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  for (size_t r = begin; r < end; ++r)
+    for (size_t c = 0; c < cols_; ++c) out(r - begin, c) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::ColRange(size_t begin, size_t end) const {
+  DAISY_CHECK(begin <= end && end <= cols_);
+  Matrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = begin; c < end; ++c) out(r, c - begin) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    DAISY_CHECK(indices[i] < rows_);
+    const double* src = row(indices[i]);
+    double* dst = out.row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::HCat(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  DAISY_CHECK(a.rows_ == b.rows_);
+  Matrix out(a.rows_, a.cols_ + b.cols_);
+  for (size_t r = 0; r < a.rows_; ++r) {
+    for (size_t c = 0; c < a.cols_; ++c) out(r, c) = a(r, c);
+    for (size_t c = 0; c < b.cols_; ++c) out(r, a.cols_ + c) = b(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::VCat(const Matrix& a, const Matrix& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  DAISY_CHECK(a.cols_ == b.cols_);
+  Matrix out(a.rows_ + b.rows_, a.cols_);
+  for (size_t r = 0; r < a.rows_; ++r)
+    for (size_t c = 0; c < a.cols_; ++c) out(r, c) = a(r, c);
+  for (size_t r = 0; r < b.rows_; ++r)
+    for (size_t c = 0; c < a.cols_; ++c) out(a.rows_ + r, c) = b(r, c);
+  return out;
+}
+
+size_t Matrix::ArgMaxRow(size_t r) const {
+  DAISY_CHECK(r < rows_ && cols_ > 0);
+  const double* d = row(r);
+  size_t best = 0;
+  for (size_t c = 1; c < cols_; ++c)
+    if (d[c] > d[best]) best = c;
+  return best;
+}
+
+void Matrix::AppendRow(const double* vals, size_t n) {
+  if (rows_ == 0 && cols_ == 0) cols_ = n;
+  DAISY_CHECK(n == cols_ && n > 0);
+  data_.insert(data_.end(), vals, vals + n);
+  ++rows_;
+}
+
+void Matrix::Fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Matrix::Clip(double lo, double hi) {
+  for (auto& x : data_) x = std::min(hi, std::max(lo, x));
+}
+
+std::string Matrix::ToString(int max_rows) const {
+  std::string out = "Matrix(" + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + ")\n";
+  const size_t show = std::min<size_t>(rows_, static_cast<size_t>(max_rows));
+  char buf[32];
+  for (size_t r = 0; r < show; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%9.4f ", (*this)(r, c));
+      out += buf;
+    }
+    out += "\n";
+  }
+  if (show < rows_) out += "...\n";
+  return out;
+}
+
+}  // namespace daisy

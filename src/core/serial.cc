@@ -1,0 +1,125 @@
+#include "core/serial.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace daisy {
+
+void Serializer::WriteTag(const std::string& tag) { *os_ << tag << '\n'; }
+
+void Serializer::WriteU64(uint64_t v) { *os_ << v << '\n'; }
+
+void Serializer::WriteDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *os_ << buf << '\n';
+}
+
+void Serializer::WriteString(const std::string& s) {
+  *os_ << "S" << s.size() << ":" << s << '\n';
+}
+
+void Serializer::WriteMatrix(const Matrix& m) {
+  *os_ << m.rows() << ' ' << m.cols() << '\n';
+  char buf[40];
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.17g", m(r, c));
+      *os_ << buf << (c + 1 == m.cols() ? '\n' : ' ');
+    }
+  }
+  if (m.rows() == 0 || m.cols() == 0) *os_ << '\n';
+}
+
+void Serializer::WriteDoubleVector(const std::vector<double>& v) {
+  *os_ << v.size() << '\n';
+  char buf[40];
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v[i]);
+    *os_ << buf << (i + 1 == v.size() ? '\n' : ' ');
+  }
+  if (v.empty()) *os_ << '\n';
+}
+
+void Deserializer::Fail(const std::string& what) {
+  if (ok_) {
+    ok_ = false;
+    error_ = what;
+  }
+}
+
+void Deserializer::ExpectTag(const std::string& tag) {
+  if (!ok_) return;
+  std::string got;
+  if (!(*is_ >> got)) {
+    Fail("unexpected end of stream; wanted tag " + tag);
+    return;
+  }
+  if (got != tag) Fail("tag mismatch: wanted " + tag + ", got " + got);
+}
+
+uint64_t Deserializer::ReadU64() {
+  if (!ok_) return 0;
+  uint64_t v = 0;
+  if (!(*is_ >> v)) Fail("failed to read u64");
+  return v;
+}
+
+double Deserializer::ReadDouble() {
+  if (!ok_) return 0.0;
+  double v = 0.0;
+  if (!(*is_ >> v)) Fail("failed to read double");
+  return v;
+}
+
+std::string Deserializer::ReadString() {
+  if (!ok_) return "";
+  char ch = 0;
+  *is_ >> ch;
+  if (ch != 'S') {
+    Fail("malformed string header");
+    return "";
+  }
+  size_t len = 0;
+  if (!(*is_ >> len)) {
+    Fail("malformed string length");
+    return "";
+  }
+  is_->get();  // the ':' separator
+  std::string out(len, '\0');
+  is_->read(out.data(), static_cast<std::streamsize>(len));
+  if (is_->gcount() != static_cast<std::streamsize>(len)) {
+    Fail("truncated string");
+    return "";
+  }
+  return out;
+}
+
+Matrix Deserializer::ReadMatrix() {
+  if (!ok_) return Matrix();
+  const size_t rows = ReadU64();
+  const size_t cols = ReadU64();
+  if (!ok_) return Matrix();
+  if (rows > (1u << 24) || cols > (1u << 24)) {
+    Fail("implausible matrix dimensions");
+    return Matrix();
+  }
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows && ok_; ++r)
+    for (size_t c = 0; c < cols && ok_; ++c) m(r, c) = ReadDouble();
+  return m;
+}
+
+std::vector<double> Deserializer::ReadDoubleVector() {
+  if (!ok_) return {};
+  const size_t n = ReadU64();
+  if (!ok_ || n > (1u << 26)) {
+    Fail("implausible vector length");
+    return {};
+  }
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n && ok_; ++i) v[i] = ReadDouble();
+  return v;
+}
+
+}  // namespace daisy

@@ -1,0 +1,65 @@
+// Minimal tagged text serialization for model persistence. The format
+// is whitespace-separated tokens: tags are bare words, numbers are
+// printed in round-trip precision, strings are length-prefixed so they
+// may contain any byte. Deserialization is non-throwing: failures
+// latch an error flag checked once at the end of loading.
+#ifndef DAISY_CORE_SERIAL_H_
+#define DAISY_CORE_SERIAL_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace daisy {
+
+/// Streams values out. All writers are infallible (stream state is
+/// checked by the caller at the end via stream.good()).
+class Serializer {
+ public:
+  explicit Serializer(std::ostream* os) : os_(os) {}
+
+  void WriteTag(const std::string& tag);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteMatrix(const Matrix& m);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Streams values back in. Every reader returns a default on failure
+/// and latches ok() = false; ExpectTag also fails on tag mismatch, so
+/// format drift is caught deterministically.
+class Deserializer {
+ public:
+  explicit Deserializer(std::istream* is) : is_(is) {}
+
+  bool ok() const { return ok_; }
+  /// Error description for the first failure (empty when ok).
+  const std::string& error() const { return error_; }
+
+  void ExpectTag(const std::string& tag);
+  uint64_t ReadU64();
+  double ReadDouble();
+  std::string ReadString();
+  Matrix ReadMatrix();
+  std::vector<double> ReadDoubleVector();
+
+ private:
+  void Fail(const std::string& what);
+
+  std::istream* is_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace daisy
+
+#endif  // DAISY_CORE_SERIAL_H_

@@ -1,0 +1,29 @@
+#include "core/status.h"
+
+namespace daisy {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kFailedPrecondition:
+      name = "FailedPrecondition";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace daisy

@@ -1,0 +1,145 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace daisy::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (char ch : line) {
+    if (ch == '"') {
+      in_quotes = !in_quotes;
+    } else if (ch == ',' && !in_quotes) {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(ch);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+std::string EscapeField(const std::string& s) {
+  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos)
+    return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = table.schema();
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j) out << ',';
+    out << EscapeField(schema.attribute(j).name);
+  }
+  out << '\n';
+  for (size_t i = 0; i < table.num_records(); ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      if (j) out << ',';
+      out << EscapeField(table.CellToString(i, j));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path,
+                      const std::string& label_column) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::InvalidArgument("empty csv: " + path);
+  const auto header = SplitLine(line);
+  const size_t m = header.size();
+
+  std::vector<std::vector<std::string>> raw;  // rows of string fields
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = SplitLine(line);
+    if (fields.size() != m)
+      return Status::InvalidArgument("ragged row in csv: " + path);
+    raw.push_back(std::move(fields));
+  }
+
+  // Infer per-column type.
+  std::vector<bool> numeric(m, true);
+  for (const auto& row : raw) {
+    for (size_t j = 0; j < m; ++j) {
+      double tmp;
+      if (numeric[j] && !ParseDouble(row[j], &tmp)) numeric[j] = false;
+    }
+  }
+
+  std::vector<Attribute> attrs(m);
+  std::vector<std::map<std::string, size_t>> cat_index(m);
+  for (size_t j = 0; j < m; ++j) {
+    if (numeric[j] && header[j] != label_column) {
+      attrs[j] = Attribute::Numerical(header[j]);
+    } else {
+      // Categorical: collect distinct values in first-seen order.
+      std::vector<std::string> cats;
+      for (const auto& row : raw) {
+        if (cat_index[j].emplace(row[j], cats.size()).second)
+          cats.push_back(row[j]);
+      }
+      attrs[j] = Attribute::Categorical(header[j], std::move(cats));
+    }
+  }
+
+  int label_index = -1;
+  if (!label_column.empty()) {
+    for (size_t j = 0; j < m; ++j)
+      if (header[j] == label_column) label_index = static_cast<int>(j);
+    if (label_index < 0)
+      return Status::NotFound("label column not in csv: " + label_column);
+  }
+
+  Table table(Schema(std::move(attrs), label_index));
+  std::vector<double> values(m);
+  for (const auto& row : raw) {
+    for (size_t j = 0; j < m; ++j) {
+      if (table.schema().attribute(j).is_categorical()) {
+        values[j] = static_cast<double>(cat_index[j][row[j]]);
+      } else {
+        double v = 0.0;
+        ParseDouble(row[j], &v);
+        values[j] = v;
+      }
+    }
+    table.AppendRecord(values);
+  }
+  return table;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,26 @@
+// CSV import/export for Table, with schema inference on read.
+#ifndef DAISY_DATA_CSV_H_
+#define DAISY_DATA_CSV_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "data/table.h"
+
+namespace daisy::data {
+
+/// Writes the table with a header row; categorical cells are written as
+/// category names, numerics with full precision.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row. Columns where every value parses as a
+/// number become numerical; everything else becomes categorical with
+/// the observed distinct values as its domain. `label_column` (by name)
+/// optionally designates the label; it must resolve to a categorical
+/// column (pass "" for no label).
+Result<Table> ReadCsv(const std::string& path,
+                      const std::string& label_column = "");
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_CSV_H_

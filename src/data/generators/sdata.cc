@@ -1,0 +1,100 @@
+#include "data/generators/sdata.h"
+
+#include <cmath>
+
+namespace daisy::data {
+
+Table MakeSDataNum(const SDataNumOptions& opts, Rng* rng) {
+  DAISY_CHECK(opts.correlation > -1.0 && opts.correlation < 1.0);
+  DAISY_CHECK(opts.positive_ratio > 0.0 && opts.positive_ratio < 1.0);
+
+  // 25 modes on the {-4,-2,0,2,4}^2 grid; stddevs ~ U(0.5, 1).
+  struct Mode {
+    double mx, my, sx, sy;
+  };
+  std::vector<Mode> modes;
+  modes.reserve(25);
+  for (int gx = -4; gx <= 4; gx += 2)
+    for (int gy = -4; gy <= 4; gy += 2)
+      modes.push_back({static_cast<double>(gx), static_cast<double>(gy),
+                       rng->Uniform(0.5, 1.0), rng->Uniform(0.5, 1.0)});
+
+  // Positive label draws from modes {0..11}, negative from {12..24}:
+  // disjoint subsets make the label learnable from (x, y).
+  const size_t split = 12;
+
+  Schema schema(
+      {Attribute::Numerical("x"), Attribute::Numerical("y"),
+       Attribute::Categorical("label", {"neg", "pos"})},
+      /*label_index=*/2);
+  Table table((schema));
+  table.Reserve(opts.num_records);
+
+  const double rho = opts.correlation;
+  const double comp = std::sqrt(1.0 - rho * rho);
+  for (size_t i = 0; i < opts.num_records; ++i) {
+    const bool positive = rng->Uniform() < opts.positive_ratio;
+    const size_t m = positive ? rng->UniformInt(split)
+                              : split + rng->UniformInt(modes.size() - split);
+    const Mode& mode = modes[m];
+    const double z1 = rng->Gaussian();
+    const double z2 = rng->Gaussian();
+    const double x = mode.mx + mode.sx * z1;
+    const double y = mode.my + mode.sy * (rho * z1 + comp * z2);
+    table.AppendRecord({x, y, positive ? 1.0 : 0.0});
+  }
+  return table;
+}
+
+Table MakeSDataCat(const SDataCatOptions& opts, Rng* rng) {
+  DAISY_CHECK(opts.diagonal_p > 0.0 && opts.diagonal_p <= 1.0);
+  DAISY_CHECK(opts.domain_size >= 2);
+  const size_t k = opts.domain_size;
+  constexpr size_t kNumAttrs = 5;
+
+  // Conditional probability matrix shared by every edge: diagonal mass
+  // p, remainder spread uniformly (paper §6.1).
+  std::vector<std::vector<double>> cpm(k, std::vector<double>(k));
+  for (size_t a = 0; a < k; ++a)
+    for (size_t b = 0; b < k; ++b)
+      cpm[a][b] = (a == b) ? opts.diagonal_p
+                           : (1.0 - opts.diagonal_p) /
+                                 static_cast<double>(k - 1);
+
+  // Root distribution conditioned on the label so records carry signal:
+  // positive tilts toward low categories, negative toward high ones.
+  std::vector<double> root_pos(k), root_neg(k);
+  for (size_t c = 0; c < k; ++c) {
+    root_pos[c] = static_cast<double>(k - c);
+    root_neg[c] = static_cast<double>(c + 1);
+  }
+
+  std::vector<Attribute> attrs;
+  for (size_t j = 0; j < kNumAttrs; ++j) {
+    std::vector<std::string> cats(k);
+    for (size_t c = 0; c < k; ++c)
+      cats[c] = "v" + std::to_string(c);
+    attrs.push_back(
+        Attribute::Categorical("attr" + std::to_string(j), std::move(cats)));
+  }
+  attrs.push_back(Attribute::Categorical("label", {"neg", "pos"}));
+  Schema schema(std::move(attrs), static_cast<int>(kNumAttrs));
+
+  Table table((schema));
+  table.Reserve(opts.num_records);
+  std::vector<double> row(kNumAttrs + 1);
+  for (size_t i = 0; i < opts.num_records; ++i) {
+    const bool positive = rng->Uniform() < opts.positive_ratio;
+    size_t prev = rng->Categorical(positive ? root_pos : root_neg);
+    row[0] = static_cast<double>(prev);
+    for (size_t j = 1; j < kNumAttrs; ++j) {
+      prev = rng->Categorical(cpm[prev]);
+      row[j] = static_cast<double>(prev);
+    }
+    row[kNumAttrs] = positive ? 1.0 : 0.0;
+    table.AppendRecord(row);
+  }
+  return table;
+}
+
+}  // namespace daisy::data

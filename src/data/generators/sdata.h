@@ -1,0 +1,44 @@
+// The paper's simulated datasets (§6.1), generated exactly as
+// specified: SDataNum from a 5x5 grid of correlated bivariate Gaussians
+// and SDataCat from a 5-node chain Bayesian network.
+#ifndef DAISY_DATA_GENERATORS_SDATA_H_
+#define DAISY_DATA_GENERATORS_SDATA_H_
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::data {
+
+struct SDataNumOptions {
+  size_t num_records = 10000;
+  /// Correlation coefficient of each bivariate Gaussian (paper uses
+  /// 0.5 and 0.9).
+  double correlation = 0.5;
+  /// Fraction of records carrying the positive label (paper: 0.5 for
+  /// balanced, 0.1 for the 1:9 skew setting).
+  double positive_ratio = 0.5;
+};
+
+/// 25 bivariate Gaussians with means on {-4,-2,0,2,4}^2 and stddevs
+/// drawn from U(0.5, 1); each record samples one mode. The binary label
+/// selects between two disjoint subsets of modes so it is learnable.
+Table MakeSDataNum(const SDataNumOptions& opts, Rng* rng);
+
+struct SDataCatOptions {
+  size_t num_records = 10000;
+  /// Diagonal mass of each edge's conditional probability matrix
+  /// (paper uses 0.5 and 0.9); larger = stronger attribute dependence.
+  double diagonal_p = 0.5;
+  /// Fraction of records carrying the positive label.
+  double positive_ratio = 0.5;
+  /// Domain size of each of the 5 chained attributes.
+  size_t domain_size = 4;
+};
+
+/// 5 categorical attributes linked in a chain Bayesian network; the
+/// root's distribution is conditioned on the binary label.
+Table MakeSDataCat(const SDataCatOptions& opts, Rng* rng);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_GENERATORS_SDATA_H_

@@ -1,0 +1,121 @@
+#include "data/generators/sim_config.h"
+
+#include <cmath>
+
+namespace daisy::data {
+
+Table GenerateSimTable(const SimConfig& config, size_t n, Rng* rng) {
+  const bool labeled = !config.label_names.empty();
+  DAISY_CHECK(!labeled ||
+              config.label_priors.size() == config.label_names.size());
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(config.attrs.size() + (labeled ? 1 : 0));
+  for (const auto& sa : config.attrs) attrs.push_back(sa.attr);
+  int label_index = -1;
+  if (labeled) {
+    label_index = static_cast<int>(attrs.size());
+    attrs.push_back(
+        Attribute::Categorical(config.label_attr_name, config.label_names));
+  }
+
+  Table table(Schema(std::move(attrs), label_index));
+  table.Reserve(n);
+
+  std::vector<double> row(config.attrs.size() + (labeled ? 1 : 0));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t y = labeled ? rng->Categorical(config.label_priors) : 0;
+    for (size_t j = 0; j < config.attrs.size(); ++j) {
+      const SimAttr& sa = config.attrs[j];
+      if (sa.attr.is_categorical()) {
+        DAISY_CHECK(y < sa.cat_probs.size());
+        row[j] = static_cast<double>(rng->Categorical(sa.cat_probs[y]));
+      } else {
+        DAISY_CHECK(y < sa.modes.size() && !sa.modes[y].empty());
+        std::vector<double> weights;
+        weights.reserve(sa.modes[y].size());
+        for (const auto& m : sa.modes[y]) weights.push_back(m.weight);
+        const GaussMode& mode = sa.modes[y][rng->Categorical(weights)];
+        row[j] = rng->Gaussian(mode.mean, mode.stddev);
+      }
+    }
+    if (labeled) row[config.attrs.size()] = static_cast<double>(y);
+    table.AppendRecord(row);
+  }
+  return table;
+}
+
+SimConfig RandomSimConfig(const RandomSimOptions& opts, Rng* rng) {
+  DAISY_CHECK(opts.num_labels >= 1);
+  DAISY_CHECK(opts.max_modes >= opts.min_modes && opts.min_modes >= 1);
+  DAISY_CHECK(opts.max_categories >= opts.min_categories &&
+              opts.min_categories >= 2);
+
+  SimConfig config;
+  config.label_names.reserve(opts.num_labels);
+  for (size_t y = 0; y < opts.num_labels; ++y)
+    config.label_names.push_back("L" + std::to_string(y));
+  if (opts.label_priors.empty()) {
+    config.label_priors.assign(opts.num_labels,
+                               1.0 / static_cast<double>(opts.num_labels));
+  } else {
+    DAISY_CHECK(opts.label_priors.size() == opts.num_labels);
+    config.label_priors = opts.label_priors;
+  }
+
+  for (size_t j = 0; j < opts.num_numerical; ++j) {
+    SimAttr sa;
+    sa.attr = Attribute::Numerical("num" + std::to_string(j));
+    const size_t k =
+        opts.min_modes + rng->UniformInt(opts.max_modes - opts.min_modes + 1);
+    // Shared base modes, then per-label mean shifts so the label is
+    // learnable from the features.
+    std::vector<GaussMode> base(k);
+    for (auto& m : base) {
+      m.mean = rng->Uniform(-4.0, 4.0);
+      m.stddev = rng->Uniform(0.3, 1.2);
+      m.weight = rng->Uniform(0.5, 1.5);
+    }
+    sa.modes.resize(opts.num_labels);
+    for (size_t y = 0; y < opts.num_labels; ++y) {
+      sa.modes[y] = base;
+      const double shift =
+          opts.label_separation * rng->Gaussian() *
+          (static_cast<double>(y) - 0.5 * (opts.num_labels - 1)) /
+          std::max<double>(1.0, opts.num_labels - 1);
+      for (auto& m : sa.modes[y]) m.mean += shift;
+    }
+    config.attrs.push_back(std::move(sa));
+  }
+
+  for (size_t j = 0; j < opts.num_categorical; ++j) {
+    SimAttr sa;
+    const size_t domain = opts.min_categories +
+                          rng->UniformInt(opts.max_categories -
+                                          opts.min_categories + 1);
+    std::vector<std::string> cats(domain);
+    for (size_t c = 0; c < domain; ++c)
+      cats[c] = "cat" + std::to_string(j) + "_" + std::to_string(c);
+    sa.attr = Attribute::Categorical("cat" + std::to_string(j),
+                                     std::move(cats));
+    sa.cat_probs.resize(opts.num_labels);
+    for (size_t y = 0; y < opts.num_labels; ++y) {
+      sa.cat_probs[y].resize(domain);
+      double sum = 0.0;
+      for (size_t c = 0; c < domain; ++c) {
+        // Dirichlet-ish draw: exponential weights, tilted per label so
+        // the attribute carries label signal.
+        double w = -std::log(std::max(rng->Uniform(), 1e-12));
+        if (c % opts.num_labels == y % opts.num_labels)
+          w *= 1.0 + opts.label_separation;
+        sa.cat_probs[y][c] = w;
+        sum += w;
+      }
+      for (auto& p : sa.cat_probs[y]) p /= sum;
+    }
+    config.attrs.push_back(std::move(sa));
+  }
+  return config;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,64 @@
+// Generic class-conditional table simulator. Each attribute is drawn
+// conditioned on a sampled label: numerical attributes from a per-label
+// Gaussian mixture (giving multi-modal marginals), categorical
+// attributes from a per-label distribution over the domain. This is the
+// engine behind the realistic dataset stand-ins (see DESIGN.md §2-3).
+#ifndef DAISY_DATA_GENERATORS_SIM_CONFIG_H_
+#define DAISY_DATA_GENERATORS_SIM_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::data {
+
+/// One Gaussian component of a numerical attribute's mixture.
+struct GaussMode {
+  double mean = 0.0;
+  double stddev = 1.0;
+  double weight = 1.0;
+};
+
+/// Per-attribute simulation spec. For numerical attributes `modes`
+/// holds one mixture per label; for categorical attributes `cat_probs`
+/// holds one distribution over the domain per label.
+struct SimAttr {
+  Attribute attr;
+  std::vector<std::vector<GaussMode>> modes;      // [label][component]
+  std::vector<std::vector<double>> cat_probs;     // [label][category]
+};
+
+/// Whole-table simulation spec.
+struct SimConfig {
+  std::vector<SimAttr> attrs;
+  std::vector<std::string> label_names;  // empty => unlabeled table
+  std::vector<double> label_priors;      // same length as label_names
+  std::string label_attr_name = "label";
+};
+
+/// Materializes `n` records from the config. The label column (if any)
+/// is appended as the last attribute and marked as the schema's label.
+Table GenerateSimTable(const SimConfig& config, size_t n, Rng* rng);
+
+/// Knobs for RandomSimConfig.
+struct RandomSimOptions {
+  size_t num_numerical = 4;
+  size_t num_categorical = 0;
+  size_t num_labels = 2;
+  std::vector<double> label_priors;  // empty => uniform
+  size_t min_modes = 1;              // numerical mixture size range
+  size_t max_modes = 3;
+  size_t min_categories = 2;         // categorical domain size range
+  size_t max_categories = 8;
+  double label_separation = 1.5;     // how far per-label means move apart
+};
+
+/// Builds a random (but seeded, hence reproducible) SimConfig whose
+/// attributes carry learnable label signal.
+SimConfig RandomSimConfig(const RandomSimOptions& opts, Rng* rng);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_GENERATORS_SIM_CONFIG_H_

@@ -1,0 +1,105 @@
+#include "data/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace daisy::data {
+
+TableProfile ProfileTable(const Table& table) {
+  DAISY_CHECK(table.num_records() > 0);
+  TableProfile profile;
+  profile.num_records = table.num_records();
+  const Schema& schema = table.schema();
+
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    AttributeProfile ap;
+    const Attribute& attr = schema.attribute(j);
+    ap.name = attr.name;
+    ap.categorical = attr.is_categorical();
+    if (ap.categorical) {
+      ap.domain_size = attr.domain_size();
+      std::vector<double> counts(ap.domain_size, 0.0);
+      for (size_t i = 0; i < table.num_records(); ++i)
+        counts[table.category(i, j)] += 1.0;
+      ap.frequencies.resize(ap.domain_size);
+      const double n = static_cast<double>(table.num_records());
+      for (size_t c = 0; c < ap.domain_size; ++c) {
+        ap.frequencies[c] = counts[c] / n;
+        if (ap.frequencies[c] > ap.frequencies[ap.mode_category])
+          ap.mode_category = c;
+        if (ap.frequencies[c] > 0.0)
+          ap.entropy_bits -=
+              ap.frequencies[c] * std::log2(ap.frequencies[c]);
+      }
+    } else {
+      std::vector<double> values = table.Column(j);
+      std::sort(values.begin(), values.end());
+      ap.min = values.front();
+      ap.max = values.back();
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      ap.mean = sum / static_cast<double>(values.size());
+      double var = 0.0;
+      for (double v : values) var += (v - ap.mean) * (v - ap.mean);
+      ap.stddev = std::sqrt(var / static_cast<double>(values.size()));
+      ap.quantiles.resize(11);
+      for (int q = 0; q <= 10; ++q) {
+        const double pos = q / 10.0 * static_cast<double>(values.size() - 1);
+        const size_t lo = static_cast<size_t>(pos);
+        const size_t hi = std::min(lo + 1, values.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        ap.quantiles[q] = values[lo] + frac * (values[hi] - values[lo]);
+      }
+    }
+    profile.attributes.push_back(std::move(ap));
+  }
+
+  if (schema.has_label()) {
+    const auto counts = table.LabelCounts();
+    size_t lo = table.num_records(), hi = 0;
+    for (size_t c : counts) {
+      if (c == 0) continue;
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    profile.label_imbalance_ratio =
+        lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo) : 0.0;
+  }
+  return profile;
+}
+
+std::string ProfileToString(const TableProfile& profile) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%zu records, %zu attributes",
+                profile.num_records, profile.attributes.size());
+  out += buf;
+  if (profile.label_imbalance_ratio > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", label imbalance %.1f:1%s",
+                  profile.label_imbalance_ratio,
+                  profile.label_imbalance_ratio > 9.0 ? " (skew)" : "");
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& ap : profile.attributes) {
+    if (ap.categorical) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-20s categorical  domain=%zu  entropy=%.2f bits  "
+                    "mode=%zu (%.1f%%)\n",
+                    ap.name.c_str(), ap.domain_size, ap.entropy_bits,
+                    ap.mode_category,
+                    100.0 * ap.frequencies[ap.mode_category]);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-20s numerical    min=%-10.4g max=%-10.4g "
+                    "mean=%-10.4g sd=%-10.4g median=%.4g\n",
+                    ap.name.c_str(), ap.min, ap.max, ap.mean, ap.stddev,
+                    ap.quantiles[5]);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,51 @@
+// Per-attribute profiling of a table: the descriptive statistics a
+// practitioner inspects before synthesis and the quality report prints
+// after it.
+#ifndef DAISY_DATA_PROFILE_H_
+#define DAISY_DATA_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace daisy::data {
+
+/// Profile of one attribute.
+struct AttributeProfile {
+  std::string name;
+  bool categorical = false;
+
+  // Numerical attributes.
+  double min = 0.0, max = 0.0, mean = 0.0, stddev = 0.0;
+  /// Deciles (11 values: 0%, 10%, ..., 100%).
+  std::vector<double> quantiles;
+
+  // Categorical attributes.
+  size_t domain_size = 0;
+  /// Category frequencies in domain order (sums to 1).
+  std::vector<double> frequencies;
+  /// Shannon entropy of the category distribution, in bits.
+  double entropy_bits = 0.0;
+  /// Index of the most frequent category.
+  size_t mode_category = 0;
+};
+
+/// Whole-table profile.
+struct TableProfile {
+  size_t num_records = 0;
+  std::vector<AttributeProfile> attributes;
+  /// Label imbalance: most-common / least-common label count
+  /// (0 when unlabeled; the paper calls a table skewed when > 9).
+  double label_imbalance_ratio = 0.0;
+};
+
+/// Computes the profile in one pass per attribute.
+TableProfile ProfileTable(const Table& table);
+
+/// Renders the profile as a fixed-width text block.
+std::string ProfileToString(const TableProfile& profile);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_PROFILE_H_

@@ -1,0 +1,19 @@
+#include "data/schema.h"
+
+namespace daisy::data {
+
+int Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i)
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<size_t> Schema::FeatureIndices() const {
+  std::vector<size_t> out;
+  out.reserve(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i)
+    if (!has_label() || i != label_index()) out.push_back(i);
+  return out;
+}
+
+}  // namespace daisy::data

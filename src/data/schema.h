@@ -1,0 +1,80 @@
+// Relational schema for a single table: named attributes of categorical
+// or numerical type, plus an optional label attribute (paper §2.1
+// represents T = [X; Y]).
+#ifndef DAISY_DATA_SCHEMA_H_
+#define DAISY_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace daisy::data {
+
+enum class AttrType {
+  kNumerical,    // continuous or discrete numeric
+  kCategorical,  // nominal; values stored as category indices
+};
+
+/// One column's metadata.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kNumerical;
+  /// Category names; defines the domain size for categorical columns.
+  std::vector<std::string> categories;
+
+  size_t domain_size() const { return categories.size(); }
+  bool is_categorical() const { return type == AttrType::kCategorical; }
+
+  static Attribute Numerical(std::string name) {
+    Attribute a;
+    a.name = std::move(name);
+    a.type = AttrType::kNumerical;
+    return a;
+  }
+  static Attribute Categorical(std::string name,
+                               std::vector<std::string> categories) {
+    Attribute a;
+    a.name = std::move(name);
+    a.type = AttrType::kCategorical;
+    a.categories = std::move(categories);
+    return a;
+  }
+};
+
+/// Ordered list of attributes with an optional designated label column.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs, int label_index = -1)
+      : attrs_(std::move(attrs)), label_index_(label_index) {
+    DAISY_CHECK(label_index_ < static_cast<int>(attrs_.size()));
+  }
+
+  size_t num_attributes() const { return attrs_.size(); }
+  const Attribute& attribute(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  bool has_label() const { return label_index_ >= 0; }
+  size_t label_index() const {
+    DAISY_CHECK(has_label());
+    return static_cast<size_t>(label_index_);
+  }
+  const Attribute& label_attribute() const { return attrs_[label_index()]; }
+  /// Number of distinct labels (categorical label's domain size).
+  size_t num_labels() const { return label_attribute().domain_size(); }
+
+  /// Index of an attribute by name, or -1.
+  int FindAttribute(const std::string& name) const;
+
+  /// Indices of all non-label attributes, in schema order.
+  std::vector<size_t> FeatureIndices() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  int label_index_ = -1;
+};
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_SCHEMA_H_

@@ -1,0 +1,130 @@
+#include "data/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace daisy::data {
+
+size_t Table::category(size_t record, size_t attr) const {
+  DAISY_CHECK(schema_.attribute(attr).is_categorical());
+  const double v = cells_(record, attr);
+  const long long idx = std::llround(v);
+  DAISY_CHECK(idx >= 0 &&
+              idx < static_cast<long long>(
+                        schema_.attribute(attr).domain_size()));
+  return static_cast<size_t>(idx);
+}
+
+std::string Table::CellToString(size_t record, size_t attr) const {
+  const Attribute& a = schema_.attribute(attr);
+  if (a.is_categorical()) return a.categories[category(record, attr)];
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", cells_(record, attr));
+  return buf;
+}
+
+void Table::AppendRecord(const std::vector<double>& values) {
+  DAISY_CHECK(values.size() == schema_.num_attributes());
+  for (size_t j = 0; j < values.size(); ++j) {
+    const Attribute& a = schema_.attribute(j);
+    if (a.is_categorical()) {
+      const long long idx = std::llround(values[j]);
+      DAISY_CHECK(idx >= 0 && idx < static_cast<long long>(a.domain_size()));
+    }
+  }
+  if (cells_.rows() == 0 && reserved_ > 0 && !values.empty()) {
+    cells_ = Matrix(0, values.size());
+    cells_.ReserveRows(reserved_);
+    reserved_ = 0;
+  }
+  cells_.AppendRow(values);
+}
+
+size_t Table::label(size_t record) const {
+  return category(record, schema_.label_index());
+}
+
+std::vector<size_t> Table::Labels() const {
+  std::vector<size_t> out(num_records());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = label(i);
+  return out;
+}
+
+std::vector<size_t> Table::LabelCounts() const {
+  std::vector<size_t> counts(schema_.num_labels(), 0);
+  for (size_t i = 0; i < num_records(); ++i) ++counts[label(i)];
+  return counts;
+}
+
+std::vector<size_t> Table::RecordsWithLabel(size_t label_value) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < num_records(); ++i)
+    if (label(i) == label_value) out.push_back(i);
+  return out;
+}
+
+double Table::AttributeMin(size_t attr) const {
+  DAISY_CHECK(num_records() > 0);
+  double m = cells_(0, attr);
+  for (size_t i = 1; i < num_records(); ++i)
+    m = std::min(m, cells_(i, attr));
+  return m;
+}
+
+double Table::AttributeMax(size_t attr) const {
+  DAISY_CHECK(num_records() > 0);
+  double m = cells_(0, attr);
+  for (size_t i = 1; i < num_records(); ++i)
+    m = std::max(m, cells_(i, attr));
+  return m;
+}
+
+std::vector<double> Table::Column(size_t attr) const {
+  std::vector<double> out(num_records());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = cells_(i, attr);
+  return out;
+}
+
+Table Table::Gather(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.cells_ = cells_.GatherRows(indices);
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  Table out(schema_);
+  out.cells_ = cells_.RowRange(0, std::min(n, num_records()));
+  return out;
+}
+
+Matrix Table::FeatureMatrix() const {
+  const auto features = schema_.FeatureIndices();
+  Matrix out(num_records(), features.size());
+  for (size_t i = 0; i < num_records(); ++i)
+    for (size_t j = 0; j < features.size(); ++j)
+      out(i, j) = cells_(i, features[j]);
+  return out;
+}
+
+TableSplit SplitTable(const Table& table, double train_ratio,
+                      double valid_ratio, Rng* rng) {
+  DAISY_CHECK(train_ratio > 0.0 && valid_ratio >= 0.0 &&
+              train_ratio + valid_ratio <= 1.0);
+  const size_t n = table.num_records();
+  auto perm = rng->Permutation(n);
+  const size_t n_train = static_cast<size_t>(train_ratio * n);
+  const size_t n_valid = static_cast<size_t>(valid_ratio * n);
+
+  std::vector<size_t> idx_train(perm.begin(), perm.begin() + n_train);
+  std::vector<size_t> idx_valid(perm.begin() + n_train,
+                                perm.begin() + n_train + n_valid);
+  std::vector<size_t> idx_test(perm.begin() + n_train + n_valid, perm.end());
+
+  TableSplit split;
+  split.train = table.Gather(idx_train);
+  split.valid = table.Gather(idx_valid);
+  split.test = table.Gather(idx_test);
+  return split;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,38 @@
+// AdaBoost (SAMME, multi-class capable) over shallow decision trees —
+// the paper's "AB" classifier.
+#ifndef DAISY_EVAL_ADABOOST_H_
+#define DAISY_EVAL_ADABOOST_H_
+
+#include <vector>
+
+#include "eval/decision_tree.h"
+
+namespace daisy::eval {
+
+struct AdaBoostOptions {
+  /// Boosting rounds (weak learners trained).
+  size_t num_estimators = 30;
+  /// Depth of each weak learner; 1 = decision stumps.
+  size_t base_depth = 1;
+};
+
+/// Boosted shallow trees; multi-class via the SAMME vote weighting.
+class AdaBoost : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions opts = {}) : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<size_t>& y, size_t num_classes,
+           Rng* rng) override;
+  size_t Predict(const double* x) const override;
+  std::vector<double> PredictProba(const double* x) const override;
+
+ private:
+  AdaBoostOptions opts_;
+  size_t num_classes_ = 0;
+  std::vector<DecisionTree> estimators_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_ADABOOST_H_

@@ -1,0 +1,174 @@
+#include "eval/aqp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::eval {
+
+namespace {
+
+bool Matches(const data::Table& table, size_t row, const AqpQuery& query) {
+  for (const auto& pred : query.predicates) {
+    const double v = table.value(row, pred.attr);
+    if (pred.is_categorical) {
+      if (static_cast<size_t>(std::llround(v)) != pred.category) return false;
+    } else {
+      if (v < pred.lo || v > pred.hi) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AqpResult ExecuteAqpQuery(const data::Table& table, const AqpQuery& query,
+                          double scale) {
+  struct Acc {
+    double count = 0.0;
+    double sum = 0.0;
+  };
+  std::map<size_t, Acc> groups;
+  for (size_t i = 0; i < table.num_records(); ++i) {
+    if (!Matches(table, i, query)) continue;
+    const size_t g = query.group_by_attr >= 0
+                         ? table.category(i, query.group_by_attr)
+                         : 0;
+    Acc& acc = groups[g];
+    acc.count += 1.0;
+    if (query.target_attr >= 0) acc.sum += table.value(i, query.target_attr);
+  }
+
+  AqpResult result;
+  for (const auto& [g, acc] : groups) {
+    switch (query.func) {
+      case AggFunc::kCount:
+        result[g] = acc.count * scale;
+        break;
+      case AggFunc::kSum:
+        result[g] = acc.sum * scale;
+        break;
+      case AggFunc::kAvg:
+        result[g] = acc.count > 0.0 ? acc.sum / acc.count : 0.0;
+        break;
+    }
+  }
+  return result;
+}
+
+double RelativeError(const AqpResult& exact, const AqpResult& approx) {
+  if (exact.empty()) return approx.empty() ? 0.0 : 1.0;
+  double total = 0.0;
+  for (const auto& [g, v] : exact) {
+    const auto it = approx.find(g);
+    if (it == approx.end()) {
+      total += 1.0;
+      continue;
+    }
+    const double denom = std::max(std::fabs(v), 1e-9);
+    total += std::min(std::fabs(v - it->second) / denom, 1.0);
+  }
+  return total / static_cast<double>(exact.size());
+}
+
+std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
+                                          const AqpWorkloadOptions& opts,
+                                          Rng* rng) {
+  DAISY_CHECK(table.num_records() > 0);
+  const data::Schema& schema = table.schema();
+  std::vector<size_t> numeric_attrs, categorical_attrs;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (schema.has_label() && j == schema.label_index()) continue;
+    if (schema.attribute(j).is_categorical()) categorical_attrs.push_back(j);
+    else numeric_attrs.push_back(j);
+  }
+
+  std::vector<AqpQuery> workload;
+  workload.reserve(opts.num_queries);
+  while (workload.size() < opts.num_queries) {
+    AqpQuery q;
+    // Aggregate function; sum/avg require a numeric target.
+    const size_t f = rng->UniformInt(3);
+    q.func = static_cast<AggFunc>(f);
+    if (q.func != AggFunc::kCount) {
+      if (numeric_attrs.empty()) {
+        q.func = AggFunc::kCount;
+      } else {
+        q.target_attr = static_cast<int>(
+            numeric_attrs[rng->UniformInt(numeric_attrs.size())]);
+      }
+    }
+
+    const size_t num_preds =
+        opts.min_predicates +
+        rng->UniformInt(opts.max_predicates - opts.min_predicates + 1);
+    for (size_t p = 0; p < num_preds; ++p) {
+      AqpPredicate pred;
+      const bool use_cat =
+          !categorical_attrs.empty() &&
+          (numeric_attrs.empty() || rng->Uniform() < 0.5);
+      if (use_cat) {
+        pred.attr =
+            categorical_attrs[rng->UniformInt(categorical_attrs.size())];
+        pred.is_categorical = true;
+        pred.category = rng->UniformInt(
+            schema.attribute(pred.attr).domain_size());
+      } else {
+        pred.attr = numeric_attrs[rng->UniformInt(numeric_attrs.size())];
+        pred.is_categorical = false;
+        const double lo = table.AttributeMin(pred.attr);
+        const double hi = table.AttributeMax(pred.attr);
+        // Random sub-range covering 20-80% of the domain.
+        const double width = (hi - lo) * rng->Uniform(0.2, 0.8);
+        const double start = lo + rng->Uniform() * ((hi - lo) - width);
+        pred.lo = start;
+        pred.hi = start + width;
+      }
+      q.predicates.push_back(pred);
+    }
+
+    if (!categorical_attrs.empty() && rng->Uniform() < opts.group_by_prob) {
+      q.group_by_attr = static_cast<int>(
+          categorical_attrs[rng->UniformInt(categorical_attrs.size())]);
+    }
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+double AqpDiff(const data::Table& real, const data::Table& synthetic,
+               const std::vector<AqpQuery>& workload,
+               const AqpDiffOptions& opts, Rng* rng) {
+  DAISY_CHECK(!workload.empty());
+  const size_t n = real.num_records();
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(opts.sample_ratio * static_cast<double>(n)));
+  const double sample_scale =
+      static_cast<double>(n) / static_cast<double>(sample_size);
+  const double synth_scale =
+      static_cast<double>(n) / static_cast<double>(synthetic.num_records());
+
+  // Pre-draw the repeated baseline samples.
+  std::vector<data::Table> samples;
+  samples.reserve(opts.sample_repeats);
+  for (size_t s = 0; s < opts.sample_repeats; ++s) {
+    std::vector<size_t> rows(sample_size);
+    for (auto& r : rows) r = rng->UniformInt(n);
+    samples.push_back(real.Gather(rows));
+  }
+
+  double total = 0.0;
+  for (const auto& q : workload) {
+    const AqpResult exact = ExecuteAqpQuery(real, q);
+    const AqpResult synth = ExecuteAqpQuery(synthetic, q, synth_scale);
+    const double e_synth = RelativeError(exact, synth);
+    double e_sample = 0.0;
+    for (const auto& sample : samples)
+      e_sample += RelativeError(exact, ExecuteAqpQuery(sample, q,
+                                                       sample_scale));
+    e_sample /= static_cast<double>(samples.size());
+    total += std::fabs(e_sample - e_synth);
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,73 @@
+// Approximate-query-processing utility evaluation (paper §2.1 / §6.2,
+// following the query generation of the Bing AQP benchmark [36]):
+// aggregate queries (count / sum / avg) with conjunctive selection
+// predicates and optional group-by, executed against the original
+// table, the synthetic table, and fixed-size random samples. The
+// reported measure is DiffAQP = mean over the workload of |e - e'|.
+#ifndef DAISY_EVAL_AQP_H_
+#define DAISY_EVAL_AQP_H_
+
+#include <map>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::eval {
+
+enum class AggFunc { kCount, kSum, kAvg };
+
+/// Conjunctive selection condition on one attribute.
+struct AqpPredicate {
+  size_t attr = 0;
+  bool is_categorical = false;
+  size_t category = 0;        // equality, categorical attributes
+  double lo = 0.0, hi = 0.0;  // inclusive range, numerical attributes
+};
+
+struct AqpQuery {
+  AggFunc func = AggFunc::kCount;
+  int target_attr = -1;              // numerical; required for sum/avg
+  std::vector<AqpPredicate> predicates;
+  int group_by_attr = -1;            // categorical, or -1 for none
+};
+
+/// Query result: group key (0 when ungrouped) -> aggregate value.
+using AqpResult = std::map<size_t, double>;
+
+/// Scans the table. `scale` multiplies count/sum results (used to
+/// extrapolate from a sample: scale = 1/sample_ratio).
+AqpResult ExecuteAqpQuery(const data::Table& table, const AqpQuery& query,
+                          double scale = 1.0);
+
+/// Relative error of `approx` against `exact`, averaged over the
+/// groups of the exact result; a group missing from `approx` counts
+/// as error 1.
+double RelativeError(const AqpResult& exact, const AqpResult& approx);
+
+struct AqpWorkloadOptions {
+  size_t num_queries = 1000;
+  size_t min_predicates = 1;
+  size_t max_predicates = 3;
+  double group_by_prob = 0.5;
+};
+
+/// Random workload over the table's schema (statistics for numeric
+/// ranges come from the table itself).
+std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
+                                          const AqpWorkloadOptions& opts,
+                                          Rng* rng);
+
+struct AqpDiffOptions {
+  double sample_ratio = 0.01;  // the paper's 1% baseline sample
+  size_t sample_repeats = 10;  // averaged to remove sampling noise
+};
+
+/// DiffAQP between real and synthetic tables over a workload.
+double AqpDiff(const data::Table& real, const data::Table& synthetic,
+               const std::vector<AqpQuery>& workload,
+               const AqpDiffOptions& opts, Rng* rng);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_AQP_H_

@@ -1,0 +1,108 @@
+#include "eval/class_metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/status.h"
+
+namespace daisy::eval {
+
+double F1ForLabel(const std::vector<size_t>& predicted,
+                  const std::vector<size_t>& truth, size_t label) {
+  DAISY_CHECK(predicted.size() == truth.size());
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool p = predicted[i] == label;
+    const bool t = truth[i] == label;
+    if (p && t) ++tp;
+    else if (p) ++fp;
+    else if (t) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+size_t EvaluationLabel(const std::vector<size_t>& truth, size_t num_classes) {
+  DAISY_CHECK(num_classes >= 2);
+  std::vector<size_t> counts(num_classes, 0);
+  for (size_t t : truth) {
+    DAISY_CHECK(t < num_classes);
+    ++counts[t];
+  }
+  // Rarest label with enough support for a stable F1 (≥10 instances,
+  // matching the intent of the paper's "rare label" while avoiding a
+  // 0-or-1 score from a label with a couple of test records). Falls
+  // back to the rarest label present.
+  constexpr size_t kMinSupport = 10;
+  size_t best = 0;
+  size_t best_count = std::numeric_limits<size_t>::max();
+  bool found_supported = false;
+  for (size_t c = 0; c < num_classes; ++c) {
+    if (counts[c] == 0) continue;
+    const bool supported = counts[c] >= kMinSupport;
+    if (supported && !found_supported) {
+      // First supported label beats any unsupported incumbent.
+      found_supported = true;
+      best = c;
+      best_count = counts[c];
+      continue;
+    }
+    if (supported == found_supported && counts[c] < best_count) {
+      best = c;
+      best_count = counts[c];
+    }
+  }
+  return best;
+}
+
+double PaperF1(const std::vector<size_t>& predicted,
+               const std::vector<size_t>& truth, size_t num_classes) {
+  return F1ForLabel(predicted, truth, EvaluationLabel(truth, num_classes));
+}
+
+double AucBinary(const std::vector<double>& positive_scores,
+                 const std::vector<size_t>& truth, size_t positive_label) {
+  DAISY_CHECK(positive_scores.size() == truth.size());
+  // Sort by score; AUC = normalized sum of positive ranks.
+  std::vector<size_t> order(truth.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return positive_scores[a] < positive_scores[b];
+  });
+
+  double rank_sum = 0.0;
+  size_t n_pos = 0, n_neg = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() &&
+           positive_scores[order[j]] == positive_scores[order[i]])
+      ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (size_t t = i; t < j; ++t) {
+      if (truth[order[t]] == positive_label) {
+        rank_sum += avg_rank;
+        ++n_pos;
+      } else {
+        ++n_neg;
+      }
+    }
+    i = j;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  return (rank_sum - 0.5 * n_pos * (n_pos + 1)) /
+         (static_cast<double>(n_pos) * n_neg);
+}
+
+double Accuracy(const std::vector<size_t>& predicted,
+                const std::vector<size_t>& truth) {
+  DAISY_CHECK(predicted.size() == truth.size() && !truth.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i)
+    if (predicted[i] == truth[i]) ++correct;
+  return static_cast<double>(correct) / truth.size();
+}
+
+}  // namespace daisy::eval

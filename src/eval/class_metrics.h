@@ -1,0 +1,35 @@
+// Classification metrics: per-label F1, the paper's evaluation F1
+// (positive label for binary, rarest label for multi-class), and AUC.
+#ifndef DAISY_EVAL_CLASS_METRICS_H_
+#define DAISY_EVAL_CLASS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace daisy::eval {
+
+/// F1 score of one class (0 when the class never appears in either
+/// predictions or truth).
+double F1ForLabel(const std::vector<size_t>& predicted,
+                  const std::vector<size_t>& truth, size_t label);
+
+/// The label whose F1 the paper reports: for binary problems the
+/// positive (rarer) label, for multi-class the rarest label in `truth`.
+size_t EvaluationLabel(const std::vector<size_t>& truth, size_t num_classes);
+
+/// Paper-style F1: F1ForLabel at EvaluationLabel.
+double PaperF1(const std::vector<size_t>& predicted,
+               const std::vector<size_t>& truth, size_t num_classes);
+
+/// Area under the ROC curve from positive-class scores (binary).
+/// Rank-based (Mann-Whitney); ties get half credit.
+double AucBinary(const std::vector<double>& positive_scores,
+                 const std::vector<size_t>& truth, size_t positive_label);
+
+/// Plain accuracy.
+double Accuracy(const std::vector<size_t>& predicted,
+                const std::vector<size_t>& truth);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_CLASS_METRICS_H_

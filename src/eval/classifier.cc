@@ -1,0 +1,64 @@
+#include "eval/classifier.h"
+
+#include "eval/adaboost.h"
+#include "eval/decision_tree.h"
+#include "eval/logistic_regression.h"
+#include "eval/random_forest.h"
+
+namespace daisy::eval {
+
+std::string ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kDt10:
+      return "DT10";
+    case ClassifierKind::kDt30:
+      return "DT30";
+    case ClassifierKind::kRf10:
+      return "RF10";
+    case ClassifierKind::kRf20:
+      return "RF20";
+    case ClassifierKind::kAdaBoost:
+      return "AB";
+    case ClassifierKind::kLogReg:
+      return "LR";
+  }
+  return "?";
+}
+
+std::vector<ClassifierKind> AllClassifierKinds() {
+  return {ClassifierKind::kDt10, ClassifierKind::kDt30,
+          ClassifierKind::kRf10, ClassifierKind::kRf20,
+          ClassifierKind::kAdaBoost, ClassifierKind::kLogReg};
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kDt10: {
+      DecisionTreeOptions o;
+      o.max_depth = 10;
+      return std::make_unique<DecisionTree>(o);
+    }
+    case ClassifierKind::kDt30: {
+      DecisionTreeOptions o;
+      o.max_depth = 30;
+      return std::make_unique<DecisionTree>(o);
+    }
+    case ClassifierKind::kRf10: {
+      RandomForestOptions o;
+      o.max_depth = 10;
+      return std::make_unique<RandomForest>(o);
+    }
+    case ClassifierKind::kRf20: {
+      RandomForestOptions o;
+      o.max_depth = 20;
+      return std::make_unique<RandomForest>(o);
+    }
+    case ClassifierKind::kAdaBoost:
+      return std::make_unique<AdaBoost>();
+    case ClassifierKind::kLogReg:
+      return std::make_unique<LogisticRegression>();
+  }
+  return nullptr;
+}
+
+}  // namespace daisy::eval

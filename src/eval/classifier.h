@@ -1,0 +1,53 @@
+// Classifier interface for the data-utility evaluation (paper §6.2):
+// decision trees (depth 10/30), random forests (depth 10/20), AdaBoost
+// and logistic regression, all trained on a feature matrix where
+// categorical attributes appear as ordinal indices.
+#ifndef DAISY_EVAL_CLASSIFIER_H_
+#define DAISY_EVAL_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+
+namespace daisy::eval {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of X with labels y in [0, num_classes).
+  virtual void Fit(const Matrix& x, const std::vector<size_t>& y,
+                   size_t num_classes, Rng* rng) = 0;
+
+  /// Predicted class of one feature row.
+  virtual size_t Predict(const double* x) const = 0;
+
+  /// Class-probability estimates (sums to 1).
+  virtual std::vector<double> PredictProba(const double* x) const = 0;
+
+  /// Predictions for every row.
+  std::vector<size_t> PredictAll(const Matrix& x) const {
+    std::vector<size_t> out(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row(i));
+    return out;
+  }
+};
+
+/// The classifier suite of the paper's evaluation.
+enum class ClassifierKind { kDt10, kDt30, kRf10, kRf20, kAdaBoost, kLogReg };
+
+/// "DT10", "RF20", ... as used in the paper's tables.
+std::string ClassifierKindName(ClassifierKind kind);
+
+/// All six kinds, in the paper's column order.
+std::vector<ClassifierKind> AllClassifierKinds();
+
+/// Factory with paper-matching hyper-parameters.
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_CLASSIFIER_H_

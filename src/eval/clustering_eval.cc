@@ -1,0 +1,46 @@
+#include "eval/clustering_eval.h"
+
+#include <cmath>
+
+#include "stats/kmeans.h"
+#include "stats/metrics.h"
+
+namespace daisy::eval {
+
+namespace {
+
+Matrix NormalizedFeatures(const data::Table& table) {
+  Matrix x = table.FeatureMatrix();
+  for (size_t j = 0; j < x.cols(); ++j) {
+    double lo = x(0, j), hi = x(0, j);
+    for (size_t i = 1; i < x.rows(); ++i) {
+      lo = std::min(lo, x(i, j));
+      hi = std::max(hi, x(i, j));
+    }
+    const double range = hi - lo;
+    for (size_t i = 0; i < x.rows(); ++i)
+      x(i, j) = range > 1e-12 ? (x(i, j) - lo) / range : 0.0;
+  }
+  return x;
+}
+
+}  // namespace
+
+double ClusteringNmi(const data::Table& table, Rng* rng) {
+  DAISY_CHECK(table.schema().has_label());
+  DAISY_CHECK(table.num_records() > 1);
+  Matrix x = NormalizedFeatures(table);
+  stats::KMeansOptions opts;
+  opts.k = table.schema().num_labels();
+  const auto result = stats::KMeans(x, opts, rng);
+  return stats::NormalizedMutualInformation(result.labels, table.Labels());
+}
+
+double ClusteringDiff(const data::Table& real, const data::Table& synthetic,
+                      Rng* rng) {
+  const double nmi_real = ClusteringNmi(real, rng);
+  const double nmi_synth = ClusteringNmi(synthetic, rng);
+  return std::fabs(nmi_real - nmi_synth);
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,23 @@
+// Clustering-utility evaluation (paper §6.2): K-Means on features
+// (label held out as gold standard), NMI against the labels, and the
+// DiffCST between real and synthetic tables.
+#ifndef DAISY_EVAL_CLUSTERING_EVAL_H_
+#define DAISY_EVAL_CLUSTERING_EVAL_H_
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::eval {
+
+/// NMI of K-Means clusters (k = number of labels) against the gold
+/// labels, with features min-max normalized so attributes contribute
+/// comparably.
+double ClusteringNmi(const data::Table& table, Rng* rng);
+
+/// DiffCST = | NMI(real) - NMI(synthetic) | (smaller is better).
+double ClusteringDiff(const data::Table& real, const data::Table& synthetic,
+                      Rng* rng);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_CLUSTERING_EVAL_H_

@@ -1,0 +1,168 @@
+#include "eval/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace daisy::eval {
+
+namespace {
+
+double GiniFromCounts(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double g = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<size_t>& y,
+                       size_t num_classes, Rng* rng) {
+  FitWeighted(x, y, std::vector<double>(y.size(), 1.0), num_classes, rng);
+}
+
+void DecisionTree::FitWeighted(const Matrix& x, const std::vector<size_t>& y,
+                               const std::vector<double>& weights,
+                               size_t num_classes, Rng* rng) {
+  DAISY_CHECK(x.rows() == y.size() && y.size() == weights.size());
+  DAISY_CHECK(x.rows() > 0 && num_classes >= 1);
+  num_classes_ = num_classes;
+  nodes_.clear();
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, weights, indices, 0, indices.size(), 0, num_classes, rng);
+}
+
+int DecisionTree::Build(const Matrix& x, const std::vector<size_t>& y,
+                        const std::vector<double>& w,
+                        std::vector<size_t>& indices, size_t begin,
+                        size_t end, size_t depth, size_t num_classes,
+                        Rng* rng) {
+  std::vector<double> counts(num_classes, 0.0);
+  double total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    counts[y[indices[i]]] += w[indices[i]];
+    total += w[indices[i]];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    // Leaf distribution (kept even for internal nodes: costs little and
+    // simplifies pruning experiments).
+    std::vector<double> probs(num_classes, 0.0);
+    for (size_t c = 0; c < num_classes; ++c)
+      probs[c] = total > 0.0 ? counts[c] / total
+                             : 1.0 / static_cast<double>(num_classes);
+    nodes_[node_id].class_probs = std::move(probs);
+  }
+
+  const double parent_gini = GiniFromCounts(counts, total);
+  const size_t n = end - begin;
+  if (depth >= opts_.max_depth || n < opts_.min_samples_split ||
+      parent_gini <= 1e-12) {
+    return node_id;  // leaf
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  const size_t m = x.cols();
+  std::vector<size_t> features(m);
+  std::iota(features.begin(), features.end(), 0);
+  size_t num_feats = m;
+  if (opts_.max_features > 0 && opts_.max_features < m) {
+    for (size_t i = 0; i < opts_.max_features; ++i) {
+      const size_t j = i + rng->UniformInt(m - i);
+      std::swap(features[i], features[j]);
+    }
+    num_feats = opts_.max_features;
+  }
+
+  double best_gain = 1e-12;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, size_t>> sorted(n);  // (value, row)
+  std::vector<double> left_counts(num_classes);
+  for (size_t fi = 0; fi < num_feats; ++fi) {
+    const size_t f = features[fi];
+    for (size_t i = 0; i < n; ++i) {
+      const size_t row = indices[begin + i];
+      sorted[i] = {x(row, f), row};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double left_total = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const size_t row = sorted[i].second;
+      left_counts[y[row]] += w[row];
+      left_total += w[row];
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const double right_total = total - left_total;
+      if (left_total <= 0.0 || right_total <= 0.0) continue;
+      double right_gini = 1.0, left_gini = 1.0;
+      {
+        double ls = 0.0, rs = 0.0;
+        for (size_t c = 0; c < num_classes; ++c) {
+          const double lp = left_counts[c] / left_total;
+          const double rp = (counts[c] - left_counts[c]) / right_total;
+          ls += lp * lp;
+          rs += rp * rp;
+        }
+        left_gini = 1.0 - ls;
+        right_gini = 1.0 - rs;
+      }
+      const double child_gini =
+          (left_total * left_gini + right_total * right_gini) / total;
+      const double gain = parent_gini - child_gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node_id;  // no useful split
+
+  // Partition indices in place around the threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](size_t row) { return x(row, best_feature) <= best_threshold; });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left =
+      Build(x, y, w, indices, begin, mid, depth + 1, num_classes, rng);
+  const int right =
+      Build(x, y, w, indices, mid, end, depth + 1, num_classes, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+size_t DecisionTree::Predict(const double* x) const {
+  const auto probs = PredictProba(x);
+  return static_cast<size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::vector<double> DecisionTree::PredictProba(const double* x) const {
+  DAISY_CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].left >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].class_probs;
+}
+
+}  // namespace daisy::eval

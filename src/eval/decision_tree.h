@@ -1,0 +1,58 @@
+// CART decision tree (Gini impurity, axis-aligned threshold splits).
+// Also the base learner for the random forest and, at depth 1, the
+// AdaBoost stumps.
+#ifndef DAISY_EVAL_DECISION_TREE_H_
+#define DAISY_EVAL_DECISION_TREE_H_
+
+#include <vector>
+
+#include "eval/classifier.h"
+
+namespace daisy::eval {
+
+struct DecisionTreeOptions {
+  size_t max_depth = 10;
+  size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all (random forests pass
+  /// ~sqrt(m) for decorrelated trees).
+  size_t max_features = 0;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions opts = {}) : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<size_t>& y, size_t num_classes,
+           Rng* rng) override;
+  /// Weighted fit (AdaBoost). Weights need not be normalized.
+  void FitWeighted(const Matrix& x, const std::vector<size_t>& y,
+                   const std::vector<double>& weights, size_t num_classes,
+                   Rng* rng);
+
+  size_t Predict(const double* x) const override;
+  std::vector<double> PredictProba(const double* x) const override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int left = -1;    // -1 marks a leaf
+    int right = -1;
+    size_t feature = 0;
+    double threshold = 0.0;
+    std::vector<double> class_probs;  // leaf distribution
+  };
+
+  int Build(const Matrix& x, const std::vector<size_t>& y,
+            const std::vector<double>& w, std::vector<size_t>& indices,
+            size_t begin, size_t end, size_t depth, size_t num_classes,
+            Rng* rng);
+
+  DecisionTreeOptions opts_;
+  size_t num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_DECISION_TREE_H_

@@ -1,0 +1,191 @@
+#include "eval/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/metrics.h"
+
+namespace daisy::eval {
+
+namespace {
+
+std::vector<size_t> NumericAttrs(const data::Schema& schema) {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < schema.num_attributes(); ++j)
+    if (!schema.attribute(j).is_categorical()) out.push_back(j);
+  return out;
+}
+
+std::vector<size_t> CategoricalAttrs(const data::Schema& schema) {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < schema.num_attributes(); ++j)
+    if (schema.attribute(j).is_categorical()) out.push_back(j);
+  return out;
+}
+
+}  // namespace
+
+double CramersV(const data::Table& table, size_t attr_a, size_t attr_b) {
+  DAISY_CHECK(table.schema().attribute(attr_a).is_categorical());
+  DAISY_CHECK(table.schema().attribute(attr_b).is_categorical());
+  const size_t ka = table.schema().attribute(attr_a).domain_size();
+  const size_t kb = table.schema().attribute(attr_b).domain_size();
+  const size_t n = table.num_records();
+  DAISY_CHECK(n > 0);
+
+  std::vector<double> joint(ka * kb, 0.0), ma(ka, 0.0), mb(kb, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t a = table.category(i, attr_a);
+    const size_t b = table.category(i, attr_b);
+    joint[a * kb + b] += 1.0;
+    ma[a] += 1.0;
+    mb[b] += 1.0;
+  }
+  double chi2 = 0.0;
+  const double dn = static_cast<double>(n);
+  for (size_t a = 0; a < ka; ++a) {
+    for (size_t b = 0; b < kb; ++b) {
+      const double expected = ma[a] * mb[b] / dn;
+      if (expected <= 0.0) continue;
+      const double d = joint[a * kb + b] - expected;
+      chi2 += d * d / expected;
+    }
+  }
+  const size_t min_dim = std::min(ka, kb);
+  if (min_dim <= 1) return 0.0;
+  return std::sqrt(chi2 / (dn * static_cast<double>(min_dim - 1)));
+}
+
+FidelityReport EvaluateFidelity(const data::Table& real,
+                                const data::Table& synthetic,
+                                const FidelityOptions& options) {
+  DAISY_CHECK(real.num_attributes() == synthetic.num_attributes());
+  DAISY_CHECK(real.num_records() > 1 && synthetic.num_records() > 1);
+  FidelityReport report;
+
+  // Pairwise numeric correlation difference.
+  const auto nums = NumericAttrs(real.schema());
+  if (nums.size() >= 2) {
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < nums.size(); ++i) {
+      const auto real_i = real.Column(nums[i]);
+      const auto synth_i = synthetic.Column(nums[i]);
+      for (size_t j = i + 1; j < nums.size(); ++j) {
+        const double cr =
+            stats::PearsonCorrelation(real_i, real.Column(nums[j]));
+        const double cs =
+            stats::PearsonCorrelation(synth_i, synthetic.Column(nums[j]));
+        total += std::fabs(cr - cs);
+        ++pairs;
+      }
+    }
+    report.numeric_correlation_diff = total / static_cast<double>(pairs);
+  }
+
+  // Pairwise categorical association difference.
+  const auto cats = CategoricalAttrs(real.schema());
+  if (cats.size() >= 2) {
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < cats.size(); ++i) {
+      for (size_t j = i + 1; j < cats.size(); ++j) {
+        total += std::fabs(CramersV(real, cats[i], cats[j]) -
+                           CramersV(synthetic, cats[i], cats[j]));
+        ++pairs;
+      }
+    }
+    report.categorical_association_diff =
+        total / static_cast<double>(pairs);
+  }
+
+  // Mean marginal KL.
+  double kl_total = 0.0;
+  for (size_t j = 0; j < real.num_attributes(); ++j) {
+    const auto& attr = real.schema().attribute(j);
+    if (attr.is_categorical()) {
+      std::vector<double> hr(attr.domain_size(), 0.0);
+      std::vector<double> hs(attr.domain_size(), 0.0);
+      for (size_t i = 0; i < real.num_records(); ++i)
+        hr[real.category(i, j)] += 1.0;
+      for (size_t i = 0; i < synthetic.num_records(); ++i)
+        hs[synthetic.category(i, j)] += 1.0;
+      kl_total += stats::KlDivergence(hr, hs);
+    } else {
+      const double lo = real.AttributeMin(j);
+      const double hi = real.AttributeMax(j);
+      kl_total += stats::KlDivergence(
+          stats::Histogram(real.Column(j), lo, hi, options.histogram_bins),
+          stats::Histogram(synthetic.Column(j), lo, hi,
+                           options.histogram_bins));
+    }
+  }
+  report.marginal_kl =
+      kl_total / static_cast<double>(real.num_attributes());
+  return report;
+}
+
+std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
+                                              double min_confidence) {
+  DAISY_CHECK(table.num_records() > 0);
+  std::vector<FunctionalDependency> fds;
+  const auto cats = CategoricalAttrs(table.schema());
+  const double n = static_cast<double>(table.num_records());
+  for (size_t li = 0; li < cats.size(); ++li) {
+    for (size_t ri = 0; ri < cats.size(); ++ri) {
+      if (li == ri) continue;
+      const size_t lhs = cats[li], rhs = cats[ri];
+      const size_t kl = table.schema().attribute(lhs).domain_size();
+      const size_t kr = table.schema().attribute(rhs).domain_size();
+      std::vector<double> joint(kl * kr, 0.0);
+      for (size_t i = 0; i < table.num_records(); ++i)
+        joint[table.category(i, lhs) * kr + table.category(i, rhs)] += 1.0;
+
+      FunctionalDependency fd;
+      fd.lhs = lhs;
+      fd.rhs = rhs;
+      fd.mapping.assign(kl, kr);  // kr marks "lhs value unseen"
+      double agree = 0.0;
+      for (size_t a = 0; a < kl; ++a) {
+        double best = 0.0, total = 0.0;
+        size_t best_b = kr;
+        for (size_t b = 0; b < kr; ++b) {
+          total += joint[a * kr + b];
+          if (joint[a * kr + b] > best) {
+            best = joint[a * kr + b];
+            best_b = b;
+          }
+        }
+        if (total > 0.0) fd.mapping[a] = best_b;
+        agree += best;
+      }
+      fd.confidence = agree / n;
+      if (fd.confidence >= min_confidence) fds.push_back(std::move(fd));
+    }
+  }
+  return fds;
+}
+
+double FdViolationRate(const data::Table& synthetic,
+                       const std::vector<FunctionalDependency>& fds) {
+  if (fds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& fd : fds) {
+    size_t checked = 0, violated = 0;
+    for (size_t i = 0; i < synthetic.num_records(); ++i) {
+      const size_t a = synthetic.category(i, fd.lhs);
+      DAISY_CHECK(a < fd.mapping.size());
+      const size_t expected = fd.mapping[a];
+      if (expected >= synthetic.schema().attribute(fd.rhs).domain_size())
+        continue;  // lhs value unseen at discovery time
+      ++checked;
+      if (synthetic.category(i, fd.rhs) != expected) ++violated;
+    }
+    total += checked > 0
+                 ? static_cast<double>(violated) / static_cast<double>(checked)
+                 : 0.0;
+  }
+  return total / static_cast<double>(fds.size());
+}
+
+}  // namespace daisy::eval

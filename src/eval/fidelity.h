@@ -1,0 +1,66 @@
+// Statistical-fidelity metrics beyond task utility: how well the
+// synthetic table preserves marginals, pairwise attribute associations
+// and (approximate) functional dependencies of the original table.
+// These implement the analysis behind the paper's appendix Figures
+// 13/14 and its future-work direction on capturing attribute
+// correlations explicitly (FakeTables [16], §8 direction 2).
+#ifndef DAISY_EVAL_FIDELITY_H_
+#define DAISY_EVAL_FIDELITY_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace daisy::eval {
+
+/// Aggregate fidelity of a synthetic table against the original.
+struct FidelityReport {
+  /// Mean |Pearson(real) - Pearson(synth)| over numeric attribute
+  /// pairs (0 when fewer than two numeric attributes).
+  double numeric_correlation_diff = 0.0;
+  /// Mean |CramersV(real) - CramersV(synth)| over categorical pairs.
+  double categorical_association_diff = 0.0;
+  /// Mean per-attribute marginal KL(real || synth): histogram KL for
+  /// numeric attributes (bins over the real range), count KL for
+  /// categorical ones.
+  double marginal_kl = 0.0;
+};
+
+struct FidelityOptions {
+  size_t histogram_bins = 10;
+};
+
+/// Computes the report; both tables must share the schema.
+FidelityReport EvaluateFidelity(const data::Table& real,
+                                const data::Table& synthetic,
+                                const FidelityOptions& options = {});
+
+/// Cramér's V association between two categorical attributes in [0, 1].
+double CramersV(const data::Table& table, size_t attr_a, size_t attr_b);
+
+/// An (approximate) functional dependency lhs -> rhs between two
+/// categorical attributes, with the value mapping observed in the
+/// table it was discovered on.
+struct FunctionalDependency {
+  size_t lhs = 0;
+  size_t rhs = 0;
+  double confidence = 0.0;          // fraction of records obeying it
+  std::vector<size_t> mapping;      // lhs category -> dominant rhs category
+};
+
+/// Finds single-attribute categorical FDs lhs -> rhs whose confidence
+/// (fraction of records where rhs equals the lhs value's dominant rhs)
+/// is at least `min_confidence`. Trivial dependencies through constant
+/// columns are kept — they are real FDs.
+std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
+                                              double min_confidence = 0.95);
+
+/// Fraction of synthetic records violating the given dependencies
+/// (macro-averaged over FDs; lhs values unseen at discovery don't
+/// count as violations). 0 = all discovered FDs preserved.
+double FdViolationRate(const data::Table& synthetic,
+                       const std::vector<FunctionalDependency>& fds);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_FIDELITY_H_

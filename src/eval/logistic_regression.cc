@@ -1,0 +1,106 @@
+#include "eval/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::eval {
+
+void LogisticRegression::Fit(const Matrix& x, const std::vector<size_t>& y,
+                             size_t num_classes, Rng* /*rng*/) {
+  DAISY_CHECK(x.rows() == y.size() && x.rows() > 0);
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+  const size_t n = x.rows(), m = x.cols(), k = num_classes;
+
+  mean_.assign(m, 0.0);
+  inv_std_.assign(m, 1.0);
+  for (size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (size_t i = 0; i < n; ++i) mu += x(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) var += (x(i, j) - mu) * (x(i, j) - mu);
+    var /= static_cast<double>(n);
+    mean_[j] = mu;
+    inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+
+  Matrix xs(n, m);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < m; ++j)
+      xs(i, j) = (x(i, j) - mean_[j]) * inv_std_[j];
+
+  weights_ = Matrix(m, k);
+  bias_.assign(k, 0.0);
+
+  Matrix probs(n, k);
+  for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    // Forward: softmax(xs W + b).
+    for (size_t i = 0; i < n; ++i) {
+      double mx = -1e300;
+      for (size_t c = 0; c < k; ++c) {
+        double s = bias_[c];
+        for (size_t j = 0; j < m; ++j) s += xs(i, j) * weights_(j, c);
+        probs(i, c) = s;
+        mx = std::max(mx, s);
+      }
+      double sum = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        probs(i, c) = std::exp(probs(i, c) - mx);
+        sum += probs(i, c);
+      }
+      for (size_t c = 0; c < k; ++c) probs(i, c) /= sum;
+    }
+    // Gradient step.
+    const double scale = opts_.lr / static_cast<double>(n);
+    Matrix gw(m, k);
+    std::vector<double> gb(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        const double d = probs(i, c) - (y[i] == c ? 1.0 : 0.0);
+        gb[c] += d;
+        for (size_t j = 0; j < m; ++j) gw(j, c) += d * xs(i, j);
+      }
+    }
+    for (size_t j = 0; j < m; ++j)
+      for (size_t c = 0; c < k; ++c)
+        weights_(j, c) -=
+            scale * (gw(j, c) + opts_.l2 * weights_(j, c) *
+                                    static_cast<double>(n));
+    for (size_t c = 0; c < k; ++c) bias_[c] -= scale * gb[c];
+  }
+}
+
+std::vector<double> LogisticRegression::Standardize(const double* x) const {
+  std::vector<double> xs(num_features_);
+  for (size_t j = 0; j < num_features_; ++j)
+    xs[j] = (x[j] - mean_[j]) * inv_std_[j];
+  return xs;
+}
+
+std::vector<double> LogisticRegression::PredictProba(const double* x) const {
+  const auto xs = Standardize(x);
+  std::vector<double> probs(num_classes_);
+  double mx = -1e300;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    double s = bias_[c];
+    for (size_t j = 0; j < num_features_; ++j) s += xs[j] * weights_(j, c);
+    probs[c] = s;
+    mx = std::max(mx, s);
+  }
+  double sum = 0.0;
+  for (auto& p : probs) {
+    p = std::exp(p - mx);
+    sum += p;
+  }
+  for (auto& p : probs) p /= sum;
+  return probs;
+}
+
+size_t LogisticRegression::Predict(const double* x) const {
+  const auto probs = PredictProba(x);
+  return static_cast<size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,47 @@
+// Multinomial logistic regression (softmax regression) trained by
+// full-batch gradient descent on standardized features — the paper's
+// "LR" classifier.
+#ifndef DAISY_EVAL_LOGISTIC_REGRESSION_H_
+#define DAISY_EVAL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "eval/classifier.h"
+
+namespace daisy::eval {
+
+struct LogisticRegressionOptions {
+  /// Full-batch gradient-descent epochs.
+  size_t epochs = 200;
+  /// Learning rate.
+  double lr = 0.1;
+  /// L2 regularization strength.
+  double l2 = 1e-4;
+};
+
+/// Softmax regression over standardized features.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions opts = {})
+      : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<size_t>& y, size_t num_classes,
+           Rng* rng) override;
+  size_t Predict(const double* x) const override;
+  std::vector<double> PredictProba(const double* x) const override;
+
+ private:
+  std::vector<double> Standardize(const double* x) const;
+
+  LogisticRegressionOptions opts_;
+  size_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  Matrix weights_;  // features x classes
+  std::vector<double> bias_;
+};
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,109 @@
+#include "eval/privacy.h"
+
+#include <cmath>
+#include <limits>
+
+namespace daisy::eval {
+
+namespace {
+
+struct AttrNorm {
+  bool categorical = false;
+  double lo = 0.0;
+  double inv_range = 1.0;
+};
+
+std::vector<AttrNorm> FitNorms(const data::Table& table) {
+  std::vector<AttrNorm> norms(table.num_attributes());
+  for (size_t j = 0; j < norms.size(); ++j) {
+    norms[j].categorical = table.schema().attribute(j).is_categorical();
+    if (!norms[j].categorical) {
+      const double lo = table.AttributeMin(j);
+      const double hi = table.AttributeMax(j);
+      norms[j].lo = lo;
+      norms[j].inv_range = hi > lo ? 1.0 / (hi - lo) : 1.0;
+    }
+  }
+  return norms;
+}
+
+}  // namespace
+
+double HittingRate(const data::Table& original, const data::Table& synthetic,
+                   const HittingRateOptions& opts, Rng* rng) {
+  DAISY_CHECK(original.num_records() > 0 && synthetic.num_records() > 0);
+  DAISY_CHECK(original.num_attributes() == synthetic.num_attributes());
+  const size_t m = original.num_attributes();
+
+  // Per-attribute numeric thresholds from the original table.
+  std::vector<double> thresholds(m, 0.0);
+  std::vector<bool> categorical(m, false);
+  for (size_t j = 0; j < m; ++j) {
+    categorical[j] = original.schema().attribute(j).is_categorical();
+    if (!categorical[j]) {
+      thresholds[j] = (original.AttributeMax(j) - original.AttributeMin(j)) /
+                      opts.range_divisor;
+    }
+  }
+
+  const size_t samples =
+      std::min(opts.num_synthetic_samples, synthetic.num_records());
+  size_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t row = rng->UniformInt(synthetic.num_records());
+    bool hit = false;
+    for (size_t i = 0; i < original.num_records() && !hit; ++i) {
+      bool similar = true;
+      for (size_t j = 0; j < m && similar; ++j) {
+        const double sv = synthetic.value(row, j);
+        const double ov = original.value(i, j);
+        if (categorical[j]) {
+          similar = std::llround(sv) == std::llround(ov);
+        } else {
+          similar = std::fabs(sv - ov) <= thresholds[j];
+        }
+      }
+      hit = similar;
+    }
+    if (hit) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double DistanceToClosestRecord(const data::Table& original,
+                               const data::Table& synthetic,
+                               const DcrOptions& opts, Rng* rng) {
+  DAISY_CHECK(original.num_records() > 0 && synthetic.num_records() > 0);
+  DAISY_CHECK(original.num_attributes() == synthetic.num_attributes());
+  const size_t m = original.num_attributes();
+  const auto norms = FitNorms(original);
+
+  const size_t samples =
+      std::min(opts.num_original_samples, original.num_records());
+  double total = 0.0;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t row = rng->UniformInt(original.num_records());
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < synthetic.num_records(); ++i) {
+      double d2 = 0.0;
+      for (size_t j = 0; j < m && d2 < best; ++j) {
+        double diff;
+        if (norms[j].categorical) {
+          diff = std::llround(original.value(row, j)) ==
+                         std::llround(synthetic.value(i, j))
+                     ? 0.0
+                     : 1.0;
+        } else {
+          diff = (original.value(row, j) - synthetic.value(i, j)) *
+                 norms[j].inv_range;
+        }
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,41 @@
+// Privacy risk metrics (paper §6.2): hitting rate and distance to the
+// closest record (DCR), both estimating re-identification risk.
+#ifndef DAISY_EVAL_PRIVACY_H_
+#define DAISY_EVAL_PRIVACY_H_
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::eval {
+
+struct HittingRateOptions {
+  /// Synthetic records sampled (paper: 5000).
+  size_t num_synthetic_samples = 5000;
+  /// Numeric similarity threshold = attribute range / divisor
+  /// (paper: 30).
+  double range_divisor = 30.0;
+};
+
+/// Fraction of sampled synthetic records that "hit" (are similar to) at
+/// least one original record: every categorical value equal and every
+/// numeric value within range/divisor. Returned as a fraction in
+/// [0, 1] (the paper reports it as a percentage).
+double HittingRate(const data::Table& original, const data::Table& synthetic,
+                   const HittingRateOptions& opts, Rng* rng);
+
+struct DcrOptions {
+  /// Original records sampled (paper: 3000).
+  size_t num_original_samples = 3000;
+};
+
+/// Average Euclidean distance from sampled original records to their
+/// nearest synthetic record, after attribute-wise min-max
+/// normalization (categorical mismatch contributes 1). Larger = better
+/// privacy; 0 means the synthetic table leaks a real record.
+double DistanceToClosestRecord(const data::Table& original,
+                               const data::Table& synthetic,
+                               const DcrOptions& opts, Rng* rng);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_PRIVACY_H_

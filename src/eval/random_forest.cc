@@ -1,0 +1,54 @@
+#include "eval/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::eval {
+
+void RandomForest::Fit(const Matrix& x, const std::vector<size_t>& y,
+                       size_t num_classes, Rng* rng) {
+  DAISY_CHECK(x.rows() == y.size() && x.rows() > 0);
+  num_classes_ = num_classes;
+  trees_.clear();
+
+  size_t max_features = opts_.max_features;
+  if (max_features == 0) {
+    max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               std::sqrt(static_cast<double>(x.cols())))));
+  }
+
+  for (size_t t = 0; t < opts_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<size_t> rows(x.rows());
+    for (auto& r : rows) r = rng->UniformInt(x.rows());
+    Matrix bx = x.GatherRows(rows);
+    std::vector<size_t> by(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) by[i] = y[rows[i]];
+
+    DecisionTreeOptions topts;
+    topts.max_depth = opts_.max_depth;
+    topts.max_features = max_features;
+    trees_.emplace_back(topts);
+    trees_.back().Fit(bx, by, num_classes, rng);
+  }
+}
+
+std::vector<double> RandomForest::PredictProba(const double* x) const {
+  DAISY_CHECK(!trees_.empty());
+  std::vector<double> probs(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.PredictProba(x);
+    for (size_t c = 0; c < num_classes_; ++c) probs[c] += p[c];
+  }
+  for (auto& p : probs) p /= static_cast<double>(trees_.size());
+  return probs;
+}
+
+size_t RandomForest::Predict(const double* x) const {
+  const auto probs = PredictProba(x);
+  return static_cast<size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace daisy::eval

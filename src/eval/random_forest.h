@@ -1,0 +1,35 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+#ifndef DAISY_EVAL_RANDOM_FOREST_H_
+#define DAISY_EVAL_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "eval/decision_tree.h"
+
+namespace daisy::eval {
+
+struct RandomForestOptions {
+  size_t num_trees = 20;
+  size_t max_depth = 10;
+  /// 0 = use round(sqrt(num_features)).
+  size_t max_features = 0;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions opts = {}) : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<size_t>& y, size_t num_classes,
+           Rng* rng) override;
+  size_t Predict(const double* x) const override;
+  std::vector<double> PredictProba(const double* x) const override;
+
+ private:
+  RandomForestOptions opts_;
+  size_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_RANDOM_FOREST_H_

@@ -1,0 +1,106 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "data/profile.h"
+#include "eval/fidelity.h"
+#include "eval/privacy.h"
+#include "eval/utility.h"
+
+namespace daisy::eval {
+
+namespace {
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string GenerateQualityReport(const data::Table& real,
+                                  const data::Table& synthetic,
+                                  const QualityReportOptions& options) {
+  DAISY_CHECK(real.num_attributes() == synthetic.num_attributes());
+  DAISY_CHECK(real.num_records() > 1 && synthetic.num_records() > 1);
+  std::string out;
+  out += "# Synthetic data quality report\n\n";
+  Append(&out, "Real table: %zu records. Synthetic table: %zu records.\n\n",
+         real.num_records(), synthetic.num_records());
+
+  // ---- Utility (Eq. 1) -------------------------------------------
+  if (options.include_utility && real.schema().has_label()) {
+    out += "## Classification utility (F1 Diff; lower is better)\n\n";
+    out += "| Classifier | F1 (real) | F1 (synthetic) | Diff |\n";
+    out += "|---|---|---|---|\n";
+    Rng split_rng(options.seed);
+    auto split = data::SplitTable(real, options.train_ratio, 0.0,
+                                  &split_rng);
+    for (auto kind : AllClassifierKinds()) {
+      Rng r1(options.seed + 1), r2(options.seed + 1);
+      const double f1_real =
+          TrainAndScoreF1(split.train, split.test, kind, &r1);
+      const double f1_synth =
+          TrainAndScoreF1(synthetic, split.test, kind, &r2);
+      Append(&out, "| %s | %.4f | %.4f | %.4f |\n",
+             ClassifierKindName(kind).c_str(), f1_real, f1_synth,
+             std::fabs(f1_real - f1_synth));
+    }
+    out += "\n";
+  }
+
+  // ---- Fidelity ---------------------------------------------------
+  {
+    const auto fid = EvaluateFidelity(real, synthetic);
+    out += "## Statistical fidelity (lower is better)\n\n";
+    Append(&out, "- mean marginal KL: **%.4f**\n", fid.marginal_kl);
+    Append(&out, "- mean pairwise numeric-correlation diff: **%.4f**\n",
+           fid.numeric_correlation_diff);
+    Append(&out, "- mean pairwise categorical-association diff: "
+                 "**%.4f**\n",
+           fid.categorical_association_diff);
+    const auto fds = DiscoverFds(real, 0.95);
+    if (!fds.empty()) {
+      Append(&out,
+             "- functional dependencies: %zu discovered in the real "
+             "table; violation rate in the synthetic table **%.4f**\n",
+             fds.size(), FdViolationRate(synthetic, fds));
+    }
+    out += "\n";
+  }
+
+  // ---- Privacy ----------------------------------------------------
+  {
+    out += "## Privacy risk\n\n";
+    HittingRateOptions hopts;
+    hopts.num_synthetic_samples = options.privacy_samples;
+    DcrOptions dopts;
+    dopts.num_original_samples = options.privacy_samples;
+    Rng r1(options.seed + 2), r2(options.seed + 3);
+    Append(&out,
+           "- hitting rate: **%.2f%%** of sampled synthetic records "
+           "match a real record attribute-for-attribute\n",
+           100.0 * HittingRate(real, synthetic, hopts, &r1));
+    Append(&out,
+           "- DCR: average normalized distance from a real record to "
+           "its closest synthetic record is **%.4f** (0 would mean a "
+           "leaked record)\n\n",
+           DistanceToClosestRecord(real, synthetic, dopts, &r2));
+  }
+
+  // ---- Profiles ---------------------------------------------------
+  out += "## Attribute profiles\n\n### Real\n\n```\n";
+  out += data::ProfileToString(data::ProfileTable(real));
+  out += "```\n\n### Synthetic\n\n```\n";
+  out += data::ProfileToString(data::ProfileTable(synthetic));
+  out += "```\n";
+  return out;
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,91 @@
+#include "eval/utility.h"
+
+#include <cmath>
+
+#include "eval/class_metrics.h"
+
+namespace daisy::eval {
+
+namespace {
+
+/// Trains `kind` on `train` and returns predictions on `test`.
+std::vector<size_t> TrainAndPredict(const data::Table& train,
+                                    const data::Table& test,
+                                    ClassifierKind kind, Rng* rng) {
+  DAISY_CHECK(train.schema().has_label() && test.schema().has_label());
+  DAISY_CHECK(train.num_records() > 0 && test.num_records() > 0);
+  auto clf = MakeClassifier(kind);
+  clf->Fit(train.FeatureMatrix(), train.Labels(),
+           train.schema().num_labels(), rng);
+  return clf->PredictAll(test.FeatureMatrix());
+}
+
+}  // namespace
+
+double TrainAndScoreF1(const data::Table& train, const data::Table& test,
+                       ClassifierKind kind, Rng* rng) {
+  const auto preds = TrainAndPredict(train, test, kind, rng);
+  return PaperF1(preds, test.Labels(), test.schema().num_labels());
+}
+
+double TrainAndScoreAuc(const data::Table& train, const data::Table& test,
+                        ClassifierKind kind, Rng* rng) {
+  DAISY_CHECK(train.schema().has_label() && test.schema().has_label());
+  auto clf = MakeClassifier(kind);
+  clf->Fit(train.FeatureMatrix(), train.Labels(),
+           train.schema().num_labels(), rng);
+  const auto truth = test.Labels();
+  const size_t positive =
+      EvaluationLabel(truth, test.schema().num_labels());
+  Matrix x = test.FeatureMatrix();
+  std::vector<double> scores(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i)
+    scores[i] = clf->PredictProba(x.row(i))[positive];
+  return AucBinary(scores, truth, positive);
+}
+
+double F1Diff(const data::Table& real_train, const data::Table& synthetic,
+              const data::Table& test, ClassifierKind kind, Rng* rng) {
+  const double f1_real = TrainAndScoreF1(real_train, test, kind, rng);
+  const double f1_synth = TrainAndScoreF1(synthetic, test, kind, rng);
+  return std::fabs(f1_real - f1_synth);
+}
+
+std::vector<double> SnapshotF1Curve(synth::TableSynthesizer* synthesizer,
+                                    const data::Table& valid,
+                                    const SnapshotSelectionOptions& opts,
+                                    Rng* rng) {
+  DAISY_CHECK(synthesizer->num_snapshots() > 0);
+  const size_t gen_size =
+      opts.gen_size > 0 ? opts.gen_size : valid.num_records();
+  std::vector<double> curve;
+  curve.reserve(synthesizer->num_snapshots());
+  for (size_t i = 0; i < synthesizer->num_snapshots(); ++i) {
+    synthesizer->UseSnapshot(i);
+    data::Table fake = synthesizer->Generate(gen_size, rng);
+    // A snapshot may fail to emit some label entirely (mode collapse);
+    // score it 0 rather than crashing the sweep.
+    bool trainable = false;
+    const auto counts = fake.LabelCounts();
+    size_t nonzero = 0;
+    for (size_t c : counts) nonzero += c > 0 ? 1 : 0;
+    trainable = nonzero >= 2;
+    curve.push_back(
+        trainable ? TrainAndScoreF1(fake, valid, opts.kind, rng) : 0.0);
+  }
+  synthesizer->UseFinal();
+  return curve;
+}
+
+size_t SelectBestSnapshot(synth::TableSynthesizer* synthesizer,
+                          const data::Table& valid,
+                          const SnapshotSelectionOptions& opts, Rng* rng) {
+  const auto curve = SnapshotF1Curve(synthesizer, valid, opts, rng);
+  size_t best = 0;
+  for (size_t i = 1; i < curve.size(); ++i)
+    if (curve[i] > curve[best]) best = i;
+  synthesizer->UseSnapshot(best);
+  return best;
+}
+
+}  // namespace daisy::eval

@@ -1,0 +1,110 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace daisy::nn {
+
+Matrix ReLU::Forward(const Matrix& x, bool /*training*/) {
+  cached_input_ = x;
+  return x.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix ReLU::Backward(const Matrix& grad_out) {
+  DAISY_CHECK(grad_out.SameShape(cached_input_));
+  Matrix g = grad_out;
+  for (size_t r = 0; r < g.rows(); ++r)
+    for (size_t c = 0; c < g.cols(); ++c)
+      if (cached_input_(r, c) <= 0.0) g(r, c) = 0.0;
+  return g;
+}
+
+Matrix LeakyReLU::Forward(const Matrix& x, bool /*training*/) {
+  cached_input_ = x;
+  const double a = alpha_;
+  return x.Apply([a](double v) { return v > 0.0 ? v : a * v; });
+}
+
+Matrix LeakyReLU::Backward(const Matrix& grad_out) {
+  DAISY_CHECK(grad_out.SameShape(cached_input_));
+  Matrix g = grad_out;
+  for (size_t r = 0; r < g.rows(); ++r)
+    for (size_t c = 0; c < g.cols(); ++c)
+      if (cached_input_(r, c) <= 0.0) g(r, c) *= alpha_;
+  return g;
+}
+
+Matrix Tanh::Forward(const Matrix& x, bool /*training*/) {
+  cached_output_ = x.Apply([](double v) { return std::tanh(v); });
+  return cached_output_;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_out) {
+  DAISY_CHECK(grad_out.SameShape(cached_output_));
+  Matrix g = grad_out;
+  for (size_t r = 0; r < g.rows(); ++r)
+    for (size_t c = 0; c < g.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      g(r, c) *= 1.0 - y * y;
+    }
+  return g;
+}
+
+Matrix Sigmoid::Forward(const Matrix& x, bool /*training*/) {
+  cached_output_ = SigmoidMat(x);
+  return cached_output_;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_out) {
+  DAISY_CHECK(grad_out.SameShape(cached_output_));
+  Matrix g = grad_out;
+  for (size_t r = 0; r < g.rows(); ++r)
+    for (size_t c = 0; c < g.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      g(r, c) *= y * (1.0 - y);
+    }
+  return g;
+}
+
+Matrix Softmax::Forward(const Matrix& x, bool /*training*/) {
+  cached_output_ = SoftmaxRows(x);
+  return cached_output_;
+}
+
+Matrix Softmax::Backward(const Matrix& grad_out) {
+  DAISY_CHECK(grad_out.SameShape(cached_output_));
+  // dL/dx_i = y_i * (g_i - sum_j g_j y_j) per row.
+  Matrix g(grad_out.rows(), grad_out.cols());
+  for (size_t r = 0; r < g.rows(); ++r) {
+    double dot = 0.0;
+    for (size_t c = 0; c < g.cols(); ++c)
+      dot += grad_out(r, c) * cached_output_(r, c);
+    for (size_t c = 0; c < g.cols(); ++c)
+      g(r, c) = cached_output_(r, c) * (grad_out(r, c) - dot);
+  }
+  return g;
+}
+
+Matrix SoftmaxRows(const Matrix& x) {
+  Matrix y(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double mx = x(r, 0);
+    for (size_t c = 1; c < x.cols(); ++c) mx = std::max(mx, x(r, c));
+    double sum = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      y(r, c) = std::exp(x(r, c) - mx);
+      sum += y(r, c);
+    }
+    for (size_t c = 0; c < x.cols(); ++c) y(r, c) /= sum;
+  }
+  return y;
+}
+
+Matrix SigmoidMat(const Matrix& x) {
+  return x.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+}
+
+Matrix TanhMat(const Matrix& x) {
+  return x.Apply([](double v) { return std::tanh(v); });
+}
+
+}  // namespace daisy::nn

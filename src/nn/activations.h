@@ -1,0 +1,68 @@
+// Elementwise activations plus row-wise Softmax.
+#ifndef DAISY_NN_ACTIVATIONS_H_
+#define DAISY_NN_ACTIVATIONS_H_
+
+#include "nn/module.h"
+
+namespace daisy::nn {
+
+/// max(0, x).
+class ReLU : public Module {
+ public:
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// x if x > 0 else alpha * x.
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(double alpha = 0.2) : alpha_(alpha) {}
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  double alpha_;
+  Matrix cached_input_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Module {
+ public:
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid : public Module {
+ public:
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Row-wise softmax with the usual max-subtraction for stability.
+class Softmax : public Module {
+ public:
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Free-function forms used where a Module instance is overkill.
+Matrix SoftmaxRows(const Matrix& x);
+Matrix SigmoidMat(const Matrix& x);
+Matrix TanhMat(const Matrix& x);
+
+}  // namespace daisy::nn
+
+#endif  // DAISY_NN_ACTIVATIONS_H_

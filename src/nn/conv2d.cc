@@ -1,0 +1,226 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+namespace daisy::nn {
+
+namespace {
+
+size_t ConvOutDim(size_t in, size_t kernel, size_t stride, size_t padding) {
+  DAISY_CHECK(in + 2 * padding >= kernel);
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+size_t DeconvOutDim(size_t in, size_t kernel, size_t stride, size_t padding) {
+  DAISY_CHECK((in - 1) * stride + kernel >= 2 * padding);
+  return (in - 1) * stride + kernel - 2 * padding;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(ImageShape in, size_t out_channels, size_t kernel,
+               size_t stride, size_t padding, Rng* rng)
+    : in_shape_(in), kernel_(kernel), stride_(stride), padding_(padding) {
+  out_shape_.channels = out_channels;
+  out_shape_.height = ConvOutDim(in.height, kernel, stride, padding);
+  out_shape_.width = ConvOutDim(in.width, kernel, stride, padding);
+  const size_t fan_in = in.channels * kernel * kernel;
+  const size_t fan_out = out_channels * kernel * kernel;
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  weight_ = Parameter("conv.weight",
+                      Matrix::RandUniform(out_channels, fan_in, rng, -bound,
+                                          bound));
+  bias_ = Parameter("conv.bias", Matrix(1, out_channels));
+}
+
+Matrix Conv2d::Forward(const Matrix& x, bool /*training*/) {
+  DAISY_CHECK(x.cols() == in_shape_.Flat());
+  cached_input_ = x;
+  const size_t n = x.rows();
+  const size_t ih = in_shape_.height, iw = in_shape_.width;
+  const size_t oh = out_shape_.height, ow = out_shape_.width;
+  const size_t ic = in_shape_.channels, oc = out_shape_.channels;
+  Matrix y(n, out_shape_.Flat());
+  for (size_t b = 0; b < n; ++b) {
+    const double* in = x.row(b);
+    double* out = y.row(b);
+    for (size_t o = 0; o < oc; ++o) {
+      const double* w = weight_.value.row(o);
+      for (size_t oy = 0; oy < oh; ++oy) {
+        for (size_t ox = 0; ox < ow; ++ox) {
+          double acc = bias_.value(0, o);
+          for (size_t i = 0; i < ic; ++i) {
+            for (size_t ky = 0; ky < kernel_; ++ky) {
+              const long long yy = static_cast<long long>(oy * stride_ + ky) -
+                                   static_cast<long long>(padding_);
+              if (yy < 0 || yy >= static_cast<long long>(ih)) continue;
+              for (size_t kx = 0; kx < kernel_; ++kx) {
+                const long long xx =
+                    static_cast<long long>(ox * stride_ + kx) -
+                    static_cast<long long>(padding_);
+                if (xx < 0 || xx >= static_cast<long long>(iw)) continue;
+                acc += w[(i * kernel_ + ky) * kernel_ + kx] *
+                       in[(i * ih + yy) * iw + xx];
+              }
+            }
+          }
+          out[(o * oh + oy) * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Conv2d::Backward(const Matrix& grad_out) {
+  const size_t n = cached_input_.rows();
+  DAISY_CHECK(grad_out.rows() == n && grad_out.cols() == out_shape_.Flat());
+  const size_t ih = in_shape_.height, iw = in_shape_.width;
+  const size_t oh = out_shape_.height, ow = out_shape_.width;
+  const size_t ic = in_shape_.channels, oc = out_shape_.channels;
+  Matrix gx(n, in_shape_.Flat());
+  for (size_t b = 0; b < n; ++b) {
+    const double* in = cached_input_.row(b);
+    const double* go = grad_out.row(b);
+    double* gi = gx.row(b);
+    for (size_t o = 0; o < oc; ++o) {
+      const double* w = weight_.value.row(o);
+      double* gw = weight_.grad.row(o);
+      for (size_t oy = 0; oy < oh; ++oy) {
+        for (size_t ox = 0; ox < ow; ++ox) {
+          const double g = go[(o * oh + oy) * ow + ox];
+          if (g == 0.0) continue;
+          bias_.grad(0, o) += g;
+          for (size_t i = 0; i < ic; ++i) {
+            for (size_t ky = 0; ky < kernel_; ++ky) {
+              const long long yy = static_cast<long long>(oy * stride_ + ky) -
+                                   static_cast<long long>(padding_);
+              if (yy < 0 || yy >= static_cast<long long>(ih)) continue;
+              for (size_t kx = 0; kx < kernel_; ++kx) {
+                const long long xx =
+                    static_cast<long long>(ox * stride_ + kx) -
+                    static_cast<long long>(padding_);
+                if (xx < 0 || xx >= static_cast<long long>(iw)) continue;
+                const size_t widx = (i * kernel_ + ky) * kernel_ + kx;
+                const size_t iidx = (i * ih + yy) * iw + xx;
+                gw[widx] += g * in[iidx];
+                gi[iidx] += g * w[widx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+ConvTranspose2d::ConvTranspose2d(ImageShape in, size_t out_channels,
+                                 size_t kernel, size_t stride, size_t padding,
+                                 Rng* rng)
+    : in_shape_(in), kernel_(kernel), stride_(stride), padding_(padding) {
+  out_shape_.channels = out_channels;
+  out_shape_.height = DeconvOutDim(in.height, kernel, stride, padding);
+  out_shape_.width = DeconvOutDim(in.width, kernel, stride, padding);
+  const size_t fan_in = in.channels * kernel * kernel;
+  const size_t fan_out = out_channels * kernel * kernel;
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  weight_ = Parameter("deconv.weight",
+                      Matrix::RandUniform(in.channels,
+                                          out_channels * kernel * kernel, rng,
+                                          -bound, bound));
+  bias_ = Parameter("deconv.bias", Matrix(1, out_channels));
+}
+
+Matrix ConvTranspose2d::Forward(const Matrix& x, bool /*training*/) {
+  DAISY_CHECK(x.cols() == in_shape_.Flat());
+  cached_input_ = x;
+  const size_t n = x.rows();
+  const size_t ih = in_shape_.height, iw = in_shape_.width;
+  const size_t oh = out_shape_.height, ow = out_shape_.width;
+  const size_t ic = in_shape_.channels, oc = out_shape_.channels;
+  Matrix y(n, out_shape_.Flat());
+  for (size_t b = 0; b < n; ++b) {
+    const double* in = x.row(b);
+    double* out = y.row(b);
+    for (size_t o = 0; o < oc; ++o)
+      for (size_t oy = 0; oy < oh; ++oy)
+        for (size_t ox = 0; ox < ow; ++ox)
+          out[(o * oh + oy) * ow + ox] = bias_.value(0, o);
+    for (size_t i = 0; i < ic; ++i) {
+      const double* w = weight_.value.row(i);
+      for (size_t iy = 0; iy < ih; ++iy) {
+        for (size_t ix = 0; ix < iw; ++ix) {
+          const double v = in[(i * ih + iy) * iw + ix];
+          if (v == 0.0) continue;
+          for (size_t o = 0; o < oc; ++o) {
+            for (size_t ky = 0; ky < kernel_; ++ky) {
+              const long long yy = static_cast<long long>(iy * stride_ + ky) -
+                                   static_cast<long long>(padding_);
+              if (yy < 0 || yy >= static_cast<long long>(oh)) continue;
+              for (size_t kx = 0; kx < kernel_; ++kx) {
+                const long long xx =
+                    static_cast<long long>(ix * stride_ + kx) -
+                    static_cast<long long>(padding_);
+                if (xx < 0 || xx >= static_cast<long long>(ow)) continue;
+                out[(o * oh + yy) * ow + xx] +=
+                    v * w[(o * kernel_ + ky) * kernel_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Matrix ConvTranspose2d::Backward(const Matrix& grad_out) {
+  const size_t n = cached_input_.rows();
+  DAISY_CHECK(grad_out.rows() == n && grad_out.cols() == out_shape_.Flat());
+  const size_t ih = in_shape_.height, iw = in_shape_.width;
+  const size_t oh = out_shape_.height, ow = out_shape_.width;
+  const size_t ic = in_shape_.channels, oc = out_shape_.channels;
+  Matrix gx(n, in_shape_.Flat());
+  for (size_t b = 0; b < n; ++b) {
+    const double* in = cached_input_.row(b);
+    const double* go = grad_out.row(b);
+    double* gi = gx.row(b);
+    for (size_t o = 0; o < oc; ++o)
+      for (size_t oy = 0; oy < oh; ++oy)
+        for (size_t ox = 0; ox < ow; ++ox)
+          bias_.grad(0, o) += go[(o * oh + oy) * ow + ox];
+    for (size_t i = 0; i < ic; ++i) {
+      const double* w = weight_.value.row(i);
+      double* gw = weight_.grad.row(i);
+      for (size_t iy = 0; iy < ih; ++iy) {
+        for (size_t ix = 0; ix < iw; ++ix) {
+          const size_t iidx = (i * ih + iy) * iw + ix;
+          const double v = in[iidx];
+          double acc = 0.0;
+          for (size_t o = 0; o < oc; ++o) {
+            for (size_t ky = 0; ky < kernel_; ++ky) {
+              const long long yy = static_cast<long long>(iy * stride_ + ky) -
+                                   static_cast<long long>(padding_);
+              if (yy < 0 || yy >= static_cast<long long>(oh)) continue;
+              for (size_t kx = 0; kx < kernel_; ++kx) {
+                const long long xx =
+                    static_cast<long long>(ix * stride_ + kx) -
+                    static_cast<long long>(padding_);
+                if (xx < 0 || xx >= static_cast<long long>(ow)) continue;
+                const size_t widx = (o * kernel_ + ky) * kernel_ + kx;
+                const double g = go[(o * oh + yy) * ow + xx];
+                acc += g * w[widx];
+                gw[widx] += g * v;
+              }
+            }
+          }
+          gi[iidx] = acc;
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace daisy::nn

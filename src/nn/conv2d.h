@@ -1,0 +1,70 @@
+// 2-D convolution and transposed convolution ("de-convolution") for the
+// DCGAN-style generator/discriminator (paper Appendix A.1.1). Samples
+// flow through the network flattened as rows of a Matrix in NCHW order;
+// each layer knows its own spatial geometry.
+#ifndef DAISY_NN_CONV2D_H_
+#define DAISY_NN_CONV2D_H_
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace daisy::nn {
+
+/// Shape of an image tensor carried inside a flattened Matrix row.
+struct ImageShape {
+  size_t channels = 1;
+  size_t height = 1;
+  size_t width = 1;
+  size_t Flat() const { return channels * height * width; }
+};
+
+/// Standard strided convolution with zero padding.
+class Conv2d : public Module {
+ public:
+  Conv2d(ImageShape in, size_t out_channels, size_t kernel, size_t stride,
+         size_t padding, Rng* rng);
+
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+
+  ImageShape out_shape() const { return out_shape_; }
+
+ private:
+  ImageShape in_shape_;
+  ImageShape out_shape_;
+  size_t kernel_;
+  size_t stride_;
+  size_t padding_;
+  Parameter weight_;  // (out_c) x (in_c * k * k)
+  Parameter bias_;    // 1 x out_c
+  Matrix cached_input_;
+};
+
+/// Fractionally-strided (transposed) convolution; the generator's
+/// upsampling primitive. Implemented as the gradient of Conv2d.
+class ConvTranspose2d : public Module {
+ public:
+  ConvTranspose2d(ImageShape in, size_t out_channels, size_t kernel,
+                  size_t stride, size_t padding, Rng* rng);
+
+  Matrix Forward(const Matrix& x, bool training) override;
+  Matrix Backward(const Matrix& grad_out) override;
+  std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+
+  ImageShape out_shape() const { return out_shape_; }
+
+ private:
+  ImageShape in_shape_;
+  ImageShape out_shape_;
+  size_t kernel_;
+  size_t stride_;
+  size_t padding_;
+  Parameter weight_;  // (in_c) x (out_c * k * k)
+  Parameter bias_;    // 1 x out_c
+  Matrix cached_input_;
+};
+
+}  // namespace daisy::nn
+
+#endif  // DAISY_NN_CONV2D_H_

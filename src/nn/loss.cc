@@ -1,0 +1,61 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/status.h"
+
+namespace daisy::nn {
+
+double BceLoss(const Matrix& probs, const Matrix& targets, Matrix* grad) {
+  DAISY_CHECK(probs.SameShape(targets));
+  const double n = static_cast<double>(probs.size());
+  double loss = 0.0;
+  *grad = Matrix(probs.rows(), probs.cols());
+  constexpr double kEps = 1e-12;
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      const double p = std::clamp(probs(r, c), kEps, 1.0 - kEps);
+      const double t = targets(r, c);
+      loss += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+      (*grad)(r, c) = (p - t) / (p * (1.0 - p)) / n;
+    }
+  }
+  return loss / n;
+}
+
+double BceWithLogitsLoss(const Matrix& logits, const Matrix& targets,
+                         Matrix* grad) {
+  DAISY_CHECK(logits.SameShape(targets));
+  const double n = static_cast<double>(logits.size());
+  double loss = 0.0;
+  *grad = Matrix(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      const double x = logits(r, c);
+      const double t = targets(r, c);
+      // log(1+exp(-|x|)) + max(x,0) - x*t is the stable form.
+      loss += std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0) - x * t;
+      const double p = 1.0 / (1.0 + std::exp(-x));
+      (*grad)(r, c) = (p - t) / n;
+    }
+  }
+  return loss / n;
+}
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  DAISY_CHECK(pred.SameShape(target));
+  const double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  *grad = Matrix(pred.rows(), pred.cols());
+  for (size_t r = 0; r < pred.rows(); ++r) {
+    for (size_t c = 0; c < pred.cols(); ++c) {
+      const double d = pred(r, c) - target(r, c);
+      loss += d * d;
+      (*grad)(r, c) = 2.0 * d / n;
+    }
+  }
+  return loss / n;
+}
+
+}  // namespace daisy::nn

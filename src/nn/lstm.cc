@@ -1,0 +1,105 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace daisy::nn {
+
+namespace {
+double SigmoidScalar(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+}  // namespace
+
+LstmCell::LstmCell(size_t input_size, size_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  const size_t in = input_size + hidden_size;
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + 4 * hidden_size));
+  weight_ = Parameter("lstm.weight",
+                      Matrix::RandUniform(in, 4 * hidden_size, rng, -bound,
+                                          bound));
+  bias_ = Parameter("lstm.bias", Matrix(1, 4 * hidden_size));
+  // Forget-gate bias of 1.0: standard trick for gradient flow early in
+  // training.
+  for (size_t c = 0; c < hidden_size; ++c) bias_.value(0, hidden_size + c) = 1.0;
+}
+
+LstmState LstmCell::StepForward(const Matrix& x, const LstmState& prev) {
+  DAISY_CHECK(x.cols() == input_size_);
+  DAISY_CHECK(prev.h.cols() == hidden_size_ && prev.c.cols() == hidden_size_);
+  DAISY_CHECK(x.rows() == prev.h.rows());
+  const size_t n = x.rows(), hs = hidden_size_;
+
+  StepCache cache;
+  cache.xh = Matrix::HCat(x, prev.h);
+  cache.c_prev = prev.c;
+
+  Matrix pre = cache.xh.MatMul(weight_.value);
+  pre.AddRowBroadcast(bias_.value);
+
+  cache.gates = Matrix(n, 4 * hs);
+  cache.c = Matrix(n, hs);
+  LstmState next;
+  next.h = Matrix(n, hs);
+  next.c = Matrix(n, hs);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < hs; ++j) {
+      const double i = SigmoidScalar(pre(r, j));
+      const double f = SigmoidScalar(pre(r, hs + j));
+      const double g = std::tanh(pre(r, 2 * hs + j));
+      const double o = SigmoidScalar(pre(r, 3 * hs + j));
+      cache.gates(r, j) = i;
+      cache.gates(r, hs + j) = f;
+      cache.gates(r, 2 * hs + j) = g;
+      cache.gates(r, 3 * hs + j) = o;
+      const double c = f * prev.c(r, j) + i * g;
+      cache.c(r, j) = c;
+      next.c(r, j) = c;
+      next.h(r, j) = o * std::tanh(c);
+    }
+  }
+  cache_.push_back(std::move(cache));
+  return next;
+}
+
+LstmCell::StepGrads LstmCell::StepBackward(const Matrix& grad_h,
+                                           const Matrix& grad_c) {
+  DAISY_CHECK(!cache_.empty());
+  StepCache cache = std::move(cache_.back());
+  cache_.pop_back();
+
+  const size_t n = grad_h.rows(), hs = hidden_size_;
+  DAISY_CHECK(grad_h.cols() == hs && grad_c.SameShape(grad_h));
+
+  Matrix dpre(n, 4 * hs);
+  Matrix dc_prev(n, hs);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < hs; ++j) {
+      const double i = cache.gates(r, j);
+      const double f = cache.gates(r, hs + j);
+      const double g = cache.gates(r, 2 * hs + j);
+      const double o = cache.gates(r, 3 * hs + j);
+      const double tc = std::tanh(cache.c(r, j));
+      const double dh = grad_h(r, j);
+      double dc = grad_c(r, j) + dh * o * (1.0 - tc * tc);
+      const double do_ = dh * tc;
+      const double di = dc * g;
+      const double df = dc * cache.c_prev(r, j);
+      const double dg = dc * i;
+      dc_prev(r, j) = dc * f;
+      dpre(r, j) = di * i * (1.0 - i);
+      dpre(r, hs + j) = df * f * (1.0 - f);
+      dpre(r, 2 * hs + j) = dg * (1.0 - g * g);
+      dpre(r, 3 * hs + j) = do_ * o * (1.0 - o);
+    }
+  }
+
+  weight_.grad += cache.xh.TransposeMatMul(dpre);
+  bias_.grad += dpre.ColSum();
+  Matrix dxh = dpre.MatMulTranspose(weight_.value);
+
+  StepGrads grads;
+  grads.dx = dxh.ColRange(0, input_size_);
+  grads.dh_prev = dxh.ColRange(input_size_, input_size_ + hidden_size_);
+  grads.dc_prev = std::move(dc_prev);
+  return grads;
+}
+
+}  // namespace daisy::nn

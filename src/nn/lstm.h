@@ -1,0 +1,76 @@
+// LSTM cell with explicit stepwise forward/backward so callers can run
+// backpropagation-through-time over an arbitrary number of timesteps —
+// the LSTM generator (paper Appendix A.1.3) re-feeds the noise z at
+// every step and uses a variable number of steps per attribute.
+#ifndef DAISY_NN_LSTM_H_
+#define DAISY_NN_LSTM_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace daisy::nn {
+
+/// Output of one LSTM step.
+struct LstmState {
+  Matrix h;  // batch x hidden
+  Matrix c;  // batch x hidden
+};
+
+/// A single LSTM cell (gate order i, f, g, o) shared across timesteps.
+/// Call StepForward once per timestep, then StepBackward the same
+/// number of times in reverse order; caches are kept on an internal
+/// stack. ClearCache() resets between sequences.
+class LstmCell {
+ public:
+  LstmCell(size_t input_size, size_t hidden_size, Rng* rng);
+
+  size_t input_size() const { return input_size_; }
+  size_t hidden_size() const { return hidden_size_; }
+
+  /// One timestep. Pushes the step's cache onto the BPTT stack.
+  LstmState StepForward(const Matrix& x, const LstmState& prev);
+
+  /// Reverse of the most recent un-popped StepForward. `grad_h` /
+  /// `grad_c` are dLoss/dh_t and dLoss/dc_t; outputs are dLoss/dx plus
+  /// the gradients to pass to the previous step.
+  struct StepGrads {
+    Matrix dx;
+    Matrix dh_prev;
+    Matrix dc_prev;
+  };
+  StepGrads StepBackward(const Matrix& grad_h, const Matrix& grad_c);
+
+  void ClearCache() { cache_.clear(); }
+  size_t cache_depth() const { return cache_.size(); }
+
+  std::vector<Parameter*> Params() { return {&weight_, &bias_}; }
+  void ZeroGrad() {
+    weight_.ZeroGrad();
+    bias_.ZeroGrad();
+  }
+
+  /// Zero-initialized state for a batch.
+  LstmState InitialState(size_t batch) const {
+    return {Matrix(batch, hidden_size_), Matrix(batch, hidden_size_)};
+  }
+
+ private:
+  struct StepCache {
+    Matrix xh;      // batch x (input+hidden): concatenated input
+    Matrix gates;   // batch x 4*hidden: post-activation i,f,g,o
+    Matrix c_prev;  // batch x hidden
+    Matrix c;       // batch x hidden
+  };
+
+  size_t input_size_;
+  size_t hidden_size_;
+  Parameter weight_;  // (input+hidden) x 4*hidden
+  Parameter bias_;    // 1 x 4*hidden
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace daisy::nn
+
+#endif  // DAISY_NN_LSTM_H_

@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace daisy::nn {
+
+void Sgd::Step() {
+  for (Parameter* p : params_) {
+    for (size_t r = 0; r < p->value.rows(); ++r)
+      for (size_t c = 0; c < p->value.cols(); ++c)
+        p->value(r, c) -= lr_ * p->grad(r, c);
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        const double g = p->grad(r, c);
+        m_[i](r, c) = beta1_ * m_[i](r, c) + (1.0 - beta1_) * g;
+        v_[i](r, c) = beta2_ * v_[i](r, c) + (1.0 - beta2_) * g * g;
+        const double mhat = m_[i](r, c) / bc1;
+        const double vhat = v_[i](r, c) / bc2;
+        p->value(r, c) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Parameter*> params, double lr, double decay,
+                 double eps)
+    : Optimizer(std::move(params), lr), decay_(decay), eps_(eps) {
+  for (Parameter* p : params_)
+    sq_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        const double g = p->grad(r, c);
+        sq_[i](r, c) = decay_ * sq_[i](r, c) + (1.0 - decay_) * g * g;
+        p->value(r, c) -= lr_ * g / (std::sqrt(sq_[i](r, c)) + eps_);
+      }
+    }
+  }
+}
+
+void ClipParams(const std::vector<Parameter*>& params, double c) {
+  DAISY_CHECK(c > 0.0);
+  for (Parameter* p : params) p->value.Clip(-c, c);
+}
+
+double GlobalGradNorm(const std::vector<Parameter*>& params) {
+  double sq = 0.0;
+  for (const Parameter* p : params)
+    for (size_t r = 0; r < p->grad.rows(); ++r)
+      for (size_t c = 0; c < p->grad.cols(); ++c)
+        sq += p->grad(r, c) * p->grad(r, c);
+  return std::sqrt(sq);
+}
+
+void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
+                       double noise_scale, Rng* rng) {
+  DAISY_CHECK(max_norm > 0.0);
+  const double norm = GlobalGradNorm(params);
+  const double scale = norm > max_norm ? max_norm / norm : 1.0;
+  const double sigma = noise_scale * max_norm;
+  for (Parameter* p : params) {
+    for (size_t r = 0; r < p->grad.rows(); ++r)
+      for (size_t c = 0; c < p->grad.cols(); ++c)
+        p->grad(r, c) = p->grad(r, c) * scale + rng->Gaussian(0.0, sigma);
+  }
+}
+
+}  // namespace daisy::nn

@@ -1,0 +1,82 @@
+// Minibatch SGD family: plain SGD, Adam (VTrain/CTrain) and RMSProp
+// (WTrain/DPTrain), matching Table 1 of the paper.
+#ifndef DAISY_NN_OPTIMIZER_H_
+#define DAISY_NN_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace daisy::nn {
+
+/// Base optimizer: owns nothing; steps a fixed set of parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's accumulated gradient.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+/// Vanilla gradient descent (used by tests and the VAE warm start).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr)
+      : Optimizer(std::move(params), lr) {}
+  void Step() override;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  long long t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// RMSProp as used by WGAN.
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Parameter*> params, double lr, double decay = 0.9,
+          double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double decay_, eps_;
+  std::vector<Matrix> sq_;
+};
+
+/// Clamps every parameter value into [-c, c] (WGAN weight clipping).
+void ClipParams(const std::vector<Parameter*>& params, double c);
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`,
+/// then adds N(0, sigma^2 * max_norm^2) noise — the DPGAN mechanism.
+void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
+                       double noise_scale, Rng* rng);
+
+/// Global L2 norm across all parameter gradients.
+double GlobalGradNorm(const std::vector<Parameter*>& params);
+
+}  // namespace daisy::nn
+
+#endif  // DAISY_NN_OPTIMIZER_H_

@@ -1,0 +1,160 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/status.h"
+
+namespace daisy::stats {
+
+namespace {
+
+double LogNormalPdf(double v, double mean, double stddev) {
+  const double z = (v - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : xs) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+Gmm1d Gmm1d::Fit(const std::vector<double>& values, const Options& opts,
+                 Rng* rng) {
+  DAISY_CHECK(!values.empty());
+  const size_t k = std::max<size_t>(1, std::min(opts.components, values.size()));
+  const size_t n = values.size();
+
+  Gmm1d gmm;
+  gmm.means_.resize(k);
+  gmm.stddevs_.assign(k, 0.0);
+  gmm.weights_.assign(k, 1.0 / static_cast<double>(k));
+
+  // k-means++-style seeding of the means.
+  gmm.means_[0] = values[rng->UniformInt(n)];
+  std::vector<double> d2(n);
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < c; ++j) {
+        const double d = values[i] - gmm.means_[j];
+        best = std::min(best, d * d);
+      }
+      d2[i] = best;
+    }
+    gmm.means_[c] = values[rng->Categorical(d2)];
+  }
+
+  double global_var = 0.0, global_mean = 0.0;
+  for (double v : values) global_mean += v;
+  global_mean /= static_cast<double>(n);
+  for (double v : values) global_var += (v - global_mean) * (v - global_mean);
+  global_var /= static_cast<double>(n);
+  const double init_sd =
+      std::max(opts.min_stddev, std::sqrt(global_var / static_cast<double>(k)));
+  for (auto& s : gmm.stddevs_) s = init_sd;
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < opts.max_iters; ++iter) {
+    // E step.
+    double ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j)
+        logp[j] = std::log(std::max(gmm.weights_[j], 1e-300)) +
+                  LogNormalPdf(values[i], gmm.means_[j], gmm.stddevs_[j]);
+      const double lse = LogSumExp(logp);
+      ll += lse;
+      for (size_t j = 0; j < k; ++j) resp[i][j] = std::exp(logp[j] - lse);
+    }
+    // M step.
+    for (size_t j = 0; j < k; ++j) {
+      double nj = 0.0, mu = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        nj += resp[i][j];
+        mu += resp[i][j] * values[i];
+      }
+      if (nj < 1e-10) {
+        // Dead component: re-seed at a random point.
+        gmm.means_[j] = values[rng->UniformInt(n)];
+        gmm.stddevs_[j] = init_sd;
+        gmm.weights_[j] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      mu /= nj;
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i)
+        var += resp[i][j] * (values[i] - mu) * (values[i] - mu);
+      var /= nj;
+      gmm.means_[j] = mu;
+      gmm.stddevs_[j] = std::max(opts.min_stddev, std::sqrt(var));
+      gmm.weights_[j] = nj / static_cast<double>(n);
+    }
+    if (std::fabs(ll - prev_ll) < opts.tol * static_cast<double>(n)) break;
+    prev_ll = ll;
+  }
+  return gmm;
+}
+
+Gmm1d Gmm1d::FromParams(std::vector<double> means,
+                        std::vector<double> stddevs,
+                        std::vector<double> weights) {
+  DAISY_CHECK(!means.empty());
+  DAISY_CHECK(means.size() == stddevs.size() &&
+              means.size() == weights.size());
+  for (double s : stddevs) DAISY_CHECK(s > 0.0);
+  Gmm1d gmm;
+  gmm.means_ = std::move(means);
+  gmm.stddevs_ = std::move(stddevs);
+  gmm.weights_ = std::move(weights);
+  return gmm;
+}
+
+std::vector<double> Gmm1d::Responsibilities(double v) const {
+  std::vector<double> logp(means_.size());
+  for (size_t j = 0; j < means_.size(); ++j)
+    logp[j] = std::log(std::max(weights_[j], 1e-300)) +
+              LogNormalPdf(v, means_[j], stddevs_[j]);
+  const double lse = LogSumExp(logp);
+  std::vector<double> out(means_.size());
+  for (size_t j = 0; j < means_.size(); ++j) out[j] = std::exp(logp[j] - lse);
+  return out;
+}
+
+size_t Gmm1d::MostLikelyComponent(double v) const {
+  const auto r = Responsibilities(v);
+  return static_cast<size_t>(
+      std::max_element(r.begin(), r.end()) - r.begin());
+}
+
+double Gmm1d::LogLikelihood(double v) const {
+  std::vector<double> logp(means_.size());
+  for (size_t j = 0; j < means_.size(); ++j)
+    logp[j] = std::log(std::max(weights_[j], 1e-300)) +
+              LogNormalPdf(v, means_[j], stddevs_[j]);
+  return LogSumExp(logp);
+}
+
+double Gmm1d::AvgLogLikelihood(const std::vector<double>& values) const {
+  DAISY_CHECK(!values.empty());
+  double s = 0.0;
+  for (double v : values) s += LogLikelihood(v);
+  return s / static_cast<double>(values.size());
+}
+
+double Gmm1d::Sample(Rng* rng) const {
+  const size_t j = rng->Categorical(weights_);
+  return rng->Gaussian(means_[j], stddevs_[j]);
+}
+
+}  // namespace daisy::stats

@@ -1,0 +1,61 @@
+// One-dimensional Gaussian Mixture Model fitted with EM — the engine
+// behind mode-specific ("GMM-based") normalization in paper Section 4.
+#ifndef DAISY_STATS_GMM_H_
+#define DAISY_STATS_GMM_H_
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace daisy::stats {
+
+/// A fitted 1-D mixture of `s` Gaussians.
+class Gmm1d {
+ public:
+  struct Options {
+    size_t components = 5;
+    size_t max_iters = 100;
+    double tol = 1e-6;        // stop when log-likelihood improves less
+    double min_stddev = 1e-3; // variance floor to avoid collapse
+  };
+
+  Gmm1d() = default;
+
+  /// Fits by EM with k-means++-style initialization of the means.
+  static Gmm1d Fit(const std::vector<double>& values, const Options& opts,
+                   Rng* rng);
+
+  /// Reconstructs a fitted model from its parameters (persistence).
+  static Gmm1d FromParams(std::vector<double> means,
+                          std::vector<double> stddevs,
+                          std::vector<double> weights);
+
+  size_t num_components() const { return means_.size(); }
+  double mean(size_t i) const { return means_[i]; }
+  double stddev(size_t i) const { return stddevs_[i]; }
+  double weight(size_t i) const { return weights_[i]; }
+
+  /// Posterior responsibilities p(component | v), normalized.
+  std::vector<double> Responsibilities(double v) const;
+
+  /// Index of the most likely component for v (argmax responsibility).
+  size_t MostLikelyComponent(double v) const;
+
+  /// Log-likelihood of a value under the mixture.
+  double LogLikelihood(double v) const;
+
+  /// Average log-likelihood of a dataset.
+  double AvgLogLikelihood(const std::vector<double>& values) const;
+
+  /// Draws one value from the mixture.
+  double Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace daisy::stats
+
+#endif  // DAISY_STATS_GMM_H_

@@ -1,0 +1,88 @@
+#include "stats/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace daisy::stats {
+
+namespace {
+
+double SqDist(const double* a, const double* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& data, const KMeansOptions& opts, Rng* rng) {
+  const size_t n = data.rows(), d = data.cols();
+  DAISY_CHECK(n > 0 && d > 0);
+  const size_t k = std::min(opts.k, n);
+
+  KMeansResult result;
+  result.centroids = Matrix(k, d);
+  result.labels.assign(n, 0);
+
+  // k-means++ seeding.
+  size_t first = rng->UniformInt(n);
+  for (size_t c = 0; c < d; ++c) result.centroids(0, c) = data(first, c);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  for (size_t j = 1; j < k; ++j) {
+    for (size_t i = 0; i < n; ++i)
+      d2[i] = std::min(d2[i],
+                       SqDist(data.row(i), result.centroids.row(j - 1), d));
+    const size_t pick = rng->Categorical(d2);
+    for (size_t c = 0; c < d; ++c) result.centroids(j, c) = data(pick, c);
+  }
+
+  std::vector<size_t> counts(k);
+  for (size_t iter = 0; iter < opts.max_iters; ++iter) {
+    // Assignment.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t bj = 0;
+      for (size_t j = 0; j < k; ++j) {
+        const double dist = SqDist(data.row(i), result.centroids.row(j), d);
+        if (dist < best) {
+          best = dist;
+          bj = j;
+        }
+      }
+      result.labels[i] = bj;
+    }
+    // Update.
+    Matrix next(k, d);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = result.labels[i];
+      ++counts[j];
+      for (size_t c = 0; c < d; ++c) next(j, c) += data(i, c);
+    }
+    double movement = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) {
+        // Empty cluster: re-seed at a random data point.
+        const size_t pick = rng->UniformInt(n);
+        for (size_t c = 0; c < d; ++c) next(j, c) = data(pick, c);
+      } else {
+        for (size_t c = 0; c < d; ++c)
+          next(j, c) /= static_cast<double>(counts[j]);
+      }
+      movement += SqDist(next.row(j), result.centroids.row(j), d);
+    }
+    result.centroids = std::move(next);
+    if (movement < opts.tol) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    result.inertia +=
+        SqDist(data.row(i), result.centroids.row(result.labels[i]), d);
+  return result;
+}
+
+}  // namespace daisy::stats

@@ -1,0 +1,31 @@
+// K-Means clustering (Lloyd's algorithm, k-means++ init) — used by the
+// clustering-utility evaluation (paper Section 6.2).
+#ifndef DAISY_STATS_KMEANS_H_
+#define DAISY_STATS_KMEANS_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+
+namespace daisy::stats {
+
+/// Result of a K-Means run.
+struct KMeansResult {
+  Matrix centroids;              // k x features
+  std::vector<size_t> labels;    // cluster index per row
+  double inertia = 0.0;          // sum of squared distances to centroid
+};
+
+struct KMeansOptions {
+  size_t k = 8;
+  size_t max_iters = 50;
+  double tol = 1e-6;  // stop when centroid movement is below this
+};
+
+/// Runs Lloyd's algorithm on the rows of `data`.
+KMeansResult KMeans(const Matrix& data, const KMeansOptions& opts, Rng* rng);
+
+}  // namespace daisy::stats
+
+#endif  // DAISY_STATS_KMEANS_H_

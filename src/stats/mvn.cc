@@ -1,0 +1,137 @@
+#include "stats/mvn.h"
+
+#include <cmath>
+
+namespace daisy::stats {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  const size_t n = a.rows();
+  if (n != a.cols())
+    return Status::InvalidArgument("Cholesky needs a square matrix");
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0)
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix RegularizeCovariance(const Matrix& a, double lambda) {
+  DAISY_CHECK(a.rows() == a.cols());
+  DAISY_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  Matrix out = a * (1.0 - lambda);
+  for (size_t i = 0; i < a.rows(); ++i) out(i, i) += lambda;
+  return out;
+}
+
+Matrix CovarianceMatrix(const Matrix& data) {
+  const size_t n = data.rows(), d = data.cols();
+  DAISY_CHECK(n > 1);
+  Matrix mean = data.ColMean();
+  Matrix cov(d, d);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = data.row(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mean(0, i);
+      for (size_t j = i; j < d; ++j)
+        cov(i, j) += di * (row[j] - mean(0, j));
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < d; ++i)
+    for (size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+Matrix CorrelationMatrix(const Matrix& data) {
+  Matrix cov = CovarianceMatrix(data);
+  const size_t d = cov.rows();
+  std::vector<double> inv_sd(d);
+  for (size_t i = 0; i < d; ++i)
+    inv_sd[i] = cov(i, i) > 1e-12 ? 1.0 / std::sqrt(cov(i, i)) : 0.0;
+  Matrix corr(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j)
+      corr(i, j) = cov(i, j) * inv_sd[i] * inv_sd[j];
+    corr(i, i) = 1.0;
+  }
+  return corr;
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double NormalQuantile(double p) {
+  DAISY_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on three regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+MvnSampler::MvnSampler(Matrix chol) : chol_(std::move(chol)) {
+  DAISY_CHECK(chol_.rows() == chol_.cols());
+}
+
+std::vector<double> MvnSampler::Sample(Rng* rng) const {
+  const size_t d = dim();
+  std::vector<double> z(d), x(d, 0.0);
+  for (auto& v : z) v = rng->Gaussian();
+  for (size_t i = 0; i < d; ++i)
+    for (size_t j = 0; j <= i; ++j) x[i] += chol_(i, j) * z[j];
+  return x;
+}
+
+Matrix MvnSampler::SampleBatch(size_t n, Rng* rng) const {
+  Matrix out(n, dim());
+  for (size_t r = 0; r < n; ++r) {
+    const auto x = Sample(rng);
+    for (size_t c = 0; c < dim(); ++c) out(r, c) = x[c];
+  }
+  return out;
+}
+
+}  // namespace daisy::stats

@@ -1,0 +1,57 @@
+// Dense Cholesky factorization and multivariate-normal sampling — the
+// numerical substrate of the Gaussian-copula baseline.
+#ifndef DAISY_STATS_MVN_H_
+#define DAISY_STATS_MVN_H_
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace daisy::stats {
+
+/// Lower-triangular Cholesky factor L with A = L L^T. A must be
+/// symmetric; returns an error for non-positive-definite input (use
+/// RegularizeCovariance first for near-singular matrices).
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Shrinks a covariance/correlation matrix toward the identity:
+/// (1 - lambda) * A + lambda * I. Guarantees positive definiteness for
+/// any valid correlation matrix and lambda > 0.
+Matrix RegularizeCovariance(const Matrix& a, double lambda);
+
+/// Sample covariance matrix of the rows of `data`.
+Matrix CovarianceMatrix(const Matrix& data);
+
+/// Pearson correlation matrix of the rows of `data` (unit diagonal;
+/// constant columns get zero off-diagonal correlation).
+Matrix CorrelationMatrix(const Matrix& data);
+
+/// Standard normal CDF Phi(z).
+double NormalCdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Draws from N(0, Sigma) given Sigma's Cholesky factor L: x = L z.
+class MvnSampler {
+ public:
+  /// `chol` must be the lower-triangular factor of the target
+  /// covariance.
+  explicit MvnSampler(Matrix chol);
+
+  size_t dim() const { return chol_.rows(); }
+
+  /// One draw (1 x dim).
+  std::vector<double> Sample(Rng* rng) const;
+
+  /// n draws (n x dim).
+  Matrix SampleBatch(size_t n, Rng* rng) const;
+
+ private:
+  Matrix chol_;
+};
+
+}  // namespace daisy::stats
+
+#endif  // DAISY_STATS_MVN_H_

@@ -1,0 +1,90 @@
+#include "synth/cnn_nets.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace daisy::synth {
+
+CnnGenerator::CnnGenerator(size_t noise_dim, size_t cond_dim, size_t side,
+                           Rng* rng)
+    : noise_dim_(noise_dim), cond_dim_(cond_dim), side_(side) {
+  DAISY_CHECK(side >= 2);
+  // [z | c] -> FC -> (16, s0, s0) -> deconv+BN+ReLU -> deconv -> tanh,
+  // with stride-1 de-convolutions growing s0 -> s0+1 -> side.
+  const size_t s0 = (side + 1) / 2;
+  const size_t c0 = 16;
+  body_.Emplace<nn::Linear>(noise_dim + cond_dim, c0 * s0 * s0, rng);
+  body_.Emplace<nn::BatchNorm1d>(c0 * s0 * s0);
+  body_.Emplace<nn::ReLU>();
+  nn::ImageShape shape{c0, s0, s0};
+  auto* deconv1 = body_.Emplace<nn::ConvTranspose2d>(shape, 8, /*kernel=*/2,
+                                                     /*stride=*/1,
+                                                     /*padding=*/0, rng);
+  shape = deconv1->out_shape();
+  body_.Emplace<nn::BatchNorm1d>(shape.Flat());
+  body_.Emplace<nn::ReLU>();
+  const size_t k2 = side - shape.height + 1;
+  body_.Emplace<nn::ConvTranspose2d>(shape, 1, k2, /*stride=*/1,
+                                     /*padding=*/0, rng);
+  body_.Emplace<nn::Tanh>();
+}
+
+Matrix CnnGenerator::Forward(const Matrix& z, const Matrix& cond,
+                             bool training) {
+  DAISY_CHECK(z.cols() == noise_dim_);
+  Matrix input = cond_dim_ > 0 ? Matrix::HCat(z, cond) : z;
+  Matrix out = body_.Forward(input, training);
+  DAISY_CHECK(out.cols() == side_ * side_);
+  return out;
+}
+
+void CnnGenerator::Backward(const Matrix& grad_sample) {
+  body_.Backward(grad_sample);
+}
+
+CnnDiscriminator::CnnDiscriminator(size_t side, size_t cond_dim, Rng* rng)
+    : side_(side), cond_dim_(cond_dim) {
+  DAISY_CHECK(side >= 2);
+  nn::ImageShape shape{1, side, side};
+  auto* conv1 = conv_body_.Emplace<nn::Conv2d>(shape, 8, /*kernel=*/2,
+                                               /*stride=*/1, /*padding=*/0,
+                                               rng);
+  shape = conv1->out_shape();
+  conv_body_.Emplace<nn::LeakyReLU>(0.2);
+  if (shape.height >= 2) {
+    auto* conv2 = conv_body_.Emplace<nn::Conv2d>(shape, 16, /*kernel=*/2,
+                                                 /*stride=*/1, /*padding=*/0,
+                                                 rng);
+    shape = conv2->out_shape();
+    conv_body_.Emplace<nn::LeakyReLU>(0.2);
+  }
+  conv_out_dim_ = shape.Flat();
+  head_.Emplace<nn::Linear>(conv_out_dim_ + cond_dim, 32, rng);
+  head_.Emplace<nn::LeakyReLU>(0.2);
+  head_.Emplace<nn::Linear>(32, 1, rng);
+}
+
+Matrix CnnDiscriminator::Forward(const Matrix& x, const Matrix& cond,
+                                 bool training) {
+  DAISY_CHECK(x.cols() == side_ * side_);
+  Matrix features = conv_body_.Forward(x, training);
+  if (cond_dim_ > 0) features = Matrix::HCat(features, cond);
+  return head_.Forward(features, training);
+}
+
+Matrix CnnDiscriminator::Backward(const Matrix& grad_logit) {
+  Matrix grad_features = head_.Backward(grad_logit);
+  if (cond_dim_ > 0) grad_features = grad_features.ColRange(0, conv_out_dim_);
+  return conv_body_.Backward(grad_features);
+}
+
+std::vector<nn::Parameter*> CnnDiscriminator::Params() {
+  auto out = conv_body_.Params();
+  auto hp = head_.Params();
+  out.insert(out.end(), hp.begin(), hp.end());
+  return out;
+}
+
+}  // namespace daisy::synth

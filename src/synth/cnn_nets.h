@@ -1,0 +1,58 @@
+// DCGAN-style CNN generator and discriminator (paper Appendix A.1.1).
+// Samples are matrix-formed: a record becomes a zero-padded S x S
+// square (ordinal encoding + simple normalization only), the generator
+// upsamples noise through de-convolutions to that square, and the
+// discriminator convolves it down to a logit.
+#ifndef DAISY_SYNTH_CNN_NETS_H_
+#define DAISY_SYNTH_CNN_NETS_H_
+
+#include "nn/sequential.h"
+#include "synth/discriminator.h"
+#include "synth/generator.h"
+
+namespace daisy::synth {
+
+class CnnGenerator : public Generator {
+ public:
+  /// `side` is the sample square's side length (transformer
+  /// matrix_side()); sample_dim = side^2.
+  CnnGenerator(size_t noise_dim, size_t cond_dim, size_t side, Rng* rng);
+
+  size_t noise_dim() const override { return noise_dim_; }
+  size_t cond_dim() const override { return cond_dim_; }
+  size_t sample_dim() const override { return side_ * side_; }
+
+  Matrix Forward(const Matrix& z, const Matrix& cond, bool training) override;
+  void Backward(const Matrix& grad_sample) override;
+  std::vector<nn::Parameter*> Params() override { return body_.Params(); }
+  std::vector<Matrix*> Buffers() override { return body_.Buffers(); }
+
+ private:
+  size_t noise_dim_;
+  size_t cond_dim_;
+  size_t side_;
+  nn::Sequential body_;
+};
+
+class CnnDiscriminator : public Discriminator {
+ public:
+  CnnDiscriminator(size_t side, size_t cond_dim, Rng* rng);
+
+  size_t sample_dim() const override { return side_ * side_; }
+  size_t cond_dim() const override { return cond_dim_; }
+
+  Matrix Forward(const Matrix& x, const Matrix& cond, bool training) override;
+  Matrix Backward(const Matrix& grad_logit) override;
+  std::vector<nn::Parameter*> Params() override;
+
+ private:
+  size_t side_;
+  size_t cond_dim_;
+  nn::Sequential conv_body_;   // consumes the S x S square
+  nn::Sequential head_;        // [conv features | cond] -> logit
+  size_t conv_out_dim_ = 0;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_CNN_NETS_H_

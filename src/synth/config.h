@@ -1,0 +1,71 @@
+// Configuration surface of the GAN-based synthesis framework — the
+// design space of Figure 3 in the paper, expressed as options.
+#ifndef DAISY_SYNTH_CONFIG_H_
+#define DAISY_SYNTH_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "transform/record_transformer.h"
+
+namespace daisy::synth {
+
+/// Generator neural-network family (paper §5.1).
+enum class GeneratorArch { kMlp, kLstm, kCnn };
+
+/// Discriminator family. MLP everywhere except the Table 11 ablation;
+/// kBiLstm is this repository's future-work extension (paper §3.2
+/// mentions Bidirectional LSTM as unexplored).
+enum class DiscriminatorArch { kMlp, kLstm, kBiLstm, kCnn };
+
+/// Training algorithm (paper Table 1).
+enum class TrainAlgo { kVTrain, kWTrain, kCTrain, kDPTrain };
+
+/// Hyper-parameters shared by the architectures and trainers. The
+/// sampler choice (Figure 2's Sampler box) is implied by the training
+/// algorithm: kCTrain uses label-aware sampling, everything else
+/// samples uniformly.
+struct GanOptions {
+  GeneratorArch generator = GeneratorArch::kMlp;
+  DiscriminatorArch discriminator = DiscriminatorArch::kMlp;
+  TrainAlgo algo = TrainAlgo::kVTrain;
+
+  /// Feed the label as a condition vector to G and D (conditional GAN,
+  /// paper §5.3). Requires a labeled table.
+  bool conditional = false;
+
+  /// Use a deliberately weaker discriminator (1 narrow layer) — the
+  /// "Simplified" mode-collapse mitigation of §5.2.
+  bool simplified_discriminator = false;
+
+  // Network sizes.
+  size_t noise_dim = 32;
+  std::vector<size_t> g_hidden = {96, 96};   // MLP generator layers
+  std::vector<size_t> d_hidden = {96, 96};   // MLP discriminator layers
+  size_t lstm_hidden = 64;                   // LSTM cell width
+  size_t lstm_feature = 32;                  // LSTM per-step output f
+
+  // Training.
+  size_t iterations = 300;   // generator updates
+  size_t batch_size = 64;
+  double lr_g = 1e-3;
+  double lr_d = 1e-3;
+  size_t d_steps = 1;        // discriminator steps per generator step
+  double weight_clip = 0.01; // WGAN parameter clipping
+  double kl_weight = 1.0;    // VTrain warm-up term weight
+
+  // Differential privacy (DPTrain).
+  double dp_noise_scale = 1.0;  // sigma_n
+  double dp_grad_bound = 1.0;   // c_g
+
+  /// Number of evaluation snapshots over the run (paper divides
+  /// training into 10 epochs and selects the best on validation).
+  size_t snapshots = 10;
+
+  uint64_t seed = 17;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_CONFIG_H_

@@ -1,0 +1,38 @@
+// Discriminator interface. Outputs raw logits (batch x 1): VTrain-style
+// losses apply a sigmoid via BCE-with-logits; Wasserstein training uses
+// the score directly (the paper's "remove the sigmoid of D").
+#ifndef DAISY_SYNTH_DISCRIMINATOR_H_
+#define DAISY_SYNTH_DISCRIMINATOR_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "nn/module.h"
+
+namespace daisy::synth {
+
+/// D(t | c): scores how "real" each sample looks.
+class Discriminator {
+ public:
+  virtual ~Discriminator() = default;
+
+  virtual size_t sample_dim() const = 0;
+  virtual size_t cond_dim() const = 0;
+
+  virtual Matrix Forward(const Matrix& x, const Matrix& cond,
+                         bool training) = 0;
+
+  /// dLoss/dLogit -> dLoss/dSample (the path that trains the
+  /// generator); parameter gradients accumulate as a side effect.
+  virtual Matrix Backward(const Matrix& grad_logit) = 0;
+
+  virtual std::vector<nn::Parameter*> Params() = 0;
+
+  void ZeroGrad() {
+    for (nn::Parameter* p : Params()) p->ZeroGrad();
+  }
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_DISCRIMINATOR_H_

@@ -1,0 +1,38 @@
+#include "synth/dp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/status.h"
+
+namespace daisy::synth {
+
+namespace {
+constexpr double kMomentsConstant = 2.0;
+
+double SamplingRate(size_t batch, size_t dataset_size) {
+  DAISY_CHECK(batch > 0 && dataset_size > 0);
+  return std::min(1.0, static_cast<double>(batch) /
+                           static_cast<double>(dataset_size));
+}
+}  // namespace
+
+double ApproxEpsilon(double noise_scale, size_t iterations, size_t batch,
+                     size_t dataset_size, double delta) {
+  DAISY_CHECK(noise_scale > 0.0 && delta > 0.0 && delta < 1.0);
+  const double q = SamplingRate(batch, dataset_size);
+  return kMomentsConstant * q *
+         std::sqrt(static_cast<double>(iterations) * std::log(1.0 / delta)) /
+         noise_scale;
+}
+
+double NoiseForEpsilon(double epsilon, size_t iterations, size_t batch,
+                       size_t dataset_size, double delta) {
+  DAISY_CHECK(epsilon > 0.0);
+  const double q = SamplingRate(batch, dataset_size);
+  return kMomentsConstant * q *
+         std::sqrt(static_cast<double>(iterations) * std::log(1.0 / delta)) /
+         epsilon;
+}
+
+}  // namespace daisy::synth

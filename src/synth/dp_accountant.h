@@ -1,0 +1,27 @@
+// Back-of-envelope (eps, delta) accounting for DPTrain. DPGAN's
+// moments accountant is approximated with the standard composition
+// bound eps ~= c * q * sqrt(T * ln(1/delta)) / sigma (Abadi et al.),
+// which is monotone in sigma and therefore invertible — enough to
+// sweep "privacy level" the way the paper's Figure 8 does. Not a
+// certified accountant; documented as an approximation in DESIGN.md.
+#ifndef DAISY_SYNTH_DP_ACCOUNTANT_H_
+#define DAISY_SYNTH_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+
+namespace daisy::synth {
+
+/// Approximate epsilon spent by `iterations` noisy discriminator
+/// updates with sampling rate batch/dataset and noise multiplier
+/// `noise_scale`.
+double ApproxEpsilon(double noise_scale, size_t iterations, size_t batch,
+                     size_t dataset_size, double delta = 1e-5);
+
+/// Inverse of ApproxEpsilon: the noise multiplier needed to stay within
+/// `epsilon` over the given training run.
+double NoiseForEpsilon(double epsilon, size_t iterations, size_t batch,
+                       size_t dataset_size, double delta = 1e-5);
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_DP_ACCOUNTANT_H_

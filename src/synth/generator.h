@@ -1,0 +1,64 @@
+// Generator interface plus parameter state-dict helpers used for
+// snapshot-based model selection (paper §6.2 keeps the best of 10
+// training epochs on the validation set).
+#ifndef DAISY_SYNTH_GENERATOR_H_
+#define DAISY_SYNTH_GENERATOR_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "nn/module.h"
+
+namespace daisy::synth {
+
+/// G(z | c): maps noise (and an optional condition vector) to a
+/// transformed sample t' in R^d.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  virtual size_t noise_dim() const = 0;
+  virtual size_t cond_dim() const = 0;  // 0 when unconditional
+  virtual size_t sample_dim() const = 0;
+
+  /// `cond` must be batch x cond_dim (pass an empty Matrix when
+  /// cond_dim() == 0).
+  virtual Matrix Forward(const Matrix& z, const Matrix& cond,
+                         bool training) = 0;
+
+  /// Backpropagates dLoss/dSample of the last Forward into parameter
+  /// gradients (the gradient w.r.t. the noise is discarded).
+  virtual void Backward(const Matrix& grad_sample) = 0;
+
+  virtual std::vector<nn::Parameter*> Params() = 0;
+
+  /// Persistent non-parameter state (batch-norm running statistics).
+  virtual std::vector<Matrix*> Buffers() { return {}; }
+
+  void ZeroGrad() {
+    for (nn::Parameter* p : Params()) p->ZeroGrad();
+  }
+};
+
+/// Snapshot of parameter values.
+using StateDict = std::vector<Matrix>;
+
+inline StateDict GetState(const std::vector<nn::Parameter*>& params) {
+  StateDict s;
+  s.reserve(params.size());
+  for (const nn::Parameter* p : params) s.push_back(p->value);
+  return s;
+}
+
+inline void SetState(const std::vector<nn::Parameter*>& params,
+                     const StateDict& state) {
+  DAISY_CHECK(params.size() == state.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    DAISY_CHECK(params[i]->value.SameShape(state[i]));
+    params[i]->value = state[i];
+  }
+}
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_GENERATOR_H_

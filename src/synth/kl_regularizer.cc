@@ -1,0 +1,104 @@
+#include "synth/kl_regularizer.h"
+
+#include <cmath>
+
+namespace daisy::synth {
+
+namespace {
+
+constexpr double kEps = 1e-8;
+
+/// KL(p||q) over one probability block, with dKL/dfake accumulated.
+/// p = column means of the real block (true one-hots), q = column
+/// means of the fake block (softmax outputs).
+double CategoricalBlockKl(const Matrix& real, const Matrix& fake,
+                          size_t offset, size_t width, double weight,
+                          Matrix* grad_fake) {
+  const double m_real = static_cast<double>(real.rows());
+  const double m_fake = static_cast<double>(fake.rows());
+  std::vector<double> p(width), q(width);
+  for (size_t c = 0; c < width; ++c) {
+    double ps = 0.0, qs = 0.0;
+    for (size_t r = 0; r < real.rows(); ++r) ps += real(r, offset + c);
+    for (size_t r = 0; r < fake.rows(); ++r) qs += fake(r, offset + c);
+    p[c] = ps / m_real + kEps;
+    q[c] = qs / m_fake + kEps;
+  }
+  double psum = 0.0, qsum = 0.0;
+  for (size_t c = 0; c < width; ++c) {
+    psum += p[c];
+    qsum += q[c];
+  }
+  double kl = 0.0;
+  for (size_t c = 0; c < width; ++c) {
+    p[c] /= psum;
+    q[c] /= qsum;
+    kl += p[c] * std::log(p[c] / q[c]);
+    // d kl / d q_c = -p_c / q_c; d q_c / d fake(r, c) = 1 / m_fake.
+    const double g = weight * (-p[c] / q[c]) / m_fake;
+    for (size_t r = 0; r < fake.rows(); ++r)
+      (*grad_fake)(r, offset + c) += g;
+  }
+  return std::max(kl, 0.0);
+}
+
+/// Moment matching for one scalar dimension: (mu_f - mu_r)^2 +
+/// (var_f - var_r)^2, with gradient on the fake column.
+double ScalarMomentLoss(const Matrix& real, const Matrix& fake, size_t col,
+                        double weight, Matrix* grad_fake) {
+  const double m_real = static_cast<double>(real.rows());
+  const double m_fake = static_cast<double>(fake.rows());
+  double mu_r = 0.0, mu_f = 0.0;
+  for (size_t r = 0; r < real.rows(); ++r) mu_r += real(r, col);
+  for (size_t r = 0; r < fake.rows(); ++r) mu_f += fake(r, col);
+  mu_r /= m_real;
+  mu_f /= m_fake;
+  double var_r = 0.0, var_f = 0.0;
+  for (size_t r = 0; r < real.rows(); ++r)
+    var_r += (real(r, col) - mu_r) * (real(r, col) - mu_r);
+  for (size_t r = 0; r < fake.rows(); ++r)
+    var_f += (fake(r, col) - mu_f) * (fake(r, col) - mu_f);
+  var_r /= m_real;
+  var_f /= m_fake;
+
+  const double dmu = mu_f - mu_r;
+  const double dvar = var_f - var_r;
+  const double loss = dmu * dmu + dvar * dvar;
+  for (size_t r = 0; r < fake.rows(); ++r) {
+    // d mu_f / d x_r = 1/m; d var_f / d x_r = 2 (x_r - mu_f) / m.
+    const double g = 2.0 * dmu / m_fake +
+                     2.0 * dvar * 2.0 * (fake(r, col) - mu_f) / m_fake;
+    (*grad_fake)(r, col) += weight * g;
+  }
+  return loss;
+}
+
+}  // namespace
+
+double KlRegularizer::Compute(const Matrix& real, const Matrix& fake,
+                              double weight, Matrix* grad_fake) const {
+  DAISY_CHECK(real.cols() == fake.cols());
+  DAISY_CHECK(grad_fake->SameShape(fake));
+  using Kind = transform::AttrSegment::Kind;
+  double total = 0.0;
+  for (const auto& seg : segments_) {
+    switch (seg.kind) {
+      case Kind::kOneHotCat:
+        total += CategoricalBlockKl(real, fake, seg.offset, seg.width,
+                                    weight, grad_fake);
+        break;
+      case Kind::kGmmNumeric:
+        total += ScalarMomentLoss(real, fake, seg.offset, weight, grad_fake);
+        total += CategoricalBlockKl(real, fake, seg.offset + 1,
+                                    seg.width - 1, weight, grad_fake);
+        break;
+      case Kind::kSimpleNumeric:
+      case Kind::kOrdinalCat:
+        total += ScalarMomentLoss(real, fake, seg.offset, weight, grad_fake);
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace daisy::synth

@@ -1,0 +1,38 @@
+// Differentiable per-attribute divergence warm-up for VTrain (paper
+// §5.2, Eq. 2): the generator loss adds sum_j KL(T[j], T'[j]).
+//
+// For categorical blocks (one-hot segments and the GMM component
+// blocks) the batch-mean of the generator's softmax outputs is a
+// differentiable estimate of the synthetic marginal, so exact discrete
+// KL and its gradient are available. For continuous scalar dimensions
+// (simple-normalized values, v_gmm, ordinal positions) a histogram KL
+// is not differentiable; we use first/second-moment matching, which
+// provides the same "pull the marginals together" warm-up signal.
+#ifndef DAISY_SYNTH_KL_REGULARIZER_H_
+#define DAISY_SYNTH_KL_REGULARIZER_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "transform/record_transformer.h"
+
+namespace daisy::synth {
+
+class KlRegularizer {
+ public:
+  explicit KlRegularizer(std::vector<transform::AttrSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  /// Computes the warm-up loss between a real minibatch and a fake
+  /// minibatch (both in transformed-sample space) and ADDS its gradient
+  /// (scaled by `weight`) into `grad_fake`.
+  double Compute(const Matrix& real, const Matrix& fake, double weight,
+                 Matrix* grad_fake) const;
+
+ private:
+  std::vector<transform::AttrSegment> segments_;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_KL_REGULARIZER_H_

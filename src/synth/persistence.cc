@@ -1,0 +1,250 @@
+// Model persistence for TableSynthesizer (Save/Load declared in
+// synthesizer.h). The format is the tagged text stream of
+// core/serial.h, versioned via the leading tag.
+#include <fstream>
+
+#include "core/serial.h"
+#include "synth/synthesizer.h"
+
+namespace daisy::synth {
+
+namespace {
+
+constexpr char kFormatTag[] = "daisy-model-v1";
+
+void WriteSchema(Serializer* out, const data::Schema& schema) {
+  out->WriteTag("schema");
+  out->WriteU64(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const auto& attr = schema.attribute(j);
+    out->WriteString(attr.name);
+    out->WriteU64(attr.is_categorical() ? 1 : 0);
+    out->WriteU64(attr.categories.size());
+    for (const auto& cat : attr.categories) out->WriteString(cat);
+  }
+  out->WriteU64(schema.has_label() ? schema.label_index() + 1 : 0);
+}
+
+data::Schema ReadSchema(Deserializer* in) {
+  in->ExpectTag("schema");
+  const size_t n = in->ReadU64();
+  if (!in->ok() || n > 100000) return data::Schema();
+  std::vector<data::Attribute> attrs;
+  attrs.reserve(n);
+  for (size_t j = 0; j < n && in->ok(); ++j) {
+    const std::string name = in->ReadString();
+    const bool categorical = in->ReadU64() == 1;
+    const size_t num_cats = in->ReadU64();
+    if (!in->ok() || num_cats > 1000000) return data::Schema();
+    std::vector<std::string> cats(num_cats);
+    for (auto& cat : cats) cat = in->ReadString();
+    if (categorical) {
+      attrs.push_back(data::Attribute::Categorical(name, std::move(cats)));
+    } else {
+      attrs.push_back(data::Attribute::Numerical(name));
+    }
+  }
+  const uint64_t label_plus1 = in->ReadU64();
+  if (!in->ok()) return data::Schema();
+  return data::Schema(std::move(attrs),
+                      static_cast<int>(label_plus1) - 1);
+}
+
+void WriteSegments(Serializer* out,
+                   const std::vector<transform::AttrSegment>& segments) {
+  out->WriteTag("segments");
+  out->WriteU64(segments.size());
+  for (const auto& seg : segments) {
+    out->WriteU64(static_cast<uint64_t>(seg.kind));
+    out->WriteU64(seg.attr_index);
+    out->WriteU64(seg.source_col);
+    out->WriteU64(seg.offset);
+    out->WriteU64(seg.width);
+    out->WriteDouble(seg.v_min);
+    out->WriteDouble(seg.v_max);
+    out->WriteDouble(seg.lo);
+    out->WriteDouble(seg.hi);
+    out->WriteU64(seg.domain);
+    const bool has_gmm =
+        seg.kind == transform::AttrSegment::Kind::kGmmNumeric;
+    out->WriteU64(has_gmm ? seg.gmm.num_components() : 0);
+    if (has_gmm) {
+      for (size_t c = 0; c < seg.gmm.num_components(); ++c) {
+        out->WriteDouble(seg.gmm.mean(c));
+        out->WriteDouble(seg.gmm.stddev(c));
+        out->WriteDouble(seg.gmm.weight(c));
+      }
+    }
+  }
+}
+
+std::vector<transform::AttrSegment> ReadSegments(Deserializer* in) {
+  in->ExpectTag("segments");
+  const size_t n = in->ReadU64();
+  if (!in->ok() || n > 100000) return {};
+  std::vector<transform::AttrSegment> segments(n);
+  for (auto& seg : segments) {
+    seg.kind = static_cast<transform::AttrSegment::Kind>(in->ReadU64());
+    seg.attr_index = in->ReadU64();
+    seg.source_col = in->ReadU64();
+    seg.offset = in->ReadU64();
+    seg.width = in->ReadU64();
+    seg.v_min = in->ReadDouble();
+    seg.v_max = in->ReadDouble();
+    seg.lo = in->ReadDouble();
+    seg.hi = in->ReadDouble();
+    seg.domain = in->ReadU64();
+    const size_t gmm_components = in->ReadU64();
+    if (!in->ok() || gmm_components > 1000) return {};
+    if (gmm_components > 0) {
+      std::vector<double> means(gmm_components), sds(gmm_components),
+          ws(gmm_components);
+      for (size_t c = 0; c < gmm_components; ++c) {
+        means[c] = in->ReadDouble();
+        sds[c] = in->ReadDouble();
+        ws[c] = in->ReadDouble();
+      }
+      if (!in->ok()) return {};
+      seg.gmm = stats::Gmm1d::FromParams(std::move(means), std::move(sds),
+                                         std::move(ws));
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+Status TableSynthesizer::Save(const std::string& path) const {
+  if (!fitted_)
+    return Status::FailedPrecondition("cannot save an unfitted model");
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  Serializer out(&file);
+
+  out.WriteTag(kFormatTag);
+  // Options needed to rebuild the networks.
+  out.WriteU64(static_cast<uint64_t>(opts_.generator));
+  out.WriteU64(static_cast<uint64_t>(opts_.discriminator));
+  out.WriteU64(opts_.conditional ? 1 : 0);
+  out.WriteU64(opts_.simplified_discriminator ? 1 : 0);
+  out.WriteU64(opts_.noise_dim);
+  out.WriteU64(opts_.g_hidden.size());
+  for (size_t w : opts_.g_hidden) out.WriteU64(w);
+  out.WriteU64(opts_.d_hidden.size());
+  for (size_t w : opts_.d_hidden) out.WriteU64(w);
+  out.WriteU64(opts_.lstm_hidden);
+  out.WriteU64(opts_.lstm_feature);
+  out.WriteU64(opts_.seed);
+  // Transform options.
+  out.WriteU64(static_cast<uint64_t>(topts_.categorical));
+  out.WriteU64(static_cast<uint64_t>(topts_.numerical));
+  out.WriteU64(static_cast<uint64_t>(topts_.form));
+  out.WriteU64(topts_.gmm_components);
+  out.WriteU64(topts_.exclude_label ? 1 : 0);
+
+  WriteSchema(&out, full_schema_);
+  WriteSchema(&out, transformer_->schema());
+  WriteSegments(&out, transformer_->segments());
+  out.WriteDoubleVector(label_weights_);
+
+  // Current generator parameters and buffers.
+  auto* self = const_cast<TableSynthesizer*>(this);
+  const StateDict state = GetState(self->g_->Params());
+  out.WriteTag("generator");
+  out.WriteU64(state.size());
+  for (const Matrix& m : state) out.WriteMatrix(m);
+  const auto buffers = self->g_->Buffers();
+  out.WriteTag("buffers");
+  out.WriteU64(buffers.size());
+  for (const Matrix* m : buffers) out.WriteMatrix(*m);
+
+  file.flush();
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open for read: " + path);
+  Deserializer in(&file);
+  in.ExpectTag(kFormatTag);
+
+  GanOptions opts;
+  opts.generator = static_cast<GeneratorArch>(in.ReadU64());
+  opts.discriminator = static_cast<DiscriminatorArch>(in.ReadU64());
+  opts.conditional = in.ReadU64() == 1;
+  opts.simplified_discriminator = in.ReadU64() == 1;
+  opts.noise_dim = in.ReadU64();
+  const size_t ng = in.ReadU64();
+  if (!in.ok() || ng > 64)
+    return Status::InvalidArgument("corrupt model file: " + in.error());
+  opts.g_hidden.assign(ng, 0);
+  for (auto& w : opts.g_hidden) w = in.ReadU64();
+  const size_t nd = in.ReadU64();
+  if (!in.ok() || nd > 64)
+    return Status::InvalidArgument("corrupt model file: " + in.error());
+  opts.d_hidden.assign(nd, 0);
+  for (auto& w : opts.d_hidden) w = in.ReadU64();
+  opts.lstm_hidden = in.ReadU64();
+  opts.lstm_feature = in.ReadU64();
+  opts.seed = in.ReadU64();
+
+  transform::TransformOptions topts;
+  topts.categorical =
+      static_cast<transform::CategoricalEncoding>(in.ReadU64());
+  topts.numerical =
+      static_cast<transform::NumericalNormalization>(in.ReadU64());
+  topts.form = static_cast<transform::SampleForm>(in.ReadU64());
+  topts.gmm_components = in.ReadU64();
+  topts.exclude_label = in.ReadU64() == 1;
+
+  data::Schema full_schema = ReadSchema(&in);
+  data::Schema sub_schema = ReadSchema(&in);
+  auto segments = ReadSegments(&in);
+  auto label_weights = in.ReadDoubleVector();
+
+  in.ExpectTag("generator");
+  const size_t num_params = in.ReadU64();
+  if (!in.ok() || num_params > 10000)
+    return Status::InvalidArgument("corrupt model file: " + in.error());
+  StateDict state(num_params);
+  for (auto& m : state) m = in.ReadMatrix();
+  in.ExpectTag("buffers");
+  const size_t num_buffers = in.ReadU64();
+  if (!in.ok() || num_buffers > 10000)
+    return Status::InvalidArgument("corrupt model file: " + in.error());
+  std::vector<Matrix> buffers(num_buffers);
+  for (auto& m : buffers) m = in.ReadMatrix();
+  if (!in.ok())
+    return Status::InvalidArgument("corrupt model file: " + in.error());
+
+  auto synth = std::unique_ptr<TableSynthesizer>(
+      new TableSynthesizer(opts, topts));
+  synth->full_schema_ = std::move(full_schema);
+  synth->label_weights_ = std::move(label_weights);
+  synth->transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::FromState(synth->topts_, sub_schema,
+                                              std::move(segments)));
+  synth->BuildNetworks();
+  const auto params = synth->g_->Params();
+  if (params.size() != state.size())
+    return Status::InvalidArgument("model file does not match networks");
+  for (size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->value.SameShape(state[i]))
+      return Status::InvalidArgument("parameter shape mismatch in model");
+  SetState(params, state);
+  const auto buffer_ptrs = synth->g_->Buffers();
+  if (buffer_ptrs.size() != buffers.size())
+    return Status::InvalidArgument("buffer count mismatch in model");
+  for (size_t i = 0; i < buffer_ptrs.size(); ++i) {
+    if (!buffer_ptrs[i]->SameShape(buffers[i]))
+      return Status::InvalidArgument("buffer shape mismatch in model");
+    *buffer_ptrs[i] = buffers[i];
+  }
+  synth->final_state_ = std::move(state);
+  synth->fitted_ = true;
+  return synth;
+}
+
+}  // namespace daisy::synth

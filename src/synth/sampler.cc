@@ -1,0 +1,23 @@
+#include "synth/sampler.h"
+
+namespace daisy::synth {
+
+LabelAwareSampler::LabelAwareSampler(const data::Table& table) {
+  DAISY_CHECK(table.schema().has_label());
+  by_label_.resize(table.schema().num_labels());
+  for (size_t i = 0; i < table.num_records(); ++i)
+    by_label_[table.label(i)].push_back(i);
+}
+
+std::vector<size_t> LabelAwareSampler::SampleBatchWithLabel(size_t label,
+                                                            size_t m,
+                                                            Rng* rng) const {
+  DAISY_CHECK(label < by_label_.size());
+  const auto& pool = by_label_[label];
+  if (pool.empty()) return {};
+  std::vector<size_t> out(m);
+  for (auto& idx : out) idx = pool[rng->UniformInt(pool.size())];
+  return out;
+}
+
+}  // namespace daisy::synth

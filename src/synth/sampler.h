@@ -1,0 +1,50 @@
+// Minibatch samplers over the training table (Figure 2's Sampler).
+#ifndef DAISY_SYNTH_SAMPLER_H_
+#define DAISY_SYNTH_SAMPLER_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::synth {
+
+/// Uniform sampling with replacement — the default GAN minibatch.
+class RandomSampler {
+ public:
+  explicit RandomSampler(size_t num_records) : n_(num_records) {
+    DAISY_CHECK(n_ > 0);
+  }
+
+  std::vector<size_t> SampleBatch(size_t m, Rng* rng) const {
+    std::vector<size_t> out(m);
+    for (auto& idx : out) idx = rng->UniformInt(n_);
+    return out;
+  }
+
+ private:
+  size_t n_;
+};
+
+/// Label-aware sampling (paper §5.3): draws a batch restricted to one
+/// label so minority labels get fair training opportunities.
+class LabelAwareSampler {
+ public:
+  explicit LabelAwareSampler(const data::Table& table);
+
+  size_t num_labels() const { return by_label_.size(); }
+  /// Number of training records carrying the label.
+  size_t label_count(size_t label) const { return by_label_[label].size(); }
+
+  /// m record indices, all with the requested label. Labels with no
+  /// records yield an empty batch.
+  std::vector<size_t> SampleBatchWithLabel(size_t label, size_t m,
+                                           Rng* rng) const;
+
+ private:
+  std::vector<std::vector<size_t>> by_label_;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_SAMPLER_H_

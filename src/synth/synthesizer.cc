@@ -1,0 +1,150 @@
+#include "synth/synthesizer.h"
+
+#include "synth/cnn_nets.h"
+#include "synth/lstm_nets.h"
+#include "synth/mlp_nets.h"
+
+namespace daisy::synth {
+
+TableSynthesizer::TableSynthesizer(
+    const GanOptions& options,
+    const transform::TransformOptions& transform_options)
+    : opts_(options), topts_(transform_options), rng_(options.seed) {
+  if (opts_.generator == GeneratorArch::kCnn) {
+    // CNN works on matrix-formed samples (which also forces ordinal +
+    // simple normalization inside the transformer).
+    topts_.form = transform::SampleForm::kMatrix;
+    opts_.discriminator = DiscriminatorArch::kCnn;
+  }
+  if (opts_.conditional) topts_.exclude_label = true;
+  if (opts_.algo == TrainAlgo::kCTrain) opts_.conditional = true;
+}
+
+void TableSynthesizer::Fit(const data::Table& train) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 0);
+  fitted_ = true;
+  full_schema_ = train.schema();
+  if (opts_.conditional) {
+    DAISY_CHECK(full_schema_.has_label());
+    topts_.exclude_label = true;
+    label_weights_.assign(full_schema_.num_labels(), 0.0);
+    const auto counts = train.LabelCounts();
+    for (size_t y = 0; y < counts.size(); ++y)
+      label_weights_[y] = static_cast<double>(counts[y]);
+  }
+
+  transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::Fit(train, topts_, &rng_));
+  BuildNetworks();
+
+  GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
+  Rng train_rng = rng_.Split();
+  result_ = trainer.Train(train, &train_rng);
+  final_state_ = GetState(g_->Params());
+}
+
+void TableSynthesizer::BuildNetworks() {
+  const size_t cond_dim =
+      opts_.conditional ? full_schema_.num_labels() : 0;
+  const auto& segments = transformer_->segments();
+
+  Rng init_rng = rng_.Split();
+  switch (opts_.generator) {
+    case GeneratorArch::kMlp:
+      g_ = std::make_unique<MlpGenerator>(opts_.noise_dim, cond_dim,
+                                          opts_.g_hidden, segments,
+                                          &init_rng);
+      break;
+    case GeneratorArch::kLstm:
+      g_ = std::make_unique<LstmGenerator>(opts_.noise_dim, cond_dim,
+                                           opts_.lstm_hidden,
+                                           opts_.lstm_feature, segments,
+                                           &init_rng);
+      break;
+    case GeneratorArch::kCnn:
+      g_ = std::make_unique<CnnGenerator>(opts_.noise_dim, cond_dim,
+                                          transformer_->matrix_side(),
+                                          &init_rng);
+      break;
+  }
+  switch (opts_.discriminator) {
+    case DiscriminatorArch::kMlp:
+      d_ = std::make_unique<MlpDiscriminator>(
+          transformer_->sample_dim(), cond_dim, opts_.d_hidden,
+          opts_.simplified_discriminator, &init_rng);
+      break;
+    case DiscriminatorArch::kLstm:
+      d_ = std::make_unique<LstmDiscriminator>(segments, cond_dim,
+                                               opts_.lstm_hidden, &init_rng);
+      break;
+    case DiscriminatorArch::kBiLstm:
+      d_ = std::make_unique<BiLstmDiscriminator>(
+          segments, cond_dim, opts_.lstm_hidden, &init_rng);
+      break;
+    case DiscriminatorArch::kCnn:
+      d_ = std::make_unique<CnnDiscriminator>(transformer_->matrix_side(),
+                                              cond_dim, &init_rng);
+      break;
+  }
+}
+
+void TableSynthesizer::UseSnapshot(size_t i) {
+  DAISY_CHECK(fitted_ && i < result_.snapshots.size());
+  SetState(g_->Params(), result_.snapshots[i]);
+}
+
+void TableSynthesizer::UseFinal() {
+  DAISY_CHECK(fitted_);
+  SetState(g_->Params(), final_state_);
+}
+
+data::Table TableSynthesizer::Generate(size_t n, Rng* rng) {
+  DAISY_CHECK(fitted_);
+  constexpr size_t kGenBatch = 256;
+
+  data::Table out(full_schema_);
+  out.Reserve(n);
+  const size_t num_labels =
+      opts_.conditional ? full_schema_.num_labels() : 0;
+
+  size_t produced = 0;
+  while (produced < n) {
+    const size_t m = std::min(kGenBatch, n - produced);
+    Matrix z = Matrix::Randn(m, g_->noise_dim(), rng);
+    Matrix cond;
+    std::vector<size_t> labels(m, 0);
+    if (opts_.conditional) {
+      cond = Matrix(m, num_labels);
+      for (size_t i = 0; i < m; ++i) {
+        labels[i] = rng->Categorical(label_weights_);
+        cond(i, labels[i]) = 1.0;
+      }
+    }
+    Matrix samples = g_->Forward(z, cond, /*training=*/false);
+    data::Table decoded = transformer_->InverseTransform(samples);
+
+    // Reassemble rows under the full schema (re-inserting the label
+    // column when it was excluded from the transform).
+    std::vector<double> record(full_schema_.num_attributes());
+    const data::Schema& sub = transformer_->schema();
+    for (size_t i = 0; i < m; ++i) {
+      size_t sub_j = 0;
+      for (size_t j = 0; j < full_schema_.num_attributes(); ++j) {
+        if (opts_.conditional && full_schema_.has_label() &&
+            j == full_schema_.label_index()) {
+          record[j] = static_cast<double>(labels[i]);
+        } else {
+          DAISY_CHECK(sub_j < sub.num_attributes());
+          record[j] = decoded.value(i, sub_j);
+          ++sub_j;
+        }
+      }
+      out.AppendRecord(record);
+    }
+    produced += m;
+  }
+  return out;
+}
+
+}  // namespace daisy::synth

@@ -1,0 +1,86 @@
+// Public facade over the three-phase pipeline (paper Figure 2):
+// Fit() = Phase I (transformation) + Phase II (adversarial training),
+// Generate() = Phase III (sampling + inverse transformation).
+#ifndef DAISY_SYNTH_SYNTHESIZER_H_
+#define DAISY_SYNTH_SYNTHESIZER_H_
+
+#include <memory>
+
+#include "synth/config.h"
+#include "synth/discriminator.h"
+#include "synth/generator.h"
+#include "synth/trainer.h"
+
+namespace daisy::synth {
+
+/// End-to-end relational-table synthesizer. Typical use:
+///
+///   GanOptions opts;             // pick the design-space point
+///   TableSynthesizer synth(opts, transform_options);
+///   synth.Fit(train_table);
+///   data::Table fake = synth.Generate(train_table.num_records(), &rng);
+///
+/// Snapshot selection (paper §6.2) is supported via UseSnapshot().
+class TableSynthesizer {
+ public:
+  TableSynthesizer(const GanOptions& options,
+                   const transform::TransformOptions& transform_options);
+
+  /// Fits the transformer and trains the GAN on `train`.
+  /// Must be called exactly once before Generate.
+  void Fit(const data::Table& train);
+
+  /// Persists the fitted model (transformer state + generator
+  /// parameters) so Generate can run in a later process without
+  /// retraining. Snapshots are not saved — the current generator
+  /// parameters are.
+  Status Save(const std::string& path) const;
+
+  /// Restores a model written by Save. The returned synthesizer is
+  /// ready for Generate (Fit must not be called on it).
+  static Result<std::unique_ptr<TableSynthesizer>> Load(
+      const std::string& path);
+
+  /// Generates n synthetic records. With a conditional model, labels
+  /// are drawn from the training label distribution and appended as
+  /// the label column; otherwise the GAN generates the label attribute
+  /// like any other.
+  data::Table Generate(size_t n, Rng* rng);
+
+  /// Number of generator snapshots captured during training.
+  size_t num_snapshots() const { return result_.snapshots.size(); }
+  /// Loads snapshot i's parameters into the generator.
+  void UseSnapshot(size_t i);
+  /// Restores the final trained parameters.
+  void UseFinal();
+
+  const TrainResult& train_result() const { return result_; }
+  const transform::RecordTransformer& transformer() const {
+    return *transformer_;
+  }
+  const GanOptions& options() const { return opts_; }
+
+ private:
+  /// Builds generator + discriminator for the current options and
+  /// transformer (shared by Fit and Load).
+  void BuildNetworks();
+
+  GanOptions opts_;
+  transform::TransformOptions topts_;
+  Rng rng_;
+
+  std::unique_ptr<transform::RecordTransformer> transformer_;
+  std::unique_ptr<Generator> g_;
+  std::unique_ptr<Discriminator> d_;
+  TrainResult result_;
+  StateDict final_state_;
+
+  // Full schema + label distribution kept for conditional generation.
+  data::Schema full_schema_;
+  std::vector<double> label_weights_;
+  bool fitted_ = false;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_SYNTHESIZER_H_

@@ -1,0 +1,231 @@
+#include "synth/trainer.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace daisy::synth {
+
+GanTrainer::GanTrainer(Generator* generator, Discriminator* discriminator,
+                       const transform::RecordTransformer* transformer,
+                       const GanOptions& options)
+    : g_(generator), d_(discriminator), transformer_(transformer),
+      opts_(options), kl_(transformer->segments()) {
+  DAISY_CHECK(g_->sample_dim() == transformer_->sample_dim());
+  DAISY_CHECK(d_->sample_dim() == transformer_->sample_dim());
+  DAISY_CHECK(g_->cond_dim() == d_->cond_dim());
+
+  const bool wasserstein =
+      opts_.algo == TrainAlgo::kWTrain || opts_.algo == TrainAlgo::kDPTrain;
+  if (wasserstein) {
+    g_opt_ = std::make_unique<nn::RmsProp>(g_->Params(), opts_.lr_g);
+    d_opt_ = std::make_unique<nn::RmsProp>(d_->Params(), opts_.lr_d);
+  } else {
+    g_opt_ = std::make_unique<nn::Adam>(g_->Params(), opts_.lr_g);
+    d_opt_ = std::make_unique<nn::Adam>(d_->Params(), opts_.lr_d);
+  }
+}
+
+Matrix GanTrainer::SampleNoise(size_t m, Rng* rng) const {
+  return Matrix::Randn(m, g_->noise_dim(), rng);
+}
+
+Matrix GanTrainer::OneHotLabels(const std::vector<size_t>& labels) const {
+  Matrix cond(labels.size(), num_labels_);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    DAISY_CHECK(labels[i] < num_labels_);
+    cond(i, labels[i]) = 1.0;
+  }
+  return cond;
+}
+
+double GanTrainer::DiscriminatorStep(const Matrix& real,
+                                     const Matrix& real_cond,
+                                     const Matrix& fake,
+                                     const Matrix& fake_cond,
+                                     bool wasserstein, bool dp, Rng* rng) {
+  d_->ZeroGrad();
+  double loss = 0.0;
+  const double m_real = static_cast<double>(real.rows());
+  const double m_fake = static_cast<double>(fake.rows());
+
+  {  // Real half.
+    Matrix logits = d_->Forward(real, real_cond, /*training=*/true);
+    Matrix grad;
+    if (wasserstein) {
+      // L_D += -mean(D(real)).
+      loss += -logits.Mean();
+      grad = Matrix(logits.rows(), 1, -1.0 / m_real);
+    } else {
+      Matrix ones(logits.rows(), 1, 1.0);
+      loss += nn::BceWithLogitsLoss(logits, ones, &grad);
+    }
+    d_->Backward(grad);
+  }
+  {  // Fake half.
+    Matrix logits = d_->Forward(fake, fake_cond, /*training=*/true);
+    Matrix grad;
+    if (wasserstein) {
+      // L_D += mean(D(fake)).
+      loss += logits.Mean();
+      grad = Matrix(logits.rows(), 1, 1.0 / m_fake);
+    } else {
+      Matrix zeros(logits.rows(), 1, 0.0);
+      loss += nn::BceWithLogitsLoss(logits, zeros, &grad);
+    }
+    d_->Backward(grad);
+  }
+
+  if (dp) {
+    nn::ClipAndNoiseGrads(d_->Params(), opts_.dp_grad_bound,
+                          opts_.dp_noise_scale, rng);
+  }
+  d_opt_->Step();
+  if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
+  return loss;
+}
+
+double GanTrainer::GeneratorStep(const Matrix& z, const Matrix& cond,
+                                 const Matrix& real_ref, bool wasserstein,
+                                 Rng* /*rng*/) {
+  g_->ZeroGrad();
+  d_->ZeroGrad();  // gradients accumulated below are discarded
+
+  Matrix fake = g_->Forward(z, cond, /*training=*/true);
+  Matrix logits = d_->Forward(fake, cond, /*training=*/true);
+
+  double loss = 0.0;
+  Matrix grad_logits;
+  if (wasserstein) {
+    // L_G = -mean(D(G(z))).
+    loss = -logits.Mean();
+    grad_logits = Matrix(logits.rows(), 1,
+                         -1.0 / static_cast<double>(logits.rows()));
+  } else {
+    // Non-saturating loss: maximize log D(G(z)).
+    Matrix ones(logits.rows(), 1, 1.0);
+    loss = nn::BceWithLogitsLoss(logits, ones, &grad_logits);
+  }
+  Matrix grad_fake = d_->Backward(grad_logits);
+
+  if (!wasserstein && !real_ref.empty() && opts_.kl_weight > 0.0) {
+    loss += kl_.Compute(real_ref, fake, opts_.kl_weight, &grad_fake);
+  }
+
+  g_->Backward(grad_fake);
+  g_opt_->Step();
+  return loss;
+}
+
+TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
+  const bool wasserstein =
+      opts_.algo == TrainAlgo::kWTrain || opts_.algo == TrainAlgo::kDPTrain;
+  const bool dp = opts_.algo == TrainAlgo::kDPTrain;
+  const bool label_aware = opts_.algo == TrainAlgo::kCTrain;
+  const bool conditional = g_->cond_dim() > 0;
+  DAISY_CHECK(!conditional || table.schema().has_label());
+  if (conditional) num_labels_ = table.schema().num_labels();
+
+  // Pre-transform all real records once.
+  const Matrix real_all = transformer_->Transform(table);
+  const std::vector<size_t> labels_all =
+      table.schema().has_label() ? table.Labels() : std::vector<size_t>();
+
+  RandomSampler random_sampler(table.num_records());
+  std::unique_ptr<LabelAwareSampler> label_sampler;
+  if (label_aware) label_sampler = std::make_unique<LabelAwareSampler>(table);
+
+  // Empirical label distribution, for sampling fake-batch conditions.
+  std::vector<double> label_weights;
+  if (conditional) {
+    label_weights.assign(num_labels_, 0.0);
+    for (size_t l : labels_all) label_weights[l] += 1.0;
+  }
+
+  auto gather_cond = [&](const std::vector<size_t>& rows) {
+    if (!conditional) return Matrix();
+    std::vector<size_t> ls(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) ls[i] = labels_all[rows[i]];
+    return OneHotLabels(ls);
+  };
+  auto random_cond = [&](size_t m) {
+    if (!conditional) return Matrix();
+    std::vector<size_t> ls(m);
+    for (auto& l : ls) l = rng->Categorical(label_weights);
+    return OneHotLabels(ls);
+  };
+
+  TrainResult result;
+  const size_t snapshot_every =
+      std::max<size_t>(1, opts_.iterations / std::max<size_t>(1, opts_.snapshots));
+
+  for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+    if (label_aware) {
+      // Algorithm 3: one D+G update per label, with label-restricted
+      // real minibatches.
+      double d_loss = 0.0, g_loss = 0.0;
+      size_t active = 0;
+      for (size_t y = 0; y < num_labels_; ++y) {
+        auto rows = label_sampler->SampleBatchWithLabel(y, opts_.batch_size,
+                                                        rng);
+        if (rows.empty()) continue;
+        ++active;
+        Matrix real = real_all.GatherRows(rows);
+        Matrix cond = OneHotLabels(std::vector<size_t>(rows.size(), y));
+        Matrix z = SampleNoise(rows.size(), rng);
+        Matrix fake = g_->Forward(z, cond, /*training=*/true);
+        d_loss += DiscriminatorStep(real, cond, fake, cond, wasserstein, dp,
+                                    rng);
+        Matrix z2 = SampleNoise(opts_.batch_size, rng);
+        Matrix cond2 =
+            OneHotLabels(std::vector<size_t>(opts_.batch_size, y));
+        g_loss += GeneratorStep(z2, cond2, real, wasserstein, rng);
+      }
+      DAISY_CHECK(active > 0);
+      result.d_losses.push_back(d_loss / static_cast<double>(active));
+      result.g_losses.push_back(g_loss / static_cast<double>(active));
+    } else {
+      // Algorithms 1/2/4: d_steps discriminator updates, then one
+      // generator update.
+      double d_loss = 0.0;
+      const size_t d_steps = std::max<size_t>(1, opts_.d_steps);
+      for (size_t s = 0; s < d_steps; ++s) {
+        auto rows = random_sampler.SampleBatch(opts_.batch_size, rng);
+        Matrix real = real_all.GatherRows(rows);
+        Matrix real_cond = gather_cond(rows);
+        Matrix z = SampleNoise(opts_.batch_size, rng);
+        Matrix fake_cond = random_cond(opts_.batch_size);
+        Matrix fake = g_->Forward(z, fake_cond, /*training=*/true);
+        d_loss += DiscriminatorStep(real, real_cond, fake, fake_cond,
+                                    wasserstein, dp, rng);
+      }
+      result.d_losses.push_back(d_loss / static_cast<double>(d_steps));
+
+      auto ref_rows = random_sampler.SampleBatch(opts_.batch_size, rng);
+      Matrix real_ref = wasserstein ? Matrix()
+                                    : real_all.GatherRows(ref_rows);
+      Matrix z = SampleNoise(opts_.batch_size, rng);
+      Matrix cond = random_cond(opts_.batch_size);
+      result.g_losses.push_back(
+          GeneratorStep(z, cond, real_ref, wasserstein, rng));
+    }
+
+    if ((iter + 1) % snapshot_every == 0 ||
+        iter + 1 == opts_.iterations) {
+      if (result.snapshots.size() < opts_.snapshots) {
+        result.snapshots.push_back(GetState(g_->Params()));
+        result.snapshot_iters.push_back(iter + 1);
+      }
+    }
+  }
+  // Guarantee the final state is snapshotted.
+  if (result.snapshot_iters.empty() ||
+      result.snapshot_iters.back() != opts_.iterations) {
+    result.snapshots.push_back(GetState(g_->Params()));
+    result.snapshot_iters.push_back(opts_.iterations);
+  }
+  return result;
+}
+
+}  // namespace daisy::synth

@@ -1,0 +1,80 @@
+// Phase II of the framework: adversarial training. Implements the four
+// algorithms of paper Table 1 / Appendix A.2 over any Generator /
+// Discriminator pair:
+//
+//   VTrain  — vanilla GAN, Adam, random sampling, non-saturating G loss
+//             plus the per-attribute KL warm-up of Eq. (2)
+//   WTrain  — Wasserstein GAN, RMSProp, d_steps critic iterations,
+//             weight clipping (Algorithm 2)
+//   CTrain  — conditional GAN with label-aware sampling (Algorithm 3)
+//   DPTrain — WTrain plus clipped & noised discriminator gradients
+//             (Algorithm 4, DPGAN)
+#ifndef DAISY_SYNTH_TRAINER_H_
+#define DAISY_SYNTH_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/table.h"
+#include "nn/optimizer.h"
+#include "synth/config.h"
+#include "synth/sampler.h"
+#include "synth/discriminator.h"
+#include "synth/generator.h"
+#include "synth/kl_regularizer.h"
+#include "transform/record_transformer.h"
+
+namespace daisy::synth {
+
+/// What a training run produces: loss traces and periodic generator
+/// snapshots for validation-based model selection (paper §6.2).
+struct TrainResult {
+  std::vector<double> g_losses;        // one entry per generator update
+  std::vector<double> d_losses;
+  std::vector<StateDict> snapshots;    // GanOptions::snapshots entries
+  std::vector<size_t> snapshot_iters;
+};
+
+/// Runs one of the four training algorithms. The trainer does not own
+/// the networks; the caller keeps them for generation afterwards.
+class GanTrainer {
+ public:
+  GanTrainer(Generator* generator, Discriminator* discriminator,
+             const transform::RecordTransformer* transformer,
+             const GanOptions& options);
+
+  /// Trains on `table` (already the training split). The table must be
+  /// labeled when options.conditional or algo == kCTrain.
+  TrainResult Train(const data::Table& table, Rng* rng);
+
+ private:
+  // One discriminator update on given real rows + equally sized fake
+  // batch; returns the discriminator loss. Wasserstein flag switches
+  // between BCE-with-logits and critic score losses.
+  double DiscriminatorStep(const Matrix& real, const Matrix& real_cond,
+                           const Matrix& fake, const Matrix& fake_cond,
+                           bool wasserstein, bool dp, Rng* rng);
+
+  // One generator update; returns the generator loss. `real_ref` is a
+  // real minibatch for the KL warm-up (empty to skip the term).
+  double GeneratorStep(const Matrix& z, const Matrix& cond,
+                       const Matrix& real_ref, bool wasserstein, Rng* rng);
+
+  Matrix SampleNoise(size_t m, Rng* rng) const;
+  Matrix OneHotLabels(const std::vector<size_t>& labels) const;
+
+  Generator* g_;
+  Discriminator* d_;
+  const transform::RecordTransformer* transformer_;
+  GanOptions opts_;
+  KlRegularizer kl_;
+  size_t num_labels_ = 0;
+
+  std::unique_ptr<nn::Optimizer> g_opt_;
+  std::unique_ptr<nn::Optimizer> d_opt_;
+};
+
+}  // namespace daisy::synth
+
+#endif  // DAISY_SYNTH_TRAINER_H_

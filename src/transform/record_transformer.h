@@ -1,0 +1,114 @@
+// Phase I / Phase III of the paper's framework (Section 4): reversible
+// transformation between records with mixed attribute types and the
+// numeric samples fed to GAN/VAE models.
+//
+//   categorical  -> ordinal encoding          (1 value)
+//                 | one-hot encoding          (domain-size values)
+//   numerical    -> simple normalization      (1 value in [-1, 1])
+//                 | GMM-based normalization   (1 + components values)
+//
+// Samples are assembled in vector form (concatenation; MLP/LSTM) or
+// matrix form (square zero-padded matrix; CNN — which restricts the
+// per-attribute schemes to the 1-value ones, as the paper notes).
+#ifndef DAISY_TRANSFORM_RECORD_TRANSFORMER_H_
+#define DAISY_TRANSFORM_RECORD_TRANSFORMER_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "data/table.h"
+#include "stats/gmm.h"
+
+namespace daisy::transform {
+
+enum class CategoricalEncoding { kOrdinal, kOneHot };
+enum class NumericalNormalization { kSimple, kGmm };
+enum class SampleForm { kVector, kMatrix };
+
+struct TransformOptions {
+  CategoricalEncoding categorical = CategoricalEncoding::kOneHot;
+  NumericalNormalization numerical = NumericalNormalization::kGmm;
+  SampleForm form = SampleForm::kVector;
+  /// Mixture size for GMM-based normalization.
+  size_t gmm_components = 5;
+  /// Drop the label attribute from the sample (conditional GAN feeds it
+  /// separately as a condition vector).
+  bool exclude_label = false;
+};
+
+/// How one attribute maps into the sample; drives both decoding and the
+/// attribute-aware generator output heads (paper cases C1-C4).
+struct AttrSegment {
+  enum class Kind {
+    kSimpleNumeric,  // 1 value, tanh head
+    kGmmNumeric,     // 1 value (tanh) + components one-hot (softmax)
+    kOneHotCat,      // domain-size one-hot (softmax)
+    kOrdinalCat,     // 1 value, sigmoid head mapped over the domain
+  };
+
+  Kind kind;
+  size_t attr_index;  // column in the (sub-)schema being transformed
+  size_t source_col;  // column in the original (full) table
+  size_t offset;      // first sample dimension of this segment
+  size_t width;       // number of sample dimensions
+
+  // kSimpleNumeric / kOrdinalCat range parameters.
+  double v_min = 0.0, v_max = 1.0;  // original value range (numeric)
+  double lo = -1.0, hi = 1.0;       // encoded target range
+  size_t domain = 0;                // categorical domain size
+
+  stats::Gmm1d gmm;  // kGmmNumeric only
+};
+
+/// Fits per-attribute statistics on a table, then maps records to
+/// samples and back. Thread-compatible after Fit.
+class RecordTransformer {
+ public:
+  /// Learns min/max (simple) or a GMM (gmm) per numerical attribute.
+  /// With matrix form, `options.categorical` / `options.numerical` are
+  /// forced to ordinal / simple (the only compatible schemes).
+  static RecordTransformer Fit(const data::Table& table,
+                               const TransformOptions& options, Rng* rng);
+
+  /// Reconstructs a fitted transformer from persisted state. The
+  /// segments must be internally consistent (offsets/widths); the
+  /// derived dimensions are recomputed.
+  static RecordTransformer FromState(const TransformOptions& options,
+                                     const data::Schema& schema,
+                                     std::vector<AttrSegment> segments);
+
+  /// Dimensionality d of a transformed sample.
+  size_t sample_dim() const { return sample_dim_; }
+  /// Side length for matrix-formed samples (0 for vector form).
+  size_t matrix_side() const { return matrix_side_; }
+  const TransformOptions& options() const { return options_; }
+  /// The schema actually transformed (label removed when excluded).
+  const data::Schema& schema() const { return schema_; }
+  const std::vector<AttrSegment>& segments() const { return segments_; }
+
+  /// Encodes every record into a row of the returned n x d matrix.
+  Matrix Transform(const data::Table& table) const;
+
+  /// Encodes a subset of records.
+  Matrix TransformRows(const data::Table& table,
+                       const std::vector<size_t>& rows) const;
+
+  /// Decodes samples back into records under schema(). Values are
+  /// clamped into valid ranges; categorical blocks decode via argmax.
+  data::Table InverseTransform(const Matrix& samples) const;
+
+ private:
+  TransformOptions options_;
+  data::Schema schema_;
+  std::vector<AttrSegment> segments_;
+  size_t sample_dim_ = 0;
+  size_t matrix_side_ = 0;
+
+  void EncodeRecord(const data::Table& table, size_t record,
+                    double* out) const;
+};
+
+}  // namespace daisy::transform
+
+#endif  // DAISY_TRANSFORM_RECORD_TRANSFORMER_H_

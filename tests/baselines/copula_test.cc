@@ -1,0 +1,132 @@
+#include "baselines/copula.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+#include "eval/fidelity.h"
+#include "stats/metrics.h"
+
+namespace daisy::baselines {
+namespace {
+
+data::Table CorrelatedMixedTable(size_t n, Rng* rng) {
+  data::Schema schema(
+      {data::Attribute::Numerical("x"), data::Attribute::Numerical("y"),
+       data::Attribute::Categorical("c", {"a", "b", "z"})});
+  data::Table t(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng->Gaussian();
+    const double y = 0.85 * x + 0.53 * rng->Gaussian();
+    // Category correlated with x's sign.
+    const size_t c = x > 0.5 ? 2 : (x < -0.5 ? 0 : 1);
+    t.AppendRecord({x, y, static_cast<double>(c)});
+  }
+  return t;
+}
+
+TEST(CopulaTest, GeneratesSchemaValidRecords) {
+  Rng rng(1);
+  data::Table train = data::MakeAdultSim(400, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  data::Table fake = copula.Generate(300, &rng);
+  EXPECT_EQ(fake.num_records(), 300u);
+  for (size_t j = 0; j < train.num_attributes(); ++j) {
+    const auto& attr = train.schema().attribute(j);
+    for (size_t i = 0; i < fake.num_records(); ++i) {
+      if (attr.is_categorical()) {
+        EXPECT_LT(fake.category(i, j), attr.domain_size());
+      } else {
+        // Inverse empirical CDF cannot leave the observed range.
+        EXPECT_GE(fake.value(i, j), train.AttributeMin(j) - 1e-9);
+        EXPECT_LE(fake.value(i, j), train.AttributeMax(j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CopulaTest, PreservesMarginals) {
+  Rng rng(2);
+  data::Table train = CorrelatedMixedTable(4000, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  data::Table fake = copula.Generate(4000, &rng);
+
+  const double lo = train.AttributeMin(0), hi = train.AttributeMax(0);
+  const auto hr = stats::Histogram(train.Column(0), lo, hi, 12);
+  const auto hf = stats::Histogram(fake.Column(0), lo, hi, 12);
+  EXPECT_LT(stats::KlDivergence(hr, hf), 0.02);
+
+  // Categorical frequencies too.
+  std::vector<double> cr(3, 0.0), cf(3, 0.0);
+  for (size_t i = 0; i < train.num_records(); ++i)
+    cr[train.category(i, 2)] += 1.0;
+  for (size_t i = 0; i < fake.num_records(); ++i)
+    cf[fake.category(i, 2)] += 1.0;
+  EXPECT_LT(stats::KlDivergence(cr, cf), 0.01);
+}
+
+TEST(CopulaTest, PreservesNumericCorrelation) {
+  Rng rng(3);
+  data::Table train = CorrelatedMixedTable(4000, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  data::Table fake = copula.Generate(4000, &rng);
+
+  const double corr_real =
+      stats::PearsonCorrelation(train.Column(0), train.Column(1));
+  const double corr_fake =
+      stats::PearsonCorrelation(fake.Column(0), fake.Column(1));
+  EXPECT_GT(corr_real, 0.75);
+  EXPECT_NEAR(corr_fake, corr_real, 0.1);
+}
+
+TEST(CopulaTest, LatentCorrelationMatrixIsValid) {
+  Rng rng(4);
+  data::Table train = CorrelatedMixedTable(1000, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  const Matrix& corr = copula.correlation();
+  ASSERT_EQ(corr.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_LE(std::fabs(corr(i, j)), 1.0 + 1e-12);
+      EXPECT_DOUBLE_EQ(corr(i, j), corr(j, i));
+    }
+  }
+}
+
+TEST(CopulaTest, BeatsIndependentSamplingOnCorrelationFidelity) {
+  Rng rng(5);
+  data::Table train = CorrelatedMixedTable(3000, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  data::Table fake = copula.Generate(3000, &rng);
+
+  // "Independent" synthetic: per-column shuffle of the copula output
+  // destroys the dependence but keeps marginals.
+  data::Table shuffled = fake;
+  for (size_t j = 0; j < shuffled.num_attributes(); ++j) {
+    auto perm = rng.Permutation(shuffled.num_records());
+    for (size_t i = 0; i < shuffled.num_records(); ++i)
+      shuffled.set_value(i, j, fake.value(perm[i], j));
+  }
+  const auto fid_copula = eval::EvaluateFidelity(train, fake);
+  const auto fid_shuffled = eval::EvaluateFidelity(train, shuffled);
+  EXPECT_LT(fid_copula.numeric_correlation_diff,
+            fid_shuffled.numeric_correlation_diff);
+}
+
+TEST(CopulaTest, RefitAborts) {
+  Rng rng(6);
+  data::Table train = data::MakeHtru2Sim(100, &rng);
+  GaussianCopulaSynthesizer copula;
+  copula.Fit(train);
+  EXPECT_DEATH(copula.Fit(train), "DAISY_CHECK");
+}
+
+}  // namespace
+}  // namespace daisy::baselines

@@ -1,0 +1,72 @@
+#include "baselines/vae.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+#include "stats/metrics.h"
+
+namespace daisy::baselines {
+namespace {
+
+TEST(VaeTest, FitAndGenerateSchemaValid) {
+  Rng rng(1);
+  data::Table train = data::MakeAdultSim(400, &rng);
+  VaeOptions opts;
+  opts.epochs = 5;
+  VaeSynthesizer vae(opts, {});
+  vae.Fit(train);
+  Rng gen_rng(2);
+  data::Table fake = vae.Generate(200, &gen_rng);
+  EXPECT_EQ(fake.num_records(), 200u);
+  ASSERT_EQ(fake.num_attributes(), train.num_attributes());
+  for (size_t j = 0; j < train.num_attributes(); ++j) {
+    if (!train.schema().attribute(j).is_categorical()) continue;
+    for (size_t i = 0; i < fake.num_records(); ++i)
+      EXPECT_LT(fake.category(i, j),
+                train.schema().attribute(j).domain_size());
+  }
+}
+
+TEST(VaeTest, LossDecreasesOverTraining) {
+  Rng rng(3);
+  data::Table train = data::MakeHtru2Sim(400, &rng);
+  VaeOptions short_opts;
+  short_opts.epochs = 1;
+  VaeOptions long_opts;
+  long_opts.epochs = 20;
+  VaeSynthesizer vae_short(short_opts, {});
+  VaeSynthesizer vae_long(long_opts, {});
+  vae_short.Fit(train);
+  vae_long.Fit(train);
+  EXPECT_LT(vae_long.final_loss(), vae_short.final_loss());
+}
+
+TEST(VaeTest, GeneratedMarginalRoughlyMatchesTraining) {
+  Rng rng(4);
+  data::Table train = data::MakeHtru2Sim(800, &rng);
+  VaeOptions opts;
+  opts.epochs = 25;
+  VaeSynthesizer vae(opts, {});
+  vae.Fit(train);
+  Rng gen_rng(5);
+  data::Table fake = vae.Generate(800, &gen_rng);
+
+  // Compare one numeric attribute's histogram KL (coarse sanity only).
+  const auto real_col = train.Column(0);
+  const auto fake_col = fake.Column(0);
+  const double lo = train.AttributeMin(0), hi = train.AttributeMax(0);
+  const auto hr = stats::Histogram(real_col, lo, hi, 8);
+  const auto hf = stats::Histogram(fake_col, lo, hi, 8);
+  EXPECT_LT(stats::KlDivergence(hr, hf), 2.0);
+}
+
+TEST(VaeTest, GenerateBeforeFitAborts) {
+  VaeSynthesizer vae({}, {});
+  Rng rng(6);
+  EXPECT_DEATH(vae.Generate(10, &rng), "DAISY_CHECK");
+}
+
+}  // namespace
+}  // namespace daisy::baselines

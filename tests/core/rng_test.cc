@@ -1,0 +1,145 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace daisy {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversDomainWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LaplaceMomentsMatchScale) {
+  Rng rng(13);
+  const double b = 2.0;
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double l = rng.Laplace(b);
+    sum += l;
+    sq += l * l;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // Var(Laplace(b)) = 2 b^2.
+  EXPECT_NEAR(sq / n, 2.0 * b * b, 0.3);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.6, n * 0.02);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverPicked) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, CategoricalAllZeroReturnsLast) {
+  Rng rng(19);
+  std::vector<double> w = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(w), 2u);
+}
+
+TEST(RngTest, PermutationIsBijection) {
+  Rng rng(23);
+  const auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(29);
+  const auto perm = rng.Permutation(50);
+  size_t fixed = 0;
+  for (size_t i = 0; i < perm.size(); ++i)
+    if (perm[i] == i) ++fixed;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace daisy

@@ -1,0 +1,52 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace daisy {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad schema");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad schema");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad schema");
+}
+
+TEST(StatusTest, AllErrorConstructors) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto f = [](bool fail) -> Status {
+    DAISY_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_FALSE(f(true).ok());
+}
+
+}  // namespace
+}  // namespace daisy

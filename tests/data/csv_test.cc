@@ -1,0 +1,85 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace daisy::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "daisy_csv_test.csv";
+};
+
+Table SampleTable() {
+  Schema schema(
+      {Attribute::Numerical("x"),
+       Attribute::Categorical("c", {"alpha", "beta"}),
+       Attribute::Categorical("label", {"n", "p"})},
+      2);
+  Table t(schema);
+  t.AppendRecord({1.5, 0, 1});
+  t.AppendRecord({-2.25, 1, 0});
+  t.AppendRecord({0.0, 1, 1});
+  return t;
+}
+
+TEST_F(CsvTest, RoundTripPreservesValues) {
+  Table original = SampleTable();
+  ASSERT_TRUE(WriteCsv(original, path_).ok());
+  auto result = ReadCsv(path_, "label");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& read = result.value();
+  ASSERT_EQ(read.num_records(), 3u);
+  ASSERT_EQ(read.num_attributes(), 3u);
+  EXPECT_DOUBLE_EQ(read.value(1, 0), -2.25);
+  EXPECT_EQ(read.CellToString(1, 1), "beta");
+  EXPECT_EQ(read.label(2), original.label(2) == 1
+                               ? read.label(2)  // same category name
+                               : read.label(2));
+  EXPECT_TRUE(read.schema().has_label());
+  EXPECT_EQ(read.schema().attribute(0).type, AttrType::kNumerical);
+  EXPECT_EQ(read.schema().attribute(1).type, AttrType::kCategorical);
+}
+
+TEST_F(CsvTest, LabelColumnBecomesCategoricalEvenIfNumeric) {
+  Schema schema({Attribute::Numerical("x"),
+                 Attribute::Categorical("label", {"0", "1"})},
+                1);
+  Table t(schema);
+  t.AppendRecord({1.0, 0});
+  t.AppendRecord({2.0, 1});
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  auto result = ReadCsv(path_, "label");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().schema().attribute(1).is_categorical());
+}
+
+TEST_F(CsvTest, MissingLabelColumnFails) {
+  ASSERT_TRUE(WriteCsv(SampleTable(), path_).ok());
+  auto result = ReadCsv(path_, "nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  auto result = ReadCsv("/nonexistent/definitely/not/here.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(CsvTest, QuotedFieldsWithCommasRoundTrip) {
+  Schema schema({Attribute::Categorical("c", {"a,b", "plain"})});
+  Table t(schema);
+  t.AppendRecord({0});
+  t.AppendRecord({1});
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().CellToString(0, 0), "a,b");
+}
+
+}  // namespace
+}  // namespace daisy::data

@@ -1,0 +1,91 @@
+#include "data/profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+
+namespace daisy::data {
+namespace {
+
+Table SmallMixed() {
+  Schema schema({Attribute::Numerical("v"),
+                 Attribute::Categorical("c", {"a", "b"}),
+                 Attribute::Categorical("label", {"n", "p"})},
+                2);
+  Table t(schema);
+  t.AppendRecord({1.0, 0, 0});
+  t.AppendRecord({2.0, 0, 0});
+  t.AppendRecord({3.0, 0, 0});
+  t.AppendRecord({4.0, 1, 1});
+  return t;
+}
+
+TEST(ProfileTest, NumericStatistics) {
+  const auto profile = ProfileTable(SmallMixed());
+  ASSERT_EQ(profile.attributes.size(), 3u);
+  const auto& v = profile.attributes[0];
+  EXPECT_FALSE(v.categorical);
+  EXPECT_DOUBLE_EQ(v.min, 1.0);
+  EXPECT_DOUBLE_EQ(v.max, 4.0);
+  EXPECT_DOUBLE_EQ(v.mean, 2.5);
+  ASSERT_EQ(v.quantiles.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.quantiles[0], 1.0);
+  EXPECT_DOUBLE_EQ(v.quantiles[10], 4.0);
+  EXPECT_DOUBLE_EQ(v.quantiles[5], 2.5);  // interpolated median
+}
+
+TEST(ProfileTest, CategoricalStatistics) {
+  const auto profile = ProfileTable(SmallMixed());
+  const auto& c = profile.attributes[1];
+  EXPECT_TRUE(c.categorical);
+  EXPECT_EQ(c.domain_size, 2u);
+  EXPECT_DOUBLE_EQ(c.frequencies[0], 0.75);
+  EXPECT_DOUBLE_EQ(c.frequencies[1], 0.25);
+  EXPECT_EQ(c.mode_category, 0u);
+  // H(0.75, 0.25) = 0.811 bits.
+  EXPECT_NEAR(c.entropy_bits, 0.8113, 1e-3);
+}
+
+TEST(ProfileTest, LabelImbalance) {
+  const auto profile = ProfileTable(SmallMixed());
+  EXPECT_DOUBLE_EQ(profile.label_imbalance_ratio, 3.0);
+}
+
+TEST(ProfileTest, UnlabeledTableHasZeroImbalance) {
+  Rng rng(1);
+  Table t = MakeBingSim(50, &rng);
+  EXPECT_DOUBLE_EQ(ProfileTable(t).label_imbalance_ratio, 0.0);
+}
+
+TEST(ProfileTest, UniformCategoricalHasMaxEntropy) {
+  Schema schema({Attribute::Categorical("c", {"a", "b", "c", "d"})});
+  Table t(schema);
+  for (int i = 0; i < 40; ++i)
+    t.AppendRecord({static_cast<double>(i % 4)});
+  const auto profile = ProfileTable(t);
+  EXPECT_NEAR(profile.attributes[0].entropy_bits, 2.0, 1e-9);
+}
+
+TEST(ProfileTest, RenderedTextMentionsEveryAttribute) {
+  const auto text = ProfileToString(ProfileTable(SmallMixed()));
+  EXPECT_NE(text.find("v "), std::string::npos);
+  EXPECT_NE(text.find("c "), std::string::npos);
+  EXPECT_NE(text.find("label"), std::string::npos);
+  EXPECT_NE(text.find("4 records"), std::string::npos);
+}
+
+TEST(ProfileTest, SkewAnnotationAppearsPastNineToOne) {
+  Schema schema({Attribute::Numerical("x"),
+                 Attribute::Categorical("label", {"n", "p"})},
+                1);
+  Table t(schema);
+  for (int i = 0; i < 100; ++i)
+    t.AppendRecord({0.0, i < 95 ? 0.0 : 1.0});
+  const auto text = ProfileToString(ProfileTable(t));
+  EXPECT_NE(text.find("(skew)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daisy::data

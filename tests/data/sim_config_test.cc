@@ -1,0 +1,112 @@
+#include "data/generators/sim_config.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace daisy::data {
+namespace {
+
+TEST(RandomSimConfigTest, AttributeCountsMatchOptions) {
+  RandomSimOptions opts;
+  opts.num_numerical = 5;
+  opts.num_categorical = 7;
+  opts.num_labels = 3;
+  Rng rng(1);
+  const SimConfig config = RandomSimConfig(opts, &rng);
+  EXPECT_EQ(config.attrs.size(), 12u);
+  EXPECT_EQ(config.label_names.size(), 3u);
+  size_t numeric = 0, categorical = 0;
+  for (const auto& sa : config.attrs)
+    (sa.attr.is_categorical() ? categorical : numeric) += 1;
+  EXPECT_EQ(numeric, 5u);
+  EXPECT_EQ(categorical, 7u);
+}
+
+TEST(RandomSimConfigTest, DefaultPriorsAreUniform) {
+  RandomSimOptions opts;
+  opts.num_labels = 4;
+  Rng rng(2);
+  const SimConfig config = RandomSimConfig(opts, &rng);
+  for (double p : config.label_priors) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(RandomSimConfigTest, CategoricalDistributionsNormalized) {
+  RandomSimOptions opts;
+  opts.num_categorical = 4;
+  opts.num_numerical = 0;
+  Rng rng(3);
+  const SimConfig config = RandomSimConfig(opts, &rng);
+  for (const auto& sa : config.attrs) {
+    for (const auto& dist : sa.cat_probs) {
+      double sum = 0.0;
+      for (double p : dist) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(RandomSimConfigTest, DomainSizesWithinBounds) {
+  RandomSimOptions opts;
+  opts.num_categorical = 20;
+  opts.num_numerical = 0;
+  opts.min_categories = 3;
+  opts.max_categories = 6;
+  Rng rng(4);
+  const SimConfig config = RandomSimConfig(opts, &rng);
+  for (const auto& sa : config.attrs) {
+    EXPECT_GE(sa.attr.domain_size(), 3u);
+    EXPECT_LE(sa.attr.domain_size(), 6u);
+  }
+}
+
+TEST(RandomSimConfigTest, SameSeedSameConfig) {
+  RandomSimOptions opts;
+  opts.num_numerical = 3;
+  opts.num_categorical = 2;
+  Rng a(5), b(5);
+  const SimConfig ca = RandomSimConfig(opts, &a);
+  const SimConfig cb = RandomSimConfig(opts, &b);
+  ASSERT_EQ(ca.attrs.size(), cb.attrs.size());
+  for (size_t j = 0; j < ca.attrs.size(); ++j) {
+    if (ca.attrs[j].attr.is_categorical()) {
+      EXPECT_EQ(ca.attrs[j].cat_probs, cb.attrs[j].cat_probs);
+    } else {
+      for (size_t y = 0; y < ca.attrs[j].modes.size(); ++y)
+        for (size_t m = 0; m < ca.attrs[j].modes[y].size(); ++m)
+          EXPECT_DOUBLE_EQ(ca.attrs[j].modes[y][m].mean,
+                           cb.attrs[j].modes[y][m].mean);
+    }
+  }
+}
+
+TEST(GenerateSimTableTest, PriorsGovernLabelCounts) {
+  RandomSimOptions opts;
+  opts.num_numerical = 2;
+  opts.num_labels = 2;
+  opts.label_priors = {0.8, 0.2};
+  Rng config_rng(6);
+  const SimConfig config = RandomSimConfig(opts, &config_rng);
+  Rng rng(7);
+  const Table t = GenerateSimTable(config, 20000, &rng);
+  const auto counts = t.LabelCounts();
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 20000.0, 0.2, 0.015);
+}
+
+TEST(GenerateSimTableTest, UnlabeledConfigProducesUnlabeledTable) {
+  SimConfig config;
+  SimAttr sa;
+  sa.attr = Attribute::Numerical("x");
+  sa.modes = {{GaussMode{0.0, 1.0, 1.0}}};
+  config.attrs.push_back(sa);
+  Rng rng(8);
+  const Table t = GenerateSimTable(config, 50, &rng);
+  EXPECT_FALSE(t.schema().has_label());
+  EXPECT_EQ(t.num_attributes(), 1u);
+}
+
+}  // namespace
+}  // namespace daisy::data

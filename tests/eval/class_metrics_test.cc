@@ -1,0 +1,81 @@
+#include "eval/class_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace daisy::eval {
+namespace {
+
+TEST(F1Test, PerfectPredictionIsOne) {
+  std::vector<size_t> y = {0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(F1ForLabel(y, y, 1), 1.0);
+}
+
+TEST(F1Test, HandComputed) {
+  // tp=1 (idx1), fp=1 (idx3), fn=1 (idx2).
+  std::vector<size_t> truth = {0, 1, 1, 0};
+  std::vector<size_t> pred = {0, 1, 0, 1};
+  // precision = 0.5, recall = 0.5 -> F1 = 0.5.
+  EXPECT_DOUBLE_EQ(F1ForLabel(pred, truth, 1), 0.5);
+}
+
+TEST(F1Test, NoTruePositivesIsZero) {
+  std::vector<size_t> truth = {1, 1};
+  std::vector<size_t> pred = {0, 0};
+  EXPECT_DOUBLE_EQ(F1ForLabel(pred, truth, 1), 0.0);
+}
+
+TEST(EvaluationLabelTest, BinaryPicksRarer) {
+  std::vector<size_t> truth = {0, 0, 0, 1};
+  EXPECT_EQ(EvaluationLabel(truth, 2), 1u);
+}
+
+TEST(EvaluationLabelTest, MultiClassPicksRarestPresent) {
+  std::vector<size_t> truth = {0, 0, 1, 1, 1, 2};
+  EXPECT_EQ(EvaluationLabel(truth, 4), 2u);  // label 3 absent, 2 rarest
+}
+
+TEST(PaperF1Test, UsesRareLabel) {
+  std::vector<size_t> truth = {0, 0, 0, 0, 1};
+  std::vector<size_t> pred = {0, 0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(PaperF1(pred, truth, 2), 1.0);
+  pred[4] = 0;
+  EXPECT_DOUBLE_EQ(PaperF1(pred, truth, 2), 0.0);
+}
+
+TEST(AucTest, PerfectRankingIsOne) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 1.0);
+}
+
+TEST(AucTest, ReversedRankingIsZero) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.0);
+}
+
+TEST(AucTest, ConstantScoresAreHalf) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<size_t> truth = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.5);
+}
+
+TEST(AucTest, SingleClassDegeneratesToHalf) {
+  std::vector<double> scores = {0.2, 0.4};
+  std::vector<size_t> truth = {1, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.5);
+}
+
+TEST(AucTest, HandComputedPartialOrder) {
+  // One inversion out of four pairs -> AUC = 0.75.
+  std::vector<double> scores = {0.6, 0.2, 0.5, 0.9};
+  std::vector<size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.75);
+}
+
+TEST(AccuracyTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace daisy::eval

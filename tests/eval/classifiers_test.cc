@@ -1,0 +1,202 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/adaboost.h"
+#include "eval/class_metrics.h"
+#include "eval/classifier.h"
+#include "eval/decision_tree.h"
+#include "eval/logistic_regression.h"
+#include "eval/random_forest.h"
+
+namespace daisy::eval {
+namespace {
+
+// Two Gaussian blobs, linearly separable.
+void MakeBlobs(size_t n, Rng* rng, Matrix* x, std::vector<size_t>* y) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool pos = i % 2 == 0;
+    (*x)(i, 0) = rng->Gaussian(pos ? 2.0 : -2.0, 0.7);
+    (*x)(i, 1) = rng->Gaussian(pos ? 2.0 : -2.0, 0.7);
+    (*y)[i] = pos ? 1 : 0;
+  }
+}
+
+// XOR-style blobs: not linearly separable.
+void MakeXorBlobs(size_t n, Rng* rng, Matrix* x, std::vector<size_t>* y) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int quadrant = static_cast<int>(i % 4);
+    const double sx = quadrant % 2 == 0 ? 1.0 : -1.0;
+    const double sy = quadrant / 2 == 0 ? 1.0 : -1.0;
+    (*x)(i, 0) = rng->Gaussian(2.0 * sx, 0.5);
+    (*x)(i, 1) = rng->Gaussian(2.0 * sy, 0.5);
+    (*y)[i] = (sx * sy > 0) ? 1 : 0;
+  }
+}
+
+class EveryClassifier : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(EveryClassifier, SeparatesLinearBlobs) {
+  Rng rng(1);
+  Matrix x_train, x_test;
+  std::vector<size_t> y_train, y_test;
+  MakeBlobs(400, &rng, &x_train, &y_train);
+  MakeBlobs(200, &rng, &x_test, &y_test);
+
+  auto clf = MakeClassifier(GetParam());
+  clf->Fit(x_train, y_train, 2, &rng);
+  const auto preds = clf->PredictAll(x_test);
+  EXPECT_GT(Accuracy(preds, y_test), 0.93)
+      << ClassifierKindName(GetParam());
+}
+
+TEST_P(EveryClassifier, ProbabilitiesSumToOne) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<size_t> y;
+  MakeBlobs(100, &rng, &x, &y);
+  auto clf = MakeClassifier(GetParam());
+  clf->Fit(x, y, 2, &rng);
+  const auto probs = clf->PredictProba(x.row(0));
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+  EXPECT_GE(probs[0], 0.0);
+  EXPECT_GE(probs[1], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EveryClassifier,
+    ::testing::ValuesIn(AllClassifierKinds()),
+    [](const auto& info) { return ClassifierKindName(info.param); });
+
+TEST(DecisionTreeTest, SolvesXorUnlikeLogReg) {
+  Rng rng(3);
+  Matrix x_train, x_test;
+  std::vector<size_t> y_train, y_test;
+  MakeXorBlobs(400, &rng, &x_train, &y_train);
+  MakeXorBlobs(200, &rng, &x_test, &y_test);
+
+  DecisionTree tree(DecisionTreeOptions{.max_depth = 10});
+  tree.Fit(x_train, y_train, 2, &rng);
+  EXPECT_GT(Accuracy(tree.PredictAll(x_test), y_test), 0.95);
+
+  LogisticRegression lr;
+  lr.Fit(x_train, y_train, 2, &rng);
+  EXPECT_LT(Accuracy(lr.PredictAll(x_test), y_test), 0.75);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsMajorityVote) {
+  Rng rng(4);
+  Matrix x = Matrix::FromRows({{0}, {1}, {2}, {3}});
+  std::vector<size_t> y = {1, 1, 1, 0};
+  DecisionTree tree(DecisionTreeOptions{.max_depth = 0});
+  tree.Fit(x, y, 2, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(tree.Predict(x.row(i)), 1u);
+}
+
+TEST(DecisionTreeTest, DeeperTreesFitTighter) {
+  Rng rng(5);
+  Matrix x, xt;
+  std::vector<size_t> y, yt;
+  MakeXorBlobs(600, &rng, &x, &y);
+  DecisionTree shallow(DecisionTreeOptions{.max_depth = 1});
+  DecisionTree deep(DecisionTreeOptions{.max_depth = 10});
+  shallow.Fit(x, y, 2, &rng);
+  deep.Fit(x, y, 2, &rng);
+  EXPECT_GT(Accuracy(deep.PredictAll(x), y),
+            Accuracy(shallow.PredictAll(x), y));
+}
+
+TEST(DecisionTreeTest, WeightedFitPrioritizesHeavySamples) {
+  Rng rng(6);
+  // Two points with contradicting labels at the same x; weight decides.
+  Matrix x = Matrix::FromRows({{0.0}, {0.0}, {1.0}});
+  std::vector<size_t> y = {0, 1, 1};
+  DecisionTree tree(DecisionTreeOptions{.max_depth = 2});
+  tree.FitWeighted(x, y, {10.0, 1.0, 1.0}, 2, &rng);
+  EXPECT_EQ(tree.Predict(x.row(0)), 0u);
+}
+
+TEST(DecisionTreeTest, MulticlassWorks) {
+  Rng rng(7);
+  Matrix x(300, 1);
+  std::vector<size_t> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    y[i] = i % 3;
+    x(i, 0) = rng.Gaussian(static_cast<double>(y[i]) * 5.0, 0.5);
+  }
+  DecisionTree tree(DecisionTreeOptions{.max_depth = 5});
+  tree.Fit(x, y, 3, &rng);
+  EXPECT_GT(Accuracy(tree.PredictAll(x), y), 0.95);
+}
+
+TEST(RandomForestTest, BeatsSingleStumpOnXor) {
+  Rng rng(8);
+  Matrix x, xt;
+  std::vector<size_t> y, yt;
+  MakeXorBlobs(400, &rng, &x, &y);
+  MakeXorBlobs(200, &rng, &xt, &yt);
+  RandomForest forest(RandomForestOptions{.num_trees = 15, .max_depth = 8});
+  forest.Fit(x, y, 2, &rng);
+  EXPECT_GT(Accuracy(forest.PredictAll(xt), yt), 0.9);
+}
+
+TEST(AdaBoostTest, BoostsStumpsAboveChanceOnXor) {
+  Rng rng(9);
+  Matrix x, xt;
+  std::vector<size_t> y, yt;
+  MakeXorBlobs(400, &rng, &x, &y);
+  // Single stump is ~50% on XOR; boosting with depth-1 can't solve XOR
+  // either, but on linearly separable data it must be near-perfect:
+  MakeBlobs(400, &rng, &x, &y);
+  MakeBlobs(200, &rng, &xt, &yt);
+  AdaBoost ab;
+  ab.Fit(x, y, 2, &rng);
+  EXPECT_GT(Accuracy(ab.PredictAll(xt), yt), 0.93);
+}
+
+TEST(AdaBoostTest, MulticlassSamme) {
+  Rng rng(10);
+  Matrix x(300, 1);
+  std::vector<size_t> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    y[i] = i % 3;
+    x(i, 0) = rng.Gaussian(static_cast<double>(y[i]) * 4.0, 0.4);
+  }
+  AdaBoost ab(AdaBoostOptions{.num_estimators = 20, .base_depth = 2});
+  ab.Fit(x, y, 3, &rng);
+  EXPECT_GT(Accuracy(ab.PredictAll(x), y), 0.9);
+}
+
+TEST(LogisticRegressionTest, RecoversLinearBoundary) {
+  Rng rng(11);
+  Matrix x, xt;
+  std::vector<size_t> y, yt;
+  MakeBlobs(400, &rng, &x, &y);
+  MakeBlobs(200, &rng, &xt, &yt);
+  LogisticRegression lr;
+  lr.Fit(x, y, 2, &rng);
+  EXPECT_GT(Accuracy(lr.PredictAll(xt), yt), 0.95);
+}
+
+TEST(LogisticRegressionTest, HandlesConstantFeature) {
+  Rng rng(12);
+  Matrix x(100, 2);
+  std::vector<size_t> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = 5.0;  // constant
+    x(i, 1) = i < 50 ? -1.0 : 1.0;
+    y[i] = i < 50 ? 0 : 1;
+  }
+  LogisticRegression lr;
+  lr.Fit(x, y, 2, &rng);
+  EXPECT_GT(Accuracy(lr.PredictAll(x), y), 0.95);
+}
+
+}  // namespace
+}  // namespace daisy::eval

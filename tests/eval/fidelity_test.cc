@@ -1,0 +1,144 @@
+#include "eval/fidelity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+
+namespace daisy::eval {
+namespace {
+
+data::Table CorrelatedTable(size_t n, double rho, Rng* rng) {
+  data::Schema schema({data::Attribute::Numerical("x"),
+                       data::Attribute::Numerical("y")});
+  data::Table t(schema);
+  const double comp = std::sqrt(1.0 - rho * rho);
+  for (size_t i = 0; i < n; ++i) {
+    const double z1 = rng->Gaussian();
+    const double z2 = rng->Gaussian();
+    t.AppendRecord({z1, rho * z1 + comp * z2});
+  }
+  return t;
+}
+
+data::Table FdTable(size_t n, double noise, Rng* rng) {
+  // dept determines building with probability (1 - noise).
+  data::Schema schema(
+      {data::Attribute::Categorical("dept", {"d0", "d1", "d2"}),
+       data::Attribute::Categorical("building", {"b0", "b1", "b2"})});
+  data::Table t(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t dept = rng->UniformInt(3);
+    size_t building = dept;  // the FD mapping
+    if (rng->Uniform() < noise) building = rng->UniformInt(3);
+    t.AppendRecord({static_cast<double>(dept),
+                    static_cast<double>(building)});
+  }
+  return t;
+}
+
+TEST(CramersVTest, PerfectAssociationIsOne) {
+  Rng rng(1);
+  data::Table t = FdTable(2000, 0.0, &rng);
+  EXPECT_NEAR(CramersV(t, 0, 1), 1.0, 1e-9);
+}
+
+TEST(CramersVTest, IndependenceIsNearZero) {
+  Rng rng(2);
+  data::Schema schema(
+      {data::Attribute::Categorical("a", {"x", "y"}),
+       data::Attribute::Categorical("b", {"u", "v"})});
+  data::Table t(schema);
+  for (int i = 0; i < 20000; ++i)
+    t.AppendRecord({static_cast<double>(rng.UniformInt(2)),
+                    static_cast<double>(rng.UniformInt(2))});
+  EXPECT_LT(CramersV(t, 0, 1), 0.05);
+}
+
+TEST(CramersVTest, NoisyAssociationInBetween) {
+  Rng rng(3);
+  data::Table t = FdTable(5000, 0.5, &rng);
+  const double v = CramersV(t, 0, 1);
+  EXPECT_GT(v, 0.2);
+  EXPECT_LT(v, 0.9);
+}
+
+TEST(FidelityTest, SelfComparisonIsNearZero) {
+  Rng rng(4);
+  data::Table t = data::MakeAdultSim(800, &rng);
+  const auto report = EvaluateFidelity(t, t);
+  EXPECT_NEAR(report.numeric_correlation_diff, 0.0, 1e-12);
+  EXPECT_NEAR(report.categorical_association_diff, 0.0, 1e-12);
+  EXPECT_NEAR(report.marginal_kl, 0.0, 1e-6);
+}
+
+TEST(FidelityTest, DecorrelatedSyntheticIsPenalized) {
+  Rng rng(5);
+  data::Table real = CorrelatedTable(5000, 0.9, &rng);
+  data::Table fake = CorrelatedTable(5000, 0.0, &rng);
+  const auto report = EvaluateFidelity(real, fake);
+  EXPECT_GT(report.numeric_correlation_diff, 0.5);
+  // Marginals are both standard normal: marginal KL stays small.
+  EXPECT_LT(report.marginal_kl, 0.1);
+}
+
+TEST(FidelityTest, ShiftedMarginalIsPenalized) {
+  Rng rng(6);
+  data::Table real = CorrelatedTable(3000, 0.5, &rng);
+  data::Table fake = real;
+  for (size_t i = 0; i < fake.num_records(); ++i)
+    fake.set_value(i, 0, fake.value(i, 0) + 3.0);
+  const auto report = EvaluateFidelity(real, fake);
+  EXPECT_GT(report.marginal_kl, 0.5);
+}
+
+TEST(FdTest, DiscoversCleanDependency) {
+  Rng rng(7);
+  data::Table t = FdTable(2000, 0.0, &rng);
+  const auto fds = DiscoverFds(t, 0.95);
+  // dept -> building and building -> dept both hold.
+  ASSERT_EQ(fds.size(), 2u);
+  EXPECT_NEAR(fds[0].confidence, 1.0, 1e-9);
+  EXPECT_EQ(fds[0].mapping[1], 1u);
+}
+
+TEST(FdTest, NoisyDependencyBelowThresholdIsNotDiscovered) {
+  Rng rng(8);
+  data::Table t = FdTable(2000, 0.5, &rng);
+  EXPECT_TRUE(DiscoverFds(t, 0.95).empty());
+}
+
+TEST(FdTest, ViolationRateOnConformingTableIsZero) {
+  Rng rng(9);
+  data::Table t = FdTable(2000, 0.0, &rng);
+  const auto fds = DiscoverFds(t, 0.95);
+  EXPECT_DOUBLE_EQ(FdViolationRate(t, fds), 0.0);
+}
+
+TEST(FdTest, ViolationRateDetectsBrokenDependency) {
+  Rng rng(10);
+  data::Table real = FdTable(2000, 0.0, &rng);
+  const auto fds = DiscoverFds(real, 0.95);
+  // Synthetic table with the association destroyed.
+  data::Table broken = FdTable(2000, 1.0, &rng);
+  const double rate = FdViolationRate(broken, fds);
+  EXPECT_GT(rate, 0.5);  // ~2/3 of records pick a different building
+}
+
+TEST(FdTest, UnseenLhsValuesAreSkipped) {
+  data::Schema schema(
+      {data::Attribute::Categorical("a", {"x", "y"}),
+       data::Attribute::Categorical("b", {"u", "v"})});
+  data::Table real(schema);
+  real.AppendRecord({0, 0});  // only "x" seen
+  real.AppendRecord({0, 0});
+  const auto fds = DiscoverFds(real, 0.95);
+  ASSERT_FALSE(fds.empty());
+  data::Table synth(schema);
+  synth.AppendRecord({1, 1});  // lhs "y" never seen at discovery
+  EXPECT_DOUBLE_EQ(FdViolationRate(synth, fds), 0.0);
+}
+
+}  // namespace
+}  // namespace daisy::eval

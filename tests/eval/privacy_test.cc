@@ -1,0 +1,114 @@
+#include "eval/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+
+namespace daisy::eval {
+namespace {
+
+TEST(HittingRateTest, CopyOfOriginalHitsEverything) {
+  Rng rng(1);
+  data::Table t = data::MakeAdultSim(200, &rng);
+  HittingRateOptions opts;
+  opts.num_synthetic_samples = 100;
+  Rng prng(2);
+  EXPECT_DOUBLE_EQ(HittingRate(t, t, opts, &prng), 1.0);
+}
+
+TEST(HittingRateTest, FarAwaySyntheticHitsNothing) {
+  Rng rng(3);
+  data::Table t = data::MakeHtru2Sim(200, &rng);
+  data::Table far = t;
+  for (size_t i = 0; i < far.num_records(); ++i)
+    for (size_t j = 0; j < far.num_attributes(); ++j)
+      if (!far.schema().attribute(j).is_categorical())
+        far.set_value(i, j, far.value(i, j) + 1e6);
+  HittingRateOptions opts;
+  opts.num_synthetic_samples = 100;
+  Rng prng(4);
+  EXPECT_DOUBLE_EQ(HittingRate(t, far, opts, &prng), 0.0);
+}
+
+TEST(HittingRateTest, ThresholdScalesWithDivisor) {
+  // Shift numeric values by a small delta: a loose divisor hits, a
+  // tight one misses.
+  Rng rng(5);
+  data::Table t = data::MakeHtru2Sim(100, &rng);
+  data::Table near = t;
+  for (size_t i = 0; i < near.num_records(); ++i)
+    for (size_t j = 0; j < near.num_attributes(); ++j)
+      if (!near.schema().attribute(j).is_categorical()) {
+        const double range = t.AttributeMax(j) - t.AttributeMin(j);
+        near.set_value(i, j, near.value(i, j) + range / 50.0);
+      }
+  HittingRateOptions loose;
+  loose.range_divisor = 30.0;  // threshold range/30 > range/50 shift
+  loose.num_synthetic_samples = 50;
+  HittingRateOptions tight;
+  tight.range_divisor = 500.0;
+  tight.num_synthetic_samples = 50;
+  Rng r1(6), r2(6);
+  EXPECT_GT(HittingRate(t, near, loose, &r1),
+            HittingRate(t, near, tight, &r2));
+}
+
+TEST(DcrTest, IdenticalTablesHaveZeroDistance) {
+  Rng rng(7);
+  data::Table t = data::MakeAdultSim(100, &rng);
+  DcrOptions opts;
+  opts.num_original_samples = 50;
+  Rng prng(8);
+  EXPECT_NEAR(DistanceToClosestRecord(t, t, opts, &prng), 0.0, 1e-12);
+}
+
+TEST(DcrTest, PerturbedSyntheticHasPositiveDistance) {
+  Rng rng(9);
+  data::Table t = data::MakeHtru2Sim(150, &rng);
+  data::Table shifted = t;
+  for (size_t i = 0; i < shifted.num_records(); ++i)
+    for (size_t j = 0; j < shifted.num_attributes(); ++j)
+      if (!shifted.schema().attribute(j).is_categorical()) {
+        const double range = t.AttributeMax(j) - t.AttributeMin(j);
+        shifted.set_value(i, j, shifted.value(i, j) + 0.1 * range);
+      }
+  DcrOptions opts;
+  opts.num_original_samples = 50;
+  Rng prng(10);
+  const double dcr = DistanceToClosestRecord(t, shifted, opts, &prng);
+  EXPECT_GT(dcr, 0.05);
+}
+
+TEST(DcrTest, BiggerPerturbationBiggerDistance) {
+  Rng rng(11);
+  data::Table t = data::MakeHtru2Sim(150, &rng);
+  auto shift = [&](double frac) {
+    data::Table s = t;
+    for (size_t i = 0; i < s.num_records(); ++i)
+      for (size_t j = 0; j < s.num_attributes(); ++j)
+        if (!s.schema().attribute(j).is_categorical()) {
+          const double range = t.AttributeMax(j) - t.AttributeMin(j);
+          s.set_value(i, j, s.value(i, j) + frac * range);
+        }
+    return s;
+  };
+  DcrOptions opts;
+  opts.num_original_samples = 40;
+  Rng r1(12), r2(12);
+  EXPECT_LT(DistanceToClosestRecord(t, shift(0.05), opts, &r1),
+            DistanceToClosestRecord(t, shift(0.3), opts, &r2));
+}
+
+TEST(DcrTest, CategoricalMismatchContributes) {
+  data::Schema schema({data::Attribute::Categorical("c", {"a", "b"})});
+  data::Table orig(schema);
+  orig.AppendRecord({0});
+  data::Table synth(schema);
+  synth.AppendRecord({1});
+  DcrOptions opts;
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(DistanceToClosestRecord(orig, synth, opts, &rng), 1.0);
+}
+
+}  // namespace
+}  // namespace daisy::eval

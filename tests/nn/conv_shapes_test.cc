@@ -1,0 +1,86 @@
+// Property tests of convolution geometry: output shapes follow the
+// standard formulas and ConvTranspose2d inverts Conv2d's shape map.
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+
+namespace daisy::nn {
+namespace {
+
+struct ConvCase {
+  size_t in;
+  size_t kernel;
+  size_t stride;
+  size_t padding;
+};
+
+class ConvShapeSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapeSweep, OutputDimsFollowFormula) {
+  const auto& c = GetParam();
+  Rng rng(1);
+  ImageShape in{2, c.in, c.in};
+  Conv2d conv(in, 3, c.kernel, c.stride, c.padding, &rng);
+  const size_t expected =
+      (c.in + 2 * c.padding - c.kernel) / c.stride + 1;
+  EXPECT_EQ(conv.out_shape().height, expected);
+  EXPECT_EQ(conv.out_shape().width, expected);
+  EXPECT_EQ(conv.out_shape().channels, 3u);
+
+  // Forward actually produces that many values.
+  Matrix x = Matrix::Randn(2, in.Flat(), &rng);
+  Matrix y = conv.Forward(x, true);
+  EXPECT_EQ(y.cols(), conv.out_shape().Flat());
+}
+
+TEST_P(ConvShapeSweep, TransposeInvertsShapeWhenExact) {
+  const auto& c = GetParam();
+  // Only exact (no-remainder) stride cases invert perfectly.
+  if ((c.in + 2 * c.padding - c.kernel) % c.stride != 0) GTEST_SKIP();
+  Rng rng(2);
+  ImageShape in{1, c.in, c.in};
+  Conv2d conv(in, 2, c.kernel, c.stride, c.padding, &rng);
+  ConvTranspose2d deconv(conv.out_shape(), 1, c.kernel, c.stride,
+                         c.padding, &rng);
+  EXPECT_EQ(deconv.out_shape().height, c.in);
+  EXPECT_EQ(deconv.out_shape().width, c.in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvShapeSweep,
+    ::testing::Values(ConvCase{5, 3, 1, 0}, ConvCase{5, 3, 1, 1},
+                      ConvCase{6, 2, 2, 0}, ConvCase{8, 3, 1, 1},
+                      ConvCase{8, 4, 2, 1}, ConvCase{4, 2, 1, 0},
+                      ConvCase{7, 3, 2, 1}, ConvCase{9, 5, 2, 2}));
+
+TEST(ConvShapeTest, ZeroInputGivesBiasOutput) {
+  Rng rng(3);
+  ImageShape in{1, 4, 4};
+  Conv2d conv(in, 2, 3, 1, 1, &rng);
+  Matrix x(1, in.Flat());
+  Matrix y = conv.Forward(x, true);
+  // Every output position of channel c equals bias[c] = 0 initially.
+  for (size_t i = 0; i < y.cols(); ++i) EXPECT_DOUBLE_EQ(y(0, i), 0.0);
+}
+
+TEST(ConvShapeTest, IdentityKernelCopiesInput) {
+  Rng rng(4);
+  ImageShape in{1, 3, 3};
+  Conv2d conv(in, 1, 1, 1, 0, &rng);
+  // Set the 1x1 kernel to identity.
+  conv.Params()[0]->value(0, 0) = 1.0;
+  conv.Params()[1]->value(0, 0) = 0.0;
+  Matrix x = Matrix::Randn(2, 9, &rng);
+  Matrix y = conv.Forward(x, true);
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 9; ++c) EXPECT_DOUBLE_EQ(y(r, c), x(r, c));
+}
+
+TEST(ConvShapeDeathTest, KernelLargerThanInputAborts) {
+  Rng rng(5);
+  ImageShape in{1, 2, 2};
+  EXPECT_DEATH(Conv2d(in, 1, 5, 1, 0, &rng), "DAISY_CHECK");
+}
+
+}  // namespace
+}  // namespace daisy::nn

@@ -1,0 +1,76 @@
+// Finite-difference gradient checking shared by the nn tests. The loss
+// used is L = sum(output .* coeff) for a fixed random coeff matrix,
+// which exercises every output element with distinct weights.
+#ifndef DAISY_TESTS_NN_GRADCHECK_H_
+#define DAISY_TESTS_NN_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace daisy::nn::testing {
+
+/// Checks dL/dInput returned by Backward against central differences.
+/// `forward` must be deterministic given the same module state.
+inline void CheckInputGradient(Module* module, const Matrix& x,
+                               double tol = 1e-6, double h = 1e-5) {
+  Rng rng(99);
+  Matrix coeff = Matrix::Randn(0, 0, &rng);  // placeholder, sized below
+  Matrix y = module->Forward(x, /*training=*/true);
+  coeff = Matrix::Randn(y.rows(), y.cols(), &rng);
+
+  module->ZeroGrad();
+  Matrix analytic = module->Backward(coeff);
+  ASSERT_TRUE(analytic.SameShape(x));
+
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      Matrix xp = x, xm = x;
+      xp(r, c) += h;
+      xm(r, c) -= h;
+      const double lp = module->Forward(xp, true).CWiseMul(coeff).Sum();
+      const double lm = module->Forward(xm, true).CWiseMul(coeff).Sum();
+      const double numeric = (lp - lm) / (2.0 * h);
+      EXPECT_NEAR(analytic(r, c), numeric, tol)
+          << "input grad mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// Checks every parameter gradient against central differences.
+inline void CheckParamGradients(Module* module, const Matrix& x,
+                                double tol = 1e-6, double h = 1e-5) {
+  Rng rng(101);
+  Matrix y = module->Forward(x, true);
+  Matrix coeff = Matrix::Randn(y.rows(), y.cols(), &rng);
+
+  module->ZeroGrad();
+  module->Forward(x, true);
+  module->Backward(coeff);
+
+  for (Parameter* p : module->Params()) {
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        const double orig = p->value(r, c);
+        p->value(r, c) = orig + h;
+        const double lp = module->Forward(x, true).CWiseMul(coeff).Sum();
+        p->value(r, c) = orig - h;
+        const double lm = module->Forward(x, true).CWiseMul(coeff).Sum();
+        p->value(r, c) = orig;
+        const double numeric = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(p->grad(r, c), numeric, tol)
+            << "param " << p->name << " grad mismatch at (" << r << "," << c
+            << ")";
+      }
+    }
+  }
+}
+
+}  // namespace daisy::nn::testing
+
+#endif  // DAISY_TESTS_NN_GRADCHECK_H_

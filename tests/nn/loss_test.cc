@@ -1,0 +1,90 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace daisy::nn {
+namespace {
+
+TEST(LossTest, MseHandComputed) {
+  Matrix pred = Matrix::FromRows({{1.0, 2.0}});
+  Matrix target = Matrix::FromRows({{0.0, 4.0}});
+  Matrix grad;
+  const double loss = MseLoss(pred, target, &grad);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 2.0 * -2.0 / 2.0);
+}
+
+TEST(LossTest, MseZeroAtTarget) {
+  Matrix pred = Matrix::FromRows({{1.0, 2.0}});
+  Matrix grad;
+  EXPECT_DOUBLE_EQ(MseLoss(pred, pred, &grad), 0.0);
+  EXPECT_DOUBLE_EQ(grad.MaxAbs(), 0.0);
+}
+
+TEST(LossTest, BceAtHalfIsLog2) {
+  Matrix probs = Matrix::FromRows({{0.5}});
+  Matrix target = Matrix::FromRows({{1.0}});
+  Matrix grad;
+  EXPECT_NEAR(BceLoss(probs, target, &grad), std::log(2.0), 1e-12);
+}
+
+TEST(LossTest, BceWithLogitsMatchesBce) {
+  Rng rng(3);
+  Matrix logits = Matrix::Randn(4, 2, &rng);
+  Matrix probs = logits.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  Matrix targets(4, 2);
+  for (size_t r = 0; r < 4; ++r) targets(r, r % 2) = 1.0;
+  Matrix g1, g2;
+  EXPECT_NEAR(BceWithLogitsLoss(logits, targets, &g1),
+              BceLoss(probs, targets, &g2), 1e-9);
+}
+
+TEST(LossTest, BceWithLogitsGradMatchesFiniteDiff) {
+  Rng rng(5);
+  Matrix logits = Matrix::Randn(3, 2, &rng);
+  Matrix targets(3, 2);
+  targets(0, 0) = 1.0;
+  targets(1, 1) = 1.0;
+  targets(2, 0) = 1.0;
+  Matrix grad;
+  BceWithLogitsLoss(logits, targets, &grad);
+  const double h = 1e-6;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      Matrix lp = logits, lm = logits;
+      lp(r, c) += h;
+      lm(r, c) -= h;
+      Matrix dummy;
+      const double numeric = (BceWithLogitsLoss(lp, targets, &dummy) -
+                              BceWithLogitsLoss(lm, targets, &dummy)) /
+                             (2 * h);
+      EXPECT_NEAR(grad(r, c), numeric, 1e-6);
+    }
+  }
+}
+
+TEST(LossTest, BceWithLogitsStableAtExtremeLogits) {
+  Matrix logits = Matrix::FromRows({{500.0, -500.0}});
+  Matrix targets = Matrix::FromRows({{1.0, 0.0}});
+  Matrix grad;
+  const double loss = BceWithLogitsLoss(logits, targets, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-9);
+}
+
+TEST(LossTest, BceClampsoSaturatedProbabilities) {
+  Matrix probs = Matrix::FromRows({{1.0, 0.0}});
+  Matrix targets = Matrix::FromRows({{0.0, 1.0}});
+  Matrix grad;
+  const double loss = BceLoss(probs, targets, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);  // confidently wrong => large but finite
+}
+
+}  // namespace
+}  // namespace daisy::nn

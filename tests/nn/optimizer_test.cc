@@ -1,0 +1,120 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace daisy::nn {
+namespace {
+
+// Minimizing f(w) = sum (w - target)^2 must converge for every
+// optimizer.
+class QuadraticProblem {
+ public:
+  QuadraticProblem() : param_("w", Matrix(2, 2, 5.0)), target_(2, 2, 1.0) {}
+
+  double LossAndGrad() {
+    double loss = 0.0;
+    param_.ZeroGrad();
+    for (size_t r = 0; r < 2; ++r)
+      for (size_t c = 0; c < 2; ++c) {
+        const double d = param_.value(r, c) - target_(r, c);
+        loss += d * d;
+        param_.grad(r, c) = 2.0 * d;
+      }
+    return loss;
+  }
+
+  Parameter param_;
+  Matrix target_;
+};
+
+template <typename Opt, typename... Args>
+double RunToConvergence(size_t steps, Args&&... args) {
+  QuadraticProblem prob;
+  Opt opt({&prob.param_}, std::forward<Args>(args)...);
+  double loss = 0.0;
+  for (size_t i = 0; i < steps; ++i) {
+    loss = prob.LossAndGrad();
+    opt.Step();
+  }
+  return loss;
+}
+
+TEST(OptimizerTest, SgdConverges) {
+  EXPECT_LT(RunToConvergence<Sgd>(200, 0.1), 1e-6);
+}
+
+TEST(OptimizerTest, AdamConverges) {
+  EXPECT_LT(RunToConvergence<Adam>(500, 0.1), 1e-4);
+}
+
+TEST(OptimizerTest, RmsPropConverges) {
+  EXPECT_LT(RunToConvergence<RmsProp>(500, 0.05), 1e-4);
+}
+
+TEST(OptimizerTest, AdamBeatsSgdOnIllConditionedStart) {
+  // Sanity: both should make progress from the same start.
+  const double sgd = RunToConvergence<Sgd>(20, 0.01);
+  const double adam = RunToConvergence<Adam>(20, 0.5);
+  EXPECT_LT(adam, 64.0);
+  EXPECT_LT(sgd, 64.0);
+}
+
+TEST(OptimizerTest, ZeroGradClearsGradients) {
+  Parameter p("p", Matrix(2, 2, 1.0));
+  p.grad.Fill(3.0);
+  Sgd opt({&p}, 0.1);
+  opt.ZeroGrad();
+  EXPECT_DOUBLE_EQ(p.grad.MaxAbs(), 0.0);
+}
+
+TEST(OptimizerTest, ClipParamsBoundsValues) {
+  Parameter p("p", Matrix::FromRows({{-5.0, 0.005, 5.0}}));
+  ClipParams({&p}, 0.01);
+  EXPECT_DOUBLE_EQ(p.value(0, 0), -0.01);
+  EXPECT_DOUBLE_EQ(p.value(0, 1), 0.005);
+  EXPECT_DOUBLE_EQ(p.value(0, 2), 0.01);
+}
+
+TEST(OptimizerTest, GlobalGradNorm) {
+  Parameter a("a", Matrix(1, 2));
+  Parameter b("b", Matrix(1, 1));
+  a.grad(0, 0) = 3.0;
+  a.grad(0, 1) = 0.0;
+  b.grad(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(GlobalGradNorm({&a, &b}), 5.0);
+}
+
+TEST(OptimizerTest, ClipAndNoiseGradsClipsLargeNorm) {
+  Rng rng(7);
+  Parameter p("p", Matrix(1, 2));
+  p.grad(0, 0) = 30.0;
+  p.grad(0, 1) = 40.0;  // norm 50
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0, &rng);
+  EXPECT_NEAR(GlobalGradNorm({&p}), 1.0, 1e-9);
+}
+
+TEST(OptimizerTest, ClipAndNoiseGradsLeavesSmallNorm) {
+  Rng rng(7);
+  Parameter p("p", Matrix(1, 2));
+  p.grad(0, 0) = 0.3;
+  p.grad(0, 1) = 0.4;  // norm 0.5
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0, &rng);
+  EXPECT_NEAR(GlobalGradNorm({&p}), 0.5, 1e-9);
+}
+
+TEST(OptimizerTest, ClipAndNoiseGradsAddsNoise) {
+  Rng rng(7);
+  Parameter p("p", Matrix(1, 100));
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/2.0, &rng);
+  // All-zero grads plus N(0, 2^2) noise: empirical stddev near 2.
+  double sq = 0.0;
+  for (size_t c = 0; c < 100; ++c) sq += p.grad(0, c) * p.grad(0, c);
+  EXPECT_NEAR(std::sqrt(sq / 100.0), 2.0, 0.6);
+}
+
+}  // namespace
+}  // namespace daisy::nn

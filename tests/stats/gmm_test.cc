@@ -1,0 +1,122 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace daisy::stats {
+namespace {
+
+std::vector<double> TwoModeData(Rng* rng, size_t n, double m1, double m2,
+                                double sd) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i)
+    out[i] = rng->Gaussian(i % 2 == 0 ? m1 : m2, sd);
+  return out;
+}
+
+TEST(GmmTest, RecoversTwoWellSeparatedModes) {
+  Rng rng(1);
+  auto values = TwoModeData(&rng, 4000, -5.0, 5.0, 0.5);
+  Gmm1d::Options opts;
+  opts.components = 2;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  ASSERT_EQ(gmm.num_components(), 2u);
+  double lo = std::min(gmm.mean(0), gmm.mean(1));
+  double hi = std::max(gmm.mean(0), gmm.mean(1));
+  EXPECT_NEAR(lo, -5.0, 0.3);
+  EXPECT_NEAR(hi, 5.0, 0.3);
+  EXPECT_NEAR(gmm.stddev(0), 0.5, 0.2);
+  EXPECT_NEAR(gmm.weight(0) + gmm.weight(1), 1.0, 1e-9);
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOneAndPickRightMode) {
+  Rng rng(2);
+  auto values = TwoModeData(&rng, 2000, -5.0, 5.0, 0.5);
+  Gmm1d::Options opts;
+  opts.components = 2;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  const auto r = gmm.Responsibilities(-5.0);
+  EXPECT_NEAR(r[0] + r[1], 1.0, 1e-9);
+  const size_t k = gmm.MostLikelyComponent(-5.0);
+  EXPECT_NEAR(gmm.mean(k), -5.0, 0.5);
+  const size_t k2 = gmm.MostLikelyComponent(5.0);
+  EXPECT_NE(k, k2);
+}
+
+TEST(GmmTest, SingleComponentMatchesSampleMoments) {
+  Rng rng(3);
+  std::vector<double> values(3000);
+  for (auto& v : values) v = rng.Gaussian(2.0, 3.0);
+  Gmm1d::Options opts;
+  opts.components = 1;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  EXPECT_NEAR(gmm.mean(0), 2.0, 0.2);
+  EXPECT_NEAR(gmm.stddev(0), 3.0, 0.2);
+}
+
+TEST(GmmTest, ComponentCountClampedToDataSize) {
+  Rng rng(4);
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  Gmm1d::Options opts;
+  opts.components = 10;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  EXPECT_LE(gmm.num_components(), 3u);
+}
+
+TEST(GmmTest, ConstantDataDoesNotCrash) {
+  Rng rng(5);
+  std::vector<double> values(100, 7.0);
+  Gmm1d::Options opts;
+  opts.components = 3;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  EXPECT_NEAR(gmm.mean(gmm.MostLikelyComponent(7.0)), 7.0, 1e-6);
+  EXPECT_GE(gmm.stddev(0), opts.min_stddev);
+}
+
+TEST(GmmTest, SamplesFollowMixture) {
+  Rng rng(6);
+  auto values = TwoModeData(&rng, 2000, -5.0, 5.0, 0.5);
+  Gmm1d::Options opts;
+  opts.components = 2;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  size_t near_neg = 0, near_pos = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double s = gmm.Sample(&rng);
+    if (std::fabs(s + 5.0) < 2.0) ++near_neg;
+    if (std::fabs(s - 5.0) < 2.0) ++near_pos;
+  }
+  EXPECT_NEAR(near_neg, 1000, 150);
+  EXPECT_NEAR(near_pos, 1000, 150);
+}
+
+TEST(GmmTest, LogLikelihoodHigherNearModes) {
+  Rng rng(7);
+  auto values = TwoModeData(&rng, 2000, -5.0, 5.0, 0.5);
+  Gmm1d::Options opts;
+  opts.components = 2;
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  EXPECT_GT(gmm.LogLikelihood(-5.0), gmm.LogLikelihood(0.0));
+  EXPECT_GT(gmm.LogLikelihood(5.0), gmm.LogLikelihood(0.0));
+}
+
+// Property sweep: more components never fit dramatically worse.
+class GmmComponentSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GmmComponentSweep, AvgLogLikelihoodReasonable) {
+  Rng rng(8);
+  auto values = TwoModeData(&rng, 1500, -4.0, 4.0, 0.8);
+  Gmm1d::Options opts;
+  opts.components = GetParam();
+  Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+  // A one-component fit of two modes at +/-4 has avg LL around -3.2;
+  // any multi-component fit should beat -3.5 comfortably.
+  EXPECT_GT(gmm.AvgLogLikelihood(values), -3.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Components, GmmComponentSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace daisy::stats

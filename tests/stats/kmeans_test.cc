@@ -1,0 +1,80 @@
+#include "stats/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace daisy::stats {
+namespace {
+
+Matrix ThreeBlobs(Rng* rng, size_t per_blob) {
+  Matrix data(3 * per_blob, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      data(b * per_blob + i, 0) = centers[b][0] + rng->Gaussian(0, 0.5);
+      data(b * per_blob + i, 1) = centers[b][1] + rng->Gaussian(0, 0.5);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  Matrix data = ThreeBlobs(&rng, 100);
+  KMeansOptions opts;
+  opts.k = 3;
+  const auto result = KMeans(data, opts, &rng);
+  // All members of a blob share a cluster.
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t first = result.labels[b * 100];
+    for (size_t i = 1; i < 100; ++i)
+      EXPECT_EQ(result.labels[b * 100 + i], first) << "blob " << b;
+  }
+  // And the three blobs get three distinct clusters.
+  EXPECT_NE(result.labels[0], result.labels[100]);
+  EXPECT_NE(result.labels[0], result.labels[200]);
+  EXPECT_NE(result.labels[100], result.labels[200]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  Matrix data = ThreeBlobs(&rng, 80);
+  double prev = 1e300;
+  for (size_t k : {1, 2, 3}) {
+    KMeansOptions opts;
+    opts.k = k;
+    const auto result = KMeans(data, opts, &rng);
+    EXPECT_LT(result.inertia, prev);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansTest, KClampedToDataSize) {
+  Rng rng(3);
+  Matrix data = Matrix::FromRows({{0, 0}, {1, 1}});
+  KMeansOptions opts;
+  opts.k = 10;
+  const auto result = KMeans(data, opts, &rng);
+  EXPECT_EQ(result.centroids.rows(), 2u);
+}
+
+TEST(KMeansTest, LabelsCoverEveryRow) {
+  Rng rng(4);
+  Matrix data = ThreeBlobs(&rng, 50);
+  KMeansOptions opts;
+  opts.k = 3;
+  const auto result = KMeans(data, opts, &rng);
+  EXPECT_EQ(result.labels.size(), data.rows());
+  for (size_t l : result.labels) EXPECT_LT(l, 3u);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Rng rng(5);
+  Matrix data(20, 2, 1.0);
+  KMeansOptions opts;
+  opts.k = 4;
+  const auto result = KMeans(data, opts, &rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace daisy::stats

@@ -1,0 +1,105 @@
+#include "stats/mvn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace daisy::stats {
+namespace {
+
+TEST(CholeskyTest, HandComputed2x2) {
+  Matrix a = Matrix::FromRows({{4.0, 2.0}, {2.0, 5.0}});
+  auto result = Cholesky(a);
+  ASSERT_TRUE(result.ok());
+  const Matrix& l = result.value();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);  // strictly lower triangular
+}
+
+TEST(CholeskyTest, ReconstructsInput) {
+  Rng rng(1);
+  // Random SPD matrix: A = B B^T + I.
+  Matrix b = Matrix::Randn(5, 5, &rng);
+  Matrix a = b.MatMulTranspose(b);
+  for (size_t i = 0; i < 5; ++i) a(i, i) += 1.0;
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Matrix back = l.value().MatMulTranspose(l.value());
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(back(i, j), a(i, j), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {2.0, 1.0}});  // eigvals 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(RegularizeTest, MakesSingularFactorizable) {
+  // Perfectly correlated 2-D: singular correlation matrix.
+  Matrix corr = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_FALSE(Cholesky(corr).ok());
+  EXPECT_TRUE(Cholesky(RegularizeCovariance(corr, 0.05)).ok());
+}
+
+TEST(CovarianceTest, HandComputed) {
+  Matrix data = Matrix::FromRows({{1, 2}, {3, 6}, {5, 10}});
+  Matrix cov = CovarianceMatrix(data);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 16.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(cov(1, 0), 8.0);
+}
+
+TEST(CorrelationTest, PerfectlyCorrelatedColumns) {
+  Matrix data = Matrix::FromRows({{1, 2}, {3, 6}, {5, 10}});
+  Matrix corr = CorrelationMatrix(data);
+  EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantColumnGetsZeroOffDiagonal) {
+  Matrix data = Matrix::FromRows({{1, 5}, {2, 5}, {3, 5}});
+  Matrix corr = CorrelationMatrix(data);
+  EXPECT_DOUBLE_EQ(corr(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr(1, 1), 1.0);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, SymmetricAroundHalf) {
+  EXPECT_NEAR(NormalQuantile(0.3), -NormalQuantile(0.7), 1e-9);
+  EXPECT_DOUBLE_EQ(NormalQuantile(0.5), 0.0);
+}
+
+TEST(MvnSamplerTest, SampleCovarianceMatchesTarget) {
+  Matrix sigma = Matrix::FromRows({{2.0, 1.2}, {1.2, 1.5}});
+  auto l = Cholesky(sigma);
+  ASSERT_TRUE(l.ok());
+  MvnSampler sampler(l.take());
+  Rng rng(7);
+  Matrix draws = sampler.SampleBatch(40000, &rng);
+  Matrix cov = CovarianceMatrix(draws);
+  EXPECT_NEAR(cov(0, 0), 2.0, 0.1);
+  EXPECT_NEAR(cov(1, 1), 1.5, 0.08);
+  EXPECT_NEAR(cov(0, 1), 1.2, 0.08);
+}
+
+}  // namespace
+}  // namespace daisy::stats

@@ -1,0 +1,115 @@
+#include "synth/heads.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "transform/record_transformer.h"
+
+namespace daisy::synth {
+namespace {
+
+std::vector<transform::AttrSegment> SampleSegments() {
+  using Kind = transform::AttrSegment::Kind;
+  std::vector<transform::AttrSegment> segs(4);
+  segs[0].kind = Kind::kSimpleNumeric;
+  segs[0].offset = 0;
+  segs[0].width = 1;
+  segs[1].kind = Kind::kOneHotCat;
+  segs[1].offset = 1;
+  segs[1].width = 3;
+  segs[1].domain = 3;
+  segs[2].kind = Kind::kGmmNumeric;
+  segs[2].offset = 4;
+  segs[2].width = 3;  // 1 value + 2 components
+  segs[3].kind = Kind::kOrdinalCat;
+  segs[3].offset = 7;
+  segs[3].width = 1;
+  segs[3].domain = 5;
+  return segs;
+}
+
+TEST(HeadsTest, BuildHeadUnitsExpandsSegments) {
+  const auto units = BuildHeadUnits(SampleSegments());
+  ASSERT_EQ(units.size(), 5u);  // simple, onehot, gmm value, gmm comp, ord
+  EXPECT_EQ(units[0].act, HeadUnit::Act::kTanh);
+  EXPECT_EQ(units[1].act, HeadUnit::Act::kSoftmax);
+  EXPECT_EQ(units[1].width, 3u);
+  EXPECT_EQ(units[2].act, HeadUnit::Act::kTanh);
+  EXPECT_EQ(units[2].width, 1u);
+  EXPECT_EQ(units[3].act, HeadUnit::Act::kSoftmax);
+  EXPECT_EQ(units[3].width, 2u);
+  EXPECT_EQ(units[4].act, HeadUnit::Act::kSigmoid);
+}
+
+TEST(HeadsTest, ForwardProducesValidRanges) {
+  Rng rng(1);
+  AttributeHeads heads(8, SampleSegments(), &rng);
+  EXPECT_EQ(heads.sample_dim(), 8u);
+  Matrix features = Matrix::Randn(16, 8, &rng);
+  Matrix sample = heads.Forward(features);
+  ASSERT_EQ(sample.cols(), 8u);
+  for (size_t r = 0; r < sample.rows(); ++r) {
+    // tanh outputs in [-1, 1].
+    EXPECT_LE(std::fabs(sample(r, 0)), 1.0);
+    EXPECT_LE(std::fabs(sample(r, 4)), 1.0);
+    // sigmoid output in [0, 1].
+    EXPECT_GE(sample(r, 7), 0.0);
+    EXPECT_LE(sample(r, 7), 1.0);
+    // softmax blocks sum to 1 and are non-negative.
+    double s1 = 0.0, s2 = 0.0;
+    for (int c = 1; c <= 3; ++c) s1 += sample(r, c);
+    for (int c = 5; c <= 6; ++c) s2 += sample(r, c);
+    EXPECT_NEAR(s1, 1.0, 1e-9);
+    EXPECT_NEAR(s2, 1.0, 1e-9);
+  }
+}
+
+TEST(HeadsTest, BackwardGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  AttributeHeads heads(4, SampleSegments(), &rng);
+  Matrix x = Matrix::Randn(3, 4, &rng);
+  Matrix y = heads.Forward(x);
+  Matrix coeff = Matrix::Randn(y.rows(), y.cols(), &rng);
+
+  for (auto* p : heads.Params()) p->ZeroGrad();
+  heads.Forward(x);
+  Matrix analytic = heads.Backward(coeff);
+
+  const double h = 1e-5;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      Matrix xp = x, xm = x;
+      xp(r, c) += h;
+      xm(r, c) -= h;
+      const double numeric = (heads.Forward(xp).CWiseMul(coeff).Sum() -
+                              heads.Forward(xm).CWiseMul(coeff).Sum()) /
+                             (2 * h);
+      EXPECT_NEAR(analytic(r, c), numeric, 1e-6);
+    }
+  }
+  // Parameter gradients.
+  for (auto* p : heads.Params()) {
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        const double orig = p->value(r, c);
+        p->value(r, c) = orig + h;
+        const double lp = heads.Forward(x).CWiseMul(coeff).Sum();
+        p->value(r, c) = orig - h;
+        const double lm = heads.Forward(x).CWiseMul(coeff).Sum();
+        p->value(r, c) = orig;
+        EXPECT_NEAR(p->grad(r, c), (lp - lm) / (2 * h), 1e-6);
+      }
+    }
+  }
+}
+
+TEST(HeadsTest, ParamsCoverEveryProjection) {
+  Rng rng(3);
+  AttributeHeads heads(4, SampleSegments(), &rng);
+  // 5 head units x (weight + bias).
+  EXPECT_EQ(heads.Params().size(), 10u);
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -1,0 +1,105 @@
+#include "synth/kl_regularizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace daisy::synth {
+namespace {
+
+std::vector<transform::AttrSegment> OneHotSegment(size_t width) {
+  std::vector<transform::AttrSegment> segs(1);
+  segs[0].kind = transform::AttrSegment::Kind::kOneHotCat;
+  segs[0].offset = 0;
+  segs[0].width = width;
+  segs[0].domain = width;
+  return segs;
+}
+
+std::vector<transform::AttrSegment> ScalarSegment() {
+  std::vector<transform::AttrSegment> segs(1);
+  segs[0].kind = transform::AttrSegment::Kind::kSimpleNumeric;
+  segs[0].offset = 0;
+  segs[0].width = 1;
+  return segs;
+}
+
+TEST(KlRegularizerTest, NearZeroForMatchingCategoricalMarginals) {
+  KlRegularizer kl(OneHotSegment(3));
+  Matrix real(300, 3);
+  Matrix fake(300, 3);
+  for (size_t i = 0; i < 300; ++i) {
+    real(i, i % 3) = 1.0;
+    fake(i, i % 3) = 1.0;
+  }
+  Matrix grad(300, 3);
+  EXPECT_NEAR(kl.Compute(real, fake, 1.0, &grad), 0.0, 1e-6);
+}
+
+TEST(KlRegularizerTest, PositiveForMismatchedMarginals) {
+  KlRegularizer kl(OneHotSegment(3));
+  Matrix real(300, 3);
+  Matrix fake(300, 3);
+  for (size_t i = 0; i < 300; ++i) {
+    real(i, i % 3) = 1.0;
+    fake(i, 0) = 1.0;  // fake collapses to category 0
+  }
+  Matrix grad(300, 3);
+  EXPECT_GT(kl.Compute(real, fake, 1.0, &grad), 0.5);
+}
+
+TEST(KlRegularizerTest, GradientPushesTowardUnderrepresentedCategory) {
+  KlRegularizer kl(OneHotSegment(2));
+  Matrix real(100, 2);
+  Matrix fake(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    real(i, i % 2) = 1.0;  // 50/50 real
+    fake(i, 0) = 1.0;      // all mass on category 0
+  }
+  Matrix grad(100, 2);
+  kl.Compute(real, fake, 1.0, &grad);
+  // dL/dq_1 is strongly negative (increase category 1), and more
+  // negative than dL/dq_0.
+  EXPECT_LT(grad(0, 1), grad(0, 0));
+  EXPECT_LT(grad(0, 1), 0.0);
+}
+
+TEST(KlRegularizerTest, MomentMatchingOnScalars) {
+  KlRegularizer kl(ScalarSegment());
+  Rng rng(3);
+  Matrix real(500, 1);
+  Matrix fake(500, 1);
+  for (size_t i = 0; i < 500; ++i) {
+    real(i, 0) = rng.Gaussian(0.0, 0.5);
+    fake(i, 0) = rng.Gaussian(0.6, 0.5);  // shifted mean
+  }
+  Matrix grad(500, 1);
+  const double loss = kl.Compute(real, fake, 1.0, &grad);
+  EXPECT_GT(loss, 0.1);
+  // Gradient should push fake values down toward the real mean.
+  double mean_grad = 0.0;
+  for (size_t i = 0; i < 500; ++i) mean_grad += grad(i, 0);
+  EXPECT_GT(mean_grad / 500.0, 0.0);
+}
+
+TEST(KlRegularizerTest, WeightScalesGradient) {
+  KlRegularizer kl(ScalarSegment());
+  Matrix real(10, 1, 0.0);
+  Matrix fake(10, 1, 1.0);
+  Matrix g1(10, 1), g2(10, 1);
+  kl.Compute(real, fake, 1.0, &g1);
+  kl.Compute(real, fake, 2.0, &g2);
+  EXPECT_NEAR(g2(0, 0), 2.0 * g1(0, 0), 1e-12);
+}
+
+TEST(KlRegularizerTest, GradientAddsNotOverwrites) {
+  KlRegularizer kl(ScalarSegment());
+  Matrix real(10, 1, 0.0);
+  Matrix fake(10, 1, 1.0);
+  Matrix grad(10, 1, 5.0);  // pre-existing gradient
+  kl.Compute(real, fake, 1.0, &grad);
+  EXPECT_GT(grad(0, 0), 5.0);  // added positive gradient on top
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -1,0 +1,138 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/serial.h"
+#include "data/generators/realistic.h"
+#include "synth/synthesizer.h"
+
+namespace daisy::synth {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "daisy_model_test.bin";
+};
+
+GanOptions TinyOptions() {
+  GanOptions opts;
+  opts.iterations = 20;
+  opts.batch_size = 16;
+  opts.g_hidden = {24};
+  opts.d_hidden = {24};
+  opts.noise_dim = 8;
+  return opts;
+}
+
+TEST_F(PersistenceTest, SaveLoadRoundTripGeneratesIdenticalData) {
+  Rng rng(1);
+  data::Table train = data::MakeAdultSim(250, &rng);
+  TableSynthesizer synth(TinyOptions(), {});
+  synth.Fit(train);
+  ASSERT_TRUE(synth.Save(path_).ok());
+
+  auto loaded = TableSynthesizer::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Rng g1(7), g2(7);
+  data::Table a = synth.Generate(80, &g1);
+  data::Table b = loaded.value()->Generate(80, &g2);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (size_t i = 0; i < a.num_records(); ++i)
+    for (size_t j = 0; j < a.num_attributes(); ++j)
+      ASSERT_DOUBLE_EQ(a.value(i, j), b.value(i, j))
+          << "record " << i << " attr " << j;
+}
+
+TEST_F(PersistenceTest, ConditionalModelRoundTrips) {
+  Rng rng(2);
+  data::Table train = data::MakeAdultSim(250, &rng);
+  GanOptions opts = TinyOptions();
+  opts.algo = TrainAlgo::kCTrain;
+  TableSynthesizer synth(opts, {});
+  synth.Fit(train);
+  ASSERT_TRUE(synth.Save(path_).ok());
+  auto loaded = TableSynthesizer::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Rng g1(9), g2(9);
+  data::Table a = synth.Generate(60, &g1);
+  data::Table b = loaded.value()->Generate(60, &g2);
+  for (size_t i = 0; i < 60; ++i)
+    ASSERT_EQ(a.label(i), b.label(i));
+}
+
+TEST_F(PersistenceTest, LstmModelRoundTrips) {
+  Rng rng(3);
+  data::Table train = data::MakeHtru2Sim(200, &rng);
+  GanOptions opts = TinyOptions();
+  opts.generator = GeneratorArch::kLstm;
+  opts.lstm_hidden = 16;
+  opts.lstm_feature = 8;
+  TableSynthesizer synth(opts, {});
+  synth.Fit(train);
+  ASSERT_TRUE(synth.Save(path_).ok());
+  auto loaded = TableSynthesizer::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Rng g1(11), g2(11);
+  data::Table a = synth.Generate(40, &g1);
+  data::Table b = loaded.value()->Generate(40, &g2);
+  for (size_t i = 0; i < 40; ++i)
+    ASSERT_DOUBLE_EQ(a.value(i, 0), b.value(i, 0));
+}
+
+TEST_F(PersistenceTest, SaveUnfittedFails) {
+  TableSynthesizer synth(TinyOptions(), {});
+  EXPECT_FALSE(synth.Save(path_).ok());
+}
+
+TEST_F(PersistenceTest, LoadMissingFileFails) {
+  auto loaded = TableSynthesizer::Load("/does/not/exist.model");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(PersistenceTest, LoadCorruptFileFails) {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  std::fputs("definitely-not-a-model 42 junk", f);
+  std::fclose(f);
+  auto loaded = TableSynthesizer::Load(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerialTest, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  Serializer out(&ss);
+  out.WriteTag("hello");
+  out.WriteU64(123456789012345ULL);
+  out.WriteDouble(-3.14159265358979312);
+  out.WriteString("with spaces\nand newlines");
+  Matrix m = Matrix::FromRows({{1.5, -2.5}, {0.0, 1e-17}});
+  out.WriteMatrix(m);
+  out.WriteDoubleVector({1.0, 2.0, 3.0});
+
+  Deserializer in(&ss);
+  in.ExpectTag("hello");
+  EXPECT_EQ(in.ReadU64(), 123456789012345ULL);
+  EXPECT_DOUBLE_EQ(in.ReadDouble(), -3.14159265358979312);
+  EXPECT_EQ(in.ReadString(), "with spaces\nand newlines");
+  Matrix back = in.ReadMatrix();
+  ASSERT_TRUE(back.SameShape(m));
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 2; ++c)
+      EXPECT_DOUBLE_EQ(back(r, c), m(r, c));
+  EXPECT_EQ(in.ReadDoubleVector(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(in.ok());
+}
+
+TEST(SerialTest, TagMismatchLatchesError) {
+  std::stringstream ss("wrong 5");
+  Deserializer in(&ss);
+  in.ExpectTag("right");
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.ReadU64(), 0u);  // subsequent reads are inert
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -1,0 +1,60 @@
+#include "synth/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+
+namespace daisy::synth {
+namespace {
+
+TEST(RandomSamplerTest, IndicesInRange) {
+  Rng rng(1);
+  RandomSampler sampler(50);
+  const auto batch = sampler.SampleBatch(200, &rng);
+  EXPECT_EQ(batch.size(), 200u);
+  for (size_t idx : batch) EXPECT_LT(idx, 50u);
+}
+
+TEST(RandomSamplerTest, CoversTheDomain) {
+  Rng rng(2);
+  RandomSampler sampler(10);
+  std::vector<bool> seen(10, false);
+  for (size_t idx : sampler.SampleBatch(1000, &rng)) seen[idx] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(LabelAwareSamplerTest, BatchesCarryRequestedLabel) {
+  Rng rng(3);
+  data::Table t = data::MakeAdultSim(500, &rng);
+  LabelAwareSampler sampler(t);
+  ASSERT_EQ(sampler.num_labels(), 2u);
+  for (size_t y = 0; y < 2; ++y) {
+    const auto batch = sampler.SampleBatchWithLabel(y, 64, &rng);
+    ASSERT_EQ(batch.size(), 64u);
+    for (size_t idx : batch) EXPECT_EQ(t.label(idx), y);
+  }
+}
+
+TEST(LabelAwareSamplerTest, MinorityLabelGetsFullBatches) {
+  Rng rng(4);
+  data::Table t = data::MakeCensusSim(1000, &rng);  // ~5% positive
+  LabelAwareSampler sampler(t);
+  const auto batch = sampler.SampleBatchWithLabel(1, 64, &rng);
+  EXPECT_EQ(batch.size(), 64u);  // oversampled with replacement
+}
+
+TEST(LabelAwareSamplerTest, EmptyLabelYieldsEmptyBatch) {
+  data::Schema schema({data::Attribute::Numerical("x"),
+                       data::Attribute::Categorical("label", {"a", "b"})},
+                      1);
+  data::Table t(schema);
+  t.AppendRecord({1.0, 0.0});  // only label "a" present
+  Rng rng(5);
+  LabelAwareSampler sampler(t);
+  EXPECT_TRUE(sampler.SampleBatchWithLabel(1, 8, &rng).empty());
+  EXPECT_EQ(sampler.label_count(0), 1u);
+  EXPECT_EQ(sampler.label_count(1), 0u);
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -1,0 +1,208 @@
+// Behavioural tests of the four training algorithms (Algorithms 1-4):
+// loss bookkeeping, WGAN weight clipping, DP gradient noising, snapshot
+// cadence, and that adversarial training actually improves the
+// generator's distribution fit.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/sdata.h"
+#include "stats/metrics.h"
+#include "synth/mlp_nets.h"
+#include "synth/trainer.h"
+
+namespace daisy::synth {
+namespace {
+
+struct Nets {
+  std::unique_ptr<transform::RecordTransformer> transformer;
+  std::unique_ptr<MlpGenerator> g;
+  std::unique_ptr<MlpDiscriminator> d;
+};
+
+Nets BuildNets(const data::Table& table, size_t cond_dim, Rng* rng) {
+  Nets nets;
+  transform::TransformOptions topts;
+  topts.exclude_label = cond_dim > 0;
+  nets.transformer = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::Fit(table, topts, rng));
+  nets.g = std::make_unique<MlpGenerator>(
+      8, cond_dim, std::vector<size_t>{24}, nets.transformer->segments(),
+      rng);
+  nets.d = std::make_unique<MlpDiscriminator>(
+      nets.transformer->sample_dim(), cond_dim, std::vector<size_t>{24},
+      false, rng);
+  return nets;
+}
+
+data::Table SmallTable(Rng* rng) {
+  data::SDataCatOptions opts;
+  opts.num_records = 300;
+  return data::MakeSDataCat(opts, rng);
+}
+
+GanOptions SmallOptions(TrainAlgo algo) {
+  GanOptions opts;
+  opts.algo = algo;
+  opts.iterations = 25;
+  opts.batch_size = 16;
+  opts.snapshots = 5;
+  return opts;
+}
+
+TEST(TrainerTest, VTrainRecordsLossesAndSnapshots) {
+  Rng rng(1);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  TrainResult result = trainer.Train(table, &rng);
+  EXPECT_EQ(result.g_losses.size(), opts.iterations);
+  EXPECT_EQ(result.d_losses.size(), opts.iterations);
+  EXPECT_EQ(result.snapshots.size(), opts.snapshots);
+  EXPECT_EQ(result.snapshot_iters.back(), opts.iterations);
+  for (double loss : result.g_losses) EXPECT_TRUE(std::isfinite(loss));
+  for (double loss : result.d_losses) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(TrainerTest, WTrainClipsDiscriminatorWeights) {
+  Rng rng(2);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kWTrain);
+  opts.weight_clip = 0.01;
+  opts.d_steps = 2;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  trainer.Train(table, &rng);
+  for (const nn::Parameter* p : nets.d->Params())
+    EXPECT_LE(p->value.MaxAbs(), 0.01 + 1e-12) << p->name;
+}
+
+TEST(TrainerTest, VTrainDoesNotClipWeights) {
+  Rng rng(3);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  trainer.Train(table, &rng);
+  double max_abs = 0.0;
+  for (const nn::Parameter* p : nets.d->Params())
+    max_abs = std::max(max_abs, p->value.MaxAbs());
+  EXPECT_GT(max_abs, 0.05);
+}
+
+TEST(TrainerTest, CTrainRequiresConditionalNets) {
+  Rng rng(4);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, /*cond_dim=*/2, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kCTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  TrainResult result = trainer.Train(table, &rng);
+  EXPECT_EQ(result.g_losses.size(), opts.iterations);
+}
+
+TEST(TrainerTest, MismatchedCondDimsAbort) {
+  Rng rng(5);
+  data::Table table = SmallTable(&rng);
+  transform::TransformOptions topts;
+  auto tf = transform::RecordTransformer::Fit(table, topts, &rng);
+  MlpGenerator g(8, 2, {16}, tf.segments(), &rng);
+  MlpDiscriminator d(tf.sample_dim(), 0, {16}, false, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  EXPECT_DEATH(GanTrainer(&g, &d, &tf, opts), "DAISY_CHECK");
+}
+
+TEST(TrainerTest, TrainingImprovesMarginalFit) {
+  // After a few hundred VTrain iterations the generated categorical
+  // marginals should be much closer to the real ones than at init.
+  Rng rng(6);
+  data::SDataCatOptions copts;
+  copts.num_records = 800;
+  copts.positive_ratio = 0.5;
+  data::Table table = MakeSDataCat(copts, &rng);
+
+  auto marginal_kl = [&](Generator* g,
+                         const transform::RecordTransformer& tf) {
+    Rng gen_rng(7);
+    Matrix z = Matrix::Randn(800, g->noise_dim(), &gen_rng);
+    Matrix samples = g->Forward(z, Matrix(), false);
+    data::Table fake = tf.InverseTransform(samples);
+    double total = 0.0;
+    for (size_t j = 0; j < 5; ++j) {
+      const size_t dom = table.schema().attribute(j).domain_size();
+      std::vector<double> hr(dom, 0.0), hf(dom, 0.0);
+      for (size_t i = 0; i < table.num_records(); ++i)
+        hr[table.category(i, j)] += 1.0;
+      for (size_t i = 0; i < fake.num_records(); ++i)
+        hf[fake.category(i, j)] += 1.0;
+      total += stats::KlDivergence(hr, hf);
+    }
+    return total;
+  };
+
+  Rng init_rng(8);
+  Nets nets = BuildNets(table, 0, &init_rng);
+  const double kl_before = marginal_kl(nets.g.get(), *nets.transformer);
+
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  opts.iterations = 300;
+  opts.batch_size = 64;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  Rng train_rng(9);
+  trainer.Train(table, &train_rng);
+  const double kl_after = marginal_kl(nets.g.get(), *nets.transformer);
+  EXPECT_LT(kl_after, kl_before * 0.5);
+}
+
+TEST(TrainerTest, DpTrainPerturbsTraining) {
+  // Same seed, with and without DP noise: parameters must diverge, and
+  // the DP run must still produce finite losses.
+  auto run = [](TrainAlgo algo, double noise) {
+    Rng rng(10);
+    data::SDataCatOptions copts;
+    copts.num_records = 300;
+    data::Table table = MakeSDataCat(copts, &rng);
+    Rng nets_rng(11);
+    Nets nets = BuildNets(table, 0, &nets_rng);
+    GanOptions opts = SmallOptions(algo);
+    opts.dp_noise_scale = noise;
+    GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                       opts);
+    Rng train_rng(12);
+    trainer.Train(table, &train_rng);
+    double sum = 0.0;
+    for (const nn::Parameter* p : nets.g->Params()) sum += p->value.Sum();
+    return sum;
+  };
+  const double w_sum = run(TrainAlgo::kWTrain, 0.0);
+  const double dp_sum = run(TrainAlgo::kDPTrain, 4.0);
+  EXPECT_TRUE(std::isfinite(dp_sum));
+  EXPECT_NE(w_sum, dp_sum);
+}
+
+TEST(TrainerTest, SnapshotStatesDifferAcrossTraining) {
+  Rng rng(13);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  opts.iterations = 50;
+  opts.snapshots = 5;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  TrainResult result = trainer.Train(table, &rng);
+  ASSERT_GE(result.snapshots.size(), 2u);
+  double diff = 0.0;
+  const auto& first = result.snapshots.front();
+  const auto& last = result.snapshots.back();
+  for (size_t i = 0; i < first.size(); ++i)
+    diff += (first[i] - last[i]).MaxAbs();
+  EXPECT_GT(diff, 1e-6);
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -1,0 +1,83 @@
+// Property sweep: the record transformation is a faithful codec on
+// every dataset family the study uses, under every scheme combination.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+#include "transform/record_transformer.h"
+
+namespace daisy::transform {
+namespace {
+
+class DatasetTransformSweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTransformSweep, RoundTripOnEveryScheme) {
+  Rng rng(42);
+  data::Table t = data::MakeDatasetByName(GetParam(), 300, &rng);
+
+  for (auto cat : {CategoricalEncoding::kOrdinal,
+                   CategoricalEncoding::kOneHot}) {
+    for (auto num : {NumericalNormalization::kSimple,
+                     NumericalNormalization::kGmm}) {
+      TransformOptions opts;
+      opts.categorical = cat;
+      opts.numerical = num;
+      opts.gmm_components = 3;
+      auto tf = RecordTransformer::Fit(t, opts, &rng);
+      Matrix samples = tf.Transform(t);
+      ASSERT_EQ(samples.rows(), t.num_records());
+      ASSERT_EQ(samples.cols(), tf.sample_dim());
+      data::Table back = tf.InverseTransform(samples);
+
+      for (size_t j = 0; j < t.num_attributes(); ++j) {
+        const auto& attr = t.schema().attribute(j);
+        if (attr.is_categorical()) {
+          for (size_t i = 0; i < t.num_records(); ++i)
+            ASSERT_EQ(back.category(i, j), t.category(i, j))
+                << GetParam() << " attr " << j;
+        } else {
+          const double range = t.AttributeMax(j) - t.AttributeMin(j);
+          for (size_t i = 0; i < t.num_records(); ++i)
+            ASSERT_NEAR(back.value(i, j), t.value(i, j),
+                        std::max(0.35 * range, 1e-9))
+                << GetParam() << " attr " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DatasetTransformSweep, SampleValuesStayBounded) {
+  Rng rng(43);
+  data::Table t = data::MakeDatasetByName(GetParam(), 200, &rng);
+  TransformOptions opts;  // one-hot + gmm: widest encoding
+  auto tf = RecordTransformer::Fit(t, opts, &rng);
+  Matrix samples = tf.Transform(t);
+  EXPECT_LE(samples.MaxAbs(), 1.0 + 1e-9);
+}
+
+TEST_P(DatasetTransformSweep, MatrixFormDecodesCategoricalExactly) {
+  Rng rng(44);
+  data::Table t = data::MakeDatasetByName(GetParam(), 200, &rng);
+  TransformOptions opts;
+  opts.form = SampleForm::kMatrix;
+  auto tf = RecordTransformer::Fit(t, opts, &rng);
+  EXPECT_EQ(tf.sample_dim(), tf.matrix_side() * tf.matrix_side());
+  data::Table back = tf.InverseTransform(tf.Transform(t));
+  for (size_t j = 0; j < t.num_attributes(); ++j) {
+    if (!t.schema().attribute(j).is_categorical()) continue;
+    for (size_t i = 0; i < t.num_records(); ++i)
+      ASSERT_EQ(back.category(i, j), t.category(i, j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetTransformSweep,
+    ::testing::Values("htru2", "digits", "adult", "covtype", "sat",
+                      "anuran", "census", "bing"),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace daisy::transform
