@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/matrix.h"
+#include "core/parallel.h"
 #include "data/generators/realistic.h"
 #include "eval/aqp.h"
 #include "eval/decision_tree.h"
@@ -26,6 +27,61 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// GEMM size x thread-count sweeps: args are {n, threads}. The thread
+// count is set through par::SetNumThreads (same mechanism as the
+// DAISY_THREADS env var) and restored to the default afterwards.
+// Output is bit-identical across the threads axis; only time changes.
+void BM_GemmThreads(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t threads = state.range(1);
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, &rng);
+  Matrix b = Matrix::Randn(n, n, &rng);
+  par::SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  par::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{128, 256, 512}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransposeAThreads(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t threads = state.range(1);
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, &rng);
+  Matrix b = Matrix::Randn(n, n, &rng);
+  par::SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.TransposeMatMul(b));
+  }
+  par::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransposeAThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransposeBThreads(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t threads = state.range(1);
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, &rng);
+  Matrix b = Matrix::Randn(n, n, &rng);
+  par::SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulTranspose(b));
+  }
+  par::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTransposeBThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GmmFit(benchmark::State& state) {
   Rng rng(2);

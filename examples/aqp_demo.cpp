@@ -4,12 +4,23 @@
 // workload table (Bing-sim), runs a query workload against both, and
 // reports the relative-error difference vs. a 1% uniform sample.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "core/parallel.h"
 #include "data/generators/realistic.h"
 #include "eval/aqp.h"
 #include "synth/synthesizer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --threads N: worker-thread count for the Matrix kernels
+  // (equivalent to the DAISY_THREADS environment variable; results are
+  // bit-identical for any value).
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads")
+      daisy::par::SetNumThreads(
+          static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+
   using namespace daisy;
 
   Rng rng(17);

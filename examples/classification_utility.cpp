@@ -4,13 +4,24 @@
 // transfer back to real data — the paper's Diff metric (Eq. 1) — and
 // compares the GAN against the VAE and PrivBayes baselines.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "core/parallel.h"
 #include "baselines/privbayes.h"
 #include "baselines/vae.h"
 #include "data/generators/realistic.h"
 #include "eval/utility.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --threads N: worker-thread count for the Matrix kernels
+  // (equivalent to the DAISY_THREADS environment variable; results are
+  // bit-identical for any value).
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads")
+      daisy::par::SetNumThreads(
+          static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+
   using namespace daisy;
 
   Rng rng(11);

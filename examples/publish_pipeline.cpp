@@ -5,8 +5,11 @@
 // table, and emit a full quality report for the data-governance
 // review.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
 
+#include "core/parallel.h"
 #include "data/csv.h"
 #include "data/generators/realistic.h"
 #include "data/profile.h"
@@ -14,7 +17,15 @@
 #include "eval/utility.h"
 #include "synth/synthesizer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --threads N: worker-thread count for the Matrix kernels
+  // (equivalent to the DAISY_THREADS environment variable; results are
+  // bit-identical for any value).
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads")
+      daisy::par::SetNumThreads(
+          static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+
   using namespace daisy;
 
   // --- The data owner's side -------------------------------------

@@ -4,13 +4,24 @@
 //   2. Pick a point in the design space (GanOptions + TransformOptions).
 //   3. Fit, generate, and write the synthetic table out as CSV.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "core/parallel.h"
 #include "data/csv.h"
 #include "data/profile.h"
 #include "data/generators/realistic.h"
 #include "synth/synthesizer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional --threads N: worker-thread count for the Matrix kernels
+  // (equivalent to the DAISY_THREADS environment variable; results are
+  // bit-identical for any value).
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads")
+      daisy::par::SetNumThreads(
+          static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+
   using namespace daisy;
 
   // A stand-in for the UCI Adult census table: 6 numerical + 8

@@ -1,11 +1,38 @@
 #include "core/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace daisy {
+
+namespace {
+
+// Kernel tiling parameters. The j (output-column) tile keeps the
+// streamed slice of B resident in L1; the p (inner-dimension) tile
+// bounds the working set of A-panel x B-panel per pass. Accumulation
+// order over p for any fixed output element is ascending regardless of
+// tiling or threading, so results are bit-identical to the naive loop.
+constexpr size_t kTileJ = 256;
+constexpr size_t kTileP = 64;
+
+// Row-block grain: aim for at least this many flops per ParallelFor
+// chunk so small matrices never pay scheduling overhead. Must depend
+// only on problem shape (never thread count) to keep the partition —
+// and therefore chunk-local accumulation — deterministic.
+size_t RowGrain(size_t flops_per_row) {
+  constexpr size_t kMinFlopsPerChunk = 1 << 15;
+  return std::max<size_t>(1, kMinFlopsPerChunk / std::max<size_t>(1, flops_per_row));
+}
+
+// Elementwise ops only fan out when the array is big enough to amortize
+// the pool handoff; each element is touched by exactly one chunk.
+constexpr size_t kElemGrain = 1 << 14;
+
+}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -40,16 +67,26 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   DAISY_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
   const size_t k = cols_, m = other.cols_;
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = row(i);
-    double* o = out.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const double aip = a[p];
-      if (aip == 0.0) continue;
-      const double* b = other.row(p);
-      for (size_t j = 0; j < m; ++j) o[j] += aip * b[j];
+  // Row blocks own disjoint output rows; within a block the j/p tiles
+  // keep the active B panel hot while i-p-j order streams A and B
+  // forward. Per output element the p-sum runs 0..k ascending.
+  par::ParallelFor(0, rows_, RowGrain(2 * k * m), [&](size_t r0, size_t r1) {
+    for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
+      const size_t j1 = std::min(m, j0 + kTileJ);
+      for (size_t p0 = 0; p0 < k; p0 += kTileP) {
+        const size_t p1 = std::min(k, p0 + kTileP);
+        for (size_t i = r0; i < r1; ++i) {
+          const double* a = row(i);
+          double* o = out.row(i);
+          for (size_t p = p0; p < p1; ++p) {
+            const double aip = a[p];
+            const double* b = other.row(p);
+            for (size_t j = j0; j < j1; ++j) o[j] += aip * b[j];
+          }
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -57,17 +94,24 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   // (this^T)(other): this is (n x k), other is (n x m) -> (k x m).
   DAISY_CHECK(rows_ == other.rows_);
   Matrix out(cols_, other.cols_);
-  const size_t m = other.cols_;
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = row(i);
-    const double* b = other.row(i);
-    for (size_t p = 0; p < cols_; ++p) {
-      const double aip = a[p];
-      if (aip == 0.0) continue;
-      double* o = out.row(p);
-      for (size_t j = 0; j < m; ++j) o[j] += aip * b[j];
+  const size_t n = rows_, k = cols_, m = other.cols_;
+  // Parallelize over output rows (the p axis): each chunk scans every
+  // input row but writes only its own out rows, so there is no sharing
+  // and the i-accumulation order per element is always 0..n ascending.
+  par::ParallelFor(0, k, RowGrain(2 * n * m), [&](size_t p0, size_t p1) {
+    for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
+      const size_t j1 = std::min(m, j0 + kTileJ);
+      for (size_t i = 0; i < n; ++i) {
+        const double* a = row(i);
+        const double* b = other.row(i);
+        for (size_t p = p0; p < p1; ++p) {
+          const double aip = a[p];
+          double* o = out.row(p);
+          for (size_t j = j0; j < j1; ++j) o[j] += aip * b[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -75,16 +119,24 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   // this (n x k) * other^T where other is (m x k) -> (n x m).
   DAISY_CHECK(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = row(i);
-    double* o = out.row(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b = other.row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < cols_; ++p) acc += a[p] * b[p];
-      o[j] = acc;
+  const size_t k = cols_, m = other.rows_;
+  // Both operands are scanned along contiguous rows (dot products), so
+  // only a j tile is needed to keep the B panel resident.
+  par::ParallelFor(0, rows_, RowGrain(2 * k * m), [&](size_t r0, size_t r1) {
+    for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
+      const size_t j1 = std::min(m, j0 + kTileJ);
+      for (size_t i = r0; i < r1; ++i) {
+        const double* a = row(i);
+        double* o = out.row(i);
+        for (size_t j = j0; j < j1; ++j) {
+          const double* b = other.row(j);
+          double acc = 0.0;
+          for (size_t p = 0; p < k; ++p) acc += a[p] * b[p];
+          o[j] = acc;
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -97,13 +149,17 @@ Matrix Matrix::Transpose() const {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   DAISY_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) data_[i] += other.data_[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   DAISY_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) data_[i] -= other.data_[i];
+  });
   return *this;
 }
 
@@ -133,7 +189,9 @@ Matrix Matrix::operator*(double s) const {
 Matrix Matrix::CWiseMul(const Matrix& other) const {
   DAISY_CHECK(SameShape(other));
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) out.data_[i] *= other.data_[i];
+  });
   return out;
 }
 
@@ -148,12 +206,16 @@ Matrix& Matrix::AddRowBroadcast(const Matrix& row_vec) {
 
 Matrix Matrix::Apply(const std::function<double(double)>& f) const {
   Matrix out = *this;
-  for (auto& v : out.data_) v = f(v);
+  out.ApplyInPlace(f);
   return out;
 }
 
 void Matrix::ApplyInPlace(const std::function<double(double)>& f) {
-  for (auto& v : data_) v = f(v);
+  // f goes through std::function (indirect call per element), so the
+  // grain is smaller than for the raw arithmetic loops.
+  par::ParallelFor(0, data_.size(), kElemGrain / 4, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) data_[i] = f(data_[i]);
+  });
 }
 
 double Matrix::Sum() const {
@@ -164,10 +226,16 @@ double Matrix::Sum() const {
 
 Matrix Matrix::ColSum() const {
   Matrix out(1, cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* d = row(r);
-    for (size_t c = 0; c < cols_; ++c) out.data_[c] += d[c];
-  }
+  // Partition by column so every column is summed over rows 0..N in
+  // ascending order by exactly one thread — bit-identical for any
+  // thread count (a row partition would need a reduction whose
+  // grouping changes the floating-point result).
+  par::ParallelFor(0, cols_, RowGrain(2 * rows_), [&](size_t c0, size_t c1) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* d = row(r);
+      for (size_t c = c0; c < c1; ++c) out.data_[c] += d[c];
+    }
+  });
   return out;
 }
 

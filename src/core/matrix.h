@@ -80,9 +80,11 @@ class Matrix {
   /// Adds a 1 x cols row vector to every row (broadcast).
   Matrix& AddRowBroadcast(const Matrix& row_vec);
 
-  /// Applies f to every element, returning a new matrix.
+  /// Applies f to every element, returning a new matrix. Large
+  /// matrices are processed in parallel, so f must be a pure function
+  /// of its argument (no mutable captured state).
   Matrix Apply(const std::function<double(double)>& f) const;
-  /// Applies f in place.
+  /// Applies f in place. Same purity requirement as Apply.
   void ApplyInPlace(const std::function<double(double)>& f);
 
   /// Sum over all elements.
@@ -118,8 +120,20 @@ class Matrix {
   void AppendRow(const std::vector<double>& vals) {
     AppendRow(vals.data(), vals.size());
   }
-  /// Reserves backing storage for the given number of rows.
-  void ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
+  /// Reserves backing storage for the given number of rows. An empty
+  /// matrix has no width yet, so callers reserving ahead of the first
+  /// AppendRow must pass the expected column count via `cols`; on a
+  /// matrix that already has a width the hint is optional but must
+  /// agree with cols() when given.
+  void ReserveRows(size_t rows, size_t cols = 0) {
+    if (cols == 0) {
+      DAISY_CHECK(cols_ > 0 || rows == 0);
+      data_.reserve(rows * cols_);
+    } else {
+      DAISY_CHECK(cols_ == 0 || cols == cols_);
+      data_.reserve(rows * cols);
+    }
+  }
 
   /// Fill every element with v.
   void Fill(double v);

@@ -1,0 +1,45 @@
+// Parallel-execution substrate: a lazily-initialized fixed thread pool
+// and a ParallelFor primitive used by the Matrix kernels (and anything
+// else that wants deterministic data parallelism).
+//
+// Determinism contract: ParallelFor partitions [begin, end) into chunks
+// of `grain` iterations purely as a function of (begin, end, grain) —
+// never of the thread count — and each chunk is executed sequentially
+// by exactly one thread. A kernel whose chunks write disjoint outputs
+// (and whose per-output accumulation order is fixed by the code, not by
+// the partition) therefore produces bit-identical results for any
+// DAISY_THREADS value, including 1.
+#ifndef DAISY_CORE_PARALLEL_H_
+#define DAISY_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace daisy::par {
+
+/// Resolved worker count: the last SetNumThreads() value, else the
+/// DAISY_THREADS environment variable, else hardware_concurrency.
+/// Always >= 1.
+size_t NumThreads();
+
+/// Overrides the thread count. `n == 0` restores automatic resolution
+/// (DAISY_THREADS env var, then hardware_concurrency); `n == 1` is an
+/// exact single-threaded fallback — ParallelFor runs the body inline on
+/// the calling thread with no pool interaction at all.
+void SetNumThreads(size_t n);
+
+/// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end)
+/// into chunks of `grain` iterations (the last chunk may be short).
+/// Chunks run concurrently across the pool; each chunk runs on exactly
+/// one thread. Falls back to a single inline fn(begin, end) call when
+/// there is one chunk, one configured thread, or the caller is itself
+/// inside a ParallelFor body (no nested parallelism).
+///
+/// fn must tolerate any partition of the range (see the determinism
+/// contract above) and must not throw.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace daisy::par
+
+#endif  // DAISY_CORE_PARALLEL_H_

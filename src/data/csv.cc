@@ -10,22 +10,40 @@ namespace daisy::data {
 
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> fields;
+// RFC-4180 field splitting: inside a quoted section a doubled quote
+// ("") is an escaped literal quote, a single quote closes the section.
+// A quote left open at end of line is an error (multi-line fields are
+// not supported; WriteCsv never emits them).
+Status SplitLine(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
   std::string field;
   bool in_quotes = false;
-  for (char ch : line) {
-    if (ch == '"') {
-      in_quotes = !in_quotes;
-    } else if (ch == ',' && !in_quotes) {
-      fields.push_back(field);
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields->push_back(std::move(field));
       field.clear();
     } else {
       field.push_back(ch);
     }
   }
-  fields.push_back(field);
-  return fields;
+  if (in_quotes)
+    return Status::InvalidArgument("unterminated quote in csv line: " + line);
+  fields->push_back(std::move(field));
+  return Status::OK();
 }
 
 std::string EscapeField(const std::string& s) {
@@ -80,13 +98,15 @@ Result<Table> ReadCsv(const std::string& path,
   std::string line;
   if (!std::getline(in, line))
     return Status::InvalidArgument("empty csv: " + path);
-  const auto header = SplitLine(line);
+  std::vector<std::string> header;
+  if (Status st = SplitLine(line, &header); !st.ok()) return st;
   const size_t m = header.size();
 
   std::vector<std::vector<std::string>> raw;  // rows of string fields
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    auto fields = SplitLine(line);
+    std::vector<std::string> fields;
+    if (Status st = SplitLine(line, &fields); !st.ok()) return st;
     if (fields.size() != m)
       return Status::InvalidArgument("ragged row in csv: " + path);
     raw.push_back(std::move(fields));

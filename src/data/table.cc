@@ -33,8 +33,7 @@ void Table::AppendRecord(const std::vector<double>& values) {
     }
   }
   if (cells_.rows() == 0 && reserved_ > 0 && !values.empty()) {
-    cells_ = Matrix(0, values.size());
-    cells_.ReserveRows(reserved_);
+    cells_.ReserveRows(reserved_, values.size());
     reserved_ = 0;
   }
   cells_.AppendRow(values);

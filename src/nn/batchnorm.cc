@@ -25,11 +25,17 @@ Matrix BatchNorm1d::Forward(const Matrix& x, bool training) {
         var(0, c) += d * d;
       }
     var *= 1.0 / static_cast<double>(x.rows());
+    // Normalization uses the biased (/N) batch variance, but the
+    // running statistic folds in the unbiased (/(N-1)) estimate so that
+    // eval-mode inference is not systematically too sharp at small
+    // batch sizes (matches PyTorch/TF BatchNorm semantics).
+    const double unbias = static_cast<double>(x.rows()) /
+                          (static_cast<double>(x.rows()) - 1.0);
     for (size_t c = 0; c < features_; ++c) {
       running_mean_(0, c) =
           (1.0 - momentum_) * running_mean_(0, c) + momentum_ * mean(0, c);
-      running_var_(0, c) =
-          (1.0 - momentum_) * running_var_(0, c) + momentum_ * var(0, c);
+      running_var_(0, c) = (1.0 - momentum_) * running_var_(0, c) +
+                           momentum_ * var(0, c) * unbias;
     }
   } else {
     mean = running_mean_;

@@ -63,6 +63,13 @@ struct GanOptions {
   /// training into 10 epochs and selects the best on validation).
   size_t snapshots = 10;
 
+  /// Worker threads for the Matrix kernels during training and
+  /// generation. 0 keeps the process-wide default (the DAISY_THREADS
+  /// environment variable, else hardware_concurrency); any other value
+  /// is applied via par::SetNumThreads when Fit starts. Results are
+  /// bit-identical for every setting.
+  size_t num_threads = 0;
+
   uint64_t seed = 17;
 };
 

@@ -1,5 +1,6 @@
 #include "synth/synthesizer.h"
 
+#include "core/parallel.h"
 #include "synth/cnn_nets.h"
 #include "synth/lstm_nets.h"
 #include "synth/mlp_nets.h"
@@ -23,6 +24,7 @@ TableSynthesizer::TableSynthesizer(
 void TableSynthesizer::Fit(const data::Table& train) {
   DAISY_CHECK(!fitted_);
   DAISY_CHECK(train.num_records() > 0);
+  if (opts_.num_threads > 0) par::SetNumThreads(opts_.num_threads);
   fitted_ = true;
   full_schema_ = train.schema();
   if (opts_.conditional) {

@@ -158,6 +158,39 @@ TEST(MatrixTest, AppendRowGrowsMatrix) {
   EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
 }
 
+TEST(MatrixTest, ReserveRowsWithColsHintPreventsReallocation) {
+  Matrix m;
+  m.ReserveRows(64, 3);  // width hint: matrix is still empty
+  m.AppendRow({0.0, 0.0, 0.0});
+  const double* p = m.data();
+  for (int i = 1; i < 64; ++i)
+    m.AppendRow({1.0 * i, 2.0 * i, 3.0 * i});
+  // All 64 rows fit in the reserved block — no reallocation.
+  EXPECT_EQ(m.data(), p);
+  EXPECT_EQ(m.rows(), 64u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(63, 2), 3.0 * 63);
+}
+
+TEST(MatrixTest, ReserveRowsOnSizedMatrixNeedsNoHint) {
+  Matrix m(0, 5);
+  m.ReserveRows(16);
+  m.AppendRow({1, 2, 3, 4, 5});
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(MatrixDeathTest, ReserveRowsWithoutWidthAborts) {
+  Matrix m;
+  // An empty matrix has no width: reserving rows without a cols hint
+  // was a silent no-op before; now it is an error.
+  EXPECT_DEATH(m.ReserveRows(10), "DAISY_CHECK");
+}
+
+TEST(MatrixDeathTest, ReserveRowsConflictingHintAborts) {
+  Matrix m(0, 4);
+  EXPECT_DEATH(m.ReserveRows(10, 5), "DAISY_CHECK");
+}
+
 TEST(MatrixDeathTest, ShapeMismatchAborts) {
   Matrix a(2, 2), b(3, 2);
   EXPECT_DEATH(a += b, "DAISY_CHECK");

@@ -1,6 +1,7 @@
 #include "data/csv.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -79,6 +80,35 @@ TEST_F(CsvTest, QuotedFieldsWithCommasRoundTrip) {
   auto result = ReadCsv(path_);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().CellToString(0, 0), "a,b");
+}
+
+TEST_F(CsvTest, EmbeddedQuotesRoundTrip) {
+  // EscapeField writes `he said "hi"` as `"he said ""hi"""`; the reader
+  // must collapse the doubled quotes back to literal ones.
+  Schema schema({Attribute::Categorical(
+      "c", {"he said \"hi\"", "\"fully quoted\"", "mix,\"of\",both",
+            "plain"})});
+  Table t(schema);
+  for (double v : {0.0, 1.0, 2.0, 3.0}) t.AppendRecord({v});
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& read = result.value();
+  EXPECT_EQ(read.CellToString(0, 0), "he said \"hi\"");
+  EXPECT_EQ(read.CellToString(1, 0), "\"fully quoted\"");
+  EXPECT_EQ(read.CellToString(2, 0), "mix,\"of\",both");
+  EXPECT_EQ(read.CellToString(3, 0), "plain");
+}
+
+TEST_F(CsvTest, UnterminatedQuoteIsAnError) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n";
+    out << "1,\"unterminated\n";
+  }
+  auto result = ReadCsv(path_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
 }
 
 }  // namespace

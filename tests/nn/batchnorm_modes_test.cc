@@ -59,6 +59,32 @@ TEST(BatchNormModes, EvalModeIsDeterministicAcrossBatchSizes) {
       EXPECT_DOUBLE_EQ(y8(r, c), y1(0, c));
 }
 
+TEST(BatchNormModes, RunningVarUsesUnbiasedEstimate) {
+  // Feed the same batch repeatedly: running_var must converge to the
+  // *unbiased* sample variance (biased * N/(N-1)), not the biased one —
+  // with a small batch the two differ by a detectable margin.
+  Rng rng(5);
+  const size_t n = 4;
+  Matrix x = Matrix::Randn(n, 1, &rng);
+  Matrix mean = x.ColMean();
+  double biased = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double d = x(r, 0) - mean(0, 0);
+    biased += d * d;
+  }
+  biased /= static_cast<double>(n);
+  const double unbiased = biased * static_cast<double>(n) /
+                          static_cast<double>(n - 1);
+
+  BatchNorm1d bn(1, /*momentum=*/0.5);
+  for (int i = 0; i < 100; ++i) bn.Forward(x, /*training=*/true);
+  const auto buffers = bn.Buffers();
+  const double running_var = (*buffers[1])(0, 0);
+  EXPECT_NEAR(running_var, unbiased, 1e-9);
+  // Guard against regressing to the biased estimate.
+  EXPECT_GT(std::fabs(running_var - biased), 1e-3);
+}
+
 TEST(BatchNormModes, BuffersExposeRunningStats) {
   BatchNorm1d bn(4);
   const auto buffers = bn.Buffers();

@@ -56,7 +56,7 @@ int Usage() {
                "            [--label COLUMN] [--n N] [--arch mlp|lstm|cnn]\n"
                "            [--algo vtrain|wtrain|ctrain|dptrain]\n"
                "            [--cat onehot|ordinal] [--num gmm|simple]\n"
-               "            [--iterations N] [--seed S]\n"
+               "            [--iterations N] [--seed S] [--threads T]\n"
                "            [--save-model PATH]\n"
                "  daisy_cli generate --model PATH --output fake.csv [--n N]\n"
                "            [--seed S]\n"
@@ -94,6 +94,8 @@ int RunSynth(const Args& args) {
 
   opts.iterations = static_cast<size_t>(args.GetInt("iterations", 800));
   opts.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  // 0 = keep the process default (DAISY_THREADS env, else hardware).
+  opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
 
   daisy::transform::TransformOptions topts;
   if (args.Get("cat", "onehot") == "ordinal")
