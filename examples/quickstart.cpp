@@ -5,24 +5,46 @@
 //   3. Fit, generate, and write the synthetic table out as CSV.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "core/parallel.h"
 #include "data/csv.h"
 #include "data/profile.h"
 #include "data/generators/realistic.h"
+#include "obs/run_logger.h"
 #include "synth/synthesizer.h"
 
 int main(int argc, char** argv) {
   // Optional --threads N: worker-thread count for the Matrix kernels
   // (equivalent to the DAISY_THREADS environment variable; results are
-  // bit-identical for any value).
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::string(argv[i]) == "--threads")
+  // bit-identical for any value). --log-jsonl PATH streams per-iteration
+  // training telemetry; --log-every N thins it.
+  std::string log_path;
+  size_t log_every = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threads")
       daisy::par::SetNumThreads(
           static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10)));
+    else if (flag == "--log-jsonl")
+      log_path = argv[i + 1];
+    else if (flag == "--log-every")
+      log_every = std::strtoul(argv[i + 1], nullptr, 10);
+  }
 
   using namespace daisy;
+
+  std::unique_ptr<obs::RunLogger> logger;
+  if (!log_path.empty()) {
+    auto opened = obs::RunLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    logger = std::move(opened.value());
+  }
 
   // A stand-in for the UCI Adult census table: 6 numerical + 8
   // categorical attributes and a skewed binary income label.
@@ -37,12 +59,21 @@ int main(int argc, char** argv) {
   synth::GanOptions options;
   options.generator = synth::GeneratorArch::kMlp;
   options.iterations = 400;
+  options.log_every = log_every == 0 ? 1 : log_every;
   transform::TransformOptions transform_options;
   transform_options.categorical = transform::CategoricalEncoding::kOneHot;
   transform_options.numerical = transform::NumericalNormalization::kGmm;
 
   synth::TableSynthesizer synthesizer(options, transform_options);
-  synthesizer.Fit(table);
+  const Status health = synthesizer.Fit(table, logger.get());
+  if (!health.ok())
+    std::fprintf(stderr,
+                 "training stopped early: %s\n"
+                 "generating from the last healthy snapshot\n",
+                 health.ToString().c_str());
+  if (logger != nullptr)
+    std::printf("wrote %zu telemetry records to %s\n",
+                logger->lines_written(), logger->path().c_str());
 
   Rng gen_rng(13);
   data::Table synthetic = synthesizer.Generate(1000, &gen_rng);

@@ -1,10 +1,12 @@
 #include "baselines/medgan.h"
 
 #include "baselines/recon_loss.h"
+#include "core/parallel.h"
 #include "synth/kl_regularizer.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
+#include "obs/timer.h"
 
 namespace daisy::baselines {
 
@@ -21,7 +23,8 @@ Matrix MedGanSynthesizer::Decode(const Matrix& latent, bool training) {
   return decoder_heads_->Forward(features);
 }
 
-void MedGanSynthesizer::Fit(const data::Table& train) {
+Status MedGanSynthesizer::Fit(const data::Table& train,
+                              obs::MetricSink* sink) {
   DAISY_CHECK(!fitted_);
   DAISY_CHECK(train.num_records() > 1);
   fitted_ = true;
@@ -64,6 +67,10 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
   const size_t n = real_all.rows();
   Rng train_rng = rng_.Split();
 
+  const size_t log_every = std::max<size_t>(1, opts_.log_every);
+  const obs::DivergenceSentinel sentinel(opts_.sentinel);
+  obs::WallTimer run_timer;
+
   // ---- Phase 1: autoencoder pretraining --------------------------
   {
     std::vector<nn::Parameter*> params = encoder_->Params();
@@ -72,6 +79,7 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
     nn::Adam opt(params, opts_.lr);
     const size_t batches = std::max<size_t>(1, n / opts_.batch_size);
     for (size_t epoch = 0; epoch < opts_.ae_epochs; ++epoch) {
+      obs::WallTimer epoch_timer;
       double epoch_loss = 0.0;
       for (size_t b = 0; b < batches; ++b) {
         std::vector<size_t> rows(opts_.batch_size);
@@ -89,7 +97,31 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
         encoder_->Backward(grad_latent);
         opt.Step();
       }
-      pretrain_loss_ = epoch_loss / static_cast<double>(batches);
+
+      obs::MetricRecord rec;
+      rec.run = "medgan.pretrain";
+      rec.iter = epoch + 1;
+      rec.g_loss = epoch_loss / static_cast<double>(batches);
+      rec.g_grad_norm = nn::GlobalGradNorm(params);
+      rec.param_norm = nn::GlobalParamNorm(params);
+      rec.iter_ms = epoch_timer.ElapsedMs();
+      rec.wall_ms = run_timer.ElapsedMs();
+      rec.threads = par::NumThreads();
+      rec.seed = opts_.seed;
+
+      const Status health = sentinel.Check(rec);
+      if (!health.ok()) {
+        if (sink != nullptr) {
+          sink->Log(rec);
+          sink->Flush();
+        }
+        return health;
+      }
+      pretrain_loss_ = rec.g_loss;
+      if (sink != nullptr &&
+          ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.ae_epochs)) {
+        sink->Log(rec);
+      }
     }
   }
 
@@ -101,6 +133,8 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
   nn::Adam d_opt(discriminator_->Params(), opts_.lr);
 
   for (size_t iter = 0; iter < opts_.gan_iterations; ++iter) {
+    obs::WallTimer iter_timer;
+    double d_loss = 0.0, g_loss = 0.0, d_grad_norm = 0.0, g_grad_norm = 0.0;
     // Discriminator step.
     {
       std::vector<size_t> rows(opts_.batch_size);
@@ -114,17 +148,20 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
       {
         Matrix logits = discriminator_->Forward(real, Matrix(), true);
         Matrix grad;
-        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
-                              &grad);
+        d_loss += nn::BceWithLogitsLoss(logits,
+                                        Matrix(logits.rows(), 1, 1.0),
+                                        &grad);
         discriminator_->Backward(grad);
       }
       {
         Matrix logits = discriminator_->Forward(fake, Matrix(), true);
         Matrix grad;
-        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 0.0),
-                              &grad);
+        d_loss += nn::BceWithLogitsLoss(logits,
+                                        Matrix(logits.rows(), 1, 0.0),
+                                        &grad);
         discriminator_->Backward(grad);
       }
+      d_grad_norm = nn::GlobalGradNorm(discriminator_->Params());
       d_opt.Step();
     }
     // Generator (+ decoder fine-tuning) step.
@@ -137,22 +174,51 @@ void MedGanSynthesizer::Fit(const data::Table& train) {
       Matrix fake = Decode(latent, true);
       Matrix logits = discriminator_->Forward(fake, Matrix(), true);
       Matrix grad_logits;
-      nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
-                            &grad_logits);
+      g_loss = nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
+                                     &grad_logits);
       Matrix grad_fake = discriminator_->Backward(grad_logits);
       if (opts_.kl_weight > 0.0) {
         synth::KlRegularizer kl(transformer_->segments());
         std::vector<size_t> ref_rows(opts_.batch_size);
         for (auto& r : ref_rows) r = train_rng.UniformInt(n);
-        kl.Compute(real_all.GatherRows(ref_rows), fake, opts_.kl_weight,
-                   &grad_fake);
+        g_loss += kl.Compute(real_all.GatherRows(ref_rows), fake,
+                             opts_.kl_weight, &grad_fake);
       }
       Matrix grad_features = decoder_heads_->Backward(grad_fake);
       Matrix grad_latent = decoder_body_->Backward(grad_features);
       latent_generator_->Backward(grad_latent);
+      g_grad_norm = nn::GlobalGradNorm(g_params);
       g_opt.Step();
     }
+
+    obs::MetricRecord rec;
+    rec.run = "medgan";
+    rec.iter = iter + 1;
+    rec.d_loss = d_loss;
+    rec.g_loss = g_loss;
+    rec.d_grad_norm = d_grad_norm;
+    rec.g_grad_norm = g_grad_norm;
+    rec.param_norm = nn::GlobalParamNorm(g_params);
+    rec.iter_ms = iter_timer.ElapsedMs();
+    rec.wall_ms = run_timer.ElapsedMs();
+    rec.threads = par::NumThreads();
+    rec.seed = opts_.seed;
+
+    const Status health = sentinel.Check(rec);
+    if (!health.ok()) {
+      if (sink != nullptr) {
+        sink->Log(rec);
+        sink->Flush();
+      }
+      return health;
+    }
+    if (sink != nullptr &&
+        ((iter + 1) % log_every == 0 || iter + 1 == opts_.gan_iterations)) {
+      sink->Log(rec);
+    }
   }
+  if (sink != nullptr) sink->Flush();
+  return Status::OK();
 }
 
 data::Table MedGanSynthesizer::Generate(size_t n, Rng* rng) {

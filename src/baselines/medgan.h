@@ -14,6 +14,8 @@
 #include "data/table.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "obs/metrics.h"
+#include "obs/sentinel.h"
 #include "synth/heads.h"
 #include "synth/mlp_nets.h"
 #include "transform/record_transformer.h"
@@ -33,6 +35,12 @@ struct MedGanOptions {
   /// applied to the generator step, exactly as in VTrain; medGAN is
   /// just as prone to marginal collapse without it at this scale.
   double kl_weight = 1.0;
+  /// Telemetry cadence: pretraining logs every log_every epochs (run
+  /// tag "medgan.pretrain"), the adversarial phase every log_every
+  /// iterations (tag "medgan").
+  size_t log_every = 1;
+  /// Divergence sentinel thresholds, checked every epoch/iteration.
+  obs::SentinelOptions sentinel;
   uint64_t seed = 31;
 };
 
@@ -41,7 +49,9 @@ class MedGanSynthesizer {
   MedGanSynthesizer(const MedGanOptions& options,
                     const transform::TransformOptions& transform_opts);
 
-  void Fit(const data::Table& train);
+  /// Trains autoencoder then GAN. A non-null `sink` receives records
+  /// from both phases. Returns OK, or why the sentinel stopped the run.
+  Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 
   /// Autoencoder reconstruction loss after pretraining (for tests).

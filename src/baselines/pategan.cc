@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "nn/loss.h"
+#include "obs/timer.h"
 
 namespace daisy::baselines {
 
@@ -15,7 +17,8 @@ PateGanSynthesizer::PateGanSynthesizer(
   topts_.exclude_label = false;
 }
 
-void PateGanSynthesizer::Fit(const data::Table& train) {
+Status PateGanSynthesizer::Fit(const data::Table& train,
+                               obs::MetricSink* sink) {
   DAISY_CHECK(!fitted_);
   DAISY_CHECK(train.num_records() >= opts_.num_teachers);
   fitted_ = true;
@@ -93,7 +96,14 @@ void PateGanSynthesizer::Fit(const data::Table& train) {
   const double vote_noise_scale = 2.0 / std::max(opts_.lambda, 1e-12);
   const double half = static_cast<double>(opts_.num_teachers) / 2.0;
 
+  const size_t log_every = std::max<size_t>(1, opts_.log_every);
+  const obs::DivergenceSentinel sentinel(opts_.sentinel);
+  obs::WallTimer run_timer;
+
   for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+    obs::WallTimer iter_timer;
+    double student_loss = 0.0, g_loss = 0.0;
+    double student_grad_norm = 0.0, g_grad_norm = 0.0;
     // ---- Teachers: real (from own partition) vs fake --------------
     for (size_t t = 0; t < opts_.num_teachers; ++t) {
       const auto& pool = partitions[t];
@@ -141,8 +151,9 @@ void PateGanSynthesizer::Fit(const data::Table& train) {
       student_->ZeroGrad();
       Matrix logits = student_->Forward(fake, Matrix(), true);
       Matrix grad;
-      nn::BceWithLogitsLoss(logits, labels, &grad);
+      student_loss = nn::BceWithLogitsLoss(logits, labels, &grad);
       student_->Backward(grad);
+      student_grad_norm = nn::GlobalGradNorm(student_->Params());
       student_opt_->Step();
     }
 
@@ -155,17 +166,46 @@ void PateGanSynthesizer::Fit(const data::Table& train) {
       Matrix fake = generator_->Forward(z, Matrix(), true);
       Matrix logits = student_->Forward(fake, Matrix(), true);
       Matrix grad_logits;
-      nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
-                            &grad_logits);
+      g_loss = nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
+                                     &grad_logits);
       Matrix grad_fake = student_->Backward(grad_logits);
       if (anchor_) {
-        anchor_->Compute(anchor_targets_, fake, opts_.marginal_weight,
-                         &grad_fake);
+        g_loss += anchor_->Compute(anchor_targets_, fake,
+                                   opts_.marginal_weight, &grad_fake);
       }
       generator_->Backward(grad_fake);
+      g_grad_norm = nn::GlobalGradNorm(generator_->Params());
       g_opt_->Step();
     }
+
+    obs::MetricRecord rec;
+    rec.run = "pategan";
+    rec.iter = iter + 1;
+    rec.d_loss = student_loss;
+    rec.g_loss = g_loss;
+    rec.d_grad_norm = student_grad_norm;
+    rec.g_grad_norm = g_grad_norm;
+    rec.param_norm = nn::GlobalParamNorm(generator_->Params());
+    rec.iter_ms = iter_timer.ElapsedMs();
+    rec.wall_ms = run_timer.ElapsedMs();
+    rec.threads = par::NumThreads();
+    rec.seed = opts_.seed;
+
+    const Status health = sentinel.Check(rec);
+    if (!health.ok()) {
+      if (sink != nullptr) {
+        sink->Log(rec);
+        sink->Flush();
+      }
+      return health;
+    }
+    if (sink != nullptr &&
+        ((iter + 1) % log_every == 0 || iter + 1 == opts_.iterations)) {
+      sink->Log(rec);
+    }
   }
+  if (sink != nullptr) sink->Flush();
+  return Status::OK();
 }
 
 data::Table PateGanSynthesizer::Generate(size_t n, Rng* rng) {

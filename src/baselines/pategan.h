@@ -15,6 +15,8 @@
 
 #include "data/table.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/sentinel.h"
 #include "synth/kl_regularizer.h"
 #include "synth/mlp_nets.h"
 #include "transform/record_transformer.h"
@@ -46,6 +48,10 @@ struct PateGanOptions {
   double marginal_weight = 1.0;
   size_t noise_dim = 16;
   std::vector<size_t> hidden = {64, 64};
+  /// Telemetry cadence in iterations (records go to the Fit sink).
+  size_t log_every = 1;
+  /// Divergence sentinel thresholds, checked every iteration.
+  obs::SentinelOptions sentinel;
   uint64_t seed = 29;
 };
 
@@ -54,7 +60,10 @@ class PateGanSynthesizer {
   PateGanSynthesizer(const PateGanOptions& options,
                      const transform::TransformOptions& transform_opts);
 
-  void Fit(const data::Table& train);
+  /// Trains teachers/student/generator. A non-null `sink` receives one
+  /// record per log_every iterations (student loss in d_loss, generator
+  /// loss in g_loss). Returns OK, or why the sentinel stopped the run.
+  Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 
   /// Loose pure-DP composition bound on the epsilon consumed by the

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "baselines/recon_loss.h"
+#include "core/parallel.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
+#include "obs/timer.h"
 
 namespace daisy::baselines {
 
@@ -16,7 +18,8 @@ VaeSynthesizer::VaeSynthesizer(
   topts_.exclude_label = false;  // VAE models the label jointly
 }
 
-void VaeSynthesizer::Fit(const data::Table& train) {
+Status VaeSynthesizer::Fit(const data::Table& train,
+                           obs::MetricSink* sink) {
   DAISY_CHECK(!fitted_);
   fitted_ = true;
 
@@ -45,27 +48,55 @@ void VaeSynthesizer::Fit(const data::Table& train) {
   decoder_heads_ = std::make_unique<synth::AttributeHeads>(
       in, transformer_->segments(), &init);
 
-  std::vector<nn::Parameter*> params = encoder_body_->Params();
-  for (auto* p : mu_head_->Params()) params.push_back(p);
-  for (auto* p : logvar_head_->Params()) params.push_back(p);
-  for (auto* p : decoder_body_->Params()) params.push_back(p);
-  for (auto* p : decoder_heads_->Params()) params.push_back(p);
-  optimizer_ = std::make_unique<nn::Adam>(params, opts_.lr);
+  params_ = encoder_body_->Params();
+  for (auto* p : mu_head_->Params()) params_.push_back(p);
+  for (auto* p : logvar_head_->Params()) params_.push_back(p);
+  for (auto* p : decoder_body_->Params()) params_.push_back(p);
+  for (auto* p : decoder_heads_->Params()) params_.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(params_, opts_.lr);
 
   const Matrix samples = transformer_->Transform(train);
   Rng train_rng = rng_.Split();
   const size_t n = samples.rows();
   const size_t batches_per_epoch =
       std::max<size_t>(1, n / opts_.batch_size);
+  const size_t log_every = std::max<size_t>(1, opts_.log_every);
+  const obs::DivergenceSentinel sentinel(opts_.sentinel);
+  obs::WallTimer run_timer;
+  Status health;
   for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    obs::WallTimer epoch_timer;
     double epoch_loss = 0.0;
     for (size_t b = 0; b < batches_per_epoch; ++b) {
       std::vector<size_t> rows(opts_.batch_size);
       for (auto& r : rows) r = train_rng.UniformInt(n);
       epoch_loss += TrainBatch(samples.GatherRows(rows), &train_rng);
     }
-    final_loss_ = epoch_loss / static_cast<double>(batches_per_epoch);
+
+    obs::MetricRecord rec;
+    rec.run = "vae";
+    rec.iter = epoch + 1;
+    rec.g_loss = epoch_loss / static_cast<double>(batches_per_epoch);
+    rec.g_grad_norm = nn::GlobalGradNorm(params_);  // last batch's grads
+    rec.param_norm = nn::GlobalParamNorm(params_);
+    rec.iter_ms = epoch_timer.ElapsedMs();
+    rec.wall_ms = run_timer.ElapsedMs();
+    rec.threads = par::NumThreads();
+    rec.seed = opts_.seed;
+
+    health = sentinel.Check(rec);
+    if (!health.ok()) {
+      if (sink != nullptr) sink->Log(rec);
+      break;
+    }
+    final_loss_ = rec.g_loss;
+    if (sink != nullptr &&
+        ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.epochs)) {
+      sink->Log(rec);
+    }
   }
+  if (sink != nullptr) sink->Flush();
+  return health;
 }
 
 double VaeSynthesizer::TrainBatch(const Matrix& batch, Rng* rng) {

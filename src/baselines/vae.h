@@ -10,6 +10,8 @@
 #include "data/table.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "obs/metrics.h"
+#include "obs/sentinel.h"
 #include "synth/heads.h"
 #include "transform/record_transformer.h"
 
@@ -23,6 +25,10 @@ struct VaeOptions {
   double lr = 1e-3;
   /// Weight on the KL term (beta-VAE style; 1.0 = standard ELBO).
   double kl_weight = 1.0;
+  /// Telemetry cadence in epochs (records go to the Fit sink).
+  size_t log_every = 1;
+  /// Divergence sentinel thresholds, checked once per epoch.
+  obs::SentinelOptions sentinel;
   uint64_t seed = 23;
 };
 
@@ -32,7 +38,10 @@ class VaeSynthesizer {
   explicit VaeSynthesizer(const VaeOptions& options,
                           const transform::TransformOptions& transform_opts);
 
-  void Fit(const data::Table& train);
+  /// Trains the VAE. A non-null `sink` receives one record per
+  /// log_every epochs (loss in g_loss, grad/param norms, timings).
+  /// Returns OK, or why the divergence sentinel stopped training.
+  Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 
   /// Final average training loss (reconstruction + KL), for tests.
@@ -52,6 +61,7 @@ class VaeSynthesizer {
   std::unique_ptr<nn::Sequential> decoder_body_;
   std::unique_ptr<synth::AttributeHeads> decoder_heads_;
   std::unique_ptr<nn::Optimizer> optimizer_;
+  std::vector<nn::Parameter*> params_;  // everything the optimizer steps
 
   double final_loss_ = 0.0;
   bool fitted_ = false;

@@ -77,12 +77,26 @@ double GlobalGradNorm(const std::vector<Parameter*>& params) {
   return std::sqrt(sq);
 }
 
+double GlobalParamNorm(const std::vector<Parameter*>& params) {
+  double sq = 0.0;
+  for (const Parameter* p : params)
+    for (size_t r = 0; r < p->value.rows(); ++r)
+      for (size_t c = 0; c < p->value.cols(); ++c)
+        sq += p->value(r, c) * p->value(r, c);
+  return std::sqrt(sq);
+}
+
 void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
-                       double noise_scale, Rng* rng) {
+                       double noise_scale, size_t batch_size, Rng* rng) {
   DAISY_CHECK(max_norm > 0.0);
+  DAISY_CHECK(batch_size > 0);
   const double norm = GlobalGradNorm(params);
   const double scale = norm > max_norm ? max_norm / norm : 1.0;
-  const double sigma = noise_scale * max_norm;
+  // Batch-averaged gradients: scale the per-sample DP-SGD noise
+  // sigma_n * c_g down by the batch size so the effective noise matches
+  // N(0, sigma^2 c^2 I) / B applied to a summed-then-averaged batch.
+  const double sigma =
+      noise_scale * max_norm / static_cast<double>(batch_size);
   for (Parameter* p : params) {
     for (size_t r = 0; r < p->grad.rows(); ++r)
       for (size_t c = 0; c < p->grad.cols(); ++c)

@@ -70,12 +70,20 @@ class RmsProp : public Optimizer {
 void ClipParams(const std::vector<Parameter*>& params, double c);
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`,
-/// then adds N(0, sigma^2 * max_norm^2) noise — the DPGAN mechanism.
+/// then adds N(0, (noise_scale * max_norm / batch_size)^2) noise to
+/// every coordinate — the DPGAN mechanism. The gradients held by
+/// `params` are batch-AVERAGED (every loss in this repo divides by the
+/// batch), so the per-sample noise sigma_n * c_g of Abadi et al. must
+/// be divided by the batch size to match; see dp_accountant.h for the
+/// accounting assumption.
 void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
-                       double noise_scale, Rng* rng);
+                       double noise_scale, size_t batch_size, Rng* rng);
 
 /// Global L2 norm across all parameter gradients.
 double GlobalGradNorm(const std::vector<Parameter*>& params);
+
+/// Global L2 norm across all parameter values (run telemetry).
+double GlobalParamNorm(const std::vector<Parameter*>& params);
 
 }  // namespace daisy::nn
 

@@ -1,0 +1,64 @@
+// Run telemetry for the training loops: one MetricRecord per logged
+// iteration, pushed into a MetricSink. The trainers (GanTrainer and
+// the baselines) emit records; sinks decide what to do with them —
+// keep them in memory (MemorySink, tests), or stream them to disk as
+// JSONL (RunLogger). Sinks are deliberately dumb: no aggregation, no
+// sampling; cadence is the emitter's job (GanOptions::log_every).
+#ifndef DAISY_OBS_METRICS_H_
+#define DAISY_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace daisy::obs {
+
+/// One logged training iteration. Loss semantics depend on `run`:
+/// for GANs d_loss/g_loss are the discriminator/generator objectives;
+/// single-model trainers (VAE, autoencoder pretraining) report their
+/// loss in g_loss and leave d_loss at 0.
+struct MetricRecord {
+  std::string run;          // emitter tag, e.g. "gan.wtrain", "vae"
+  size_t iter = 0;          // 1-based iteration (or epoch) index
+  double d_loss = 0.0;
+  double g_loss = 0.0;
+  double g_grad_norm = 0.0; // global L2 grad norm at the last G update
+  double d_grad_norm = 0.0; // same for D (0 when there is no D)
+  double param_norm = 0.0;  // global L2 norm of the generator params
+  double iter_ms = 0.0;     // wall-clock spent in this iteration
+  double wall_ms = 0.0;     // wall-clock since training started
+  size_t threads = 0;       // par::NumThreads() at emit time
+  uint64_t seed = 0;        // the run's base seed
+};
+
+/// Receives records from a training run. Implementations must not
+/// throw; I/O errors surface through Flush.
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  virtual void Log(const MetricRecord& record) = 0;
+
+  /// Forces buffered records out (no-op for in-memory sinks). Called
+  /// by the trainers once per run, after the last record.
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// Keeps every record in memory — for tests and in-process analysis.
+class MemorySink : public MetricSink {
+ public:
+  void Log(const MetricRecord& record) override {
+    records_.push_back(record);
+  }
+
+  const std::vector<MetricRecord>& records() const { return records_; }
+
+ private:
+  std::vector<MetricRecord> records_;
+};
+
+}  // namespace daisy::obs
+
+#endif  // DAISY_OBS_METRICS_H_

@@ -1,0 +1,188 @@
+#include "obs/run_logger.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace daisy::obs {
+
+namespace {
+
+// %.17g round-trips every double exactly.
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
+// Minimal scanner for the flat objects ToJsonLine emits.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line) : s_(line) {}
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+  bool ReadString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) c = s_[pos_++];
+      *out += c;
+    }
+    if (pos_ >= s_.size()) return false;  // unterminated string
+    ++pos_;                               // closing quote
+    return true;
+  }
+
+  // Number or null (null -> NaN).
+  bool ReadNumber(double* out) {
+    SkipSpace();
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    *out = v;
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ToJsonLine(const MetricRecord& r) {
+  std::string out = "{\"run\":";
+  AppendString(&out, r.run);
+  auto field = [&out](const char* key, double v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    AppendNumber(&out, v);
+  };
+  field("iter", static_cast<double>(r.iter));
+  field("d_loss", r.d_loss);
+  field("g_loss", r.g_loss);
+  field("g_grad_norm", r.g_grad_norm);
+  field("d_grad_norm", r.d_grad_norm);
+  field("param_norm", r.param_norm);
+  field("iter_ms", r.iter_ms);
+  field("wall_ms", r.wall_ms);
+  field("threads", static_cast<double>(r.threads));
+  field("seed", static_cast<double>(r.seed));
+  out += '}';
+  return out;
+}
+
+Result<MetricRecord> ParseJsonLine(const std::string& line) {
+  LineScanner scan(line);
+  if (!scan.Consume('{'))
+    return Status::InvalidArgument("JSONL record must start with '{'");
+
+  MetricRecord r;
+  bool first = true;
+  while (!scan.Consume('}')) {
+    if (!first && !scan.Consume(','))
+      return Status::InvalidArgument("expected ',' between JSONL fields");
+    first = false;
+    std::string key;
+    if (!scan.ReadString(&key) || !scan.Consume(':'))
+      return Status::InvalidArgument("malformed JSONL key");
+    // ReadString consumes nothing unless the value starts with '"', so
+    // it doubles as a peek: string values (run, or unknown keys added
+    // by future schema versions) take this branch, numbers fall through.
+    std::string sval;
+    if (scan.ReadString(&sval)) {
+      if (key == "run") r.run = sval;
+      continue;
+    }
+    double v = 0.0;
+    if (!scan.ReadNumber(&v))
+      return Status::InvalidArgument("malformed value for key '" + key + "'");
+    if (key == "iter") r.iter = static_cast<size_t>(v);
+    else if (key == "d_loss") r.d_loss = v;
+    else if (key == "g_loss") r.g_loss = v;
+    else if (key == "g_grad_norm") r.g_grad_norm = v;
+    else if (key == "d_grad_norm") r.d_grad_norm = v;
+    else if (key == "param_norm") r.param_norm = v;
+    else if (key == "iter_ms") r.iter_ms = v;
+    else if (key == "wall_ms") r.wall_ms = v;
+    else if (key == "threads") r.threads = static_cast<size_t>(v);
+    else if (key == "seed") r.seed = static_cast<uint64_t>(v);
+    // Unknown keys: skipped (forward compatibility).
+  }
+  if (!scan.AtEnd())
+    return Status::InvalidArgument("trailing bytes after JSONL record");
+  return r;
+}
+
+Result<std::unique_ptr<RunLogger>> RunLogger::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IOError("cannot open run log '" + path + "' for writing");
+  return std::unique_ptr<RunLogger>(new RunLogger(f, path));
+}
+
+RunLogger::RunLogger(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+RunLogger::~RunLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunLogger::Log(const MetricRecord& record) {
+  const std::string line = ToJsonLine(record);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // keep the log readable even if the run dies
+  ++lines_;
+}
+
+Status RunLogger::Flush() {
+  if (std::fflush(file_) != 0)
+    return Status::IOError("flush failed for run log '" + path_ + "'");
+  return Status::OK();
+}
+
+}  // namespace daisy::obs

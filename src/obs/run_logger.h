@@ -1,0 +1,52 @@
+// JSONL run logger: one single-line JSON object per MetricRecord,
+// appended to a file as training progresses. The schema is flat
+// (string / integer / float fields only) so any JSON parser — or the
+// ParseJsonLine helper below — can read it back. Non-finite doubles
+// are serialized as null, since JSON has no NaN/Infinity literals.
+#ifndef DAISY_OBS_RUN_LOGGER_H_
+#define DAISY_OBS_RUN_LOGGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace daisy::obs {
+
+/// Serializes a record as one line of JSON (no trailing newline).
+std::string ToJsonLine(const MetricRecord& record);
+
+/// Parses a line produced by ToJsonLine. Unknown keys are ignored;
+/// null numeric fields come back as quiet NaN. Returns InvalidArgument
+/// on malformed input.
+Result<MetricRecord> ParseJsonLine(const std::string& line);
+
+/// MetricSink that appends JSONL to a file. Create via Open; the file
+/// is truncated, written line-by-line, and flushed on every record so
+/// a crashed or killed run still leaves a readable log.
+class RunLogger : public MetricSink {
+ public:
+  static Result<std::unique_ptr<RunLogger>> Open(const std::string& path);
+  ~RunLogger() override;
+
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  void Log(const MetricRecord& record) override;
+  Status Flush() override;
+
+  size_t lines_written() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RunLogger(std::FILE* file, std::string path);
+
+  std::FILE* file_;
+  std::string path_;
+  size_t lines_ = 0;
+};
+
+}  // namespace daisy::obs
+
+#endif  // DAISY_OBS_RUN_LOGGER_H_

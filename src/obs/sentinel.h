@@ -1,0 +1,48 @@
+// Divergence sentinel: per-iteration health checks on the training
+// telemetry. GAN training collapses routinely (exploding W-critic
+// losses, NaNs from DP noise, saturated generators); the sentinel
+// turns those collapses from silent NaN traces — or hard aborts —
+// into a descriptive Status the trainer can act on (stop cleanly,
+// keep the last healthy snapshot).
+#ifndef DAISY_OBS_SENTINEL_H_
+#define DAISY_OBS_SENTINEL_H_
+
+#include "obs/metrics.h"
+
+namespace daisy::obs {
+
+/// Thresholds for declaring a run divergent. The defaults are
+/// deliberately loose: healthy runs of every trainer in this repo stay
+/// orders of magnitude below them, so a trip is a real failure, not a
+/// noisy iteration.
+struct SentinelOptions {
+  bool enabled = true;
+  /// |d_loss| or |g_loss| above this is an explosion.
+  double loss_limit = 1e8;
+  /// A global gradient L2 norm above this is an explosion.
+  double grad_limit = 1e8;
+  /// Generator parameter L2 norm above this is an explosion.
+  double param_limit = 1e10;
+};
+
+/// Stateless checker: feed it each iteration's MetricRecord.
+class DivergenceSentinel {
+ public:
+  explicit DivergenceSentinel(const SentinelOptions& options = {})
+      : opts_(options) {}
+
+  /// OK while the run is healthy. On divergence, a FailedPrecondition
+  /// naming the iteration, the offending metric and its value — e.g.
+  /// "FailedPrecondition: divergence at iteration 42: d_loss is
+  /// non-finite (nan)".
+  Status Check(const MetricRecord& record) const;
+
+  const SentinelOptions& options() const { return opts_; }
+
+ private:
+  SentinelOptions opts_;
+};
+
+}  // namespace daisy::obs
+
+#endif  // DAISY_OBS_SENTINEL_H_

@@ -1,0 +1,47 @@
+// Wall-clock timers for run telemetry. steady_clock based, so they
+// measure elapsed real time and are immune to system clock changes.
+#ifndef DAISY_OBS_TIMER_H_
+#define DAISY_OBS_TIMER_H_
+
+#include <chrono>
+
+namespace daisy::obs {
+
+/// Millisecond stopwatch, running from construction (or Reset).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's wall time (ms) to *accum when the scope exits.
+/// For attributing time to phases without threading timers around:
+///
+///   double transform_ms = 0.0;
+///   { ScopedTimerMs t(&transform_ms); ... }
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* accum) : accum_(accum) {}
+  ~ScopedTimerMs() { *accum_ += timer_.ElapsedMs(); }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* accum_;
+  WallTimer timer_;
+};
+
+}  // namespace daisy::obs
+
+#endif  // DAISY_OBS_TIMER_H_

@@ -100,6 +100,14 @@ Gmm1d Gmm1d::Fit(const std::vector<double>& values, const Options& opts,
       gmm.stddevs_[j] = std::max(opts.min_stddev, std::sqrt(var));
       gmm.weights_[j] = nj / static_cast<double>(n);
     }
+    // Renormalize: the dead-component reseed above assigns 1/n without
+    // taking that mass from anyone, so the weights only sum to 1 up to
+    // reseeds. Responsibilities, LogLikelihood and Sample all assume a
+    // proper mixture.
+    double wsum = 0.0;
+    for (double w : gmm.weights_) wsum += w;
+    if (wsum > 0.0)
+      for (auto& w : gmm.weights_) w /= wsum;
     if (std::fabs(ll - prev_ll) < opts.tol * static_cast<double>(n)) break;
     prev_ll = ll;
   }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sentinel.h"
 #include "transform/record_transformer.h"
 
 namespace daisy::synth {
@@ -62,6 +63,16 @@ struct GanOptions {
   /// Number of evaluation snapshots over the run (paper divides
   /// training into 10 epochs and selects the best on validation).
   size_t snapshots = 10;
+
+  /// Telemetry cadence: when a MetricSink is wired into Train, it
+  /// receives one record every log_every iterations (plus the final
+  /// iteration, and the failing record on divergence). The divergence
+  /// sentinel itself runs every iteration regardless.
+  size_t log_every = 1;
+
+  /// Divergence sentinel thresholds (obs/sentinel.h). Set
+  /// sentinel.enabled = false to reproduce the old push-NaNs behavior.
+  obs::SentinelOptions sentinel;
 
   /// Worker threads for the Matrix kernels during training and
   /// generation. 0 keeps the process-wide default (the DAISY_THREADS

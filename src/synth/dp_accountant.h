@@ -4,6 +4,17 @@
 // which is monotone in sigma and therefore invertible — enough to
 // sweep "privacy level" the way the paper's Figure 8 does. Not a
 // certified accountant; documented as an approximation in DESIGN.md.
+//
+// Accounting assumption (matches nn::ClipAndNoiseGrads): the
+// discriminator gradients this bound covers are BATCH-AVERAGED, and
+// the injected per-coordinate noise is N(0, (sigma_n c_g / B)^2) —
+// i.e. the canonical DP-SGD mechanism "sum clipped per-sample grads,
+// add N(0, sigma_n^2 c_g^2 I), divide by B" with the division applied
+// to the noise as well. The global-norm clip is applied to the
+// averaged batch gradient rather than per sample, which clips no less
+// aggressively than per-sample clipping (the average of vectors each
+// of norm <= c has norm <= c), so sensitivity c_g is still an upper
+// bound and epsilon here stays a (loose) upper estimate.
 #ifndef DAISY_SYNTH_DP_ACCOUNTANT_H_
 #define DAISY_SYNTH_DP_ACCOUNTANT_H_
 

@@ -1,5 +1,6 @@
 #include "synth/kl_regularizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace daisy::synth {
@@ -21,8 +22,12 @@ double CategoricalBlockKl(const Matrix& real, const Matrix& fake,
     double ps = 0.0, qs = 0.0;
     for (size_t r = 0; r < real.rows(); ++r) ps += real(r, offset + c);
     for (size_t r = 0; r < fake.rows(); ++r) qs += fake(r, offset + c);
-    p[c] = ps / m_real + kEps;
-    q[c] = qs / m_fake + kEps;
+    // Clamp at zero before smoothing: the "real" reference may carry
+    // negative block entries (e.g. PATE-GAN's Laplace-noised marginal
+    // anchor rows), and a negative pseudo-probability would feed
+    // log(p/q) a negative ratio — NaN loss and a sign-flipped gradient.
+    p[c] = std::max(ps / m_real, 0.0) + kEps;
+    q[c] = std::max(qs / m_fake, 0.0) + kEps;
   }
   double psum = 0.0, qsum = 0.0;
   for (size_t c = 0; c < width; ++c) {

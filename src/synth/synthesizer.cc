@@ -21,7 +21,8 @@ TableSynthesizer::TableSynthesizer(
   if (opts_.algo == TrainAlgo::kCTrain) opts_.conditional = true;
 }
 
-void TableSynthesizer::Fit(const data::Table& train) {
+Status TableSynthesizer::Fit(const data::Table& train,
+                             obs::MetricSink* sink) {
   DAISY_CHECK(!fitted_);
   DAISY_CHECK(train.num_records() > 0);
   if (opts_.num_threads > 0) par::SetNumThreads(opts_.num_threads);
@@ -42,8 +43,11 @@ void TableSynthesizer::Fit(const data::Table& train) {
 
   GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
   Rng train_rng = rng_.Split();
-  result_ = trainer.Train(train, &train_rng);
+  result_ = trainer.Train(train, &train_rng, sink);
+  // On divergence the trainer has already rolled the generator back to
+  // the last healthy snapshot, so this is always a sane state.
   final_state_ = GetState(g_->Params());
+  return result_.health;
 }
 
 void TableSynthesizer::BuildNetworks() {

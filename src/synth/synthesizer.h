@@ -27,8 +27,16 @@ class TableSynthesizer {
                    const transform::TransformOptions& transform_options);
 
   /// Fits the transformer and trains the GAN on `train`.
-  /// Must be called exactly once before Generate.
-  void Fit(const data::Table& train);
+  /// Must be called exactly once before Generate. When `sink` is
+  /// non-null it receives per-iteration training telemetry (see
+  /// GanTrainer::Train). Returns the run's health: OK when all
+  /// iterations ran; a descriptive error when the divergence sentinel
+  /// stopped training early — in which case the generator holds the
+  /// last healthy snapshot and Generate still works.
+  Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
+
+  /// Health of the training run (same Status that Fit returned).
+  const Status& health() const { return result_.health; }
 
   /// Persists the fitted model (transformer state + generator
   /// parameters) so Generate can run in a later process without

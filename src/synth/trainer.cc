@@ -2,10 +2,27 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/sentinel.h"
+#include "obs/timer.h"
 
 namespace daisy::synth {
+
+namespace {
+
+const char* AlgoName(TrainAlgo algo) {
+  switch (algo) {
+    case TrainAlgo::kVTrain: return "gan.vtrain";
+    case TrainAlgo::kWTrain: return "gan.wtrain";
+    case TrainAlgo::kCTrain: return "gan.ctrain";
+    case TrainAlgo::kDPTrain: return "gan.dptrain";
+  }
+  return "gan";
+}
+
+}  // namespace
 
 GanTrainer::GanTrainer(Generator* generator, Discriminator* discriminator,
                        const transform::RecordTransformer* transformer,
@@ -77,9 +94,10 @@ double GanTrainer::DiscriminatorStep(const Matrix& real,
     d_->Backward(grad);
   }
 
+  last_d_grad_norm_ = nn::GlobalGradNorm(d_->Params());
   if (dp) {
     nn::ClipAndNoiseGrads(d_->Params(), opts_.dp_grad_bound,
-                          opts_.dp_noise_scale, rng);
+                          opts_.dp_noise_scale, real.rows(), rng);
   }
   d_opt_->Step();
   if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
@@ -114,11 +132,13 @@ double GanTrainer::GeneratorStep(const Matrix& z, const Matrix& cond,
   }
 
   g_->Backward(grad_fake);
+  last_g_grad_norm_ = nn::GlobalGradNorm(g_->Params());
   g_opt_->Step();
   return loss;
 }
 
-TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
+TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
+                              obs::MetricSink* sink) {
   const bool wasserstein =
       opts_.algo == TrainAlgo::kWTrain || opts_.algo == TrainAlgo::kDPTrain;
   const bool dp = opts_.algo == TrainAlgo::kDPTrain;
@@ -126,6 +146,15 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
   const bool conditional = g_->cond_dim() > 0;
   DAISY_CHECK(!conditional || table.schema().has_label());
   if (conditional) num_labels_ = table.schema().num_labels();
+
+  if (table.num_records() == 0) {
+    TrainResult result;
+    result.health = Status::InvalidArgument(
+        "cannot train on an empty table: no records to sample");
+    result.snapshots.push_back(GetState(g_->Params()));
+    result.snapshot_iters.push_back(0);
+    return result;
+  }
 
   // Pre-transform all real records once.
   const Matrix real_all = transformer_->Transform(table);
@@ -159,8 +188,16 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
   TrainResult result;
   const size_t snapshot_every =
       std::max<size_t>(1, opts_.iterations / std::max<size_t>(1, opts_.snapshots));
+  const size_t log_every = std::max<size_t>(1, opts_.log_every);
+
+  const obs::DivergenceSentinel sentinel(opts_.sentinel);
+  obs::WallTimer run_timer;
+  // The generator state at the end of the last healthy iteration; what
+  // the caller gets back if the sentinel trips later.
+  StateDict last_healthy = GetState(g_->Params());
 
   for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+    obs::WallTimer iter_timer;
     if (label_aware) {
       // Algorithm 3: one D+G update per label, with label-restricted
       // real minibatches.
@@ -182,7 +219,12 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
             OneHotLabels(std::vector<size_t>(opts_.batch_size, y));
         g_loss += GeneratorStep(z2, cond2, real, wasserstein, rng);
       }
-      DAISY_CHECK(active > 0);
+      if (active == 0) {
+        result.health = Status::InvalidArgument(
+            "label-aware training at iteration " + std::to_string(iter + 1) +
+            ": no label has any training records");
+        break;
+      }
       result.d_losses.push_back(d_loss / static_cast<double>(active));
       result.g_losses.push_back(g_loss / static_cast<double>(active));
     } else {
@@ -211,6 +253,38 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
           GeneratorStep(z, cond, real_ref, wasserstein, rng));
     }
 
+    obs::MetricRecord rec;
+    rec.run = AlgoName(opts_.algo);
+    rec.iter = iter + 1;
+    rec.d_loss = result.d_losses.back();
+    rec.g_loss = result.g_losses.back();
+    rec.d_grad_norm = last_d_grad_norm_;
+    rec.g_grad_norm = last_g_grad_norm_;
+    rec.param_norm = nn::GlobalParamNorm(g_->Params());
+    rec.iter_ms = iter_timer.ElapsedMs();
+    rec.wall_ms = run_timer.ElapsedMs();
+    rec.threads = par::NumThreads();
+    rec.seed = opts_.seed;
+
+    const Status health = sentinel.Check(rec);
+    if (!health.ok()) {
+      // Always surface the failing record, regardless of cadence — it
+      // is the one record a post-mortem needs.
+      if (sink != nullptr) sink->Log(rec);
+      result.health = health;
+      // Keep the loss traces NaN-free: the failing iteration's entries
+      // are part of the Status, not the data.
+      result.d_losses.pop_back();
+      result.g_losses.pop_back();
+      break;
+    }
+    result.completed_iters = iter + 1;
+    if (sink != nullptr &&
+        ((iter + 1) % log_every == 0 || iter + 1 == opts_.iterations)) {
+      sink->Log(rec);
+    }
+    last_healthy = GetState(g_->Params());
+
     if ((iter + 1) % snapshot_every == 0 ||
         iter + 1 == opts_.iterations) {
       if (result.snapshots.size() < opts_.snapshots) {
@@ -219,12 +293,21 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng) {
       }
     }
   }
-  // Guarantee the final state is snapshotted.
-  if (result.snapshot_iters.empty() ||
-      result.snapshot_iters.back() != opts_.iterations) {
+
+  if (!result.health.ok()) {
+    // Roll the generator back to the last healthy state and make that
+    // state the final snapshot, so generation after a diverged run
+    // works from sane parameters.
+    SetState(g_->Params(), last_healthy);
+    result.snapshots.push_back(std::move(last_healthy));
+    result.snapshot_iters.push_back(result.completed_iters);
+  } else if (result.snapshot_iters.empty() ||
+             result.snapshot_iters.back() != opts_.iterations) {
+    // Guarantee the final state is snapshotted.
     result.snapshots.push_back(GetState(g_->Params()));
     result.snapshot_iters.push_back(opts_.iterations);
   }
+  if (sink != nullptr) sink->Flush();
   return result;
 }
 

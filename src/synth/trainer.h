@@ -18,6 +18,7 @@
 #include "core/rng.h"
 #include "data/table.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "synth/config.h"
 #include "synth/sampler.h"
 #include "synth/discriminator.h"
@@ -29,11 +30,22 @@ namespace daisy::synth {
 
 /// What a training run produces: loss traces and periodic generator
 /// snapshots for validation-based model selection (paper §6.2).
+///
+/// Health contract: `health` is OK when all requested iterations ran;
+/// otherwise it describes why training stopped early (divergence
+/// detected by the sentinel, or an empty-label table under CTrain).
+/// The loss traces and `completed_iters` cover only healthy
+/// iterations — no NaN/Inf ever lands in them while the sentinel is
+/// enabled — and the last snapshot is the last healthy generator
+/// state, which is also what the generator's parameters hold after
+/// Train returns.
 struct TrainResult {
   std::vector<double> g_losses;        // one entry per generator update
   std::vector<double> d_losses;
   std::vector<StateDict> snapshots;    // GanOptions::snapshots entries
   std::vector<size_t> snapshot_iters;
+  Status health;                       // OK, or why the run stopped early
+  size_t completed_iters = 0;          // healthy iterations applied
 };
 
 /// Runs one of the four training algorithms. The trainer does not own
@@ -45,8 +57,14 @@ class GanTrainer {
              const GanOptions& options);
 
   /// Trains on `table` (already the training split). The table must be
-  /// labeled when options.conditional or algo == kCTrain.
-  TrainResult Train(const data::Table& table, Rng* rng);
+  /// labeled when options.conditional or algo == kCTrain. When `sink`
+  /// is non-null it receives one obs::MetricRecord every
+  /// options.log_every iterations (losses, global grad norms, generator
+  /// param norm, wall-clock timings); the divergence sentinel
+  /// (options.sentinel) is checked every iteration either way, and its
+  /// verdict lands in TrainResult::health.
+  TrainResult Train(const data::Table& table, Rng* rng,
+                    obs::MetricSink* sink = nullptr);
 
  private:
   // One discriminator update on given real rows + equally sized fake
@@ -70,6 +88,13 @@ class GanTrainer {
   GanOptions opts_;
   KlRegularizer kl_;
   size_t num_labels_ = 0;
+
+  // Telemetry captured by the step functions: the global grad norm
+  // right after the backward pass (before the optimizer applies it).
+  // With multiple D steps (or labels) per iteration, the last step's
+  // value is what gets logged.
+  double last_d_grad_norm_ = 0.0;
+  double last_g_grad_norm_ = 0.0;
 
   std::unique_ptr<nn::Optimizer> g_opt_;
   std::unique_ptr<nn::Optimizer> d_opt_;

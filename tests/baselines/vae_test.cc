@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generators/realistic.h"
+#include "obs/metrics.h"
 #include "stats/metrics.h"
 
 namespace daisy::baselines {
@@ -66,6 +67,28 @@ TEST(VaeTest, GenerateBeforeFitAborts) {
   VaeSynthesizer vae({}, {});
   Rng rng(6);
   EXPECT_DEATH(vae.Generate(10, &rng), "DAISY_CHECK");
+}
+
+TEST(VaeTest, FitEmitsFinitePerEpochTelemetry) {
+  Rng rng(7);
+  data::Table train = data::MakeAdultSim(300, &rng);
+  VaeOptions opts;
+  opts.epochs = 6;
+  opts.log_every = 2;
+  VaeSynthesizer vae(opts, {});
+  obs::MemorySink sink;
+  const Status health = vae.Fit(train, &sink);
+  EXPECT_TRUE(health.ok()) << health.ToString();
+  // Epochs 2, 4, 6 (the final epoch is always logged).
+  ASSERT_EQ(sink.records().size(), 3u);
+  for (const obs::MetricRecord& rec : sink.records()) {
+    EXPECT_EQ(rec.run, "vae");
+    EXPECT_TRUE(std::isfinite(rec.g_loss));
+    EXPECT_TRUE(std::isfinite(rec.g_grad_norm));
+    EXPECT_GT(rec.param_norm, 0.0);
+    EXPECT_GE(rec.iter_ms, 0.0);
+  }
+  EXPECT_EQ(sink.records().back().iter, 6u);
 }
 
 }  // namespace

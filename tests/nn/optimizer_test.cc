@@ -88,12 +88,23 @@ TEST(OptimizerTest, GlobalGradNorm) {
   EXPECT_DOUBLE_EQ(GlobalGradNorm({&a, &b}), 5.0);
 }
 
+TEST(OptimizerTest, GlobalParamNorm) {
+  Parameter a("a", Matrix(1, 2));
+  Parameter b("b", Matrix(1, 1));
+  a.value(0, 0) = 3.0;
+  a.value(0, 1) = 0.0;
+  b.value(0, 0) = 4.0;
+  a.grad(0, 0) = 100.0;  // grads must not leak into the param norm
+  EXPECT_DOUBLE_EQ(GlobalParamNorm({&a, &b}), 5.0);
+}
+
 TEST(OptimizerTest, ClipAndNoiseGradsClipsLargeNorm) {
   Rng rng(7);
   Parameter p("p", Matrix(1, 2));
   p.grad(0, 0) = 30.0;
   p.grad(0, 1) = 40.0;  // norm 50
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0, &rng);
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0,
+                    /*batch_size=*/1, &rng);
   EXPECT_NEAR(GlobalGradNorm({&p}), 1.0, 1e-9);
 }
 
@@ -102,18 +113,39 @@ TEST(OptimizerTest, ClipAndNoiseGradsLeavesSmallNorm) {
   Parameter p("p", Matrix(1, 2));
   p.grad(0, 0) = 0.3;
   p.grad(0, 1) = 0.4;  // norm 0.5
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0, &rng);
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0,
+                    /*batch_size=*/1, &rng);
   EXPECT_NEAR(GlobalGradNorm({&p}), 0.5, 1e-9);
 }
 
 TEST(OptimizerTest, ClipAndNoiseGradsAddsNoise) {
   Rng rng(7);
   Parameter p("p", Matrix(1, 100));
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/2.0, &rng);
-  // All-zero grads plus N(0, 2^2) noise: empirical stddev near 2.
+  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/2.0,
+                    /*batch_size=*/1, &rng);
+  // All-zero grads plus N(0, (2*1/1)^2) noise: empirical stddev near 2.
   double sq = 0.0;
   for (size_t c = 0; c < 100; ++c) sq += p.grad(0, c) * p.grad(0, c);
   EXPECT_NEAR(std::sqrt(sq / 100.0), 2.0, 0.6);
+}
+
+TEST(OptimizerTest, ClipAndNoiseGradsScalesNoiseByBatchSize) {
+  // The gradients being batch-averaged means the DP-SGD noise must be
+  // sigma_n * c_g / B, not sigma_n * c_g (the pre-fix behavior). With
+  // all-zero grads what remains is pure noise, so the empirical stddev
+  // exposes the scale directly.
+  auto empirical_stddev = [](size_t batch_size) {
+    Rng rng(11);
+    Parameter p("p", Matrix(1, 2000));
+    ClipAndNoiseGrads({&p}, /*max_norm=*/4.0, /*noise_scale=*/5.0,
+                      batch_size, &rng);
+    double sq = 0.0;
+    for (size_t c = 0; c < 2000; ++c) sq += p.grad(0, c) * p.grad(0, c);
+    return std::sqrt(sq / 2000.0);
+  };
+  // batch 1: sigma = 5*4/1 = 20.  batch 100: sigma = 5*4/100 = 0.2.
+  EXPECT_NEAR(empirical_stddev(1), 20.0, 1.5);
+  EXPECT_NEAR(empirical_stddev(100), 0.2, 0.015);
 }
 
 }  // namespace

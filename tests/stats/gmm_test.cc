@@ -118,5 +118,68 @@ TEST_P(GmmComponentSweep, AvgLogLikelihoodReasonable) {
 INSTANTIATE_TEST_SUITE_P(Components, GmmComponentSweep,
                          ::testing::Values(1, 2, 3, 5, 8));
 
+// Regression for the dead-component reseed bug: the reseed used to set
+// weights_[j] = 1/n without taking that mass from anyone, so a reseed
+// left the weights summing to != 1 and biased Responsibilities,
+// LogLikelihood and Sample. Fit now renormalizes after every M-step,
+// which makes "the fitted mixture is a proper distribution" an
+// unconditional invariant — locked in here across adversarial shapes
+// (exact-duplicate clusters, extreme outliers, k > #distinct values,
+// degenerate variance floors) so any future M-step edit that breaks
+// normalization fails loudly.
+TEST(GmmTest, FittedWeightsAlwaysFormProperDistribution) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    for (size_t k : {2u, 3u, 5u, 8u}) {
+      for (int shape = 0; shape < 4; ++shape) {
+        std::vector<double> values;
+        Rng data_rng(seed * 977 + static_cast<uint64_t>(shape));
+        switch (shape) {
+          case 0:  // tight cluster + extreme outlier
+            for (int i = 0; i < 100; ++i)
+              values.push_back(data_rng.Gaussian(0.0, 0.001));
+            values.push_back(1e6);
+            break;
+          case 1:  // exact duplicates + two stragglers (k > #distinct)
+            values.assign(100, 0.0);
+            values.push_back(1.0);
+            values.push_back(2.0);
+            break;
+          case 2:  // wide + needle-sharp overlapping components
+            for (int i = 0; i < 150; ++i)
+              values.push_back(data_rng.Gaussian(0.0, 1.0));
+            for (int i = 0; i < 50; ++i)
+              values.push_back(data_rng.Gaussian(0.0, 0.0005));
+            break;
+          default:  // heavy-tailed spread over many decades
+            for (int i = 0; i < 60; ++i)
+              values.push_back(std::pow(10.0, data_rng.Gaussian(0.0, 2.0)));
+        }
+        Gmm1d::Options opts;
+        opts.components = k;
+        opts.min_stddev = shape == 1 ? 1e-9 : 1e-3;
+        Rng rng(seed * 31 + k);
+        Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+
+        double wsum = 0.0;
+        for (size_t j = 0; j < gmm.num_components(); ++j) {
+          EXPECT_GE(gmm.weight(j), 0.0);
+          EXPECT_LE(gmm.weight(j), 1.0 + 1e-12);
+          EXPECT_TRUE(std::isfinite(gmm.mean(j)));
+          EXPECT_GE(gmm.stddev(j), opts.min_stddev);
+          wsum += gmm.weight(j);
+        }
+        EXPECT_NEAR(wsum, 1.0, 1e-12)
+            << "seed=" << seed << " k=" << k << " shape=" << shape;
+
+        // Proper weights make the posterior a distribution too.
+        const auto resp = gmm.Responsibilities(values.front());
+        double rsum = 0.0;
+        for (double r : resp) rsum += r;
+        EXPECT_NEAR(rsum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace daisy::stats

@@ -3,10 +3,12 @@
 // cadence, and that adversarial training actually improves the
 // generator's distribution fit.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "data/generators/sdata.h"
+#include "obs/metrics.h"
 #include "stats/metrics.h"
 #include "synth/mlp_nets.h"
 #include "synth/trainer.h"
@@ -202,6 +204,168 @@ TEST(TrainerTest, SnapshotStatesDifferAcrossTraining) {
   for (size_t i = 0; i < first.size(); ++i)
     diff += (first[i] - last[i]).MaxAbs();
   EXPECT_GT(diff, 1e-6);
+}
+
+TEST(TrainerTest, HealthyRunEmitsFiniteMetrics) {
+  Rng rng(14);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  obs::MemorySink sink;
+  TrainResult result = trainer.Train(table, &rng, &sink);
+  EXPECT_TRUE(result.health.ok()) << result.health.ToString();
+  EXPECT_EQ(result.completed_iters, opts.iterations);
+
+  ASSERT_EQ(sink.records().size(), opts.iterations);  // log_every = 1
+  double prev_wall = 0.0;
+  for (size_t i = 0; i < sink.records().size(); ++i) {
+    const obs::MetricRecord& rec = sink.records()[i];
+    EXPECT_EQ(rec.run, "gan.vtrain");
+    EXPECT_EQ(rec.iter, i + 1);
+    EXPECT_TRUE(std::isfinite(rec.d_loss));
+    EXPECT_TRUE(std::isfinite(rec.g_loss));
+    EXPECT_TRUE(std::isfinite(rec.d_grad_norm));
+    EXPECT_TRUE(std::isfinite(rec.g_grad_norm));
+    EXPECT_GT(rec.g_grad_norm, 0.0);
+    EXPECT_GT(rec.param_norm, 0.0);
+    EXPECT_GE(rec.iter_ms, 0.0);
+    EXPECT_GE(rec.wall_ms, prev_wall);
+    prev_wall = rec.wall_ms;
+    EXPECT_GT(rec.threads, 0u);
+    EXPECT_EQ(rec.seed, opts.seed);
+  }
+}
+
+TEST(TrainerTest, LogEveryThinsRecords) {
+  Rng rng(15);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  opts.iterations = 25;
+  opts.log_every = 10;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  obs::MemorySink sink;
+  trainer.Train(table, &rng, &sink);
+  // Iterations 10 and 20, plus the always-logged final iteration 25.
+  ASSERT_EQ(sink.records().size(), 3u);
+  EXPECT_EQ(sink.records()[0].iter, 10u);
+  EXPECT_EQ(sink.records()[1].iter, 20u);
+  EXPECT_EQ(sink.records()[2].iter, 25u);
+}
+
+TEST(TrainerTest, InjectedNanStopsWTrainWithStatusNotAbort) {
+  Rng rng(16);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  // Poison one generator weight: every forward pass, loss and norm
+  // downstream of it is NaN from iteration 1 on.
+  nets.g->Params().front()->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+
+  GanOptions opts = SmallOptions(TrainAlgo::kWTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  obs::MemorySink sink;
+  TrainResult result = trainer.Train(table, &rng, &sink);
+
+  ASSERT_FALSE(result.health.ok());
+  EXPECT_EQ(result.health.code(), Status::Code::kFailedPrecondition);
+  EXPECT_NE(result.health.ToString().find("iteration 1"), std::string::npos)
+      << result.health.ToString();
+  EXPECT_NE(result.health.ToString().find("non-finite"), std::string::npos)
+      << result.health.ToString();
+  EXPECT_EQ(result.completed_iters, 0u);
+
+  // The failing iteration's losses belong to the Status, not the data.
+  EXPECT_TRUE(result.d_losses.empty());
+  EXPECT_TRUE(result.g_losses.empty());
+  for (double loss : result.g_losses) EXPECT_TRUE(std::isfinite(loss));
+
+  // The failing record is always surfaced to the sink for post-mortems.
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].iter, 1u);
+
+  // Last snapshot = state at completed_iters (here: the initial state).
+  ASSERT_FALSE(result.snapshots.empty());
+  EXPECT_EQ(result.snapshot_iters.back(), 0u);
+}
+
+TEST(TrainerTest, ExplosionRollsBackToLastHealthySnapshot) {
+  Rng rng(17);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+
+  // Force a real mid-run explosion: an absurd generator learning rate
+  // makes Adam random-walk the parameters outward by ~lr per coordinate
+  // per step, so the norm needs several iterations to cross a limit set
+  // well above the initial value — the sentinel trips with a healthy
+  // prefix to roll back to.
+  const double init_norm = nn::GlobalParamNorm(nets.g->Params());
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  opts.iterations = 200;
+  opts.lr_g = 0.5;
+  opts.sentinel.param_limit = init_norm + 50.0;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  TrainResult result = trainer.Train(table, &rng);
+
+  ASSERT_FALSE(result.health.ok());
+  EXPECT_NE(result.health.ToString().find("param_norm"), std::string::npos)
+      << result.health.ToString();
+  EXPECT_LT(result.completed_iters, opts.iterations);
+
+  // Rollback contract: the generator ends at the last state that passed
+  // the check, so its norm respects the limit again...
+  EXPECT_LE(nn::GlobalParamNorm(nets.g->Params()),
+            opts.sentinel.param_limit);
+  // ...and the final snapshot is exactly that state.
+  ASSERT_FALSE(result.snapshots.empty());
+  EXPECT_EQ(result.snapshot_iters.back(), result.completed_iters);
+  const StateDict current = GetState(nets.g->Params());
+  const StateDict& snap = result.snapshots.back();
+  ASSERT_EQ(current.size(), snap.size());
+  for (size_t i = 0; i < current.size(); ++i)
+    EXPECT_DOUBLE_EQ((current[i] - snap[i]).MaxAbs(), 0.0);
+  // The healthy prefix of the loss traces stays finite.
+  EXPECT_EQ(result.g_losses.size(), result.completed_iters);
+  for (double loss : result.g_losses) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(TrainerTest, EmptyTableReturnsStatusNotAbort) {
+  Rng rng(18);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kVTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  data::Table empty(table.schema());
+  TrainResult result = trainer.Train(empty, &rng);
+  ASSERT_FALSE(result.health.ok());
+  EXPECT_EQ(result.health.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(result.completed_iters, 0u);
+  ASSERT_EQ(result.snapshots.size(), 1u);  // initial state, iter 0
+  EXPECT_EQ(result.snapshot_iters.back(), 0u);
+}
+
+TEST(TrainerTest, DisabledSentinelLetsNanThrough) {
+  Rng rng(19);
+  data::Table table = SmallTable(&rng);
+  Nets nets = BuildNets(table, 0, &rng);
+  nets.g->Params().front()->value(0, 0) =
+      std::numeric_limits<double>::quiet_NaN();
+  GanOptions opts = SmallOptions(TrainAlgo::kWTrain);
+  opts.sentinel.enabled = false;
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  TrainResult result = trainer.Train(table, &rng);
+  // Opt-out restores the old behavior: the run limps through all
+  // iterations and the traces carry the NaNs.
+  EXPECT_TRUE(result.health.ok());
+  EXPECT_EQ(result.completed_iters, opts.iterations);
+  EXPECT_EQ(result.g_losses.size(), opts.iterations);
 }
 
 }  // namespace

@@ -2,31 +2,41 @@
 // synthetic table against the original, without writing any C++.
 //
 //   daisy_cli synth --input real.csv --label income --output fake.csv
-//              [--n 10000] [--arch mlp|lstm|cnn]
+//              [--n 10000] [--method gan|vae|medgan] [--arch mlp|lstm|cnn]
 //              [--algo vtrain|wtrain|ctrain|dptrain]
 //              [--cat onehot|ordinal] [--num gmm|simple]
 //              [--iterations 800] [--seed 17]
+//              [--log-jsonl run.jsonl] [--log-every 10]
 //
 //   daisy_cli eval --real real.csv --synthetic fake.csv --label income
 //
 //   daisy_cli generate --model model.daisy --output fake.csv --n 10000
 //
 // `synth` accepts --save-model PATH to persist the trained model;
-// `generate` reloads it and samples without retraining.
+// `generate` reloads it and samples without retraining. `--log-jsonl`
+// streams per-iteration training telemetry (losses, grad norms,
+// wall-clock) as JSONL; `--log-every` thins it. If the divergence
+// sentinel stops training early, the CLI reports the failing iteration
+// and generates from the last healthy snapshot.
 //
 // `synth` runs the three-phase pipeline of the paper (Figure 2);
 // `eval` prints the paper's utility (F1 Diff per classifier), fidelity
 // and privacy (hitting rate, DCR) metrics.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "baselines/medgan.h"
+#include "baselines/vae.h"
 #include "data/csv.h"
 #include "eval/fidelity.h"
 #include "eval/report.h"
 #include "eval/privacy.h"
 #include "eval/utility.h"
+#include "obs/run_logger.h"
 #include "synth/synthesizer.h"
 
 namespace {
@@ -53,10 +63,12 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  daisy_cli synth --input real.csv --output fake.csv\n"
-               "            [--label COLUMN] [--n N] [--arch mlp|lstm|cnn]\n"
+               "            [--label COLUMN] [--n N]\n"
+               "            [--method gan|vae|medgan] [--arch mlp|lstm|cnn]\n"
                "            [--algo vtrain|wtrain|ctrain|dptrain]\n"
                "            [--cat onehot|ordinal] [--num gmm|simple]\n"
                "            [--iterations N] [--seed S] [--threads T]\n"
+               "            [--log-jsonl PATH] [--log-every N]\n"
                "            [--save-model PATH]\n"
                "  daisy_cli generate --model PATH --output fake.csv [--n N]\n"
                "            [--seed S]\n"
@@ -80,22 +92,13 @@ int RunSynth(const Args& args) {
               table.value().num_records(),
               table.value().num_attributes(), input.c_str());
 
-  daisy::synth::GanOptions opts;
-  const std::string arch = args.Get("arch", "mlp");
-  if (arch == "lstm") opts.generator = daisy::synth::GeneratorArch::kLstm;
-  else if (arch == "cnn") opts.generator = daisy::synth::GeneratorArch::kCnn;
-  else if (arch != "mlp") return Usage();
+  const std::string method = args.Get("method", "gan");
+  if (method != "gan" && method != "vae" && method != "medgan")
+    return Usage();
 
-  const std::string algo = args.Get("algo", "vtrain");
-  if (algo == "wtrain") opts.algo = daisy::synth::TrainAlgo::kWTrain;
-  else if (algo == "ctrain") opts.algo = daisy::synth::TrainAlgo::kCTrain;
-  else if (algo == "dptrain") opts.algo = daisy::synth::TrainAlgo::kDPTrain;
-  else if (algo != "vtrain") return Usage();
-
-  opts.iterations = static_cast<size_t>(args.GetInt("iterations", 800));
-  opts.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
-  // 0 = keep the process default (DAISY_THREADS env, else hardware).
-  opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  const size_t log_every =
+      static_cast<size_t>(std::max(1L, args.GetInt("log-every", 1)));
 
   daisy::transform::TransformOptions topts;
   if (args.Get("cat", "onehot") == "ordinal")
@@ -103,21 +106,102 @@ int RunSynth(const Args& args) {
   if (args.Get("num", "gmm") == "simple")
     topts.numerical = daisy::transform::NumericalNormalization::kSimple;
 
-  if (opts.algo == daisy::synth::TrainAlgo::kCTrain &&
-      !table.value().schema().has_label()) {
-    std::fprintf(stderr, "ctrain requires --label\n");
+  std::unique_ptr<daisy::obs::RunLogger> logger;
+  const std::string log_path = args.Get("log-jsonl");
+  if (!log_path.empty()) {
+    auto opened = daisy::obs::RunLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    logger = std::move(opened.value());
+  }
+
+  const std::string model_path = args.Get("save-model");
+  if (!model_path.empty() && method != "gan") {
+    std::fprintf(stderr, "--save-model is only supported for --method gan\n");
     return 1;
   }
 
-  daisy::synth::TableSynthesizer synth(opts, topts);
-  std::printf("training (%s, %s, %zu iterations)...\n", arch.c_str(),
-              algo.c_str(), opts.iterations);
-  synth.Fit(table.value());
-
-  Rng gen_rng(opts.seed ^ 0xBEEF);
+  Rng gen_rng(seed ^ 0xBEEF);
   const size_t n = static_cast<size_t>(
       args.GetInt("n", static_cast<long>(table.value().num_records())));
-  daisy::data::Table fake = synth.Generate(n, &gen_rng);
+  daisy::data::Table fake;
+
+  if (method == "gan") {
+    daisy::synth::GanOptions opts;
+    const std::string arch = args.Get("arch", "mlp");
+    if (arch == "lstm") opts.generator = daisy::synth::GeneratorArch::kLstm;
+    else if (arch == "cnn") opts.generator = daisy::synth::GeneratorArch::kCnn;
+    else if (arch != "mlp") return Usage();
+
+    const std::string algo = args.Get("algo", "vtrain");
+    if (algo == "wtrain") opts.algo = daisy::synth::TrainAlgo::kWTrain;
+    else if (algo == "ctrain") opts.algo = daisy::synth::TrainAlgo::kCTrain;
+    else if (algo == "dptrain") opts.algo = daisy::synth::TrainAlgo::kDPTrain;
+    else if (algo != "vtrain") return Usage();
+
+    opts.iterations = static_cast<size_t>(args.GetInt("iterations", 800));
+    opts.seed = seed;
+    opts.log_every = log_every;
+    // 0 = keep the process default (DAISY_THREADS env, else hardware).
+    opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+
+    if (opts.algo == daisy::synth::TrainAlgo::kCTrain &&
+        !table.value().schema().has_label()) {
+      std::fprintf(stderr, "ctrain requires --label\n");
+      return 1;
+    }
+
+    daisy::synth::TableSynthesizer synth(opts, topts);
+    std::printf("training (gan, %s, %s, %zu iterations)...\n", arch.c_str(),
+                algo.c_str(), opts.iterations);
+    const Status health = synth.Fit(table.value(), logger.get());
+    if (!health.ok()) {
+      std::fprintf(stderr,
+                   "training stopped early: %s\n"
+                   "generating from the last healthy snapshot\n",
+                   health.ToString().c_str());
+    }
+    fake = synth.Generate(n, &gen_rng);
+
+    if (!model_path.empty()) {
+      const Status save_st = synth.Save(model_path);
+      if (!save_st.ok()) {
+        std::fprintf(stderr, "error saving model: %s\n",
+                     save_st.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved model to %s\n", model_path.c_str());
+    }
+  } else if (method == "vae") {
+    daisy::baselines::VaeOptions opts;
+    opts.epochs = static_cast<size_t>(args.GetInt("iterations", 30));
+    opts.seed = seed;
+    opts.log_every = log_every;
+    daisy::baselines::VaeSynthesizer synth(opts, topts);
+    std::printf("training (vae, %zu epochs)...\n", opts.epochs);
+    const Status health = synth.Fit(table.value(), logger.get());
+    if (!health.ok())
+      std::fprintf(stderr, "training stopped early: %s\n",
+                   health.ToString().c_str());
+    fake = synth.Generate(n, &gen_rng);
+  } else {  // medgan
+    daisy::baselines::MedGanOptions opts;
+    opts.gan_iterations = static_cast<size_t>(args.GetInt("iterations", 300));
+    opts.seed = seed;
+    opts.log_every = log_every;
+    daisy::baselines::MedGanSynthesizer synth(opts, topts);
+    std::printf("training (medgan, %zu AE epochs + %zu GAN iterations)...\n",
+                opts.ae_epochs, opts.gan_iterations);
+    const Status health = synth.Fit(table.value(), logger.get());
+    if (!health.ok())
+      std::fprintf(stderr, "training stopped early: %s\n",
+                   health.ToString().c_str());
+    fake = synth.Generate(n, &gen_rng);
+  }
+
   const Status st = daisy::data::WriteCsv(fake, output);
   if (!st.ok()) {
     std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
@@ -125,17 +209,9 @@ int RunSynth(const Args& args) {
     return 1;
   }
   std::printf("wrote %zu synthetic records to %s\n", n, output.c_str());
-
-  const std::string model_path = args.Get("save-model");
-  if (!model_path.empty()) {
-    const Status save_st = synth.Save(model_path);
-    if (!save_st.ok()) {
-      std::fprintf(stderr, "error saving model: %s\n",
-                   save_st.ToString().c_str());
-      return 1;
-    }
-    std::printf("saved model to %s\n", model_path.c_str());
-  }
+  if (logger != nullptr)
+    std::printf("wrote %zu telemetry records to %s\n",
+                logger->lines_written(), logger->path().c_str());
   return 0;
 }
 
