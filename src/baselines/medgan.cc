@@ -2,6 +2,7 @@
 
 #include "baselines/recon_loss.h"
 #include "core/parallel.h"
+#include "synth/generator.h"
 #include "synth/kl_regularizer.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -77,6 +78,9 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
     for (auto* p : decoder_body_->Params()) params.push_back(p);
     for (auto* p : decoder_heads_->Params()) params.push_back(p);
     nn::Adam opt(params, opts_.lr);
+    // On a sentinel trip, restore the last healthy autoencoder state
+    // (mirroring GanTrainer) before surfacing the failure status.
+    synth::StateDict last_healthy = synth::GetState(params);
     const size_t batches = std::max<size_t>(1, n / opts_.batch_size);
     for (size_t epoch = 0; epoch < opts_.ae_epochs; ++epoch) {
       obs::WallTimer epoch_timer;
@@ -115,9 +119,11 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
           sink->Log(rec);
           sink->Flush();
         }
+        synth::SetState(params, last_healthy);
         return health;
       }
       pretrain_loss_ = rec.g_loss;
+      last_healthy = synth::GetState(params);
       if (sink != nullptr &&
           ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.ae_epochs)) {
         sink->Log(rec);
@@ -131,6 +137,10 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
   for (auto* p : decoder_heads_->Params()) g_params.push_back(p);
   nn::Adam g_opt(g_params, opts_.lr);
   nn::Adam d_opt(discriminator_->Params(), opts_.lr);
+
+  // g_params covers everything Generate() uses (latent generator +
+  // decoder); roll those back to the last healthy iteration on a trip.
+  synth::StateDict last_healthy = synth::GetState(g_params);
 
   for (size_t iter = 0; iter < opts_.gan_iterations; ++iter) {
     obs::WallTimer iter_timer;
@@ -210,8 +220,10 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
         sink->Log(rec);
         sink->Flush();
       }
+      synth::SetState(g_params, last_healthy);
       return health;
     }
+    last_healthy = synth::GetState(g_params);
     if (sink != nullptr &&
         ((iter + 1) % log_every == 0 || iter + 1 == opts_.gan_iterations)) {
       sink->Log(rec);

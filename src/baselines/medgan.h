@@ -50,7 +50,10 @@ class MedGanSynthesizer {
                     const transform::TransformOptions& transform_opts);
 
   /// Trains autoencoder then GAN. A non-null `sink` receives records
-  /// from both phases. Returns OK, or why the sentinel stopped the run.
+  /// from both phases. Returns OK, or why the sentinel stopped the
+  /// run — in which case the generation-path parameters are rolled
+  /// back to the last healthy epoch/iteration of the failing phase, so
+  /// Generate() still samples from sane weights.
   Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 

@@ -5,6 +5,7 @@
 #include "core/parallel.h"
 #include "nn/loss.h"
 #include "obs/timer.h"
+#include "synth/generator.h"
 
 namespace daisy::baselines {
 
@@ -99,6 +100,12 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
   const size_t log_every = std::max<size_t>(1, opts_.log_every);
   const obs::DivergenceSentinel sentinel(opts_.sentinel);
   obs::WallTimer run_timer;
+  // Mirrors GanTrainer: restore the last healthy generator (params AND
+  // batch-norm running stats) on a sentinel trip so Generate() never
+  // samples from diverged weights.
+  synth::StateDict last_healthy = synth::GetState(generator_->Params());
+  synth::StateDict last_healthy_buffers =
+      synth::GetBufferState(generator_->Buffers());
 
   for (size_t iter = 0; iter < opts_.iterations; ++iter) {
     obs::WallTimer iter_timer;
@@ -197,8 +204,12 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
         sink->Log(rec);
         sink->Flush();
       }
+      synth::SetState(generator_->Params(), last_healthy);
+      synth::SetBufferState(generator_->Buffers(), last_healthy_buffers);
       return health;
     }
+    last_healthy = synth::GetState(generator_->Params());
+    last_healthy_buffers = synth::GetBufferState(generator_->Buffers());
     if (sink != nullptr &&
         ((iter + 1) % log_every == 0 || iter + 1 == opts_.iterations)) {
       sink->Log(rec);

@@ -62,7 +62,9 @@ class PateGanSynthesizer {
 
   /// Trains teachers/student/generator. A non-null `sink` receives one
   /// record per log_every iterations (student loss in d_loss, generator
-  /// loss in g_loss). Returns OK, or why the sentinel stopped the run.
+  /// loss in g_loss). Returns OK, or why the sentinel stopped the
+  /// run — in which case the generator is rolled back to the last
+  /// healthy iteration, so Generate() still samples from sane weights.
   Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 

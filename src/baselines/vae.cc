@@ -7,6 +7,7 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "obs/timer.h"
+#include "synth/generator.h"
 
 namespace daisy::baselines {
 
@@ -63,6 +64,10 @@ Status VaeSynthesizer::Fit(const data::Table& train,
   const size_t log_every = std::max<size_t>(1, opts_.log_every);
   const obs::DivergenceSentinel sentinel(opts_.sentinel);
   obs::WallTimer run_timer;
+  // Mirrors GanTrainer: on a sentinel trip the parameters are rolled
+  // back to the last healthy epoch so Generate() never samples from
+  // diverged weights.
+  synth::StateDict last_healthy = synth::GetState(params_);
   Status health;
   for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
     obs::WallTimer epoch_timer;
@@ -87,9 +92,11 @@ Status VaeSynthesizer::Fit(const data::Table& train,
     health = sentinel.Check(rec);
     if (!health.ok()) {
       if (sink != nullptr) sink->Log(rec);
+      synth::SetState(params_, last_healthy);
       break;
     }
     final_loss_ = rec.g_loss;
+    last_healthy = synth::GetState(params_);
     if (sink != nullptr &&
         ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.epochs)) {
       sink->Log(rec);

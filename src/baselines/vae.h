@@ -40,7 +40,9 @@ class VaeSynthesizer {
 
   /// Trains the VAE. A non-null `sink` receives one record per
   /// log_every epochs (loss in g_loss, grad/param norms, timings).
-  /// Returns OK, or why the divergence sentinel stopped training.
+  /// Returns OK, or why the divergence sentinel stopped training — in
+  /// which case the parameters are rolled back to the last healthy
+  /// epoch, so Generate() still samples from sane weights.
   Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
   data::Table Generate(size_t n, Rng* rng);
 

@@ -86,22 +86,52 @@ double GlobalParamNorm(const std::vector<Parameter*>& params) {
   return std::sqrt(sq);
 }
 
-void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
-                       double noise_scale, size_t batch_size, Rng* rng) {
+DpSgdAggregator::DpSgdAggregator(const std::vector<Parameter*>& params,
+                                 double max_norm)
+    : max_norm_(max_norm) {
   DAISY_CHECK(max_norm > 0.0);
-  DAISY_CHECK(batch_size > 0);
+  for (const Parameter* p : params)
+    sum_.emplace_back(p->grad.rows(), p->grad.cols());
+}
+
+void DpSgdAggregator::AccumulateSample(const std::vector<Parameter*>& params) {
+  DAISY_CHECK(params.size() == sum_.size());
   const double norm = GlobalGradNorm(params);
-  const double scale = norm > max_norm ? max_norm / norm : 1.0;
-  // Batch-averaged gradients: scale the per-sample DP-SGD noise
-  // sigma_n * c_g down by the batch size so the effective noise matches
-  // N(0, sigma^2 c^2 I) / B applied to a summed-then-averaged batch.
-  const double sigma =
-      noise_scale * max_norm / static_cast<double>(batch_size);
-  for (Parameter* p : params) {
-    for (size_t r = 0; r < p->grad.rows(); ++r)
-      for (size_t c = 0; c < p->grad.cols(); ++c)
-        p->grad(r, c) = p->grad(r, c) * scale + rng->Gaussian(0.0, sigma);
+  const double scale = norm > max_norm_ ? max_norm_ / norm : 1.0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix& g = params[i]->grad;
+    for (size_t r = 0; r < g.rows(); ++r)
+      for (size_t c = 0; c < g.cols(); ++c)
+        sum_[i](r, c) += g(r, c) * scale;
   }
+  ++samples_;
+}
+
+void DpSgdAggregator::Finalize(const std::vector<Parameter*>& params,
+                               double noise_scale, size_t batch_size,
+                               Rng* rng) {
+  DAISY_CHECK(params.size() == sum_.size());
+  DAISY_CHECK(batch_size > 0);
+  // Sensitivity of the clipped sum is max_norm, so the canonical
+  // mechanism adds N(0, (sigma_n c_g)^2) to the SUM; dividing sum and
+  // noise by B yields the batch-averaged gradient the optimizers
+  // expect, with effective per-coordinate noise sigma_n c_g / B.
+  const double sigma = noise_scale * max_norm_;
+  const double inv_b = 1.0 / static_cast<double>(batch_size);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& g = params[i]->grad;
+    for (size_t r = 0; r < g.rows(); ++r)
+      for (size_t c = 0; c < g.cols(); ++c)
+        g(r, c) = (sum_[i](r, c) + rng->Gaussian(0.0, sigma)) * inv_b;
+  }
+}
+
+double DpSgdAggregator::SumNorm() const {
+  double sq = 0.0;
+  for (const Matrix& m : sum_)
+    for (size_t r = 0; r < m.rows(); ++r)
+      for (size_t c = 0; c < m.cols(); ++c) sq += m(r, c) * m(r, c);
+  return std::sqrt(sq);
 }
 
 }  // namespace daisy::nn

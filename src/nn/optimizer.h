@@ -69,15 +69,42 @@ class RmsProp : public Optimizer {
 /// Clamps every parameter value into [-c, c] (WGAN weight clipping).
 void ClipParams(const std::vector<Parameter*>& params, double c);
 
-/// Rescales gradients so their global L2 norm is at most `max_norm`,
-/// then adds N(0, (noise_scale * max_norm / batch_size)^2) noise to
-/// every coordinate — the DPGAN mechanism. The gradients held by
-/// `params` are batch-AVERAGED (every loss in this repo divides by the
-/// batch), so the per-sample noise sigma_n * c_g of Abadi et al. must
-/// be divided by the batch size to match; see dp_accountant.h for the
-/// accounting assumption.
-void ClipAndNoiseGrads(const std::vector<Parameter*>& params, double max_norm,
-                       double noise_scale, size_t batch_size, Rng* rng);
+/// Per-sample DP-SGD gradient aggregation (Abadi et al.). Usage, per
+/// minibatch: run the backward pass for ONE sample at a time, call
+/// AccumulateSample after each (clips that sample's gradient to
+/// max_norm in global L2 and adds it to a running sum), then call
+/// Finalize, which overwrites the params' grads with
+/// (sum + N(0, (noise_scale * max_norm)^2 I)) / batch_size.
+///
+/// Clipping before the sum bounds every record's contribution to the
+/// noised SUM by max_norm, so the per-record L2 sensitivity is exactly
+/// max_norm — the assumption synth/dp_accountant.h relies on. (Clipping
+/// only the batch-averaged gradient would NOT give this bound: one
+/// outlier can still swing the clipped average by ~2*max_norm, making
+/// noise divided by the batch size ~B times too small.)
+class DpSgdAggregator {
+ public:
+  DpSgdAggregator(const std::vector<Parameter*>& params, double max_norm);
+
+  /// Clips the gradient currently held by `params` (one sample's
+  /// backward pass) to `max_norm` and adds it to the running sum. The
+  /// caller zero-grads between samples.
+  void AccumulateSample(const std::vector<Parameter*>& params);
+
+  /// Writes (sum + noise) / batch_size into the params' grads.
+  void Finalize(const std::vector<Parameter*>& params, double noise_scale,
+                size_t batch_size, Rng* rng);
+
+  /// Global L2 norm of the clipped sum so far (pre-noise telemetry).
+  double SumNorm() const;
+
+  size_t samples() const { return samples_; }
+
+ private:
+  double max_norm_;
+  size_t samples_ = 0;
+  std::vector<Matrix> sum_;
+};
 
 /// Global L2 norm across all parameter gradients.
 double GlobalGradNorm(const std::vector<Parameter*>& params);

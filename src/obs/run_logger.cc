@@ -20,11 +20,33 @@ void AppendNumber(std::string* out, double v) {
   *out += buf;
 }
 
+void AppendUnsigned(std::string* out, unsigned long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  *out += buf;
+}
+
 void AppendString(std::string* out, const std::string& s) {
   *out += '"';
   for (char c : s) {
-    if (c == '"' || c == '\\') *out += '\\';
-    *out += c;
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        // Remaining control characters would break the one-record-per-
+        // line framing (and are invalid raw JSON); emit them \u-escaped.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
   }
   *out += '"';
 }
@@ -55,11 +77,53 @@ class LineScanner {
     out->clear();
     while (pos_ < s_.size() && s_[pos_] != '"') {
       char c = s_[pos_++];
-      if (c == '\\' && pos_ < s_.size()) c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        c = s_[pos_++];
+        switch (c) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // \uXXXX; AppendString only emits codepoints < 0x20, so a
+            // single byte suffices (no UTF-8 expansion needed here).
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned v = 0;
+            for (size_t i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (v > 0xFF) return false;  // beyond what we ever emit
+            c = static_cast<char>(v);
+            break;
+          }
+          default: break;  // \" and \\ (and anything else) literal
+        }
+      }
       *out += c;
     }
     if (pos_ >= s_.size()) return false;  // unterminated string
     ++pos_;                               // closing quote
+    return true;
+  }
+
+  // Decimal unsigned integer; keeps uint64 values (e.g. seeds above
+  // 2^53) exact instead of routing them through double.
+  bool ReadUnsigned(unsigned long long* out) {
+    SkipSpace();
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    char* end = nullptr;
+    *out = std::strtoull(s_.c_str() + pos_, &end, 10);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<size_t>(end - s_.c_str());
     return true;
   }
 
@@ -101,7 +165,13 @@ std::string ToJsonLine(const MetricRecord& r) {
     out += "\":";
     AppendNumber(&out, v);
   };
-  field("iter", static_cast<double>(r.iter));
+  auto ufield = [&out](const char* key, unsigned long long v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    AppendUnsigned(&out, v);
+  };
+  ufield("iter", r.iter);
   field("d_loss", r.d_loss);
   field("g_loss", r.g_loss);
   field("g_grad_norm", r.g_grad_norm);
@@ -109,8 +179,8 @@ std::string ToJsonLine(const MetricRecord& r) {
   field("param_norm", r.param_norm);
   field("iter_ms", r.iter_ms);
   field("wall_ms", r.wall_ms);
-  field("threads", static_cast<double>(r.threads));
-  field("seed", static_cast<double>(r.seed));
+  ufield("threads", r.threads);
+  ufield("seed", r.seed);
   out += '}';
   return out;
 }
@@ -137,19 +207,26 @@ Result<MetricRecord> ParseJsonLine(const std::string& line) {
       if (key == "run") r.run = sval;
       continue;
     }
+    if (key == "iter" || key == "threads" || key == "seed") {
+      unsigned long long u = 0;
+      if (!scan.ReadUnsigned(&u))
+        return Status::InvalidArgument("malformed integer for key '" + key +
+                                       "'");
+      if (key == "iter") r.iter = static_cast<size_t>(u);
+      else if (key == "threads") r.threads = static_cast<size_t>(u);
+      else r.seed = static_cast<uint64_t>(u);
+      continue;
+    }
     double v = 0.0;
     if (!scan.ReadNumber(&v))
       return Status::InvalidArgument("malformed value for key '" + key + "'");
-    if (key == "iter") r.iter = static_cast<size_t>(v);
-    else if (key == "d_loss") r.d_loss = v;
+    if (key == "d_loss") r.d_loss = v;
     else if (key == "g_loss") r.g_loss = v;
     else if (key == "g_grad_norm") r.g_grad_norm = v;
     else if (key == "d_grad_norm") r.d_grad_norm = v;
     else if (key == "param_norm") r.param_norm = v;
     else if (key == "iter_ms") r.iter_ms = v;
     else if (key == "wall_ms") r.wall_ms = v;
-    else if (key == "threads") r.threads = static_cast<size_t>(v);
-    else if (key == "seed") r.seed = static_cast<uint64_t>(v);
     // Unknown keys: skipped (forward compatibility).
   }
   if (!scan.AtEnd())

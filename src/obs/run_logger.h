@@ -2,7 +2,11 @@
 // appended to a file as training progresses. The schema is flat
 // (string / integer / float fields only) so any JSON parser — or the
 // ParseJsonLine helper below — can read it back. Non-finite doubles
-// are serialized as null, since JSON has no NaN/Infinity literals.
+// are serialized as null, since JSON has no NaN/Infinity literals;
+// integer fields (iter, threads, seed) are emitted as decimal
+// integers so uint64 values above 2^53 round-trip exactly; control
+// characters in string fields are \-escaped so the one-record-per-line
+// framing survives arbitrary run tags.
 #ifndef DAISY_OBS_RUN_LOGGER_H_
 #define DAISY_OBS_RUN_LOGGER_H_
 

@@ -5,16 +5,15 @@
 // sweep "privacy level" the way the paper's Figure 8 does. Not a
 // certified accountant; documented as an approximation in DESIGN.md.
 //
-// Accounting assumption (matches nn::ClipAndNoiseGrads): the
-// discriminator gradients this bound covers are BATCH-AVERAGED, and
-// the injected per-coordinate noise is N(0, (sigma_n c_g / B)^2) —
-// i.e. the canonical DP-SGD mechanism "sum clipped per-sample grads,
-// add N(0, sigma_n^2 c_g^2 I), divide by B" with the division applied
-// to the noise as well. The global-norm clip is applied to the
-// averaged batch gradient rather than per sample, which clips no less
-// aggressively than per-sample clipping (the average of vectors each
-// of norm <= c has norm <= c), so sensitivity c_g is still an upper
-// bound and epsilon here stays a (loose) upper estimate.
+// Accounting assumption (matches nn::DpSgdAggregator as used by
+// GanTrainer::DpDiscriminatorStep): each record's gradient is clipped
+// to c_g BEFORE summation, the SUM receives N(0, (sigma_n c_g)^2 I),
+// and sum and noise are divided by B together — the canonical DP-SGD
+// mechanism of Abadi et al. Per-sample clipping is what makes the
+// per-record L2 sensitivity of the noised sum exactly c_g. (Clipping
+// only the batch-averaged gradient bounds the output's norm, not any
+// single record's influence on it — sensitivity would stay
+// Theta(c_g) while the noise shrank with B, under-noising by ~B.)
 #ifndef DAISY_SYNTH_DP_ACCOUNTANT_H_
 #define DAISY_SYNTH_DP_ACCOUNTANT_H_
 

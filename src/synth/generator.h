@@ -59,6 +59,26 @@ inline void SetState(const std::vector<nn::Parameter*>& params,
   }
 }
 
+/// Snapshot of buffer values (batch-norm running statistics). Needed
+/// alongside GetState/SetState when rolling a network back to a known
+/// state: inference-mode Forward reads the running stats, which drift
+/// on every training-mode Forward even if parameters are restored.
+inline StateDict GetBufferState(const std::vector<Matrix*>& buffers) {
+  StateDict s;
+  s.reserve(buffers.size());
+  for (const Matrix* b : buffers) s.push_back(*b);
+  return s;
+}
+
+inline void SetBufferState(const std::vector<Matrix*>& buffers,
+                           const StateDict& state) {
+  DAISY_CHECK(buffers.size() == state.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    DAISY_CHECK(buffers[i]->SameShape(state[i]));
+    *buffers[i] = state[i];
+  }
+}
+
 }  // namespace daisy::synth
 
 #endif  // DAISY_SYNTH_GENERATOR_H_

@@ -62,6 +62,9 @@ double GanTrainer::DiscriminatorStep(const Matrix& real,
                                      const Matrix& fake,
                                      const Matrix& fake_cond,
                                      bool wasserstein, bool dp, Rng* rng) {
+  if (dp)
+    return DpDiscriminatorStep(real, real_cond, fake, fake_cond, wasserstein,
+                               rng);
   d_->ZeroGrad();
   double loss = 0.0;
   const double m_real = static_cast<double>(real.rows());
@@ -95,10 +98,62 @@ double GanTrainer::DiscriminatorStep(const Matrix& real,
   }
 
   last_d_grad_norm_ = nn::GlobalGradNorm(d_->Params());
-  if (dp) {
-    nn::ClipAndNoiseGrads(d_->Params(), opts_.dp_grad_bound,
-                          opts_.dp_noise_scale, real.rows(), rng);
+  d_opt_->Step();
+  if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
+  return loss;
+}
+
+double GanTrainer::DpDiscriminatorStep(const Matrix& real,
+                                       const Matrix& real_cond,
+                                       const Matrix& fake,
+                                       const Matrix& fake_cond,
+                                       bool wasserstein, Rng* rng) {
+  DAISY_CHECK(real.rows() == fake.rows());
+  const size_t m = real.rows();
+  const double inv_m = 1.0 / static_cast<double>(m);
+  nn::DpSgdAggregator agg(d_->Params(), opts_.dp_grad_bound);
+  double loss = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    // Per-record unit: the i-th real record's loss plus the i-th fake
+    // sample's, so one real record influences exactly one clipped unit.
+    d_->ZeroGrad();
+    const std::vector<size_t> row{i};
+    {  // Real half.
+      Matrix logits = d_->Forward(
+          real.GatherRows(row),
+          real_cond.empty() ? Matrix() : real_cond.GatherRows(row),
+          /*training=*/true);
+      Matrix grad;
+      if (wasserstein) {
+        loss += -logits(0, 0) * inv_m;
+        grad = Matrix(1, 1, -1.0);
+      } else {
+        Matrix ones(1, 1, 1.0);
+        loss += nn::BceWithLogitsLoss(logits, ones, &grad) * inv_m;
+      }
+      d_->Backward(grad);
+    }
+    {  // Fake half.
+      Matrix logits = d_->Forward(
+          fake.GatherRows(row),
+          fake_cond.empty() ? Matrix() : fake_cond.GatherRows(row),
+          /*training=*/true);
+      Matrix grad;
+      if (wasserstein) {
+        loss += logits(0, 0) * inv_m;
+        grad = Matrix(1, 1, 1.0);
+      } else {
+        Matrix zeros(1, 1, 0.0);
+        loss += nn::BceWithLogitsLoss(logits, zeros, &grad) * inv_m;
+      }
+      d_->Backward(grad);
+    }
+    agg.AccumulateSample(d_->Params());
   }
+  // Telemetry keeps the documented "true gradient magnitude before
+  // noise" semantics: the clipped batch-averaged norm.
+  last_d_grad_norm_ = agg.SumNorm() * inv_m;
+  agg.Finalize(d_->Params(), opts_.dp_noise_scale, m, rng);
   d_opt_->Step();
   if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
   return loss;
@@ -193,8 +248,11 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
   const obs::DivergenceSentinel sentinel(opts_.sentinel);
   obs::WallTimer run_timer;
   // The generator state at the end of the last healthy iteration; what
-  // the caller gets back if the sentinel trips later.
+  // the caller gets back if the sentinel trips later. Buffers (batch-
+  // norm running stats) are tracked too: inference reads them, and they
+  // drift on every training-mode forward pass.
   StateDict last_healthy = GetState(g_->Params());
+  StateDict last_healthy_buffers = GetBufferState(g_->Buffers());
 
   for (size_t iter = 0; iter < opts_.iterations; ++iter) {
     obs::WallTimer iter_timer;
@@ -284,6 +342,7 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
       sink->Log(rec);
     }
     last_healthy = GetState(g_->Params());
+    last_healthy_buffers = GetBufferState(g_->Buffers());
 
     if ((iter + 1) % snapshot_every == 0 ||
         iter + 1 == opts_.iterations) {
@@ -299,6 +358,7 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
     // state the final snapshot, so generation after a diverged run
     // works from sane parameters.
     SetState(g_->Params(), last_healthy);
+    SetBufferState(g_->Buffers(), last_healthy_buffers);
     result.snapshots.push_back(std::move(last_healthy));
     result.snapshot_iters.push_back(result.completed_iters);
   } else if (result.snapshot_iters.empty() ||

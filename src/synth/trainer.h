@@ -69,10 +69,19 @@ class GanTrainer {
  private:
   // One discriminator update on given real rows + equally sized fake
   // batch; returns the discriminator loss. Wasserstein flag switches
-  // between BCE-with-logits and critic score losses.
+  // between BCE-with-logits and critic score losses. When dp is set,
+  // the update is delegated to DpDiscriminatorStep.
   double DiscriminatorStep(const Matrix& real, const Matrix& real_cond,
                            const Matrix& fake, const Matrix& fake_cond,
                            bool wasserstein, bool dp, Rng* rng);
+
+  // DP-SGD discriminator update (Algorithm 4): one backward pass per
+  // (real, fake) sample pair, per-sample clipping to dp_grad_bound,
+  // then noised-sum averaging via nn::DpSgdAggregator. B times the
+  // backward cost of the aggregate step, paid only under DPTrain.
+  double DpDiscriminatorStep(const Matrix& real, const Matrix& real_cond,
+                             const Matrix& fake, const Matrix& fake_cond,
+                             bool wasserstein, Rng* rng);
 
   // One generator update; returns the generator loss. `real_ref` is a
   // real minibatch for the KL warm-up (empty to skip the term).

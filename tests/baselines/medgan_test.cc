@@ -89,5 +89,34 @@ TEST(MedGanTest, AdversarialPhaseImprovesMarginals) {
   EXPECT_LT(marginal_kl(&m_full), marginal_kl(&m_none));
 }
 
+TEST(MedGanTest, SentinelTripRollsBackToLastHealthyState) {
+  Rng rng(6);
+  data::Table train = data::MakeAdultSim(300, &rng);
+
+  // Trips in pretraining epoch 1, whose last-healthy state is the
+  // initial parameters — generation must match an identically seeded
+  // medGAN that never trained at all.
+  MedGanOptions tripped_opts = FastOptions();
+  tripped_opts.sentinel.loss_limit = 1e-12;
+  MedGanSynthesizer tripped(tripped_opts, {});
+  const Status health = tripped.Fit(train);
+  ASSERT_FALSE(health.ok());
+
+  MedGanOptions untrained_opts = FastOptions();
+  untrained_opts.ae_epochs = 0;
+  untrained_opts.gan_iterations = 0;
+  MedGanSynthesizer untrained(untrained_opts, {});
+  EXPECT_TRUE(untrained.Fit(train).ok());
+
+  Rng gen_a(7), gen_b(7);
+  data::Table fake_tripped = tripped.Generate(50, &gen_a);
+  data::Table fake_untrained = untrained.Generate(50, &gen_b);
+  ASSERT_EQ(fake_tripped.num_records(), fake_untrained.num_records());
+  for (size_t i = 0; i < fake_tripped.num_records(); ++i)
+    for (size_t j = 0; j < fake_tripped.num_attributes(); ++j)
+      ASSERT_DOUBLE_EQ(fake_tripped.value(i, j), fake_untrained.value(i, j))
+          << "record " << i << " attribute " << j;
+}
+
 }  // namespace
 }  // namespace daisy::baselines

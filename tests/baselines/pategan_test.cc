@@ -36,6 +36,34 @@ TEST(PateGanTest, FitAndGenerateSchemaValid) {
   }
 }
 
+TEST(PateGanTest, SentinelTripRollsBackToLastHealthyState) {
+  Rng rng(21);
+  data::Table train = data::MakeAdultSim(300, &rng);
+
+  // Trips at iteration 1, whose last-healthy state is the initial
+  // generator — generation must match an identically seeded PATE-GAN
+  // that never trained at all.
+  PateGanOptions tripped_opts = FastOptions();
+  tripped_opts.sentinel.loss_limit = 1e-12;
+  PateGanSynthesizer tripped(tripped_opts, {});
+  const Status health = tripped.Fit(train);
+  ASSERT_FALSE(health.ok());
+
+  PateGanOptions untrained_opts = FastOptions();
+  untrained_opts.iterations = 0;
+  PateGanSynthesizer untrained(untrained_opts, {});
+  EXPECT_TRUE(untrained.Fit(train).ok());
+
+  Rng gen_a(22), gen_b(22);
+  data::Table fake_tripped = tripped.Generate(50, &gen_a);
+  data::Table fake_untrained = untrained.Generate(50, &gen_b);
+  ASSERT_EQ(fake_tripped.num_records(), fake_untrained.num_records());
+  for (size_t i = 0; i < fake_tripped.num_records(); ++i)
+    for (size_t j = 0; j < fake_tripped.num_attributes(); ++j)
+      ASSERT_DOUBLE_EQ(fake_tripped.value(i, j), fake_untrained.value(i, j))
+          << "record " << i << " attribute " << j;
+}
+
 TEST(PateGanTest, EpsilonAccountingGrowsWithQueries) {
   Rng rng(3);
   data::Table train = data::MakeHtru2Sim(200, &rng);

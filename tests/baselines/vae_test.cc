@@ -91,5 +91,34 @@ TEST(VaeTest, FitEmitsFinitePerEpochTelemetry) {
   EXPECT_EQ(sink.records().back().iter, 6u);
 }
 
+TEST(VaeTest, SentinelTripRollsBackToLastHealthyState) {
+  Rng rng(8);
+  data::Table train = data::MakeAdultSim(300, &rng);
+
+  // A loss limit below any real loss trips the sentinel on epoch 1,
+  // whose last-healthy state is the initial parameters — so generation
+  // must match an identically seeded VAE that never trained at all.
+  VaeOptions tripped_opts;
+  tripped_opts.epochs = 4;
+  tripped_opts.sentinel.loss_limit = 1e-12;
+  VaeSynthesizer tripped(tripped_opts, {});
+  const Status health = tripped.Fit(train);
+  ASSERT_FALSE(health.ok());
+
+  VaeOptions untrained_opts;
+  untrained_opts.epochs = 0;
+  VaeSynthesizer untrained(untrained_opts, {});
+  EXPECT_TRUE(untrained.Fit(train).ok());
+
+  Rng gen_a(9), gen_b(9);
+  data::Table fake_tripped = tripped.Generate(50, &gen_a);
+  data::Table fake_untrained = untrained.Generate(50, &gen_b);
+  ASSERT_EQ(fake_tripped.num_records(), fake_untrained.num_records());
+  for (size_t i = 0; i < fake_tripped.num_records(); ++i)
+    for (size_t j = 0; j < fake_tripped.num_attributes(); ++j)
+      ASSERT_DOUBLE_EQ(fake_tripped.value(i, j), fake_untrained.value(i, j))
+          << "record " << i << " attribute " << j;
+}
+
 }  // namespace
 }  // namespace daisy::baselines

@@ -98,47 +98,68 @@ TEST(OptimizerTest, GlobalParamNorm) {
   EXPECT_DOUBLE_EQ(GlobalParamNorm({&a, &b}), 5.0);
 }
 
-TEST(OptimizerTest, ClipAndNoiseGradsClipsLargeNorm) {
+TEST(OptimizerTest, DpSgdAggregatorClipsLargeSampleNorm) {
   Rng rng(7);
   Parameter p("p", Matrix(1, 2));
   p.grad(0, 0) = 30.0;
   p.grad(0, 1) = 40.0;  // norm 50
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0,
-                    /*batch_size=*/1, &rng);
+  DpSgdAggregator agg({&p}, /*max_norm=*/1.0);
+  agg.AccumulateSample({&p});
+  agg.Finalize({&p}, /*noise_scale=*/0.0, /*batch_size=*/1, &rng);
   EXPECT_NEAR(GlobalGradNorm({&p}), 1.0, 1e-9);
 }
 
-TEST(OptimizerTest, ClipAndNoiseGradsLeavesSmallNorm) {
+TEST(OptimizerTest, DpSgdAggregatorLeavesSmallSampleNorm) {
   Rng rng(7);
   Parameter p("p", Matrix(1, 2));
   p.grad(0, 0) = 0.3;
   p.grad(0, 1) = 0.4;  // norm 0.5
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/0.0,
-                    /*batch_size=*/1, &rng);
+  DpSgdAggregator agg({&p}, /*max_norm=*/1.0);
+  agg.AccumulateSample({&p});
+  agg.Finalize({&p}, /*noise_scale=*/0.0, /*batch_size=*/1, &rng);
   EXPECT_NEAR(GlobalGradNorm({&p}), 0.5, 1e-9);
 }
 
-TEST(OptimizerTest, ClipAndNoiseGradsAddsNoise) {
+TEST(OptimizerTest, DpSgdAggregatorBoundsSingleSampleInfluence) {
+  // The point of per-sample clipping: an outlier sample cannot
+  // contribute more than max_norm to the sum, no matter its magnitude.
+  Rng rng(7);
+  Parameter p("p", Matrix(1, 2));
+  DpSgdAggregator agg({&p}, /*max_norm=*/1.0);
+  p.ZeroGrad();
+  p.grad(0, 0) = 1.0;  // well-behaved sample, norm 1 (kept as-is)
+  agg.AccumulateSample({&p});
+  p.ZeroGrad();
+  p.grad(0, 1) = 1000.0;  // outlier, clipped down to norm 1
+  agg.AccumulateSample({&p});
+  agg.Finalize({&p}, /*noise_scale=*/0.0, /*batch_size=*/2, &rng);
+  EXPECT_NEAR(p.grad(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(p.grad(0, 1), 0.5, 1e-9);
+}
+
+TEST(OptimizerTest, DpSgdAggregatorAddsNoise) {
   Rng rng(7);
   Parameter p("p", Matrix(1, 100));
-  ClipAndNoiseGrads({&p}, /*max_norm=*/1.0, /*noise_scale=*/2.0,
-                    /*batch_size=*/1, &rng);
-  // All-zero grads plus N(0, (2*1/1)^2) noise: empirical stddev near 2.
+  DpSgdAggregator agg({&p}, /*max_norm=*/1.0);
+  agg.AccumulateSample({&p});  // all-zero grads: what remains is noise
+  agg.Finalize({&p}, /*noise_scale=*/2.0, /*batch_size=*/1, &rng);
+  // N(0, (2*1)^2) noise on a batch of 1: empirical stddev near 2.
   double sq = 0.0;
   for (size_t c = 0; c < 100; ++c) sq += p.grad(0, c) * p.grad(0, c);
   EXPECT_NEAR(std::sqrt(sq / 100.0), 2.0, 0.6);
 }
 
-TEST(OptimizerTest, ClipAndNoiseGradsScalesNoiseByBatchSize) {
-  // The gradients being batch-averaged means the DP-SGD noise must be
-  // sigma_n * c_g / B, not sigma_n * c_g (the pre-fix behavior). With
-  // all-zero grads what remains is pure noise, so the empirical stddev
-  // exposes the scale directly.
+TEST(OptimizerTest, DpSgdAggregatorNoiseOnAverageShrinksWithBatch) {
+  // The noised SUM gets N(0, (sigma_n c_g)^2); dividing by B leaves
+  // sigma_n * c_g / B on the averaged gradient the optimizer sees.
+  // With all-zero sample grads what remains is pure noise, so the
+  // empirical stddev exposes the scale directly.
   auto empirical_stddev = [](size_t batch_size) {
     Rng rng(11);
     Parameter p("p", Matrix(1, 2000));
-    ClipAndNoiseGrads({&p}, /*max_norm=*/4.0, /*noise_scale=*/5.0,
-                      batch_size, &rng);
+    DpSgdAggregator agg({&p}, /*max_norm=*/4.0);
+    for (size_t i = 0; i < batch_size; ++i) agg.AccumulateSample({&p});
+    agg.Finalize({&p}, /*noise_scale=*/5.0, batch_size, &rng);
     double sq = 0.0;
     for (size_t c = 0; c < 2000; ++c) sq += p.grad(0, c) * p.grad(0, c);
     return std::sqrt(sq / 2000.0);
@@ -146,6 +167,17 @@ TEST(OptimizerTest, ClipAndNoiseGradsScalesNoiseByBatchSize) {
   // batch 1: sigma = 5*4/1 = 20.  batch 100: sigma = 5*4/100 = 0.2.
   EXPECT_NEAR(empirical_stddev(1), 20.0, 1.5);
   EXPECT_NEAR(empirical_stddev(100), 0.2, 0.015);
+}
+
+TEST(OptimizerTest, DpSgdAggregatorSumNormTracksClippedSum) {
+  Rng rng(7);
+  Parameter p("p", Matrix(1, 2));
+  DpSgdAggregator agg({&p}, /*max_norm=*/1.0);
+  p.grad(0, 0) = 100.0;  // clipped to norm 1
+  agg.AccumulateSample({&p});
+  agg.AccumulateSample({&p});  // same direction: sum norm 2
+  EXPECT_EQ(agg.samples(), 2u);
+  EXPECT_NEAR(agg.SumNorm(), 2.0, 1e-9);
 }
 
 }  // namespace

@@ -58,6 +58,41 @@ TEST(RunLoggerTest, JsonLineRoundTripsExactly) {
   EXPECT_EQ(back.seed, rec.seed);
 }
 
+TEST(RunLoggerTest, IntegerFieldsRoundTripBeyondDoublePrecision) {
+  // iter/threads/seed are emitted as decimal integers, not through
+  // %.17g doubles — a seed above 2^53 must come back bit-exact.
+  MetricRecord rec = SampleRecord();
+  rec.seed = (1ull << 53) + 1;  // not representable as a double
+  rec.iter = (1ull << 40) + 3;
+  const std::string line = ToJsonLine(rec);
+  // Emitted as plain decimal digits, not rounded or scientific.
+  EXPECT_NE(line.find("\"seed\":9007199254740993"), std::string::npos)
+      << line;
+  auto parsed = ParseJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().seed, (1ull << 53) + 1);
+  EXPECT_EQ(parsed.value().iter, (1ull << 40) + 3);
+
+  rec.seed = 0xFFFFFFFFFFFFFFFFull;  // uint64 max
+  auto parsed_max = ParseJsonLine(ToJsonLine(rec));
+  ASSERT_TRUE(parsed_max.ok()) << parsed_max.status().ToString();
+  EXPECT_EQ(parsed_max.value().seed, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(RunLoggerTest, ControlCharactersInRunTagStayOneLine) {
+  MetricRecord rec = SampleRecord();
+  rec.run = "tag with\nnewline\ttab \x01 and \"quotes\"";
+  const std::string line = ToJsonLine(rec);
+  // Framing: escaping must keep the record on a single line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\t'), std::string::npos);
+  EXPECT_EQ(line.find('\x01'), std::string::npos);
+
+  auto parsed = ParseJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().run, rec.run);
+}
+
 TEST(RunLoggerTest, NonFiniteValuesSerializeAsNull) {
   MetricRecord rec = SampleRecord();
   rec.d_loss = std::numeric_limits<double>::quiet_NaN();

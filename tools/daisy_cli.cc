@@ -184,7 +184,9 @@ int RunSynth(const Args& args) {
     std::printf("training (vae, %zu epochs)...\n", opts.epochs);
     const Status health = synth.Fit(table.value(), logger.get());
     if (!health.ok())
-      std::fprintf(stderr, "training stopped early: %s\n",
+      std::fprintf(stderr,
+                   "training stopped early: %s\n"
+                   "generating from the last healthy snapshot\n",
                    health.ToString().c_str());
     fake = synth.Generate(n, &gen_rng);
   } else {  // medgan
@@ -197,7 +199,9 @@ int RunSynth(const Args& args) {
                 opts.ae_epochs, opts.gan_iterations);
     const Status health = synth.Fit(table.value(), logger.get());
     if (!health.ok())
-      std::fprintf(stderr, "training stopped early: %s\n",
+      std::fprintf(stderr,
+                   "training stopped early: %s\n"
+                   "generating from the last healthy snapshot\n",
                    health.ToString().c_str());
     fake = synth.Generate(n, &gen_rng);
   }
