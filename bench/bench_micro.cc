@@ -11,6 +11,8 @@
 #include "eval/decision_tree.h"
 #include "nn/lstm.h"
 #include "stats/gmm.h"
+#include "synth/dp_engine.h"
+#include "synth/mlp_nets.h"
 #include "transform/record_transformer.h"
 
 namespace daisy {
@@ -138,6 +140,38 @@ void BM_DecisionTreeFit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.num_records());
 }
 BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(5000);
+
+// DP-SGD discriminator step, engine x batch x threads. Args are
+// {engine, batch, threads}: engine 0 = per-sample reference, 1 =
+// replica-parallel, 2 = vectorized. The discriminator is the default
+// MLP critic (96x96, Wasserstein) on a 32-dim sample. Per step the
+// reference pays 2*batch one-row backward passes; the vectorized
+// engine pays O(layers) batched GEMMs, so its advantage grows with the
+// batch size and is independent of the thread count (algorithmic, not
+// parallel, speedup). All three produce the same mechanism output.
+void BM_DpStep(benchmark::State& state) {
+  const auto engine_kind = static_cast<synth::DpEngineKind>(
+      static_cast<int>(state.range(0)) + 1);  // skip kAuto
+  const size_t batch = state.range(1);
+  const size_t threads = state.range(2);
+  const size_t dim = 32;
+  Rng rng(9);
+  synth::MlpDiscriminator d(dim, 0, {96, 96}, false, &rng);
+  synth::DpSgdEngine engine(&d, 1.0, 1.0, engine_kind);
+  Matrix real = Matrix::Randn(batch, dim, &rng);
+  Matrix fake = Matrix::Randn(batch, dim, &rng);
+  Rng noise_rng(10);
+  par::SetNumThreads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Step(real, Matrix(), fake, Matrix(),
+                                         /*wasserstein=*/true, &noise_rng));
+  }
+  par::SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DpStep)
+    ->ArgsProduct({{0, 1, 2}, {16, 64, 256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AqpQuery(benchmark::State& state) {
   Rng rng(8);

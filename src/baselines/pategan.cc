@@ -94,6 +94,14 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
   }
 
   Rng train_rng = rng_.Split();
+  // One independent deterministic stream per teacher, derived from the
+  // seed up front: with batches drawn from teacher t's own rng, the
+  // teacher updates share no state at all and can run in parallel with
+  // bit-identical results for any thread count.
+  std::vector<Rng> teacher_rngs;
+  teacher_rngs.reserve(opts_.num_teachers);
+  for (size_t t = 0; t < opts_.num_teachers; ++t)
+    teacher_rngs.push_back(rng_.Split());
   const double vote_noise_scale = 2.0 / std::max(opts_.lambda, 1e-12);
   const double half = static_cast<double>(opts_.num_teachers) / 2.0;
 
@@ -112,30 +120,44 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
     double student_loss = 0.0, g_loss = 0.0;
     double student_grad_norm = 0.0, g_grad_norm = 0.0;
     // ---- Teachers: real (from own partition) vs fake --------------
+    // Batches are precomputed serially in teacher order (the
+    // generator's batch norm updates running stats on every training
+    // forward), then the updates fan out: each teacher owns its
+    // network, optimizer, rng stream and partition, so there is no
+    // cross-teacher reduction and parallel == serial bit-for-bit.
+    std::vector<Matrix> teacher_real(opts_.num_teachers);
+    std::vector<Matrix> teacher_fake(opts_.num_teachers);
     for (size_t t = 0; t < opts_.num_teachers; ++t) {
       const auto& pool = partitions[t];
       std::vector<size_t> rows(opts_.batch_size);
-      for (auto& r : rows) r = pool[train_rng.UniformInt(pool.size())];
-      Matrix real = real_all.GatherRows(rows);
+      for (auto& r : rows) r = pool[teacher_rngs[t].UniformInt(pool.size())];
+      teacher_real[t] = real_all.GatherRows(rows);
       Matrix z = Matrix::Randn(opts_.batch_size, opts_.noise_dim,
-                               &train_rng);
-      Matrix fake = generator_->Forward(z, Matrix(), true);
-
-      teachers_[t]->ZeroGrad();
-      {
-        Matrix logits = teachers_[t]->Forward(real, Matrix(), true);
-        Matrix grad;
-        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0), &grad);
-        teachers_[t]->Backward(grad);
-      }
-      {
-        Matrix logits = teachers_[t]->Forward(fake, Matrix(), true);
-        Matrix grad;
-        nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 0.0), &grad);
-        teachers_[t]->Backward(grad);
-      }
-      teacher_opts_[t]->Step();
+                               &teacher_rngs[t]);
+      teacher_fake[t] = generator_->Forward(z, Matrix(), true);
     }
+    par::ParallelFor(0, opts_.num_teachers, 1, [&](size_t t0, size_t t1) {
+      for (size_t t = t0; t < t1; ++t) {
+        teachers_[t]->ZeroGrad();
+        {
+          Matrix logits =
+              teachers_[t]->Forward(teacher_real[t], Matrix(), true);
+          Matrix grad;
+          nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 1.0),
+                                &grad);
+          teachers_[t]->Backward(grad);
+        }
+        {
+          Matrix logits =
+              teachers_[t]->Forward(teacher_fake[t], Matrix(), true);
+          Matrix grad;
+          nn::BceWithLogitsLoss(logits, Matrix(logits.rows(), 1, 0.0),
+                                &grad);
+          teachers_[t]->Backward(grad);
+        }
+        teacher_opts_[t]->Step();
+      }
+    });
 
     // ---- Student: generated samples labeled by noisy votes --------
     for (size_t s = 0; s < opts_.student_steps; ++s) {

@@ -290,6 +290,60 @@ Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
   return out;
 }
 
+void Matrix::CopyRowFrom(const Matrix& src, size_t src_row) {
+  DAISY_CHECK(src_row < src.rows_);
+  if (rows_ != 1 || cols_ != src.cols_) {
+    rows_ = 1;
+    cols_ = src.cols_;
+    data_.resize(cols_);
+  }
+  const double* s = src.row(src_row);
+  for (size_t c = 0; c < cols_; ++c) data_[c] = s[c];
+}
+
+Matrix Matrix::RowSquaredNorms() const {
+  Matrix out(rows_, 1);
+  // Each row is reduced by exactly one chunk owner in ascending column
+  // order — bit-identical for any thread count.
+  par::ParallelFor(0, rows_, RowGrain(2 * cols_), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* d = row(r);
+      double s = 0.0;
+      for (size_t c = 0; c < cols_; ++c) s += d[c] * d[c];
+      out.data_[r] = s;
+    }
+  });
+  return out;
+}
+
+Matrix Matrix::RowDots(const Matrix& a, const Matrix& b) {
+  DAISY_CHECK(a.SameShape(b));
+  Matrix out(a.rows_, 1);
+  par::ParallelFor(0, a.rows_, RowGrain(2 * a.cols_),
+                   [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* x = a.row(r);
+      const double* y = b.row(r);
+      double s = 0.0;
+      for (size_t c = 0; c < a.cols_; ++c) s += x[c] * y[c];
+      out.data_[r] = s;
+    }
+  });
+  return out;
+}
+
+Matrix& Matrix::ScaleRows(const Matrix& scales) {
+  DAISY_CHECK(scales.rows_ == rows_ && scales.cols_ == 1);
+  par::ParallelFor(0, rows_, RowGrain(cols_), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double s = scales.data_[r];
+      double* d = row(r);
+      for (size_t c = 0; c < cols_; ++c) d[c] *= s;
+    }
+  });
+  return *this;
+}
+
 Matrix Matrix::HCat(const Matrix& a, const Matrix& b) {
   if (a.empty()) return b;
   if (b.empty()) return a;

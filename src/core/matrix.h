@@ -87,6 +87,13 @@ class Matrix {
   /// Applies f in place. Same purity requirement as Apply.
   void ApplyInPlace(const std::function<double(double)>& f);
 
+  /// rows x 1 vector of per-row squared L2 norms.
+  Matrix RowSquaredNorms() const;
+  /// rows x 1 vector of per-row dot products a_i . b_i (same shape).
+  static Matrix RowDots(const Matrix& a, const Matrix& b);
+  /// Scales row i by scales(i, 0) in place (`scales` is rows x 1).
+  Matrix& ScaleRows(const Matrix& scales);
+
   /// Sum over all elements.
   double Sum() const;
   /// 1 x cols vector of column sums.
@@ -106,6 +113,10 @@ class Matrix {
   Matrix ColRange(size_t begin, size_t end) const;
   /// Gathers the given rows into a new matrix.
   Matrix GatherRows(const std::vector<size_t>& indices) const;
+  /// Overwrites this matrix with row `src_row` of `src`, reshaping to
+  /// 1 x src.cols() only when needed — a reusable scratch row that
+  /// avoids the per-call allocation of GatherRows({r}).
+  void CopyRowFrom(const Matrix& src, size_t src_row);
   /// Horizontally concatenates (same row count).
   static Matrix HCat(const Matrix& a, const Matrix& b);
   /// Vertically concatenates (same column count).

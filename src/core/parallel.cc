@@ -159,4 +159,22 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   Pool::Instance().Run(begin, end, grain, fn, num_chunks, threads);
 }
 
+void ParallelForIndexed(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+  // Reuse ParallelFor over the chunk axis with grain 1: each pool chunk
+  // is exactly one caller chunk, and the inline fallback's single
+  // fn(0, num_chunks) call walks the chunks sequentially — the same
+  // partition either way.
+  ParallelFor(0, num_chunks, 1, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      const size_t b = begin + c * grain;
+      fn(c, b, std::min(end, b + grain));
+    }
+  });
+}
+
 }  // namespace daisy::par

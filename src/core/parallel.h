@@ -40,6 +40,18 @@ void SetNumThreads(size_t n);
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& fn);
 
+/// Like ParallelFor, but fn also receives the chunk index
+/// ((chunk_begin - begin) / grain). Unlike ParallelFor — whose inline
+/// fallback runs one fn(begin, end) call over the whole range — the
+/// single-threaded/nested fallback here still invokes fn once per
+/// chunk, in ascending chunk order. Callers that accumulate into
+/// chunk-indexed partial sums (reduced in chunk order afterwards)
+/// therefore see the exact same partition, and produce bit-identical
+/// results, for any DAISY_THREADS value.
+void ParallelForIndexed(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t chunk, size_t, size_t)>& fn);
+
 }  // namespace daisy::par
 
 #endif  // DAISY_CORE_PARALLEL_H_

@@ -84,6 +84,26 @@ Matrix Softmax::Backward(const Matrix& grad_out) {
   return g;
 }
 
+std::unique_ptr<Module> ReLU::Clone() const {
+  return std::make_unique<ReLU>();
+}
+
+std::unique_ptr<Module> LeakyReLU::Clone() const {
+  return std::make_unique<LeakyReLU>(alpha_);
+}
+
+std::unique_ptr<Module> Tanh::Clone() const {
+  return std::make_unique<Tanh>();
+}
+
+std::unique_ptr<Module> Sigmoid::Clone() const {
+  return std::make_unique<Sigmoid>();
+}
+
+std::unique_ptr<Module> Softmax::Clone() const {
+  return std::make_unique<Softmax>();
+}
+
 Matrix SoftmaxRows(const Matrix& x) {
   Matrix y(x.rows(), x.cols());
   for (size_t r = 0; r < x.rows(); ++r) {

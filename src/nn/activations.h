@@ -11,6 +11,7 @@ class ReLU : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
+  std::unique_ptr<Module> Clone() const override;
 
  private:
   Matrix cached_input_;
@@ -22,6 +23,7 @@ class LeakyReLU : public Module {
   explicit LeakyReLU(double alpha = 0.2) : alpha_(alpha) {}
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
+  std::unique_ptr<Module> Clone() const override;
 
  private:
   double alpha_;
@@ -33,6 +35,7 @@ class Tanh : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
+  std::unique_ptr<Module> Clone() const override;
 
  private:
   Matrix cached_output_;
@@ -43,6 +46,7 @@ class Sigmoid : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
+  std::unique_ptr<Module> Clone() const override;
 
  private:
   Matrix cached_output_;
@@ -53,6 +57,7 @@ class Softmax : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
+  std::unique_ptr<Module> Clone() const override;
 
  private:
   Matrix cached_output_;

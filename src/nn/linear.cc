@@ -27,4 +27,17 @@ Matrix Linear::Backward(const Matrix& grad_out) {
   return grad_out.MatMulTranspose(weight_.value);
 }
 
+Matrix Linear::PropagateDelta(const Matrix& grad_out) const {
+  DAISY_CHECK(grad_out.cols() == out_);
+  return grad_out.MatMulTranspose(weight_.value);
+}
+
+std::unique_ptr<Module> Linear::Clone() const {
+  auto copy = std::make_unique<Linear>(*this);
+  copy->cached_input_ = Matrix();
+  copy->weight_.ZeroGrad();
+  copy->bias_.ZeroGrad();
+  return copy;
+}
+
 }  // namespace daisy::nn

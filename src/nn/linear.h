@@ -16,9 +16,20 @@ class Linear : public Module {
   Matrix Forward(const Matrix& x, bool training) override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Module> Clone() const override;
 
   size_t in_features() const { return in_; }
   size_t out_features() const { return out_; }
+
+  /// The batch cached by the last Forward (valid until the next one).
+  /// The per-sample DP fast path reads it to form per-sample gradients
+  /// without re-running the forward pass.
+  const Matrix& cached_input() const { return cached_input_; }
+
+  /// dLoss/dOutput -> dLoss/dInput WITHOUT accumulating parameter
+  /// gradients — the delta-propagation half of Backward, used when the
+  /// caller forms the weight gradient itself (per-sample clipping).
+  Matrix PropagateDelta(const Matrix& grad_out) const;
 
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }

@@ -49,6 +49,14 @@ class Module {
   /// statistics) that model persistence must round-trip.
   virtual std::vector<Matrix*> Buffers() { return {}; }
 
+  /// Deep, independent replica of this layer: same hyper-parameters,
+  /// parameter values and buffers copied, gradients zeroed, forward
+  /// caches empty. Replicas let data-parallel code (the DP-SGD replica
+  /// engine) run concurrent forward/backward passes without sharing
+  /// any mutable state. Layers that do not support replication return
+  /// nullptr (the default); callers must fall back to a serial path.
+  virtual std::unique_ptr<Module> Clone() const { return nullptr; }
+
   void ZeroGrad() {
     for (Parameter* p : Params()) p->ZeroGrad();
   }

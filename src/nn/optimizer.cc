@@ -94,7 +94,8 @@ DpSgdAggregator::DpSgdAggregator(const std::vector<Parameter*>& params,
     sum_.emplace_back(p->grad.rows(), p->grad.cols());
 }
 
-void DpSgdAggregator::AccumulateSample(const std::vector<Parameter*>& params) {
+double DpSgdAggregator::AccumulateSample(
+    const std::vector<Parameter*>& params) {
   DAISY_CHECK(params.size() == sum_.size());
   const double norm = GlobalGradNorm(params);
   const double scale = norm > max_norm_ ? max_norm_ / norm : 1.0;
@@ -105,6 +106,31 @@ void DpSgdAggregator::AccumulateSample(const std::vector<Parameter*>& params) {
         sum_[i](r, c) += g(r, c) * scale;
   }
   ++samples_;
+  return norm;
+}
+
+void DpSgdAggregator::AccumulateClippedSum(const std::vector<Matrix>& grads,
+                                           size_t samples) {
+  DAISY_CHECK(grads.size() == sum_.size());
+  for (size_t i = 0; i < grads.size(); ++i) {
+    DAISY_CHECK(grads[i].SameShape(sum_[i]));
+    sum_[i] += grads[i];
+  }
+  samples_ += samples;
+}
+
+void DpSgdAggregator::MergeFrom(const DpSgdAggregator& other) {
+  DAISY_CHECK(other.sum_.size() == sum_.size());
+  for (size_t i = 0; i < sum_.size(); ++i) {
+    DAISY_CHECK(other.sum_[i].SameShape(sum_[i]));
+    sum_[i] += other.sum_[i];
+  }
+  samples_ += other.samples_;
+}
+
+void DpSgdAggregator::Reset() {
+  for (Matrix& m : sum_) m.Fill(0.0);
+  samples_ = 0;
 }
 
 void DpSgdAggregator::Finalize(const std::vector<Parameter*>& params,

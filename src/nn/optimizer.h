@@ -88,8 +88,26 @@ class DpSgdAggregator {
 
   /// Clips the gradient currently held by `params` (one sample's
   /// backward pass) to `max_norm` and adds it to the running sum. The
-  /// caller zero-grads between samples.
-  void AccumulateSample(const std::vector<Parameter*>& params);
+  /// caller zero-grads between samples. Returns the sample's pre-clip
+  /// global gradient norm (telemetry / fast-path cross-checks).
+  double AccumulateSample(const std::vector<Parameter*>& params);
+
+  /// Adds an ALREADY-CLIPPED sum of `samples` per-sample gradients
+  /// (shapes matching the params this aggregator was built from). Used
+  /// by the vectorized DP engine, which forms the clipped sum with
+  /// batched matrix products, and by replica merges.
+  void AccumulateClippedSum(const std::vector<Matrix>& grads,
+                            size_t samples);
+
+  /// Folds another aggregator's partial sum into this one. Both must
+  /// have been built from identically-shaped parameter lists. Callers
+  /// merge partials in a fixed (chunk) order to keep results
+  /// independent of thread count.
+  void MergeFrom(const DpSgdAggregator& other);
+
+  /// Clears the running sum and sample count for reuse across steps
+  /// (avoids reallocating the shadow matrices every minibatch).
+  void Reset();
 
   /// Writes (sum + noise) / batch_size into the params' grads.
   void Finalize(const std::vector<Parameter*>& params, double noise_scale,

@@ -1,0 +1,41 @@
+#include "nn/per_sample.h"
+
+#include <algorithm>
+
+#include "nn/linear.h"
+
+namespace daisy::nn {
+
+bool SupportsPerSampleTape(Sequential& body) {
+  for (size_t i = 0; i < body.num_layers(); ++i) {
+    Module* layer = body.layer(i);
+    if (dynamic_cast<Linear*>(layer) != nullptr) continue;
+    if (!layer->Params().empty()) return false;
+  }
+  return true;
+}
+
+PerSampleTape CapturePerSampleTape(Sequential& body, const Matrix& grad_out) {
+  std::vector<Matrix> rev_inputs;
+  std::vector<Matrix> rev_deltas;
+  Matrix delta = grad_out;
+  for (size_t i = body.num_layers(); i-- > 0;) {
+    Module* layer = body.layer(i);
+    if (auto* lin = dynamic_cast<Linear*>(layer)) {
+      rev_inputs.push_back(lin->cached_input());
+      rev_deltas.push_back(delta);
+      delta = lin->PropagateDelta(delta);
+    } else {
+      DAISY_CHECK(layer->Params().empty());
+      delta = layer->Backward(delta);
+    }
+  }
+  PerSampleTape tape;
+  tape.inputs.assign(std::make_move_iterator(rev_inputs.rbegin()),
+                     std::make_move_iterator(rev_inputs.rend()));
+  tape.deltas.assign(std::make_move_iterator(rev_deltas.rbegin()),
+                     std::make_move_iterator(rev_deltas.rend()));
+  return tape;
+}
+
+}  // namespace daisy::nn

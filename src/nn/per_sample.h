@@ -1,0 +1,45 @@
+// Per-sample gradient tape for Linear-only stacks (DP-SGD fast path).
+//
+// For a stack whose parameterized layers are all Linear, the gradient
+// of sample i w.r.t. a layer's weight is the outer product x_i^T d_i of
+// that layer's input row and output-delta row. One batched forward plus
+// one delta-propagation pass therefore yields EVERY per-sample gradient
+// implicitly: capturing (inputs, deltas) per Linear layer is enough to
+// compute all per-sample norms and the clipped gradient sum with a few
+// batched matrix products instead of B separate backward passes.
+#ifndef DAISY_NN_PER_SAMPLE_H_
+#define DAISY_NN_PER_SAMPLE_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace daisy::nn {
+
+/// Captured (input, output-delta) batch per Linear layer, in forward
+/// (layer) order. Row i of each matrix belongs to sample i. For layer
+/// l, sample i's weight gradient is inputs[l].row(i)^T deltas[l].row(i)
+/// and its bias gradient is deltas[l].row(i).
+struct PerSampleTape {
+  std::vector<Matrix> inputs;
+  std::vector<Matrix> deltas;
+};
+
+/// True iff every layer of `body` is either a Linear or parameter-free,
+/// i.e. the tape above describes ALL parameter gradients and batched
+/// rows match batch-of-1 rows bit-for-bit (no cross-sample coupling
+/// such as batch norm).
+bool SupportsPerSampleTape(Sequential& body);
+
+/// Walks the stack backwards from `grad_out` (dLoss/dOutput of the last
+/// batched Forward), recording each Linear's cached input batch and
+/// incoming delta batch. Parameter-free layers have their Backward
+/// invoked to transform the delta; Linear layers use PropagateDelta, so
+/// NO parameter gradient is accumulated anywhere. Requires a preceding
+/// Forward over the same batch; copies the cached inputs so the tape
+/// stays valid after subsequent Forward calls.
+PerSampleTape CapturePerSampleTape(Sequential& body, const Matrix& grad_out);
+
+}  // namespace daisy::nn
+
+#endif  // DAISY_NN_PER_SAMPLE_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "core/parallel.h"
 #include "core/status.h"
 
 namespace daisy::stats {
@@ -65,40 +66,91 @@ Gmm1d Gmm1d::Fit(const std::vector<double>& values, const Options& opts,
 
   std::vector<std::vector<double>> resp(n, std::vector<double>(k));
   double prev_ll = -std::numeric_limits<double>::infinity();
+  // Rows are independent in the E step and enter the M step only
+  // through sums, so both fan out over fixed-size row chunks; per-chunk
+  // partials are reduced in ascending chunk order, keeping every result
+  // bit-identical for any thread count (the partition depends only on
+  // n). The grain amortizes dispatch over the per-row k*LogNormalPdf
+  // work.
+  constexpr size_t kRowGrain = 256;
+  const size_t num_chunks = (n + kRowGrain - 1) / kRowGrain;
+  std::vector<double> ll_part(num_chunks);
+  std::vector<std::vector<double>> nj_part(num_chunks);
+  std::vector<std::vector<double>> mu_part(num_chunks);
+  std::vector<std::vector<double>> var_part(num_chunks);
   for (size_t iter = 0; iter < opts.max_iters; ++iter) {
-    // E step.
-    double ll = 0.0;
-    std::vector<double> logp(k);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < k; ++j)
-        logp[j] = std::log(std::max(gmm.weights_[j], 1e-300)) +
-                  LogNormalPdf(values[i], gmm.means_[j], gmm.stddevs_[j]);
-      const double lse = LogSumExp(logp);
-      ll += lse;
-      for (size_t j = 0; j < k; ++j) resp[i][j] = std::exp(logp[j] - lse);
-    }
-    // M step.
-    for (size_t j = 0; j < k; ++j) {
-      double nj = 0.0, mu = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        nj += resp[i][j];
-        mu += resp[i][j] * values[i];
+    // E step: responsibilities per row (disjoint writes) plus chunked
+    // log-likelihood partials.
+    par::ParallelForIndexed(0, n, kRowGrain,
+                            [&](size_t c, size_t b, size_t e) {
+      std::vector<double> logp(k);
+      double lsum = 0.0;
+      for (size_t i = b; i < e; ++i) {
+        for (size_t j = 0; j < k; ++j)
+          logp[j] = std::log(std::max(gmm.weights_[j], 1e-300)) +
+                    LogNormalPdf(values[i], gmm.means_[j], gmm.stddevs_[j]);
+        const double lse = LogSumExp(logp);
+        lsum += lse;
+        for (size_t j = 0; j < k; ++j) resp[i][j] = std::exp(logp[j] - lse);
       }
-      if (nj < 1e-10) {
+      ll_part[c] = lsum;
+    });
+    double ll = 0.0;
+    for (size_t c = 0; c < num_chunks; ++c) ll += ll_part[c];
+
+    // M step, pass 1: chunked (nj, sum resp*v) partials for every
+    // component at once.
+    par::ParallelForIndexed(0, n, kRowGrain,
+                            [&](size_t c, size_t b, size_t e) {
+      nj_part[c].assign(k, 0.0);
+      mu_part[c].assign(k, 0.0);
+      for (size_t i = b; i < e; ++i)
+        for (size_t j = 0; j < k; ++j) {
+          nj_part[c][j] += resp[i][j];
+          mu_part[c][j] += resp[i][j] * values[i];
+        }
+    });
+    std::vector<double> nj(k, 0.0);
+    std::vector<double> mu(k, 0.0);
+    for (size_t c = 0; c < num_chunks; ++c)
+      for (size_t j = 0; j < k; ++j) {
+        nj[j] += nj_part[c][j];
+        mu[j] += mu_part[c][j];
+      }
+
+    // Serial per-component resolution, ascending j so dead-component
+    // reseeds consume the rng in the same order as the serial code.
+    std::vector<bool> alive(k, false);
+    for (size_t j = 0; j < k; ++j) {
+      if (nj[j] < 1e-10) {
         // Dead component: re-seed at a random point.
         gmm.means_[j] = values[rng->UniformInt(n)];
         gmm.stddevs_[j] = init_sd;
         gmm.weights_[j] = 1.0 / static_cast<double>(n);
         continue;
       }
-      mu /= nj;
+      alive[j] = true;
+      mu[j] /= nj[j];
+    }
+
+    // M step, pass 2: variances around the final means.
+    par::ParallelForIndexed(0, n, kRowGrain,
+                            [&](size_t c, size_t b, size_t e) {
+      var_part[c].assign(k, 0.0);
+      for (size_t i = b; i < e; ++i)
+        for (size_t j = 0; j < k; ++j) {
+          const double d = values[i] - mu[j];
+          var_part[c][j] += resp[i][j] * d * d;
+        }
+    });
+    for (size_t j = 0; j < k; ++j) {
+      if (!alive[j]) continue;
       double var = 0.0;
-      for (size_t i = 0; i < n; ++i)
-        var += resp[i][j] * (values[i] - mu) * (values[i] - mu);
-      var /= nj;
-      gmm.means_[j] = mu;
+      for (size_t c = 0; c < num_chunks; ++c) var += var_part[c][j];
+      var /= nj[j];
+      gmm.means_[j] = mu[j];
       gmm.stddevs_[j] = std::max(opts.min_stddev, std::sqrt(var));
-      gmm.weights_[j] = nj / static_cast<double>(n);
+      gmm.weights_[j] = nj[j] / static_cast<double>(n);
     }
     // Renormalize: the dead-component reseed above assigns 1/n without
     // taking that mass from anyone, so the weights only sum to 1 up to

@@ -23,6 +23,17 @@ enum class DiscriminatorArch { kMlp, kLstm, kBiLstm, kCnn };
 /// Training algorithm (paper Table 1).
 enum class TrainAlgo { kVTrain, kWTrain, kCTrain, kDPTrain };
 
+/// How DPTrain computes its clipped per-sample gradient sum. All
+/// engines implement the SAME mechanism (clip each record's gradient to
+/// c_g, sum, noise the sum) and differ only in floating-point summation
+/// grouping; each is bit-identical across thread counts.
+enum class DpEngineKind {
+  kAuto,             ///< Vectorized if supported, else replica, else serial.
+  kPerSample,        ///< Reference: one backward pass per record.
+  kReplicaParallel,  ///< Per-record passes on per-chunk replicas, parallel.
+  kVectorized,       ///< Batched norms + scaled GEMMs (Linear-only stacks).
+};
+
 /// Hyper-parameters shared by the architectures and trainers. The
 /// sampler choice (Figure 2's Sampler box) is implied by the training
 /// algorithm: kCTrain uses label-aware sampling, everything else
@@ -59,6 +70,7 @@ struct GanOptions {
   // Differential privacy (DPTrain).
   double dp_noise_scale = 1.0;  // sigma_n
   double dp_grad_bound = 1.0;   // c_g
+  DpEngineKind dp_engine = DpEngineKind::kAuto;
 
   /// Number of evaluation snapshots over the run (paper divides
   /// training into 10 epochs and selects the best on validation).

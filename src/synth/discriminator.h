@@ -4,10 +4,12 @@
 #ifndef DAISY_SYNTH_DISCRIMINATOR_H_
 #define DAISY_SYNTH_DISCRIMINATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/matrix.h"
 #include "nn/module.h"
+#include "nn/sequential.h"
 
 namespace daisy::synth {
 
@@ -27,6 +29,19 @@ class Discriminator {
   virtual Matrix Backward(const Matrix& grad_logit) = 0;
 
   virtual std::vector<nn::Parameter*> Params() = 0;
+
+  /// Deep replica with identical parameter values, zeroed gradients and
+  /// empty caches, or nullptr when the architecture does not support
+  /// replication. The DP-SGD replica engine runs concurrent per-sample
+  /// backward passes on replicas; callers must fall back to a serial
+  /// path on nullptr.
+  virtual std::unique_ptr<Discriminator> Clone() const { return nullptr; }
+
+  /// The plain Sequential stack computing logit = body([x | cond]) when
+  /// the whole discriminator is such a stack, else nullptr. When the
+  /// stack also passes nn::SupportsPerSampleTape, the vectorized DP
+  /// engine can form per-sample gradients from one batched pass.
+  virtual nn::Sequential* FastPathBody() { return nullptr; }
 
   void ZeroGrad() {
     for (nn::Parameter* p : Params()) p->ZeroGrad();

@@ -50,8 +50,14 @@ class MlpDiscriminator : public Discriminator {
   Matrix Forward(const Matrix& x, const Matrix& cond, bool training) override;
   Matrix Backward(const Matrix& grad_logit) override;
   std::vector<nn::Parameter*> Params() override;
+  std::unique_ptr<Discriminator> Clone() const override;
+  nn::Sequential* FastPathBody() override { return &body_; }
 
  private:
+  // Shell for Clone(): dims only, body filled in by the caller.
+  MlpDiscriminator(size_t sample_dim, size_t cond_dim)
+      : sample_dim_(sample_dim), cond_dim_(cond_dim) {}
+
   size_t sample_dim_;
   size_t cond_dim_;
   nn::Sequential body_;

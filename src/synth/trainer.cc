@@ -42,6 +42,10 @@ GanTrainer::GanTrainer(Generator* generator, Discriminator* discriminator,
     g_opt_ = std::make_unique<nn::Adam>(g_->Params(), opts_.lr_g);
     d_opt_ = std::make_unique<nn::Adam>(d_->Params(), opts_.lr_d);
   }
+  if (opts_.algo == TrainAlgo::kDPTrain) {
+    dp_engine_ = std::make_unique<DpSgdEngine>(
+        d_, opts_.dp_grad_bound, opts_.dp_noise_scale, opts_.dp_engine);
+  }
 }
 
 Matrix GanTrainer::SampleNoise(size_t m, Rng* rng) const {
@@ -108,52 +112,13 @@ double GanTrainer::DpDiscriminatorStep(const Matrix& real,
                                        const Matrix& fake,
                                        const Matrix& fake_cond,
                                        bool wasserstein, Rng* rng) {
-  DAISY_CHECK(real.rows() == fake.rows());
-  const size_t m = real.rows();
-  const double inv_m = 1.0 / static_cast<double>(m);
-  nn::DpSgdAggregator agg(d_->Params(), opts_.dp_grad_bound);
-  double loss = 0.0;
-  for (size_t i = 0; i < m; ++i) {
-    // Per-record unit: the i-th real record's loss plus the i-th fake
-    // sample's, so one real record influences exactly one clipped unit.
-    d_->ZeroGrad();
-    const std::vector<size_t> row{i};
-    {  // Real half.
-      Matrix logits = d_->Forward(
-          real.GatherRows(row),
-          real_cond.empty() ? Matrix() : real_cond.GatherRows(row),
-          /*training=*/true);
-      Matrix grad;
-      if (wasserstein) {
-        loss += -logits(0, 0) * inv_m;
-        grad = Matrix(1, 1, -1.0);
-      } else {
-        Matrix ones(1, 1, 1.0);
-        loss += nn::BceWithLogitsLoss(logits, ones, &grad) * inv_m;
-      }
-      d_->Backward(grad);
-    }
-    {  // Fake half.
-      Matrix logits = d_->Forward(
-          fake.GatherRows(row),
-          fake_cond.empty() ? Matrix() : fake_cond.GatherRows(row),
-          /*training=*/true);
-      Matrix grad;
-      if (wasserstein) {
-        loss += logits(0, 0) * inv_m;
-        grad = Matrix(1, 1, 1.0);
-      } else {
-        Matrix zeros(1, 1, 0.0);
-        loss += nn::BceWithLogitsLoss(logits, zeros, &grad) * inv_m;
-      }
-      d_->Backward(grad);
-    }
-    agg.AccumulateSample(d_->Params());
-  }
+  DAISY_CHECK(dp_engine_ != nullptr);
+  const double inv_m = 1.0 / static_cast<double>(real.rows());
+  const double loss =
+      dp_engine_->Step(real, real_cond, fake, fake_cond, wasserstein, rng);
   // Telemetry keeps the documented "true gradient magnitude before
   // noise" semantics: the clipped batch-averaged norm.
-  last_d_grad_norm_ = agg.SumNorm() * inv_m;
-  agg.Finalize(d_->Params(), opts_.dp_noise_scale, m, rng);
+  last_d_grad_norm_ = dp_engine_->last_sum_norm() * inv_m;
   d_opt_->Step();
   if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
   return loss;

@@ -20,6 +20,7 @@
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "synth/config.h"
+#include "synth/dp_engine.h"
 #include "synth/sampler.h"
 #include "synth/discriminator.h"
 #include "synth/generator.h"
@@ -75,10 +76,10 @@ class GanTrainer {
                            const Matrix& fake, const Matrix& fake_cond,
                            bool wasserstein, bool dp, Rng* rng);
 
-  // DP-SGD discriminator update (Algorithm 4): one backward pass per
-  // (real, fake) sample pair, per-sample clipping to dp_grad_bound,
-  // then noised-sum averaging via nn::DpSgdAggregator. B times the
-  // backward cost of the aggregate step, paid only under DPTrain.
+  // DP-SGD discriminator update (Algorithm 4): per-sample clipping to
+  // dp_grad_bound, then noised-sum averaging, delegated to DpSgdEngine
+  // (options.dp_engine picks the reference, replica-parallel or
+  // vectorized implementation; kAuto takes the fastest supported).
   double DpDiscriminatorStep(const Matrix& real, const Matrix& real_cond,
                              const Matrix& fake, const Matrix& fake_cond,
                              bool wasserstein, Rng* rng);
@@ -107,6 +108,7 @@ class GanTrainer {
 
   std::unique_ptr<nn::Optimizer> g_opt_;
   std::unique_ptr<nn::Optimizer> d_opt_;
+  std::unique_ptr<DpSgdEngine> dp_engine_;  // non-null iff algo == kDPTrain
 };
 
 }  // namespace daisy::synth

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
+
 namespace daisy::stats {
 namespace {
 
@@ -178,6 +180,37 @@ TEST(GmmTest, FittedWeightsAlwaysFormProperDistribution) {
         EXPECT_NEAR(rsum, 1.0, 1e-9);
       }
     }
+  }
+}
+
+TEST(GmmTest, FitIsBitIdenticalAcrossThreadCounts) {
+  // The parallel E/M steps chunk rows by a fixed grain and reduce the
+  // partials in chunk order, so the fitted mixture must not depend on
+  // the worker count (n = 1000 spans several 256-row chunks).
+  Rng data_rng(77);
+  auto values = TwoModeData(&data_rng, 1000, -3.0, 4.0, 1.0);
+  Gmm1d::Options opts;
+  opts.components = 4;
+
+  auto fit = [&](size_t threads) {
+    par::SetNumThreads(threads);
+    Rng rng(78);
+    Gmm1d gmm = Gmm1d::Fit(values, opts, &rng);
+    par::SetNumThreads(0);
+    return gmm;
+  };
+  const Gmm1d a = fit(1);
+  const Gmm1d b = fit(2);
+  const Gmm1d c = fit(5);
+  ASSERT_EQ(a.num_components(), b.num_components());
+  ASSERT_EQ(a.num_components(), c.num_components());
+  for (size_t j = 0; j < a.num_components(); ++j) {
+    EXPECT_DOUBLE_EQ(a.mean(j), b.mean(j));
+    EXPECT_DOUBLE_EQ(a.mean(j), c.mean(j));
+    EXPECT_DOUBLE_EQ(a.stddev(j), b.stddev(j));
+    EXPECT_DOUBLE_EQ(a.stddev(j), c.stddev(j));
+    EXPECT_DOUBLE_EQ(a.weight(j), b.weight(j));
+    EXPECT_DOUBLE_EQ(a.weight(j), c.weight(j));
   }
 }
 
