@@ -178,7 +178,7 @@ void BM_AqpQuery(benchmark::State& state) {
   data::Table t = data::MakeBingSim(state.range(0), &rng);
   eval::AqpWorkloadOptions wopts;
   wopts.num_queries = 1;
-  const auto workload = eval::GenerateAqpWorkload(t, wopts, &rng);
+  const auto workload = eval::GenerateAqpWorkload(t, wopts, &rng).value();
   for (auto _ : state) {
     benchmark::DoNotOptimize(eval::ExecuteAqpQuery(t, workload[0]));
   }

@@ -18,14 +18,15 @@ void RunDataset(const std::string& name, size_t n, size_t iterations) {
   Rng wl_rng(0x1A1);
   eval::AqpWorkloadOptions wopts;
   wopts.num_queries = 300;
-  const auto workload = eval::GenerateAqpWorkload(train, wopts, &wl_rng);
+  const auto workload =
+      eval::GenerateAqpWorkload(train, wopts, &wl_rng).value();
   eval::AqpDiffOptions dopts;
   dopts.sample_ratio = 0.05;
 
   std::vector<double> row;
   auto score = [&](const data::Table& fake, uint64_t seed) {
     Rng rng(seed);
-    row.push_back(eval::AqpDiff(train, fake, workload, dopts, &rng));
+    row.push_back(eval::AqpDiff(train, fake, workload, dopts, &rng).value());
   };
 
   {

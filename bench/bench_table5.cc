@@ -23,8 +23,8 @@ PrivacyScores Score(const data::Table& train, const data::Table& fake,
   eval::DcrOptions dopts;
   dopts.num_original_samples = 400;
   Rng r1(seed), r2(seed ^ 1);
-  return {100.0 * eval::HittingRate(train, fake, hopts, &r1),
-          eval::DistanceToClosestRecord(train, fake, dopts, &r2)};
+  return {100.0 * eval::HittingRate(train, fake, hopts, &r1).value(),
+          eval::DistanceToClosestRecord(train, fake, dopts, &r2).value()};
 }
 
 void RunDataset(const std::string& name) {

@@ -19,7 +19,7 @@ void RunDataset(const std::string& name, size_t n, size_t iterations,
   eval::AqpWorkloadOptions wopts;
   wopts.num_queries = 300;
   const auto workload =
-      eval::GenerateAqpWorkload(bundle.train, wopts, &wl_rng);
+      eval::GenerateAqpWorkload(bundle.train, wopts, &wl_rng).value();
   eval::AqpDiffOptions dopts;
   dopts.sample_ratio = 0.05;  // 1% of a bench-sized table is too few rows
 
@@ -55,7 +55,7 @@ void RunDataset(const std::string& name, size_t n, size_t iterations,
         TrainAndSynthesize(bundle, opts, topts, 0, 0x180 + i);
     Rng rng(0x185 + i);
     row.push_back(
-        eval::AqpDiff(bundle.train, fake, workload, dopts, &rng));
+        eval::AqpDiff(bundle.train, fake, workload, dopts, &rng).value());
   }
   if (!include_cnn) row.insert(row.begin(), -1.0);
   PrintRow(name, row);

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   eval::AqpWorkloadOptions wopts;
   wopts.num_queries = 200;
   const auto workload =
-      eval::GenerateAqpWorkload(server_table, wopts, &wl_rng);
+      eval::GenerateAqpWorkload(server_table, wopts, &wl_rng).value();
 
   // Show a few individual queries: exact vs synthetic answer.
   std::printf("\nexample queries (exact vs synthetic):\n");
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   eval::AqpDiffOptions dopts;
   dopts.sample_ratio = 0.05;
   const double diff = eval::AqpDiff(server_table, client_table, workload,
-                                    dopts, &aqp_rng);
+                                    dopts, &aqp_rng).value();
   std::printf("\nDiffAQP over %zu queries (vs 5%% uniform sample "
               "baseline): %.3f\n",
               workload.size(), diff);

@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
     eval::DcrOptions dopts;
     dopts.num_original_samples = 300;
     Rng r1(5), r2(6);
-    const double hit = eval::HittingRate(train, synthetic, hopts, &r1);
+    const double hit =
+        eval::HittingRate(train, synthetic, hopts, &r1).value();
     const double dcr =
-        eval::DistanceToClosestRecord(train, synthetic, dopts, &r2);
+        eval::DistanceToClosestRecord(train, synthetic, dopts, &r2).value();
     std::printf("%-12s hitting-rate=%5.2f%%   DCR=%.3f\n", name,
                 100.0 * hit, dcr);
   };

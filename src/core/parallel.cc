@@ -159,6 +159,12 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   Pool::Instance().Run(begin, end, grain, fn, num_chunks, threads);
 }
 
+size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  if (begin >= end) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
 void ParallelForIndexed(
     size_t begin, size_t end, size_t grain,
     const std::function<void(size_t, size_t, size_t)>& fn) {

@@ -52,6 +52,13 @@ void ParallelForIndexed(
     size_t begin, size_t end, size_t grain,
     const std::function<void(size_t chunk, size_t, size_t)>& fn);
 
+/// Number of chunks ParallelFor / ParallelForIndexed partition
+/// [begin, end) into for the given grain — a pure function of the
+/// range, never of the thread count. Callers that reduce per-chunk
+/// partial results in ascending chunk order use it to size the partial
+/// buffer. Returns 0 for an empty range.
+size_t NumChunks(size_t begin, size_t end, size_t grain);
+
 }  // namespace daisy::par
 
 #endif  // DAISY_CORE_PARALLEL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace daisy::eval {
 
 namespace {
@@ -11,7 +13,11 @@ bool Matches(const data::Table& table, size_t row, const AqpQuery& query) {
   for (const auto& pred : query.predicates) {
     const double v = table.value(row, pred.attr);
     if (pred.is_categorical) {
-      if (static_cast<size_t>(std::llround(v)) != pred.category) return false;
+      // Compare as signed: casting a negative cell to size_t would wrap
+      // it to a huge index that can spuriously equal pred.category.
+      const long long c = std::llround(v);
+      if (c < 0 || static_cast<unsigned long long>(c) != pred.category)
+        return false;
     } else {
       if (v < pred.lo || v > pred.hi) return false;
     }
@@ -70,10 +76,17 @@ double RelativeError(const AqpResult& exact, const AqpResult& approx) {
   return total / static_cast<double>(exact.size());
 }
 
-std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
-                                          const AqpWorkloadOptions& opts,
-                                          Rng* rng) {
-  DAISY_CHECK(table.num_records() > 0);
+Result<std::vector<AqpQuery>> GenerateAqpWorkload(
+    const data::Table& table, const AqpWorkloadOptions& opts, Rng* rng) {
+  if (table.num_records() == 0)
+    return Status::InvalidArgument("AQP workload requires a non-empty table");
+  if (opts.num_queries == 0)
+    return Status::InvalidArgument(
+        "AqpWorkloadOptions::num_queries must be > 0");
+  if (opts.max_predicates < opts.min_predicates)
+    return Status::InvalidArgument(
+        "AqpWorkloadOptions::max_predicates must be >= min_predicates "
+        "(the unsigned predicate-count range would wrap)");
   const data::Schema& schema = table.schema();
   std::vector<size_t> numeric_attrs, categorical_attrs;
   for (size_t j = 0; j < schema.num_attributes(); ++j) {
@@ -81,6 +94,9 @@ std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
     if (schema.attribute(j).is_categorical()) categorical_attrs.push_back(j);
     else numeric_attrs.push_back(j);
   }
+  if (numeric_attrs.empty() && categorical_attrs.empty())
+    return Status::InvalidArgument(
+        "AQP workload requires at least one non-label attribute");
 
   std::vector<AqpQuery> workload;
   workload.reserve(opts.num_queries);
@@ -135,10 +151,19 @@ std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
   return workload;
 }
 
-double AqpDiff(const data::Table& real, const data::Table& synthetic,
-               const std::vector<AqpQuery>& workload,
-               const AqpDiffOptions& opts, Rng* rng) {
-  DAISY_CHECK(!workload.empty());
+Result<double> AqpDiff(const data::Table& real, const data::Table& synthetic,
+                       const std::vector<AqpQuery>& workload,
+                       const AqpDiffOptions& opts, Rng* rng) {
+  if (workload.empty())
+    return Status::InvalidArgument("AqpDiff requires a non-empty workload");
+  if (real.num_records() == 0 || synthetic.num_records() == 0)
+    return Status::InvalidArgument("AqpDiff requires non-empty tables");
+  if (opts.sample_repeats == 0)
+    return Status::InvalidArgument(
+        "AqpDiffOptions::sample_repeats must be > 0");
+  if (!(opts.sample_ratio > 0.0) || opts.sample_ratio > 1.0)
+    return Status::InvalidArgument(
+        "AqpDiffOptions::sample_ratio must be in (0, 1]");
   const size_t n = real.num_records();
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(opts.sample_ratio * static_cast<double>(n)));
@@ -147,7 +172,8 @@ double AqpDiff(const data::Table& real, const data::Table& synthetic,
   const double synth_scale =
       static_cast<double>(n) / static_cast<double>(synthetic.num_records());
 
-  // Pre-draw the repeated baseline samples.
+  // Pre-draw the repeated baseline samples serially: the rng stream is
+  // independent of the thread count.
   std::vector<data::Table> samples;
   samples.reserve(opts.sample_repeats);
   for (size_t s = 0; s < opts.sample_repeats; ++s) {
@@ -156,19 +182,43 @@ double AqpDiff(const data::Table& real, const data::Table& synthetic,
     samples.push_back(real.Gather(rows));
   }
 
+  // Phase 1: exact and synthetic results per query (disjoint slots).
+  const size_t num_queries = workload.size();
+  const size_t num_samples = samples.size();
+  std::vector<AqpResult> exact(num_queries);
+  std::vector<double> e_synth(num_queries, 0.0);
+  par::ParallelFor(0, num_queries, 1, [&](size_t q0, size_t q1) {
+    for (size_t q = q0; q < q1; ++q) {
+      exact[q] = ExecuteAqpQuery(real, workload[q]);
+      e_synth[q] = RelativeError(
+          exact[q], ExecuteAqpQuery(synthetic, workload[q], synth_scale));
+    }
+  });
+
+  // Phase 2: the (query x baseline-sample) grid, one error per cell.
+  std::vector<double> cell_err(num_queries * num_samples, 0.0);
+  par::ParallelFor(
+      0, num_queries * num_samples, 1, [&](size_t c0, size_t c1) {
+        for (size_t c = c0; c < c1; ++c) {
+          const size_t q = c / num_samples;
+          const size_t s = c % num_samples;
+          cell_err[c] = RelativeError(
+              exact[q],
+              ExecuteAqpQuery(samples[s], workload[q], sample_scale));
+        }
+      });
+
+  // Fixed-order reduction (sample order inside query order) — the same
+  // floating-point accumulation the serial implementation performed.
   double total = 0.0;
-  for (const auto& q : workload) {
-    const AqpResult exact = ExecuteAqpQuery(real, q);
-    const AqpResult synth = ExecuteAqpQuery(synthetic, q, synth_scale);
-    const double e_synth = RelativeError(exact, synth);
+  for (size_t q = 0; q < num_queries; ++q) {
     double e_sample = 0.0;
-    for (const auto& sample : samples)
-      e_sample += RelativeError(exact, ExecuteAqpQuery(sample, q,
-                                                       sample_scale));
-    e_sample /= static_cast<double>(samples.size());
-    total += std::fabs(e_sample - e_synth);
+    for (size_t s = 0; s < num_samples; ++s)
+      e_sample += cell_err[q * num_samples + s];
+    e_sample /= static_cast<double>(num_samples);
+    total += std::fabs(e_sample - e_synth[q]);
   }
-  return total / static_cast<double>(workload.size());
+  return total / static_cast<double>(num_queries);
 }
 
 }  // namespace daisy::eval

@@ -4,6 +4,11 @@
 // predicates and optional group-by, executed against the original
 // table, the synthetic table, and fixed-size random samples. The
 // reported measure is DiffAQP = mean over the workload of |e - e'|.
+//
+// AqpDiff draws its repeated baseline samples serially and then
+// executes the (query x baseline-sample) grid in parallel with a
+// fixed-order reduction, so the result is bitwise identical for any
+// DAISY_THREADS value.
 #ifndef DAISY_EVAL_AQP_H_
 #define DAISY_EVAL_AQP_H_
 
@@ -11,6 +16,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "data/table.h"
 
 namespace daisy::eval {
@@ -46,27 +52,31 @@ AqpResult ExecuteAqpQuery(const data::Table& table, const AqpQuery& query,
 double RelativeError(const AqpResult& exact, const AqpResult& approx);
 
 struct AqpWorkloadOptions {
-  size_t num_queries = 1000;
+  size_t num_queries = 1000;   // must be > 0
   size_t min_predicates = 1;
-  size_t max_predicates = 3;
+  size_t max_predicates = 3;   // must be >= min_predicates
   double group_by_prob = 0.5;
 };
 
 /// Random workload over the table's schema (statistics for numeric
-/// ranges come from the table itself).
-std::vector<AqpQuery> GenerateAqpWorkload(const data::Table& table,
-                                          const AqpWorkloadOptions& opts,
-                                          Rng* rng);
+/// ranges come from the table itself). Returns InvalidArgument for a
+/// degenerate options struct (zero queries, max_predicates below
+/// min_predicates — which would otherwise wrap the predicate count to
+/// a huge unsigned value) or a table with no non-label attributes.
+Result<std::vector<AqpQuery>> GenerateAqpWorkload(
+    const data::Table& table, const AqpWorkloadOptions& opts, Rng* rng);
 
 struct AqpDiffOptions {
-  double sample_ratio = 0.01;  // the paper's 1% baseline sample
-  size_t sample_repeats = 10;  // averaged to remove sampling noise
+  double sample_ratio = 0.01;  // the paper's 1% baseline sample; (0, 1]
+  size_t sample_repeats = 10;  // averaged to remove sampling noise; > 0
 };
 
-/// DiffAQP between real and synthetic tables over a workload.
-double AqpDiff(const data::Table& real, const data::Table& synthetic,
-               const std::vector<AqpQuery>& workload,
-               const AqpDiffOptions& opts, Rng* rng);
+/// DiffAQP between real and synthetic tables over a workload. Returns
+/// InvalidArgument on an empty workload/table or degenerate options
+/// (zero sample_repeats would otherwise yield a 0/0 NaN).
+Result<double> AqpDiff(const data::Table& real, const data::Table& synthetic,
+                       const std::vector<AqpQuery>& workload,
+                       const AqpDiffOptions& opts, Rng* rng);
 
 }  // namespace daisy::eval
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/parallel.h"
+#include "obs/timer.h"
 #include "stats/metrics.h"
 
 namespace daisy::eval {
@@ -21,6 +24,23 @@ std::vector<size_t> CategoricalAttrs(const data::Schema& schema) {
   for (size_t j = 0; j < schema.num_attributes(); ++j)
     if (schema.attribute(j).is_categorical()) out.push_back(j);
   return out;
+}
+
+struct AttrPair {
+  size_t a = 0;
+  size_t b = 0;
+};
+
+// All (i, j) i < j pairs in the lexicographic order the serial loops
+// used — the reduction below walks this order, so the floating-point
+// sum matches the serial implementation bit for bit.
+std::vector<AttrPair> UpperTrianglePairs(const std::vector<size_t>& attrs) {
+  std::vector<AttrPair> pairs;
+  pairs.reserve(attrs.size() * (attrs.size() - 1) / 2);
+  for (size_t i = 0; i < attrs.size(); ++i)
+    for (size_t j = i + 1; j < attrs.size(); ++j)
+      pairs.push_back({attrs[i], attrs[j]});
+  return pairs;
 }
 
 }  // namespace
@@ -66,75 +86,109 @@ FidelityReport EvaluateFidelity(const data::Table& real,
   // Pairwise numeric correlation difference.
   const auto nums = NumericAttrs(real.schema());
   if (nums.size() >= 2) {
-    double total = 0.0;
-    size_t pairs = 0;
+    obs::ScopedTimerMs timer(&report.numeric_ms);
+    // Materialize every numeric column once; the parallel pair loop
+    // then only reads shared state.
+    std::vector<std::vector<double>> real_cols(nums.size());
+    std::vector<std::vector<double>> synth_cols(nums.size());
     for (size_t i = 0; i < nums.size(); ++i) {
-      const auto real_i = real.Column(nums[i]);
-      const auto synth_i = synthetic.Column(nums[i]);
-      for (size_t j = i + 1; j < nums.size(); ++j) {
-        const double cr =
-            stats::PearsonCorrelation(real_i, real.Column(nums[j]));
-        const double cs =
-            stats::PearsonCorrelation(synth_i, synthetic.Column(nums[j]));
-        total += std::fabs(cr - cs);
-        ++pairs;
-      }
+      real_cols[i] = real.Column(nums[i]);
+      synth_cols[i] = synthetic.Column(nums[i]);
     }
-    report.numeric_correlation_diff = total / static_cast<double>(pairs);
+    std::vector<std::pair<size_t, size_t>> index_pairs;
+    for (size_t i = 0; i < nums.size(); ++i)
+      for (size_t j = i + 1; j < nums.size(); ++j)
+        index_pairs.push_back({i, j});
+    std::vector<double> diffs(index_pairs.size(), 0.0);
+    par::ParallelFor(0, index_pairs.size(), 1, [&](size_t p0, size_t p1) {
+      for (size_t p = p0; p < p1; ++p) {
+        const auto [i, j] = index_pairs[p];
+        const double cr =
+            stats::PearsonCorrelation(real_cols[i], real_cols[j]);
+        const double cs =
+            stats::PearsonCorrelation(synth_cols[i], synth_cols[j]);
+        diffs[p] = std::fabs(cr - cs);
+      }
+    });
+    double total = 0.0;
+    for (double d : diffs) total += d;
+    report.numeric_correlation_diff =
+        total / static_cast<double>(diffs.size());
   }
 
   // Pairwise categorical association difference.
   const auto cats = CategoricalAttrs(real.schema());
   if (cats.size() >= 2) {
-    double total = 0.0;
-    size_t pairs = 0;
-    for (size_t i = 0; i < cats.size(); ++i) {
-      for (size_t j = i + 1; j < cats.size(); ++j) {
-        total += std::fabs(CramersV(real, cats[i], cats[j]) -
-                           CramersV(synthetic, cats[i], cats[j]));
-        ++pairs;
+    obs::ScopedTimerMs timer(&report.categorical_ms);
+    const auto pairs = UpperTrianglePairs(cats);
+    std::vector<double> diffs(pairs.size(), 0.0);
+    par::ParallelFor(0, pairs.size(), 1, [&](size_t p0, size_t p1) {
+      for (size_t p = p0; p < p1; ++p) {
+        diffs[p] = std::fabs(CramersV(real, pairs[p].a, pairs[p].b) -
+                             CramersV(synthetic, pairs[p].a, pairs[p].b));
       }
-    }
+    });
+    double total = 0.0;
+    for (double d : diffs) total += d;
     report.categorical_association_diff =
-        total / static_cast<double>(pairs);
+        total / static_cast<double>(diffs.size());
   }
 
-  // Mean marginal KL.
-  double kl_total = 0.0;
-  for (size_t j = 0; j < real.num_attributes(); ++j) {
-    const auto& attr = real.schema().attribute(j);
-    if (attr.is_categorical()) {
-      std::vector<double> hr(attr.domain_size(), 0.0);
-      std::vector<double> hs(attr.domain_size(), 0.0);
-      for (size_t i = 0; i < real.num_records(); ++i)
-        hr[real.category(i, j)] += 1.0;
-      for (size_t i = 0; i < synthetic.num_records(); ++i)
-        hs[synthetic.category(i, j)] += 1.0;
-      kl_total += stats::KlDivergence(hr, hs);
-    } else {
-      const double lo = real.AttributeMin(j);
-      const double hi = real.AttributeMax(j);
-      kl_total += stats::KlDivergence(
-          stats::Histogram(real.Column(j), lo, hi, options.histogram_bins),
-          stats::Histogram(synthetic.Column(j), lo, hi,
-                           options.histogram_bins));
-    }
+  // Mean marginal KL, one independent slot per attribute.
+  {
+    obs::ScopedTimerMs timer(&report.marginal_kl_ms);
+    std::vector<double> kl(real.num_attributes(), 0.0);
+    par::ParallelFor(0, real.num_attributes(), 1, [&](size_t j0, size_t j1) {
+      for (size_t j = j0; j < j1; ++j) {
+        const auto& attr = real.schema().attribute(j);
+        if (attr.is_categorical()) {
+          std::vector<double> hr(attr.domain_size(), 0.0);
+          std::vector<double> hs(attr.domain_size(), 0.0);
+          for (size_t i = 0; i < real.num_records(); ++i)
+            hr[real.category(i, j)] += 1.0;
+          for (size_t i = 0; i < synthetic.num_records(); ++i)
+            hs[synthetic.category(i, j)] += 1.0;
+          kl[j] = stats::KlDivergence(hr, hs);
+        } else {
+          // Histogram with explicit under/overflow bins: synthetic
+          // values outside the real [lo, hi] support land in the
+          // outlier bins and are penalized by the KL term instead of
+          // being clamped into the edge bins (which understated the
+          // divergence of out-of-range synthesis).
+          const double lo = real.AttributeMin(j);
+          const double hi = real.AttributeMax(j);
+          kl[j] = stats::KlDivergence(
+              stats::HistogramWithOutliers(real.Column(j), lo, hi,
+                                           options.histogram_bins),
+              stats::HistogramWithOutliers(synthetic.Column(j), lo, hi,
+                                           options.histogram_bins));
+        }
+      }
+    });
+    double kl_total = 0.0;
+    for (double v : kl) kl_total += v;
+    report.marginal_kl =
+        kl_total / static_cast<double>(real.num_attributes());
   }
-  report.marginal_kl =
-      kl_total / static_cast<double>(real.num_attributes());
   return report;
 }
 
 std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
                                               double min_confidence) {
   DAISY_CHECK(table.num_records() > 0);
-  std::vector<FunctionalDependency> fds;
   const auto cats = CategoricalAttrs(table.schema());
   const double n = static_cast<double>(table.num_records());
-  for (size_t li = 0; li < cats.size(); ++li) {
-    for (size_t ri = 0; ri < cats.size(); ++ri) {
-      if (li == ri) continue;
-      const size_t lhs = cats[li], rhs = cats[ri];
+
+  // All ordered (lhs, rhs) candidate pairs, in the serial scan order.
+  std::vector<AttrPair> candidates;
+  for (size_t li = 0; li < cats.size(); ++li)
+    for (size_t ri = 0; ri < cats.size(); ++ri)
+      if (li != ri) candidates.push_back({cats[li], cats[ri]});
+
+  std::vector<FunctionalDependency> discovered(candidates.size());
+  par::ParallelFor(0, candidates.size(), 1, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      const size_t lhs = candidates[c].a, rhs = candidates[c].b;
       const size_t kl = table.schema().attribute(lhs).domain_size();
       const size_t kr = table.schema().attribute(rhs).domain_size();
       std::vector<double> joint(kl * kr, 0.0);
@@ -144,6 +198,7 @@ std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
       FunctionalDependency fd;
       fd.lhs = lhs;
       fd.rhs = rhs;
+      fd.rhs_domain = kr;
       fd.mapping.assign(kl, kr);  // kr marks "lhs value unseen"
       double agree = 0.0;
       for (size_t a = 0; a < kl; ++a) {
@@ -160,9 +215,13 @@ std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
         agree += best;
       }
       fd.confidence = agree / n;
-      if (fd.confidence >= min_confidence) fds.push_back(std::move(fd));
+      discovered[c] = std::move(fd);
     }
-  }
+  });
+
+  std::vector<FunctionalDependency> fds;
+  for (auto& fd : discovered)
+    if (fd.confidence >= min_confidence) fds.push_back(std::move(fd));
   return fds;
 }
 
@@ -171,12 +230,19 @@ double FdViolationRate(const data::Table& synthetic,
   if (fds.empty()) return 0.0;
   double total = 0.0;
   for (const auto& fd : fds) {
+    // The unseen-lhs sentinel is the *discovery* table's rhs domain
+    // size, not the synthetic schema's: comparing against the synthetic
+    // domain would mistake the sentinel for a real category whenever
+    // the synthetic schema's rhs domain is larger.
+    const size_t sentinel = fd.rhs_domain > 0
+                                ? fd.rhs_domain
+                                : std::numeric_limits<size_t>::max();
     size_t checked = 0, violated = 0;
     for (size_t i = 0; i < synthetic.num_records(); ++i) {
       const size_t a = synthetic.category(i, fd.lhs);
       DAISY_CHECK(a < fd.mapping.size());
       const size_t expected = fd.mapping[a];
-      if (expected >= synthetic.schema().attribute(fd.rhs).domain_size())
+      if (expected >= sentinel)
         continue;  // lhs value unseen at discovery time
       ++checked;
       if (synthetic.category(i, fd.rhs) != expected) ++violated;

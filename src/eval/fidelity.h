@@ -4,6 +4,10 @@
 // These implement the analysis behind the paper's appendix Figures
 // 13/14 and its future-work direction on capturing attribute
 // correlations explicitly (FakeTables [16], §8 direction 2).
+//
+// EvaluateFidelity and DiscoverFds fan their pairwise loops out over
+// core/parallel into per-pair slots reduced in a fixed order, so both
+// are bitwise identical for any DAISY_THREADS value.
 #ifndef DAISY_EVAL_FIDELITY_H_
 #define DAISY_EVAL_FIDELITY_H_
 
@@ -21,9 +25,16 @@ struct FidelityReport {
   /// Mean |CramersV(real) - CramersV(synth)| over categorical pairs.
   double categorical_association_diff = 0.0;
   /// Mean per-attribute marginal KL(real || synth): histogram KL for
-  /// numeric attributes (bins over the real range), count KL for
-  /// categorical ones.
+  /// numeric attributes (bins over the real range, plus explicit
+  /// under/overflow bins so synthetic mass outside the real support is
+  /// penalized rather than clamped), count KL for categorical ones.
   double marginal_kl = 0.0;
+
+  /// Wall-clock attribution per section (obs::ScopedTimerMs), so the
+  /// evaluation suite can report each metric's own cost.
+  double numeric_ms = 0.0;
+  double categorical_ms = 0.0;
+  double marginal_kl_ms = 0.0;
 };
 
 struct FidelityOptions {
@@ -46,6 +57,11 @@ struct FunctionalDependency {
   size_t rhs = 0;
   double confidence = 0.0;          // fraction of records obeying it
   std::vector<size_t> mapping;      // lhs category -> dominant rhs category
+  /// rhs domain size of the *discovery* table; mapping entries equal to
+  /// it mark "lhs value unseen at discovery time". Kept explicitly so
+  /// violation checks don't have to guess the sentinel from whatever
+  /// schema the synthetic table carries.
+  size_t rhs_domain = 0;
 };
 
 /// Finds single-attribute categorical FDs lhs -> rhs whose confidence

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.h"
+
 namespace daisy::eval {
 
 namespace {
@@ -27,12 +29,33 @@ std::vector<AttrNorm> FitNorms(const data::Table& table) {
   return norms;
 }
 
+Status ValidateTables(const data::Table& original,
+                      const data::Table& synthetic) {
+  if (original.num_records() == 0 || synthetic.num_records() == 0)
+    return Status::InvalidArgument(
+        "privacy metrics require non-empty original and synthetic tables");
+  if (original.num_attributes() != synthetic.num_attributes())
+    return Status::InvalidArgument(
+        "privacy metrics require tables of the same width");
+  return Status::OK();
+}
+
+// Per-probe-row scans are heavy (O(n x m) each); a small grain keeps
+// the partial buffers short while still amortizing dispatch.
+constexpr size_t kSampleGrain = 8;
+
 }  // namespace
 
-double HittingRate(const data::Table& original, const data::Table& synthetic,
-                   const HittingRateOptions& opts, Rng* rng) {
-  DAISY_CHECK(original.num_records() > 0 && synthetic.num_records() > 0);
-  DAISY_CHECK(original.num_attributes() == synthetic.num_attributes());
+Result<double> HittingRate(const data::Table& original,
+                           const data::Table& synthetic,
+                           const HittingRateOptions& opts, Rng* rng) {
+  if (opts.num_synthetic_samples == 0)
+    return Status::InvalidArgument(
+        "HittingRateOptions::num_synthetic_samples must be > 0");
+  if (!(opts.range_divisor > 0.0))
+    return Status::InvalidArgument(
+        "HittingRateOptions::range_divisor must be > 0");
+  DAISY_RETURN_IF_ERROR(ValidateTables(original, synthetic));
   const size_t m = original.num_attributes();
 
   // Per-attribute numeric thresholds from the original table.
@@ -48,61 +71,90 @@ double HittingRate(const data::Table& original, const data::Table& synthetic,
 
   const size_t samples =
       std::min(opts.num_synthetic_samples, synthetic.num_records());
-  size_t hits = 0;
-  for (size_t s = 0; s < samples; ++s) {
-    const size_t row = rng->UniformInt(synthetic.num_records());
-    bool hit = false;
-    for (size_t i = 0; i < original.num_records() && !hit; ++i) {
-      bool similar = true;
-      for (size_t j = 0; j < m && similar; ++j) {
-        const double sv = synthetic.value(row, j);
-        const double ov = original.value(i, j);
-        if (categorical[j]) {
-          similar = std::llround(sv) == std::llround(ov);
-        } else {
-          similar = std::fabs(sv - ov) <= thresholds[j];
+  // Draw every probe row serially first: the rng stream is consumed in
+  // sample order regardless of the thread count, and the scans below
+  // only read shared state.
+  std::vector<size_t> probe_rows(samples);
+  for (auto& r : probe_rows) r = rng->UniformInt(synthetic.num_records());
+
+  std::vector<size_t> chunk_hits(par::NumChunks(0, samples, kSampleGrain), 0);
+  par::ParallelForIndexed(
+      0, samples, kSampleGrain, [&](size_t chunk, size_t b, size_t e) {
+        size_t h = 0;
+        for (size_t s = b; s < e; ++s) {
+          const size_t row = probe_rows[s];
+          bool hit = false;
+          for (size_t i = 0; i < original.num_records() && !hit; ++i) {
+            bool similar = true;
+            for (size_t j = 0; j < m && similar; ++j) {
+              const double sv = synthetic.value(row, j);
+              const double ov = original.value(i, j);
+              if (categorical[j]) {
+                similar = std::llround(sv) == std::llround(ov);
+              } else {
+                similar = std::fabs(sv - ov) <= thresholds[j];
+              }
+            }
+            hit = similar;
+          }
+          if (hit) ++h;
         }
-      }
-      hit = similar;
-    }
-    if (hit) ++hits;
-  }
+        chunk_hits[chunk] = h;
+      });
+  size_t hits = 0;
+  for (size_t h : chunk_hits) hits += h;
   return static_cast<double>(hits) / static_cast<double>(samples);
 }
 
-double DistanceToClosestRecord(const data::Table& original,
-                               const data::Table& synthetic,
-                               const DcrOptions& opts, Rng* rng) {
-  DAISY_CHECK(original.num_records() > 0 && synthetic.num_records() > 0);
-  DAISY_CHECK(original.num_attributes() == synthetic.num_attributes());
+Result<double> DistanceToClosestRecord(const data::Table& original,
+                                       const data::Table& synthetic,
+                                       const DcrOptions& opts, Rng* rng) {
+  if (opts.num_original_samples == 0)
+    return Status::InvalidArgument(
+        "DcrOptions::num_original_samples must be > 0");
+  DAISY_RETURN_IF_ERROR(ValidateTables(original, synthetic));
   const size_t m = original.num_attributes();
   const auto norms = FitNorms(original);
 
   const size_t samples =
       std::min(opts.num_original_samples, original.num_records());
-  double total = 0.0;
-  for (size_t s = 0; s < samples; ++s) {
-    const size_t row = rng->UniformInt(original.num_records());
-    double best = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < synthetic.num_records(); ++i) {
-      double d2 = 0.0;
-      for (size_t j = 0; j < m && d2 < best; ++j) {
-        double diff;
-        if (norms[j].categorical) {
-          diff = std::llround(original.value(row, j)) ==
-                         std::llround(synthetic.value(i, j))
-                     ? 0.0
-                     : 1.0;
-        } else {
-          diff = (original.value(row, j) - synthetic.value(i, j)) *
-                 norms[j].inv_range;
+  std::vector<size_t> probe_rows(samples);
+  for (auto& r : probe_rows) r = rng->UniformInt(original.num_records());
+
+  // Per-chunk partial sums, reduced in ascending chunk order below:
+  // the partition is a pure function of (samples, grain), so the
+  // floating-point accumulation order never depends on DAISY_THREADS.
+  std::vector<double> chunk_totals(par::NumChunks(0, samples, kSampleGrain),
+                                   0.0);
+  par::ParallelForIndexed(
+      0, samples, kSampleGrain, [&](size_t chunk, size_t b, size_t e) {
+        double total = 0.0;
+        for (size_t s = b; s < e; ++s) {
+          const size_t row = probe_rows[s];
+          double best = std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < synthetic.num_records(); ++i) {
+            double d2 = 0.0;
+            for (size_t j = 0; j < m && d2 < best; ++j) {
+              double diff;
+              if (norms[j].categorical) {
+                diff = std::llround(original.value(row, j)) ==
+                               std::llround(synthetic.value(i, j))
+                           ? 0.0
+                           : 1.0;
+              } else {
+                diff = (original.value(row, j) - synthetic.value(i, j)) *
+                       norms[j].inv_range;
+              }
+              d2 += diff * diff;
+            }
+            best = std::min(best, d2);
+          }
+          total += std::sqrt(best);
         }
-        d2 += diff * diff;
-      }
-      best = std::min(best, d2);
-    }
-    total += std::sqrt(best);
-  }
+        chunk_totals[chunk] = total;
+      });
+  double total = 0.0;
+  for (double t : chunk_totals) total += t;
   return total / static_cast<double>(samples);
 }
 

@@ -1,40 +1,51 @@
 // Privacy risk metrics (paper §6.2): hitting rate and distance to the
 // closest record (DCR), both estimating re-identification risk.
+//
+// Both metrics sample their probe rows from the caller's Rng serially
+// up front and then fan the per-row scans out over core/parallel with
+// fixed-order reductions, so results are bitwise identical for any
+// DAISY_THREADS value.
 #ifndef DAISY_EVAL_PRIVACY_H_
 #define DAISY_EVAL_PRIVACY_H_
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "data/table.h"
 
 namespace daisy::eval {
 
 struct HittingRateOptions {
-  /// Synthetic records sampled (paper: 5000).
+  /// Synthetic records sampled (paper: 5000). Must be > 0.
   size_t num_synthetic_samples = 5000;
   /// Numeric similarity threshold = attribute range / divisor
-  /// (paper: 30).
+  /// (paper: 30). Must be > 0.
   double range_divisor = 30.0;
 };
 
 /// Fraction of sampled synthetic records that "hit" (are similar to) at
 /// least one original record: every categorical value equal and every
 /// numeric value within range/divisor. Returned as a fraction in
-/// [0, 1] (the paper reports it as a percentage).
-double HittingRate(const data::Table& original, const data::Table& synthetic,
-                   const HittingRateOptions& opts, Rng* rng);
+/// [0, 1] (the paper reports it as a percentage). Returns
+/// InvalidArgument on empty tables, mismatched schema widths, or
+/// degenerate options (zero samples would otherwise yield a 0/0 NaN).
+Result<double> HittingRate(const data::Table& original,
+                           const data::Table& synthetic,
+                           const HittingRateOptions& opts, Rng* rng);
 
 struct DcrOptions {
-  /// Original records sampled (paper: 3000).
+  /// Original records sampled (paper: 3000). Must be > 0.
   size_t num_original_samples = 3000;
 };
 
 /// Average Euclidean distance from sampled original records to their
 /// nearest synthetic record, after attribute-wise min-max
 /// normalization (categorical mismatch contributes 1). Larger = better
-/// privacy; 0 means the synthetic table leaks a real record.
-double DistanceToClosestRecord(const data::Table& original,
-                               const data::Table& synthetic,
-                               const DcrOptions& opts, Rng* rng);
+/// privacy; 0 means the synthetic table leaks a real record. Returns
+/// InvalidArgument on empty tables, mismatched schema widths, or zero
+/// samples.
+Result<double> DistanceToClosestRecord(const data::Table& original,
+                                       const data::Table& synthetic,
+                                       const DcrOptions& opts, Rng* rng);
 
 }  // namespace daisy::eval
 

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace daisy::eval {
 
 void RandomForest::Fit(const Matrix& x, const std::vector<size_t>& y,
                        size_t num_classes, Rng* rng) {
   DAISY_CHECK(x.rows() == y.size() && x.rows() > 0);
   num_classes_ = num_classes;
-  trees_.clear();
 
   size_t max_features = opts_.max_features;
   if (max_features == 0) {
@@ -17,21 +18,32 @@ void RandomForest::Fit(const Matrix& x, const std::vector<size_t>& y,
         1, static_cast<size_t>(std::llround(
                std::sqrt(static_cast<double>(x.cols())))));
   }
+  DecisionTreeOptions topts;
+  topts.max_depth = opts_.max_depth;
+  topts.max_features = max_features;
+  trees_.assign(opts_.num_trees, DecisionTree(topts));
 
-  for (size_t t = 0; t < opts_.num_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<size_t> rows(x.rows());
-    for (auto& r : rows) r = rng->UniformInt(x.rows());
-    Matrix bx = x.GatherRows(rows);
-    std::vector<size_t> by(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) by[i] = y[rows[i]];
+  // One independent deterministic stream per tree, split from the
+  // caller's rng serially up front (the PATE-GAN teacher pattern): each
+  // tree draws its bootstrap sample and split features from its own
+  // stream and writes only its own slot, so the bagging fan-out is
+  // bitwise identical for any thread count.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(opts_.num_trees);
+  for (size_t t = 0; t < opts_.num_trees; ++t)
+    tree_rngs.push_back(rng->Split());
 
-    DecisionTreeOptions topts;
-    topts.max_depth = opts_.max_depth;
-    topts.max_features = max_features;
-    trees_.emplace_back(topts);
-    trees_.back().Fit(bx, by, num_classes, rng);
-  }
+  par::ParallelFor(0, opts_.num_trees, 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      Rng& trng = tree_rngs[t];
+      std::vector<size_t> rows(x.rows());
+      for (auto& r : rows) r = trng.UniformInt(x.rows());
+      Matrix bx = x.GatherRows(rows);
+      std::vector<size_t> by(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) by[i] = y[rows[i]];
+      trees_[t].Fit(bx, by, num_classes, &trng);
+    }
+  });
 }
 
 std::vector<double> RandomForest::PredictProba(const double* x) const {

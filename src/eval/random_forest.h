@@ -1,4 +1,6 @@
 // Random forest: bagged CART trees with per-split feature subsampling.
+// Fit trains trees in parallel, one seed-derived rng stream per tree,
+// so training is bitwise identical for any DAISY_THREADS value.
 #ifndef DAISY_EVAL_RANDOM_FOREST_H_
 #define DAISY_EVAL_RANDOM_FOREST_H_
 

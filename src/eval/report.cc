@@ -83,15 +83,20 @@ std::string GenerateQualityReport(const data::Table& real,
     DcrOptions dopts;
     dopts.num_original_samples = options.privacy_samples;
     Rng r1(options.seed + 2), r2(options.seed + 3);
+    const auto hit = HittingRate(real, synthetic, hopts, &r1);
+    const auto dcr = DistanceToClosestRecord(real, synthetic, dopts, &r2);
+    // The report asserts table sanity up front, so a privacy error here
+    // can only be a degenerate options struct — a caller bug.
+    DAISY_CHECK(hit.ok() && dcr.ok());
     Append(&out,
            "- hitting rate: **%.2f%%** of sampled synthetic records "
            "match a real record attribute-for-attribute\n",
-           100.0 * HittingRate(real, synthetic, hopts, &r1));
+           100.0 * hit.value());
     Append(&out,
            "- DCR: average normalized distance from a real record to "
            "its closest synthetic record is **%.4f** (0 would mean a "
            "leaked record)\n\n",
-           DistanceToClosestRecord(real, synthetic, dopts, &r2));
+           dcr.value());
   }
 
   // ---- Profiles ---------------------------------------------------

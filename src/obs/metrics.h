@@ -27,6 +27,7 @@ struct MetricRecord {
   double g_grad_norm = 0.0; // global L2 grad norm at the last G update
   double d_grad_norm = 0.0; // same for D (0 when there is no D)
   double param_norm = 0.0;  // global L2 norm of the generator params
+  double value = 0.0;       // generic metric value (evaluation suite)
   double iter_ms = 0.0;     // wall-clock spent in this iteration
   double wall_ms = 0.0;     // wall-clock since training started
   size_t threads = 0;       // par::NumThreads() at emit time

@@ -177,6 +177,7 @@ std::string ToJsonLine(const MetricRecord& r) {
   field("g_grad_norm", r.g_grad_norm);
   field("d_grad_norm", r.d_grad_norm);
   field("param_norm", r.param_norm);
+  field("value", r.value);
   field("iter_ms", r.iter_ms);
   field("wall_ms", r.wall_ms);
   ufield("threads", r.threads);
@@ -225,6 +226,7 @@ Result<MetricRecord> ParseJsonLine(const std::string& line) {
     else if (key == "g_grad_norm") r.g_grad_norm = v;
     else if (key == "d_grad_norm") r.d_grad_norm = v;
     else if (key == "param_norm") r.param_norm = v;
+    else if (key == "value") r.value = v;
     else if (key == "iter_ms") r.iter_ms = v;
     else if (key == "wall_ms") r.wall_ms = v;
     // Unknown keys: skipped (forward compatibility).

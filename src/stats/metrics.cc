@@ -87,6 +87,31 @@ std::vector<double> Histogram(const std::vector<double>& values, double lo,
   return h;
 }
 
+std::vector<double> HistogramWithOutliers(const std::vector<double>& values,
+                                          double lo, double hi, size_t bins) {
+  DAISY_CHECK(bins > 0);
+  DAISY_CHECK(hi >= lo);
+  std::vector<double> h(bins + 2, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    size_t idx;
+    if (v < lo) {
+      idx = 0;  // underflow
+    } else if (v > hi) {
+      idx = bins + 1;  // overflow
+    } else if (width <= 0.0 || v <= lo) {
+      idx = 1;
+    } else if (v >= hi) {
+      idx = bins;
+    } else {
+      idx = 1 + static_cast<size_t>((v - lo) / width);
+      idx = std::min(idx, bins);
+    }
+    h[idx] += 1.0;
+  }
+  return h;
+}
+
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
   DAISY_CHECK(x.size() == y.size());

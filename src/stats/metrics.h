@@ -27,6 +27,14 @@ double KlDivergence(const std::vector<double>& p_counts,
 std::vector<double> Histogram(const std::vector<double>& values, double lo,
                               double hi, size_t bins);
 
+/// Like Histogram, but with explicit outlier buckets: returns bins + 2
+/// counts where [0] holds values strictly below lo, [bins + 1] values
+/// strictly above hi, and [1 .. bins] the in-range equi-width buckets.
+/// Divergence metrics use this so out-of-support mass is penalized
+/// instead of being silently clamped into the edge bins.
+std::vector<double> HistogramWithOutliers(const std::vector<double>& values,
+                                          double lo, double hi, size_t bins);
+
 /// Pearson correlation coefficient of two equal-length series.
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);

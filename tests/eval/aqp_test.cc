@@ -99,12 +99,34 @@ TEST(RelativeErrorTest, BothEmptyIsZero) {
   EXPECT_DOUBLE_EQ(RelativeError({}, {}), 0.0);
 }
 
+TEST(RelativeErrorTest, EmptyExactNonEmptyApproxIsOne) {
+  AqpResult approx = {{0, 5.0}};
+  EXPECT_DOUBLE_EQ(RelativeError({}, approx), 1.0);
+}
+
+TEST(RelativeErrorTest, ZeroExactValueDoesNotDivideByZero) {
+  // exact value 0: denom clamps at 1e-9 and the error caps at 1
+  // instead of producing inf/NaN.
+  AqpResult exact = {{0, 0.0}};
+  AqpResult wrong = {{0, 3.0}};
+  EXPECT_DOUBLE_EQ(RelativeError(exact, wrong), 1.0);
+  AqpResult right = {{0, 0.0}};
+  EXPECT_DOUBLE_EQ(RelativeError(exact, right), 0.0);
+}
+
+TEST(RelativeErrorTest, ExtraApproxGroupsAreIgnored) {
+  // Averaging runs over the exact groups only.
+  AqpResult exact = {{0, 10.0}};
+  AqpResult approx = {{0, 10.0}, {1, 999.0}};
+  EXPECT_DOUBLE_EQ(RelativeError(exact, approx), 0.0);
+}
+
 TEST(WorkloadTest, GeneratesValidQueries) {
   Rng rng(1);
   data::Table t = data::MakeBingSim(500, &rng);
   AqpWorkloadOptions opts;
   opts.num_queries = 100;
-  const auto workload = GenerateAqpWorkload(t, opts, &rng);
+  const auto workload = GenerateAqpWorkload(t, opts, &rng).value();
   ASSERT_EQ(workload.size(), 100u);
   for (const auto& q : workload) {
     EXPECT_GE(q.predicates.size(), opts.min_predicates);
@@ -134,7 +156,7 @@ TEST(AqpDiffTest, IdenticalSyntheticBeatsDistortedSynthetic) {
   wopts.num_queries = 50;
   wopts.max_predicates = 1;  // keep selections non-degenerate at test scale
   wopts.group_by_prob = 0.0;
-  const auto workload = GenerateAqpWorkload(real, wopts, &rng);
+  const auto workload = GenerateAqpWorkload(real, wopts, &rng).value();
 
   // Perfect synthetic = the table itself. A 10% baseline sample keeps
   // the sampling error e small at this miniature table size (the paper
@@ -142,7 +164,8 @@ TEST(AqpDiffTest, IdenticalSyntheticBeatsDistortedSynthetic) {
   AqpDiffOptions dopts;
   dopts.sample_ratio = 0.1;
   Rng r1(3), r2(3);
-  const double diff_perfect = AqpDiff(real, real, workload, dopts, &r1);
+  const double diff_perfect =
+      AqpDiff(real, real, workload, dopts, &r1).value();
 
   // Distorted synthetic: shuffle one numeric column's values (breaks
   // joint distribution) and shift them.
@@ -150,8 +173,8 @@ TEST(AqpDiffTest, IdenticalSyntheticBeatsDistortedSynthetic) {
   for (size_t i = 0; i < distorted.num_records(); ++i)
     distorted.set_value(i, 0,
                         distorted.value(i, 0) * 3.0 + 100.0);
-  const double diff_distorted = AqpDiff(real, distorted, workload, dopts,
-                                        &r2);
+  const double diff_distorted =
+      AqpDiff(real, distorted, workload, dopts, &r2).value();
   EXPECT_LT(diff_perfect, diff_distorted);
   // With T' == T, e' is 0 for every query, so DiffAQP equals the
   // sampling error e, which is small but nonzero.

@@ -66,6 +66,22 @@ TEST(AucTest, SingleClassDegeneratesToHalf) {
   EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.5);
 }
 
+TEST(AucTest, TiedPairGetsHalfCredit) {
+  // Pairs: (0.2,0.5) win, (0.2,0.9) win, (0.5,0.5) tie -> 0.5,
+  // (0.5,0.9) win => (3 + 0.5) / 4 = 0.875.
+  std::vector<double> scores = {0.2, 0.5, 0.5, 0.9};
+  std::vector<size_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.875);
+}
+
+TEST(AucTest, AllTiedWithinAndAcrossClassesIsHalf) {
+  // Every pos/neg pair ties; rank-averaging must yield exactly 0.5,
+  // not accumulate rounding from the tie handling.
+  std::vector<double> scores = {0.3, 0.3, 0.3, 0.3, 0.3, 0.3};
+  std::vector<size_t> truth = {0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(AucBinary(scores, truth, 1), 0.5);
+}
+
 TEST(AucTest, HandComputedPartialOrder) {
   // One inversion out of four pairs -> AUC = 0.75.
   std::vector<double> scores = {0.6, 0.2, 0.5, 0.9};

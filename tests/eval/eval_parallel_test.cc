@@ -1,0 +1,290 @@
+// Thread-determinism tests for the parallel evaluation metrics — every
+// metric must be bitwise identical for any DAISY_THREADS value — plus
+// regression tests for the evaluation correctness fixes (degenerate
+// options, unsigned wraparound, negative categorical cells, histogram
+// outlier bins, FD sentinel handling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/parallel.h"
+#include "data/generators/realistic.h"
+#include "eval/aqp.h"
+#include "eval/fidelity.h"
+#include "eval/privacy.h"
+#include "eval/random_forest.h"
+
+namespace daisy::eval {
+namespace {
+
+// Runs `fn` under each thread count and checks every run reproduces
+// the first bit for bit. Restores automatic thread resolution after.
+void ExpectThreadInvariant(const std::function<std::vector<double>()>& fn) {
+  const std::vector<double> baseline = [&] {
+    par::SetNumThreads(1);
+    return fn();
+  }();
+  for (size_t threads : {2, 7}) {
+    par::SetNumThreads(threads);
+    const std::vector<double> got = fn();
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], baseline[i]) << "threads=" << threads << " i=" << i;
+  }
+  par::SetNumThreads(0);
+}
+
+// ---- Determinism across DAISY_THREADS ------------------------------
+
+TEST(EvalThreadDeterminism, HittingRate) {
+  Rng rng(21);
+  data::Table real = data::MakeAdultSim(400, &rng);
+  data::Table synth = data::MakeAdultSim(300, &rng);
+  ExpectThreadInvariant([&] {
+    HittingRateOptions opts;
+    opts.num_synthetic_samples = 123;  // not a multiple of the grain
+    Rng prng(5);
+    return std::vector<double>{
+        HittingRate(real, synth, opts, &prng).value()};
+  });
+}
+
+TEST(EvalThreadDeterminism, DistanceToClosestRecord) {
+  Rng rng(22);
+  data::Table real = data::MakeAdultSim(350, &rng);
+  data::Table synth = data::MakeAdultSim(250, &rng);
+  ExpectThreadInvariant([&] {
+    DcrOptions opts;
+    opts.num_original_samples = 77;
+    Rng prng(6);
+    return std::vector<double>{
+        DistanceToClosestRecord(real, synth, opts, &prng).value()};
+  });
+}
+
+TEST(EvalThreadDeterminism, RandomForestFitAndPredict) {
+  Rng rng(23);
+  data::Table t = data::MakeAdultSim(300, &rng);
+  const Matrix x = t.FeatureMatrix();
+  const std::vector<size_t> y = t.Labels();
+  const size_t num_classes = t.schema().num_labels();
+  ExpectThreadInvariant([&] {
+    RandomForestOptions opts;
+    opts.num_trees = 11;
+    opts.max_depth = 6;
+    RandomForest rf(opts);
+    Rng fit_rng(7);
+    rf.Fit(x, y, num_classes, &fit_rng);
+    std::vector<double> probs;
+    for (size_t i = 0; i < 25; ++i) {
+      const auto p = rf.PredictProba(x.row(i));
+      probs.insert(probs.end(), p.begin(), p.end());
+    }
+    return probs;
+  });
+}
+
+TEST(EvalThreadDeterminism, AqpDiff) {
+  Rng rng(24);
+  data::Table real = data::MakeBingSim(1200, &rng);
+  data::Table synth = data::MakeBingSim(900, &rng);
+  AqpWorkloadOptions wopts;
+  wopts.num_queries = 40;
+  Rng wl_rng(8);
+  const auto workload = GenerateAqpWorkload(real, wopts, &wl_rng).value();
+  ExpectThreadInvariant([&] {
+    AqpDiffOptions dopts;
+    dopts.sample_ratio = 0.1;
+    dopts.sample_repeats = 3;
+    Rng drng(9);
+    return std::vector<double>{
+        AqpDiff(real, synth, workload, dopts, &drng).value()};
+  });
+}
+
+TEST(EvalThreadDeterminism, EvaluateFidelityAndFds) {
+  Rng rng(25);
+  data::Table real = data::MakeAdultSim(400, &rng);
+  data::Table synth = data::MakeAdultSim(350, &rng);
+  ExpectThreadInvariant([&] {
+    const FidelityReport rep = EvaluateFidelity(real, synth);
+    const auto fds = DiscoverFds(real, 0.8);
+    std::vector<double> out = {rep.numeric_correlation_diff,
+                               rep.categorical_association_diff,
+                               rep.marginal_kl,
+                               static_cast<double>(fds.size())};
+    for (const auto& fd : fds) {
+      out.push_back(static_cast<double>(fd.lhs));
+      out.push_back(static_cast<double>(fd.rhs));
+      out.push_back(fd.confidence);
+    }
+    if (!fds.empty()) out.push_back(FdViolationRate(synth, fds));
+    return out;
+  });
+}
+
+// ---- Degenerate-option validation (div-by-zero NaN fixes) ----------
+
+TEST(EvalValidation, HittingRateRejectsZeroSamples) {
+  Rng rng(31);
+  data::Table t = data::MakeAdultSim(50, &rng);
+  HittingRateOptions opts;
+  opts.num_synthetic_samples = 0;  // used to produce a silent 0/0 NaN
+  Rng prng(1);
+  const auto r = HittingRate(t, t, opts, &prng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EvalValidation, HittingRateRejectsNonPositiveDivisor) {
+  Rng rng(32);
+  data::Table t = data::MakeAdultSim(50, &rng);
+  HittingRateOptions opts;
+  opts.range_divisor = 0.0;
+  Rng prng(1);
+  EXPECT_FALSE(HittingRate(t, t, opts, &prng).ok());
+}
+
+TEST(EvalValidation, DcrRejectsZeroSamplesAndEmptyTables) {
+  Rng rng(33);
+  data::Table t = data::MakeAdultSim(50, &rng);
+  DcrOptions opts;
+  opts.num_original_samples = 0;
+  Rng prng(1);
+  ASSERT_FALSE(DistanceToClosestRecord(t, t, opts, &prng).ok());
+
+  data::Table empty(t.schema());
+  DcrOptions ok_opts;
+  EXPECT_FALSE(DistanceToClosestRecord(empty, t, ok_opts, &prng).ok());
+  EXPECT_FALSE(DistanceToClosestRecord(t, empty, ok_opts, &prng).ok());
+}
+
+TEST(EvalValidation, AqpDiffRejectsZeroRepeatsAndBadRatio) {
+  Rng rng(34);
+  data::Table t = data::MakeBingSim(200, &rng);
+  AqpWorkloadOptions wopts;
+  wopts.num_queries = 5;
+  Rng wl_rng(2);
+  const auto workload = GenerateAqpWorkload(t, wopts, &wl_rng).value();
+
+  AqpDiffOptions zero_repeats;
+  zero_repeats.sample_repeats = 0;  // used to produce a silent 0/0 NaN
+  Rng r1(3);
+  const auto r = AqpDiff(t, t, workload, zero_repeats, &r1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+
+  AqpDiffOptions bad_ratio;
+  bad_ratio.sample_ratio = 0.0;
+  EXPECT_FALSE(AqpDiff(t, t, workload, bad_ratio, &r1).ok());
+  EXPECT_FALSE(AqpDiff(t, t, {}, AqpDiffOptions{}, &r1).ok());
+}
+
+TEST(EvalValidation, WorkloadRejectsWrappingPredicateRange) {
+  Rng rng(35);
+  data::Table t = data::MakeBingSim(200, &rng);
+  AqpWorkloadOptions opts;
+  opts.min_predicates = 3;
+  opts.max_predicates = 1;  // max - min + 1 used to wrap to ~2^64
+  const auto r = GenerateAqpWorkload(t, opts, &rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+
+  AqpWorkloadOptions zero;
+  zero.num_queries = 0;
+  EXPECT_FALSE(GenerateAqpWorkload(t, zero, &rng).ok());
+}
+
+// ---- Negative categorical cells in AQP predicates ------------------
+
+TEST(AqpMatchRegression, NegativeCellNeverMatchesACategory) {
+  data::Schema schema({data::Attribute::Categorical("c", {"a", "b"})});
+  data::Table t(schema);
+  t.AppendRecord({0.0});
+  // Corrupt the cell to -1 (e.g. a failed sentinel upstream). Casting
+  // it to size_t used to wrap to SIZE_MAX and spuriously equal a
+  // SIZE_MAX predicate category.
+  t.set_value(0, 0, -1.0);
+
+  AqpQuery q;
+  q.func = AggFunc::kCount;
+  AqpPredicate p;
+  p.attr = 0;
+  p.is_categorical = true;
+  p.category = std::numeric_limits<size_t>::max();
+  q.predicates.push_back(p);
+  EXPECT_TRUE(ExecuteAqpQuery(t, q).empty());
+
+  p.category = 0;
+  q.predicates[0] = p;
+  EXPECT_TRUE(ExecuteAqpQuery(t, q).empty());
+}
+
+// ---- Marginal KL outlier bins --------------------------------------
+
+TEST(FidelityRegression, OutOfRangeSynthesisScoresWorseThanEdgeMass) {
+  // Real: uniform-ish over [0, 9]. Synth A piles everything on the real
+  // maximum (in range); synth B piles everything far outside the range.
+  // With clamped histograms both looked identical; the outlier bins
+  // must make B strictly worse.
+  data::Schema schema({data::Attribute::Numerical("x")});
+  data::Table real(schema), at_edge(schema), far_out(schema);
+  for (int i = 0; i < 100; ++i) {
+    real.AppendRecord({static_cast<double>(i % 10)});
+    at_edge.AppendRecord({9.0});
+    far_out.AppendRecord({1000.0});
+  }
+  const double kl_edge = EvaluateFidelity(real, at_edge).marginal_kl;
+  const double kl_far = EvaluateFidelity(real, far_out).marginal_kl;
+  EXPECT_TRUE(std::isfinite(kl_far));
+  EXPECT_GT(kl_far, kl_edge);
+}
+
+// ---- FD unseen-lhs sentinel ----------------------------------------
+
+TEST(FidelityRegression, FdSentinelComesFromDiscoveryDomain) {
+  // FD discovered on a table whose rhs domain was 2; lhs value 1 was
+  // never seen there, so mapping[1] holds the sentinel 2. The synthetic
+  // schema's rhs domain is larger (3): with the sentinel derived from
+  // the synthetic schema, category 2 would be treated as a real
+  // expectation and every lhs=1 record miscounted.
+  FunctionalDependency fd;
+  fd.lhs = 0;
+  fd.rhs = 1;
+  fd.confidence = 1.0;
+  fd.mapping = {0, 2};  // lhs 0 -> rhs 0; lhs 1 unseen (sentinel = 2)
+  fd.rhs_domain = 2;
+
+  data::Schema schema(
+      {data::Attribute::Categorical("l", {"a", "b"}),
+       data::Attribute::Categorical("r", {"x", "y", "z"})});
+  data::Table synth(schema);
+  synth.AppendRecord({0, 0});  // obeys the FD
+  synth.AppendRecord({1, 0});  // lhs unseen at discovery: not a violation
+  synth.AppendRecord({1, 2});  // same, even though rhs == sentinel value
+  EXPECT_DOUBLE_EQ(FdViolationRate(synth, {fd}), 0.0);
+
+  synth.AppendRecord({0, 1});  // a real violation: expected rhs 0
+  EXPECT_DOUBLE_EQ(FdViolationRate(synth, {fd}), 0.5);
+}
+
+TEST(FidelityRegression, DiscoveredFdsCarryTheirRhsDomain) {
+  data::Schema schema(
+      {data::Attribute::Categorical("l", {"a", "b", "c"}),
+       data::Attribute::Categorical("r", {"x", "y"})});
+  data::Table t(schema);
+  t.AppendRecord({0, 0});
+  t.AppendRecord({1, 1});  // lhs value 2 never appears
+  const auto fds = DiscoverFds(t, 0.9);
+  ASSERT_FALSE(fds.empty());
+  for (const auto& fd : fds) {
+    EXPECT_EQ(fd.rhs_domain,
+              t.schema().attribute(fd.rhs).domain_size());
+    for (size_t m : fd.mapping) EXPECT_LE(m, fd.rhs_domain);
+  }
+}
+
+}  // namespace
+}  // namespace daisy::eval

@@ -13,7 +13,7 @@ TEST(HittingRateTest, CopyOfOriginalHitsEverything) {
   HittingRateOptions opts;
   opts.num_synthetic_samples = 100;
   Rng prng(2);
-  EXPECT_DOUBLE_EQ(HittingRate(t, t, opts, &prng), 1.0);
+  EXPECT_DOUBLE_EQ(HittingRate(t, t, opts, &prng).value(), 1.0);
 }
 
 TEST(HittingRateTest, FarAwaySyntheticHitsNothing) {
@@ -27,7 +27,7 @@ TEST(HittingRateTest, FarAwaySyntheticHitsNothing) {
   HittingRateOptions opts;
   opts.num_synthetic_samples = 100;
   Rng prng(4);
-  EXPECT_DOUBLE_EQ(HittingRate(t, far, opts, &prng), 0.0);
+  EXPECT_DOUBLE_EQ(HittingRate(t, far, opts, &prng).value(), 0.0);
 }
 
 TEST(HittingRateTest, ThresholdScalesWithDivisor) {
@@ -49,8 +49,8 @@ TEST(HittingRateTest, ThresholdScalesWithDivisor) {
   tight.range_divisor = 500.0;
   tight.num_synthetic_samples = 50;
   Rng r1(6), r2(6);
-  EXPECT_GT(HittingRate(t, near, loose, &r1),
-            HittingRate(t, near, tight, &r2));
+  EXPECT_GT(HittingRate(t, near, loose, &r1).value(),
+            HittingRate(t, near, tight, &r2).value());
 }
 
 TEST(DcrTest, IdenticalTablesHaveZeroDistance) {
@@ -59,7 +59,8 @@ TEST(DcrTest, IdenticalTablesHaveZeroDistance) {
   DcrOptions opts;
   opts.num_original_samples = 50;
   Rng prng(8);
-  EXPECT_NEAR(DistanceToClosestRecord(t, t, opts, &prng), 0.0, 1e-12);
+  EXPECT_NEAR(DistanceToClosestRecord(t, t, opts, &prng).value(), 0.0,
+              1e-12);
 }
 
 TEST(DcrTest, PerturbedSyntheticHasPositiveDistance) {
@@ -75,7 +76,8 @@ TEST(DcrTest, PerturbedSyntheticHasPositiveDistance) {
   DcrOptions opts;
   opts.num_original_samples = 50;
   Rng prng(10);
-  const double dcr = DistanceToClosestRecord(t, shifted, opts, &prng);
+  const double dcr =
+      DistanceToClosestRecord(t, shifted, opts, &prng).value();
   EXPECT_GT(dcr, 0.05);
 }
 
@@ -95,8 +97,8 @@ TEST(DcrTest, BiggerPerturbationBiggerDistance) {
   DcrOptions opts;
   opts.num_original_samples = 40;
   Rng r1(12), r2(12);
-  EXPECT_LT(DistanceToClosestRecord(t, shift(0.05), opts, &r1),
-            DistanceToClosestRecord(t, shift(0.3), opts, &r2));
+  EXPECT_LT(DistanceToClosestRecord(t, shift(0.05), opts, &r1).value(),
+            DistanceToClosestRecord(t, shift(0.3), opts, &r2).value());
 }
 
 TEST(DcrTest, CategoricalMismatchContributes) {
@@ -107,7 +109,8 @@ TEST(DcrTest, CategoricalMismatchContributes) {
   synth.AppendRecord({1});
   DcrOptions opts;
   Rng rng(13);
-  EXPECT_DOUBLE_EQ(DistanceToClosestRecord(orig, synth, opts, &rng), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceToClosestRecord(orig, synth, opts, &rng).value(),
+                   1.0);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+#include "eval/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "data/generators/realistic.h"
+#include "obs/run_logger.h"
+
+namespace daisy::eval {
+namespace {
+
+// Small option set so the full suite stays fast at test scale.
+SuiteOptions FastOptions() {
+  SuiteOptions opts;
+  opts.privacy_samples = 40;
+  opts.aqp_workload.num_queries = 10;
+  opts.aqp_diff.sample_ratio = 0.1;
+  opts.aqp_diff.sample_repeats = 2;
+  return opts;
+}
+
+struct Tables {
+  data::Table real;
+  data::Table synth;
+};
+
+Tables MakeTables() {
+  Rng rng(41);
+  return {data::MakeAdultSim(250, &rng), data::MakeAdultSim(200, &rng)};
+}
+
+TEST(EvaluationSuiteTest, RunsEverySectionOnLabeledData) {
+  const Tables t = MakeTables();
+  EvaluationSuite suite(FastOptions());
+  const auto result = suite.Run(t.real, t.synth);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SuiteReport& report = result.value();
+
+  for (const char* name :
+       {"utility.f1_diff.DT10", "utility.f1_diff.LR",
+        "clustering.nmi_diff", "fidelity.marginal_kl",
+        "fidelity.numeric_corr_diff", "fidelity.cat_assoc_diff",
+        "privacy.hitting_rate", "privacy.dcr", "aqp.diff"}) {
+    const SuiteMetric* m = report.Find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_TRUE(std::isfinite(m->value)) << name;
+    EXPECT_GE(m->wall_ms, 0.0) << name;
+  }
+  EXPECT_GT(report.total_ms, 0.0);
+  EXPECT_EQ(report.Find("no.such.metric"), nullptr);
+}
+
+TEST(EvaluationSuiteTest, UnlabeledTablesSkipUtilitySections) {
+  Rng rng(42);
+  const data::Table real = data::MakeBingSim(300, &rng);
+  const data::Table synth = data::MakeBingSim(250, &rng);
+  EvaluationSuite suite(FastOptions());
+  const auto result = suite.Run(real, synth);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& m : result.value().metrics) {
+    EXPECT_NE(m.name.rfind("utility.", 0), 0u) << m.name;
+    EXPECT_NE(m.name.rfind("clustering.", 0), 0u) << m.name;
+  }
+  EXPECT_NE(result.value().Find("aqp.diff"), nullptr);
+}
+
+TEST(EvaluationSuiteTest, RejectsMismatchedSchemas) {
+  Rng rng(43);
+  const data::Table adult = data::MakeAdultSim(50, &rng);
+  const data::Table bing = data::MakeBingSim(50, &rng);
+  EvaluationSuite suite(FastOptions());
+  const auto result = suite.Run(adult, bing);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EvaluationSuiteTest, PropagatesMetricValidationErrors) {
+  const Tables t = MakeTables();
+  SuiteOptions opts = FastOptions();
+  opts.aqp_diff.sample_repeats = 0;  // AqpDiff rejects this
+  EvaluationSuite suite(opts);
+  const auto result = suite.Run(t.real, t.synth);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EvaluationSuiteTest, RepeatRunsAreBitwiseIdentical) {
+  const Tables t = MakeTables();
+  EvaluationSuite suite(FastOptions());
+  const auto a = suite.Run(t.real, t.synth);
+  const auto b = suite.Run(t.real, t.synth);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().metrics.size(), b.value().metrics.size());
+  for (size_t i = 0; i < a.value().metrics.size(); ++i) {
+    EXPECT_EQ(a.value().metrics[i].name, b.value().metrics[i].name);
+    EXPECT_EQ(a.value().metrics[i].value, b.value().metrics[i].value);
+  }
+}
+
+TEST(EvaluationSuiteTest, ThreadCountDoesNotChangeAnyMetric) {
+  const Tables t = MakeTables();
+  EvaluationSuite suite(FastOptions());
+  par::SetNumThreads(1);
+  const auto baseline = suite.Run(t.real, t.synth);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : {2, 7}) {
+    par::SetNumThreads(threads);
+    const auto got = suite.Run(t.real, t.synth);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().metrics.size(), baseline.value().metrics.size());
+    for (size_t i = 0; i < got.value().metrics.size(); ++i)
+      EXPECT_EQ(got.value().metrics[i].value,
+                baseline.value().metrics[i].value)
+          << "threads=" << threads << " "
+          << got.value().metrics[i].name;
+  }
+  par::SetNumThreads(0);
+}
+
+TEST(EvaluationSuiteTest, EmitsOneSinkRecordPerMetric) {
+  const Tables t = MakeTables();
+  EvaluationSuite suite(FastOptions());
+  obs::MemorySink sink;
+  const auto result = suite.Run(t.real, t.synth, &sink);
+  ASSERT_TRUE(result.ok());
+  const auto& metrics = result.value().metrics;
+  ASSERT_EQ(sink.records().size(), metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const obs::MetricRecord& rec = sink.records()[i];
+    EXPECT_EQ(rec.run, "eval." + metrics[i].name);
+    EXPECT_EQ(rec.iter, i + 1);
+    EXPECT_EQ(rec.value, metrics[i].value);
+    EXPECT_EQ(rec.iter_ms, metrics[i].wall_ms);
+    EXPECT_EQ(rec.threads, par::NumThreads());
+    EXPECT_EQ(rec.seed, suite.options().seed);
+  }
+}
+
+TEST(EvaluationSuiteTest, JsonlRecordsRoundTripThroughRunLogger) {
+  const Tables t = MakeTables();
+  EvaluationSuite suite(FastOptions());
+  const std::string path = testing::TempDir() + "/suite_eval.jsonl";
+  SuiteReport report;
+  {
+    auto opened = obs::RunLogger::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    const auto result = suite.Run(t.real, t.synth, opened.value().get());
+    ASSERT_TRUE(result.ok());
+    report = result.value();
+    EXPECT_EQ(opened.value()->lines_written(), report.metrics.size());
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t i = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(i, report.metrics.size());
+    const auto parsed = obs::ParseJsonLine(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().run, "eval." + report.metrics[i].name);
+    EXPECT_EQ(parsed.value().value, report.metrics[i].value);
+    EXPECT_EQ(parsed.value().iter_ms, report.metrics[i].wall_ms);
+    EXPECT_EQ(parsed.value().iter, i + 1);
+    ++i;
+  }
+  EXPECT_EQ(i, report.metrics.size());
+}
+
+}  // namespace
+}  // namespace daisy::eval

@@ -52,15 +52,17 @@ TEST_F(PipelineTest, GanEndToEnd) {
   eval::HittingRateOptions hopts;
   hopts.num_synthetic_samples = 100;
   Rng priv_rng(3);
-  const double hit = eval::HittingRate(train_, fake, hopts, &priv_rng);
+  const double hit =
+      eval::HittingRate(train_, fake, hopts, &priv_rng).value();
   EXPECT_GE(hit, 0.0);
   EXPECT_LE(hit, 1.0);
 
   eval::DcrOptions dopts;
   dopts.num_original_samples = 50;
   Rng dcr_rng(4);
-  EXPECT_GT(eval::DistanceToClosestRecord(train_, fake, dopts, &dcr_rng),
-            0.0);
+  EXPECT_GT(
+      eval::DistanceToClosestRecord(train_, fake, dopts, &dcr_rng).value(),
+      0.0);
 }
 
 TEST_F(PipelineTest, VaeEndToEnd) {
@@ -142,9 +144,11 @@ TEST_F(PipelineTest, AqpOverSynthetic) {
   Rng wl_rng(11);
   eval::AqpWorkloadOptions wopts;
   wopts.num_queries = 30;
-  const auto workload = eval::GenerateAqpWorkload(train_, wopts, &wl_rng);
+  const auto workload =
+      eval::GenerateAqpWorkload(train_, wopts, &wl_rng).value();
   Rng aqp_rng(12);
-  const double diff = eval::AqpDiff(train_, fake, workload, {}, &aqp_rng);
+  const double diff =
+      eval::AqpDiff(train_, fake, workload, {}, &aqp_rng).value();
   EXPECT_GE(diff, 0.0);
   EXPECT_LE(diff, 1.0);
 }

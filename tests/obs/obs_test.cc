@@ -24,6 +24,7 @@ MetricRecord SampleRecord() {
   rec.g_grad_norm = 2.5;
   rec.d_grad_norm = 0.75;
   rec.param_norm = 21.0625;
+  rec.value = 0.8125;
   rec.iter_ms = 12.5;
   rec.wall_ms = 525.25;
   rec.threads = 4;
@@ -52,6 +53,7 @@ TEST(RunLoggerTest, JsonLineRoundTripsExactly) {
   EXPECT_DOUBLE_EQ(back.g_grad_norm, rec.g_grad_norm);
   EXPECT_DOUBLE_EQ(back.d_grad_norm, rec.d_grad_norm);
   EXPECT_DOUBLE_EQ(back.param_norm, rec.param_norm);
+  EXPECT_DOUBLE_EQ(back.value, rec.value);
   EXPECT_DOUBLE_EQ(back.iter_ms, rec.iter_ms);
   EXPECT_DOUBLE_EQ(back.wall_ms, rec.wall_ms);
   EXPECT_EQ(back.threads, rec.threads);

@@ -85,6 +85,26 @@ TEST(HistogramTest, DegenerateRangePutsEverythingInFirstBin) {
   EXPECT_DOUBLE_EQ(h[0], 3.0);
 }
 
+TEST(HistogramWithOutliersTest, SeparatesOutliersFromEdgeBins) {
+  // -1 -> underflow, 2 -> overflow; boundary values 0 and 1 stay in
+  // the first/last in-range bins, not the outlier buckets.
+  const auto h = HistogramWithOutliers({-1.0, 0.0, 0.5, 1.0, 2.0},
+                                       0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 4u);  // bins + 2
+  EXPECT_DOUBLE_EQ(h[0], 1.0);  // underflow
+  EXPECT_DOUBLE_EQ(h[1], 1.0);  // [0, 0.5): 0.0
+  EXPECT_DOUBLE_EQ(h[2], 2.0);  // [0.5, 1]: 0.5, 1.0
+  EXPECT_DOUBLE_EQ(h[3], 1.0);  // overflow
+}
+
+TEST(HistogramWithOutliersTest, DegenerateRangeStillSplitsOutliers) {
+  const auto h = HistogramWithOutliers({0.0, 1.0, 2.0}, 1.0, 1.0, 3);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);  // 0.0 below
+  EXPECT_DOUBLE_EQ(h[1], 1.0);  // 1.0 in range
+  EXPECT_DOUBLE_EQ(h[4], 1.0);  // 2.0 above
+}
+
 TEST(PearsonTest, PerfectPositive) {
   EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-9);
 }

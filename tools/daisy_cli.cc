@@ -9,6 +9,7 @@
 //              [--log-jsonl run.jsonl] [--log-every 10]
 //
 //   daisy_cli eval --real real.csv --synthetic fake.csv --label income
+//              [--threads T] [--log-jsonl eval.jsonl] [--report out.md]
 //
 //   daisy_cli generate --model model.daisy --output fake.csv --n 10000
 //
@@ -20,8 +21,10 @@
 // and generates from the last healthy snapshot.
 //
 // `synth` runs the three-phase pipeline of the paper (Figure 2);
-// `eval` prints the paper's utility (F1 Diff per classifier), fidelity
-// and privacy (hitting rate, DCR) metrics.
+// `eval` runs the deterministic evaluation suite — utility (F1 Diff
+// per classifier), clustering, fidelity, privacy (hitting rate, DCR)
+// and AQP — timing each metric; `--log-jsonl` streams one telemetry
+// record per metric.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,11 +34,10 @@
 
 #include "baselines/medgan.h"
 #include "baselines/vae.h"
+#include "core/parallel.h"
 #include "data/csv.h"
-#include "eval/fidelity.h"
 #include "eval/report.h"
-#include "eval/privacy.h"
-#include "eval/utility.h"
+#include "eval/suite.h"
 #include "obs/run_logger.h"
 #include "synth/synthesizer.h"
 
@@ -73,7 +75,8 @@ int Usage() {
                "  daisy_cli generate --model PATH --output fake.csv [--n N]\n"
                "            [--seed S]\n"
                "  daisy_cli eval --real real.csv --synthetic fake.csv\n"
-               "            [--label COLUMN] [--report out.md]\n");
+               "            [--label COLUMN] [--threads T]\n"
+               "            [--log-jsonl PATH] [--report out.md]\n");
   return 2;
 }
 
@@ -260,28 +263,40 @@ int RunEval(const Args& args) {
     return 1;
   }
 
-  // Utility: hold out a third of the real table as the test set.
-  if (real.value().schema().has_label()) {
-    Rng split_rng(97);
-    auto split = daisy::data::SplitTable(real.value(), 2.0 / 3, 0.0,
-                                         &split_rng);
-    std::printf("classification utility (F1 Diff, lower is better):\n");
-    for (auto kind : daisy::eval::AllClassifierKinds()) {
-      Rng eval_rng(101);
-      const double diff =
-          daisy::eval::F1Diff(split.train, synthetic.value(), split.test,
-                              kind, &eval_rng);
-      std::printf("  %-5s %.4f\n",
-                  daisy::eval::ClassifierKindName(kind).c_str(), diff);
+  // 0 = keep the process default (DAISY_THREADS env, else hardware).
+  const long threads = args.GetInt("threads", 0);
+  if (threads > 0) daisy::par::SetNumThreads(static_cast<size_t>(threads));
+
+  std::unique_ptr<daisy::obs::RunLogger> logger;
+  const std::string log_path = args.Get("log-jsonl");
+  if (!log_path.empty()) {
+    auto opened = daisy::obs::RunLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
     }
+    logger = std::move(opened.value());
   }
 
-  const auto fidelity =
-      daisy::eval::EvaluateFidelity(real.value(), synthetic.value());
-  std::printf("fidelity:\n  marginal KL        %.4f\n"
-              "  numeric corr diff  %.4f\n  categorical assoc  %.4f\n",
-              fidelity.marginal_kl, fidelity.numeric_correlation_diff,
-              fidelity.categorical_association_diff);
+  daisy::eval::SuiteOptions sopts;
+  sopts.privacy_samples = 500;
+  daisy::eval::EvaluationSuite suite(sopts);
+  auto result = suite.Run(real.value(), synthetic.value(), logger.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("evaluation suite (lower is better except DCR):\n");
+  for (const auto& m : result.value().metrics)
+    std::printf("  %-28s %10.4f   (%.1f ms)\n", m.name.c_str(), m.value,
+                m.wall_ms);
+  std::printf("total: %.1f ms over %zu metrics\n", result.value().total_ms,
+              result.value().metrics.size());
+  if (logger != nullptr)
+    std::printf("wrote %zu telemetry records to %s\n",
+                logger->lines_written(), logger->path().c_str());
 
   const std::string report_path = args.Get("report");
   if (!report_path.empty()) {
@@ -297,19 +312,6 @@ int RunEval(const Args& args) {
     std::fclose(f);
     std::printf("wrote quality report to %s\n", report_path.c_str());
   }
-
-  daisy::eval::HittingRateOptions hopts;
-  hopts.num_synthetic_samples = 1000;
-  daisy::eval::DcrOptions dopts;
-  dopts.num_original_samples = 500;
-  Rng r1(103), r2(107);
-  std::printf("privacy:\n  hitting rate       %.2f%%\n"
-              "  DCR                %.4f\n",
-              100.0 * daisy::eval::HittingRate(real.value(),
-                                               synthetic.value(), hopts,
-                                               &r1),
-              daisy::eval::DistanceToClosestRecord(
-                  real.value(), synthetic.value(), dopts, &r2));
   return 0;
 }
 
