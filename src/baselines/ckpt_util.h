@@ -1,0 +1,63 @@
+// Shared checkpoint plumbing for the baseline synthesizers: optimizer
+// state <-> opaque blob round-trips and the finiteness / shape checks
+// the resume paths run before mutating any live state.
+#ifndef DAISY_BASELINES_CKPT_UTIL_H_
+#define DAISY_BASELINES_CKPT_UTIL_H_
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/serial.h"
+#include "core/status.h"
+#include "nn/optimizer.h"
+#include "synth/generator.h"
+
+namespace daisy::baselines {
+
+inline std::string OptimizerBlob(const nn::Optimizer& opt) {
+  std::ostringstream os;
+  Serializer ser(&os);
+  opt.Save(&ser);
+  return os.str();
+}
+
+inline Status LoadOptimizerBlob(nn::Optimizer* opt, const std::string& blob,
+                                const char* which) {
+  std::istringstream is(blob);
+  Deserializer des(&is);
+  opt->Load(&des);
+  if (!des.ok())
+    return Status::InvalidArgument(std::string("checkpoint ") + which +
+                                   " optimizer state: " + des.error());
+  return Status::OK();
+}
+
+inline bool AllFinite(const synth::StateDict& state) {
+  for (const Matrix& m : state)
+    for (size_t r = 0; r < m.rows(); ++r)
+      for (size_t c = 0; c < m.cols(); ++c)
+        if (!std::isfinite(m(r, c))) return false;
+  return true;
+}
+
+inline bool ShapesMatch(const std::vector<nn::Parameter*>& params,
+                        const synth::StateDict& state) {
+  if (params.size() != state.size()) return false;
+  for (size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->value.SameShape(state[i])) return false;
+  return true;
+}
+
+inline bool BufferShapesMatch(const std::vector<Matrix*>& buffers,
+                              const synth::StateDict& state) {
+  if (buffers.size() != state.size()) return false;
+  for (size_t i = 0; i < buffers.size(); ++i)
+    if (!buffers[i]->SameShape(state[i])) return false;
+  return true;
+}
+
+}  // namespace daisy::baselines
+
+#endif  // DAISY_BASELINES_CKPT_UTIL_H_

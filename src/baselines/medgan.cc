@@ -1,6 +1,10 @@
 #include "baselines/medgan.h"
 
+#include <memory>
+
+#include "baselines/ckpt_util.h"
 #include "baselines/recon_loss.h"
+#include "ckpt/checkpoint.h"
 #include "core/parallel.h"
 #include "synth/generator.h"
 #include "synth/kl_regularizer.h"
@@ -72,24 +76,103 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
   const obs::DivergenceSentinel sentinel(opts_.sentinel);
   obs::WallTimer run_timer;
 
+  // Both phases' parameter lists and optimizers are built up front so a
+  // resumed run can restore either phase before entering the loops.
+  // Adam construction only allocates zeroed moments — no rng draws — so
+  // hoisting the phase-2 optimizers above phase 1 changes nothing.
+  std::vector<nn::Parameter*> ae_params = encoder_->Params();
+  for (auto* p : decoder_body_->Params()) ae_params.push_back(p);
+  for (auto* p : decoder_heads_->Params()) ae_params.push_back(p);
+  nn::Adam ae_opt(ae_params, opts_.lr);
+
+  std::vector<nn::Parameter*> g_params = latent_generator_->Params();
+  for (auto* p : decoder_body_->Params()) g_params.push_back(p);
+  for (auto* p : decoder_heads_->Params()) g_params.push_back(p);
+  nn::Adam g_opt(g_params, opts_.lr);
+  nn::Adam d_opt(discriminator_->Params(), opts_.lr);
+
+  std::vector<nn::Parameter*> gan_params = g_params;
+  for (auto* p : discriminator_->Params()) gan_params.push_back(p);
+
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  if (!opts_.checkpoint_dir.empty())
+    store = std::make_unique<ckpt::CheckpointStore>(opts_.checkpoint_dir,
+                                                    opts_.checkpoint_keep);
+
+  // On a sentinel trip, restore the last healthy state of the failing
+  // phase (mirroring GanTrainer) before surfacing the failure status.
+  synth::StateDict ae_last_healthy = synth::GetState(ae_params);
+  synth::StateDict last_healthy = synth::GetState(g_params);
+
+  size_t start_ae_epoch = 0;
+  size_t start_gan_iter = 0;
+  bool skip_phase1 = false;
+  if (opts_.resume && store != nullptr) {
+    auto loaded = store->LoadLatest();
+    if (loaded.ok()) {
+      const ckpt::TrainCheckpoint& c = loaded.value();
+      if (c.run != "medgan")
+        return Status::InvalidArgument("checkpoint is for run '" + c.run +
+                                       "', not 'medgan'");
+      if (c.seed != opts_.seed || c.phase > 1 || !c.buffers.empty() ||
+          c.extra.size() != 1)
+        return Status::InvalidArgument(
+            "medgan checkpoint does not match the configured run");
+      if (c.phase == 0) {
+        // Mid-pretraining: restore the autoencoder and its optimizer.
+        if (c.total_iters != opts_.ae_epochs || c.iter > c.total_iters ||
+            !ShapesMatch(ae_params, c.params) ||
+            !ShapesMatch(ae_params, c.healthy_params) ||
+            c.optimizer_state.size() != 1)
+          return Status::InvalidArgument(
+              "medgan pretrain checkpoint does not match this network");
+        DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+            &ae_opt, c.optimizer_state[0], "medgan autoencoder"));
+        DAISY_RETURN_IF_ERROR(train_rng.SetState(c.rng_state));
+        synth::SetState(ae_params, c.params);
+        ae_last_healthy = c.healthy_params;
+        pretrain_loss_ = c.extra[0];
+        start_ae_epoch = c.iter;
+      } else {
+        // Mid-adversarial-phase: pretraining is finished; its result
+        // lives inside the decoder part of g_params.
+        if (c.total_iters != opts_.gan_iterations || c.iter > c.total_iters ||
+            !ShapesMatch(gan_params, c.params) ||
+            !ShapesMatch(g_params, c.healthy_params) ||
+            c.optimizer_state.size() != 2)
+          return Status::InvalidArgument(
+              "medgan adversarial checkpoint does not match this network");
+        DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+            &g_opt, c.optimizer_state[0], "medgan generator"));
+        DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+            &d_opt, c.optimizer_state[1], "medgan discriminator"));
+        DAISY_RETURN_IF_ERROR(train_rng.SetState(c.rng_state));
+        synth::SetState(gan_params, c.params);
+        last_healthy = c.healthy_params;
+        pretrain_loss_ = c.extra[0];
+        skip_phase1 = true;
+        start_gan_iter = c.iter;
+      }
+      if (sink != nullptr)
+        DAISY_RETURN_IF_ERROR(sink->ResumeAt(c.telemetry_records));
+    } else if (loaded.status().code() != Status::Code::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  size_t iters_this_run = 0;
+
   // ---- Phase 1: autoencoder pretraining --------------------------
-  {
-    std::vector<nn::Parameter*> params = encoder_->Params();
-    for (auto* p : decoder_body_->Params()) params.push_back(p);
-    for (auto* p : decoder_heads_->Params()) params.push_back(p);
-    nn::Adam opt(params, opts_.lr);
-    // On a sentinel trip, restore the last healthy autoencoder state
-    // (mirroring GanTrainer) before surfacing the failure status.
-    synth::StateDict last_healthy = synth::GetState(params);
+  if (!skip_phase1) {
     const size_t batches = std::max<size_t>(1, n / opts_.batch_size);
-    for (size_t epoch = 0; epoch < opts_.ae_epochs; ++epoch) {
+    for (size_t epoch = start_ae_epoch; epoch < opts_.ae_epochs; ++epoch) {
       obs::WallTimer epoch_timer;
       double epoch_loss = 0.0;
       for (size_t b = 0; b < batches; ++b) {
         std::vector<size_t> rows(opts_.batch_size);
         for (auto& r : rows) r = train_rng.UniformInt(n);
         Matrix batch = real_all.GatherRows(rows);
-        opt.ZeroGrad();
+        ae_opt.ZeroGrad();
         Matrix latent = encoder_->Forward(batch, true);
         Matrix recon = Decode(latent, true);
         Matrix grad_recon;
@@ -99,15 +182,15 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
         Matrix grad_features = decoder_heads_->Backward(grad_recon);
         Matrix grad_latent = decoder_body_->Backward(grad_features);
         encoder_->Backward(grad_latent);
-        opt.Step();
+        ae_opt.Step();
       }
 
       obs::MetricRecord rec;
       rec.run = "medgan.pretrain";
       rec.iter = epoch + 1;
       rec.g_loss = epoch_loss / static_cast<double>(batches);
-      rec.g_grad_norm = nn::GlobalGradNorm(params);
-      rec.param_norm = nn::GlobalParamNorm(params);
+      rec.g_grad_norm = nn::GlobalGradNorm(ae_params);
+      rec.param_norm = nn::GlobalParamNorm(ae_params);
       rec.iter_ms = epoch_timer.ElapsedMs();
       rec.wall_ms = run_timer.ElapsedMs();
       rec.threads = par::NumThreads();
@@ -119,30 +202,75 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
           sink->Log(rec);
           sink->Flush();
         }
-        synth::SetState(params, last_healthy);
+        // Durable fallback: if even the in-memory baseline is poisoned,
+        // prefer the newest on-disk pretrain checkpoint with a finite
+        // one.
+        if (store != nullptr && !AllFinite(ae_last_healthy)) {
+          const std::vector<std::string> files = store->ListFiles();
+          for (auto it = files.rbegin(); it != files.rend(); ++it) {
+            auto fallback = ckpt::LoadCheckpoint(*it);
+            if (!fallback.ok()) continue;
+            const ckpt::TrainCheckpoint& fc = fallback.value();
+            if (fc.phase != 0 || !ShapesMatch(ae_params, fc.healthy_params) ||
+                !AllFinite(fc.healthy_params))
+              continue;
+            ae_last_healthy = fc.healthy_params;
+            break;
+          }
+        }
+        synth::SetState(ae_params, ae_last_healthy);
         return health;
       }
       pretrain_loss_ = rec.g_loss;
-      last_healthy = synth::GetState(params);
+      ae_last_healthy = synth::GetState(ae_params);
       if (sink != nullptr &&
           ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.ae_epochs)) {
         sink->Log(rec);
+      }
+
+      if (store != nullptr && opts_.checkpoint_every > 0 &&
+          (epoch + 1) % opts_.checkpoint_every == 0) {
+        obs::MetricRecord ckpt_rec = rec;
+        ckpt_rec.run += ".ckpt";
+        if (sink != nullptr) sink->Log(ckpt_rec);
+        ckpt::TrainCheckpoint c;
+        c.run = "medgan";
+        c.phase = 0;
+        c.iter = epoch + 1;
+        c.total_iters = opts_.ae_epochs;
+        c.seed = opts_.seed;
+        c.telemetry_records = sink != nullptr ? sink->records_logged() : 0;
+        c.rng_state = train_rng.GetState();
+        c.params = synth::GetState(ae_params);
+        c.optimizer_state = {OptimizerBlob(ae_opt)};
+        c.healthy_params = ae_last_healthy;
+        c.extra = {pretrain_loss_};
+        const Status saved = store->Save(c);
+        if (!saved.ok()) {
+          if (sink != nullptr) sink->Flush();
+          return saved;
+        }
+      }
+
+      ++iters_this_run;
+      if (opts_.max_iters_per_run > 0 &&
+          iters_this_run >= opts_.max_iters_per_run &&
+          (epoch + 1 < opts_.ae_epochs || opts_.gan_iterations > 0)) {
+        paused_ = true;
+        if (sink != nullptr) sink->Flush();
+        return Status::OK();
       }
     }
   }
 
   // ---- Phase 2: adversarial training in latent space -------------
-  std::vector<nn::Parameter*> g_params = latent_generator_->Params();
-  for (auto* p : decoder_body_->Params()) g_params.push_back(p);
-  for (auto* p : decoder_heads_->Params()) g_params.push_back(p);
-  nn::Adam g_opt(g_params, opts_.lr);
-  nn::Adam d_opt(discriminator_->Params(), opts_.lr);
-
   // g_params covers everything Generate() uses (latent generator +
   // decoder); roll those back to the last healthy iteration on a trip.
-  synth::StateDict last_healthy = synth::GetState(g_params);
+  // The baseline is re-captured here (not at construction) so it holds
+  // the pretrained decoder; a phase-1 resume already restored it.
+  if (!skip_phase1) last_healthy = synth::GetState(g_params);
 
-  for (size_t iter = 0; iter < opts_.gan_iterations; ++iter) {
+  for (size_t iter = start_gan_iter; iter < opts_.gan_iterations; ++iter) {
     obs::WallTimer iter_timer;
     double d_loss = 0.0, g_loss = 0.0, d_grad_norm = 0.0, g_grad_norm = 0.0;
     // Discriminator step.
@@ -220,6 +348,22 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
         sink->Log(rec);
         sink->Flush();
       }
+      // Durable fallback: if even the in-memory baseline is poisoned,
+      // prefer the newest on-disk adversarial checkpoint with a finite
+      // one.
+      if (store != nullptr && !AllFinite(last_healthy)) {
+        const std::vector<std::string> files = store->ListFiles();
+        for (auto it = files.rbegin(); it != files.rend(); ++it) {
+          auto fallback = ckpt::LoadCheckpoint(*it);
+          if (!fallback.ok()) continue;
+          const ckpt::TrainCheckpoint& fc = fallback.value();
+          if (fc.phase != 1 || !ShapesMatch(g_params, fc.healthy_params) ||
+              !AllFinite(fc.healthy_params))
+            continue;
+          last_healthy = fc.healthy_params;
+          break;
+        }
+      }
       synth::SetState(g_params, last_healthy);
       return health;
     }
@@ -227,6 +371,38 @@ Status MedGanSynthesizer::Fit(const data::Table& train,
     if (sink != nullptr &&
         ((iter + 1) % log_every == 0 || iter + 1 == opts_.gan_iterations)) {
       sink->Log(rec);
+    }
+
+    if (store != nullptr && opts_.checkpoint_every > 0 &&
+        (iter + 1) % opts_.checkpoint_every == 0) {
+      obs::MetricRecord ckpt_rec = rec;
+      ckpt_rec.run += ".ckpt";
+      if (sink != nullptr) sink->Log(ckpt_rec);
+      ckpt::TrainCheckpoint c;
+      c.run = "medgan";
+      c.phase = 1;
+      c.iter = iter + 1;
+      c.total_iters = opts_.gan_iterations;
+      c.seed = opts_.seed;
+      c.telemetry_records = sink != nullptr ? sink->records_logged() : 0;
+      c.rng_state = train_rng.GetState();
+      c.params = synth::GetState(gan_params);
+      c.optimizer_state = {OptimizerBlob(g_opt), OptimizerBlob(d_opt)};
+      c.healthy_params = last_healthy;
+      c.extra = {pretrain_loss_};
+      const Status saved = store->Save(c);
+      if (!saved.ok()) {
+        if (sink != nullptr) sink->Flush();
+        return saved;
+      }
+    }
+
+    ++iters_this_run;
+    if (opts_.max_iters_per_run > 0 &&
+        iters_this_run >= opts_.max_iters_per_run &&
+        iter + 1 < opts_.gan_iterations) {
+      paused_ = true;
+      break;
     }
   }
   if (sink != nullptr) sink->Flush();

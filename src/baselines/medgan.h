@@ -41,6 +41,18 @@ struct MedGanOptions {
   size_t log_every = 1;
   /// Divergence sentinel thresholds, checked every epoch/iteration.
   obs::SentinelOptions sentinel;
+
+  /// Crash-safe checkpointing (see GanOptions for the contract).
+  /// Checkpoints carry the phase (0 = autoencoder pretraining, counted
+  /// in epochs; 1 = adversarial training, counted in iterations), so a
+  /// resumed run re-enters the right loop. max_iters_per_run counts
+  /// epochs and iterations together.
+  size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  size_t checkpoint_keep = 3;
+  bool resume = false;
+  size_t max_iters_per_run = 0;
+
   uint64_t seed = 31;
 };
 
@@ -60,6 +72,9 @@ class MedGanSynthesizer {
   /// Autoencoder reconstruction loss after pretraining (for tests).
   double pretrain_loss() const { return pretrain_loss_; }
 
+  /// True when the last Fit stopped early on max_iters_per_run.
+  bool paused() const { return paused_; }
+
  private:
   Matrix Decode(const Matrix& latent, bool training);
 
@@ -76,6 +91,7 @@ class MedGanSynthesizer {
 
   double pretrain_loss_ = 0.0;
   bool fitted_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace daisy::baselines

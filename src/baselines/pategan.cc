@@ -1,7 +1,10 @@
 #include "baselines/pategan.h"
 
 #include <cmath>
+#include <memory>
 
+#include "baselines/ckpt_util.h"
+#include "ckpt/checkpoint.h"
 #include "core/parallel.h"
 #include "nn/loss.h"
 #include "obs/timer.h"
@@ -115,7 +118,89 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
   synth::StateDict last_healthy_buffers =
       synth::GetBufferState(generator_->Buffers());
 
-  for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+  // Everything that mutates inside the training loop, for checkpoints:
+  // generator + student + all teachers, with their batch-norm buffers.
+  std::vector<nn::Parameter*> all_params = generator_->Params();
+  for (auto* p : student_->Params()) all_params.push_back(p);
+  for (auto& t : teachers_)
+    for (auto* p : t->Params()) all_params.push_back(p);
+  std::vector<Matrix*> all_buffers = generator_->Buffers();
+  for (auto* b : student_->Buffers()) all_buffers.push_back(b);
+  for (auto& t : teachers_)
+    for (auto* b : t->Buffers()) all_buffers.push_back(b);
+  // The k+1 rng streams are concatenated into one word vector:
+  // train_rng first, then the teachers in order.
+  constexpr size_t kRngWords = 6;
+  const auto pack_rngs = [&]() {
+    std::vector<uint64_t> words = train_rng.GetState();
+    for (auto& tr : teacher_rngs) {
+      const std::vector<uint64_t> w = tr.GetState();
+      words.insert(words.end(), w.begin(), w.end());
+    }
+    return words;
+  };
+
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  if (!opts_.checkpoint_dir.empty())
+    store = std::make_unique<ckpt::CheckpointStore>(opts_.checkpoint_dir,
+                                                    opts_.checkpoint_keep);
+
+  size_t start_iter = 0;
+  if (opts_.resume && store != nullptr) {
+    auto loaded = store->LoadLatest();
+    if (loaded.ok()) {
+      const ckpt::TrainCheckpoint& c = loaded.value();
+      if (c.run != "pategan")
+        return Status::InvalidArgument("checkpoint is for run '" + c.run +
+                                       "', not 'pategan'");
+      if (c.phase != 0 || c.total_iters != opts_.iterations ||
+          c.seed != opts_.seed || c.iter > c.total_iters)
+        return Status::InvalidArgument(
+            "pategan checkpoint does not match the configured run "
+            "(iterations/seed/iteration counter)");
+      if (!ShapesMatch(all_params, c.params) ||
+          !BufferShapesMatch(all_buffers, c.buffers) ||
+          !ShapesMatch(generator_->Params(), c.healthy_params) ||
+          !BufferShapesMatch(generator_->Buffers(), c.healthy_buffers))
+        return Status::InvalidArgument(
+            "pategan checkpoint shapes do not match these networks");
+      if (c.optimizer_state.size() != 2 + opts_.num_teachers ||
+          c.extra.size() != 1 ||
+          c.rng_state.size() != kRngWords * (1 + opts_.num_teachers))
+        return Status::InvalidArgument("pategan checkpoint payload mismatch");
+      DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+          g_opt_.get(), c.optimizer_state[0], "pategan generator"));
+      DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+          student_opt_.get(), c.optimizer_state[1], "pategan student"));
+      for (size_t t = 0; t < opts_.num_teachers; ++t)
+        DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+            teacher_opts_[t].get(), c.optimizer_state[2 + t],
+            "pategan teacher"));
+      {
+        auto first = c.rng_state.begin();
+        DAISY_RETURN_IF_ERROR(train_rng.SetState(
+            std::vector<uint64_t>(first, first + kRngWords)));
+        for (size_t t = 0; t < opts_.num_teachers; ++t) {
+          first += kRngWords;
+          DAISY_RETURN_IF_ERROR(teacher_rngs[t].SetState(
+              std::vector<uint64_t>(first, first + kRngWords)));
+        }
+      }
+      synth::SetState(all_params, c.params);
+      synth::SetBufferState(all_buffers, c.buffers);
+      last_healthy = c.healthy_params;
+      last_healthy_buffers = c.healthy_buffers;
+      epsilon_spent_ = c.extra[0];
+      start_iter = c.iter;
+      if (sink != nullptr)
+        DAISY_RETURN_IF_ERROR(sink->ResumeAt(c.telemetry_records));
+    } else if (loaded.status().code() != Status::Code::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  size_t iters_this_run = 0;
+  for (size_t iter = start_iter; iter < opts_.iterations; ++iter) {
     obs::WallTimer iter_timer;
     double student_loss = 0.0, g_loss = 0.0;
     double student_grad_norm = 0.0, g_grad_norm = 0.0;
@@ -226,6 +311,26 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
         sink->Log(rec);
         sink->Flush();
       }
+      // Durable fallback: if even the in-memory baseline is poisoned,
+      // prefer the newest on-disk checkpoint with a finite one.
+      if (store != nullptr && (!AllFinite(last_healthy) ||
+                               !AllFinite(last_healthy_buffers))) {
+        const std::vector<std::string> files = store->ListFiles();
+        for (auto it = files.rbegin(); it != files.rend(); ++it) {
+          auto fallback = ckpt::LoadCheckpoint(*it);
+          if (!fallback.ok()) continue;
+          const ckpt::TrainCheckpoint& fc = fallback.value();
+          if (!ShapesMatch(generator_->Params(), fc.healthy_params) ||
+              !BufferShapesMatch(generator_->Buffers(),
+                                 fc.healthy_buffers) ||
+              !AllFinite(fc.healthy_params) ||
+              !AllFinite(fc.healthy_buffers))
+            continue;
+          last_healthy = fc.healthy_params;
+          last_healthy_buffers = fc.healthy_buffers;
+          break;
+        }
+      }
       synth::SetState(generator_->Params(), last_healthy);
       synth::SetBufferState(generator_->Buffers(), last_healthy_buffers);
       return health;
@@ -235,6 +340,42 @@ Status PateGanSynthesizer::Fit(const data::Table& train,
     if (sink != nullptr &&
         ((iter + 1) % log_every == 0 || iter + 1 == opts_.iterations)) {
       sink->Log(rec);
+    }
+
+    if (store != nullptr && opts_.checkpoint_every > 0 &&
+        (iter + 1) % opts_.checkpoint_every == 0) {
+      obs::MetricRecord ckpt_rec = rec;
+      ckpt_rec.run += ".ckpt";
+      if (sink != nullptr) sink->Log(ckpt_rec);
+      ckpt::TrainCheckpoint c;
+      c.run = "pategan";
+      c.iter = iter + 1;
+      c.total_iters = opts_.iterations;
+      c.seed = opts_.seed;
+      c.telemetry_records = sink != nullptr ? sink->records_logged() : 0;
+      c.rng_state = pack_rngs();
+      c.params = synth::GetState(all_params);
+      c.buffers = synth::GetBufferState(all_buffers);
+      c.optimizer_state = {OptimizerBlob(*g_opt_),
+                           OptimizerBlob(*student_opt_)};
+      for (auto& topt : teacher_opts_)
+        c.optimizer_state.push_back(OptimizerBlob(*topt));
+      c.healthy_params = last_healthy;
+      c.healthy_buffers = last_healthy_buffers;
+      c.extra = {epsilon_spent_};
+      const Status saved = store->Save(c);
+      if (!saved.ok()) {
+        if (sink != nullptr) sink->Flush();
+        return saved;
+      }
+    }
+
+    ++iters_this_run;
+    if (opts_.max_iters_per_run > 0 &&
+        iters_this_run >= opts_.max_iters_per_run &&
+        iter + 1 < opts_.iterations) {
+      paused_ = true;
+      break;
     }
   }
   if (sink != nullptr) sink->Flush();

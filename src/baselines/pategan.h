@@ -52,6 +52,19 @@ struct PateGanOptions {
   size_t log_every = 1;
   /// Divergence sentinel thresholds, checked every iteration.
   obs::SentinelOptions sentinel;
+
+  /// Crash-safe checkpointing, in iterations (see GanOptions for the
+  /// contract). A checkpoint captures the generator, student, and all
+  /// k teachers (parameters, optimizer moments, and batch-norm
+  /// buffers), the k+1 rng streams, and the epsilon ledger, so a
+  /// resumed run replays bit-for-bit and keeps honest privacy
+  /// accounting.
+  size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  size_t checkpoint_keep = 3;
+  bool resume = false;
+  size_t max_iters_per_run = 0;
+
   uint64_t seed = 29;
 };
 
@@ -74,6 +87,9 @@ class PateGanSynthesizer {
   /// privacy/utility sweeps need.
   double ApproxEpsilonSpent() const { return epsilon_spent_; }
 
+  /// True when the last Fit stopped early on max_iters_per_run.
+  bool paused() const { return paused_; }
+
  private:
   PateGanOptions opts_;
   transform::TransformOptions topts_;
@@ -91,6 +107,7 @@ class PateGanSynthesizer {
 
   double epsilon_spent_ = 0.0;
   bool fitted_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace daisy::baselines

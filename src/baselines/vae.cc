@@ -1,8 +1,11 @@
 #include "baselines/vae.h"
 
 #include <cmath>
+#include <memory>
 
+#include "baselines/ckpt_util.h"
 #include "baselines/recon_loss.h"
+#include "ckpt/checkpoint.h"
 #include "core/parallel.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
@@ -69,7 +72,47 @@ Status VaeSynthesizer::Fit(const data::Table& train,
   // diverged weights.
   synth::StateDict last_healthy = synth::GetState(params_);
   Status health;
-  for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  if (!opts_.checkpoint_dir.empty())
+    store = std::make_unique<ckpt::CheckpointStore>(opts_.checkpoint_dir,
+                                                    opts_.checkpoint_keep);
+
+  size_t start_epoch = 0;
+  if (opts_.resume && store != nullptr) {
+    auto loaded = store->LoadLatest();
+    if (loaded.ok()) {
+      const ckpt::TrainCheckpoint& c = loaded.value();
+      if (c.run != "vae")
+        return Status::InvalidArgument("checkpoint is for run '" + c.run +
+                                       "', not 'vae'");
+      if (c.total_iters != opts_.epochs || c.seed != opts_.seed ||
+          c.iter > c.total_iters)
+        return Status::InvalidArgument(
+            "vae checkpoint does not match the configured run "
+            "(epochs/seed/iteration counter)");
+      if (!ShapesMatch(params_, c.params) ||
+          !ShapesMatch(params_, c.healthy_params) || !c.buffers.empty())
+        return Status::InvalidArgument(
+            "vae checkpoint parameter shapes do not match this network");
+      if (c.optimizer_state.size() != 1 || c.extra.size() != 1)
+        return Status::InvalidArgument("vae checkpoint payload mismatch");
+      DAISY_RETURN_IF_ERROR(LoadOptimizerBlob(
+          optimizer_.get(), c.optimizer_state[0], "vae"));
+      DAISY_RETURN_IF_ERROR(train_rng.SetState(c.rng_state));
+      synth::SetState(params_, c.params);
+      last_healthy = c.healthy_params;
+      final_loss_ = c.extra[0];
+      start_epoch = c.iter;
+      if (sink != nullptr)
+        DAISY_RETURN_IF_ERROR(sink->ResumeAt(c.telemetry_records));
+    } else if (loaded.status().code() != Status::Code::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  size_t epochs_this_run = 0;
+  for (size_t epoch = start_epoch; epoch < opts_.epochs; ++epoch) {
     obs::WallTimer epoch_timer;
     double epoch_loss = 0.0;
     for (size_t b = 0; b < batches_per_epoch; ++b) {
@@ -92,6 +135,21 @@ Status VaeSynthesizer::Fit(const data::Table& train,
     health = sentinel.Check(rec);
     if (!health.ok()) {
       if (sink != nullptr) sink->Log(rec);
+      // Durable fallback: if even the in-memory baseline is poisoned,
+      // prefer the newest on-disk checkpoint with a finite one.
+      if (store != nullptr && !AllFinite(last_healthy)) {
+        const std::vector<std::string> files = store->ListFiles();
+        for (auto it = files.rbegin(); it != files.rend(); ++it) {
+          auto fallback = ckpt::LoadCheckpoint(*it);
+          if (!fallback.ok()) continue;
+          const ckpt::TrainCheckpoint& fc = fallback.value();
+          if (!ShapesMatch(params_, fc.healthy_params) ||
+              !AllFinite(fc.healthy_params))
+            continue;
+          last_healthy = fc.healthy_params;
+          break;
+        }
+      }
       synth::SetState(params_, last_healthy);
       break;
     }
@@ -100,6 +158,34 @@ Status VaeSynthesizer::Fit(const data::Table& train,
     if (sink != nullptr &&
         ((epoch + 1) % log_every == 0 || epoch + 1 == opts_.epochs)) {
       sink->Log(rec);
+    }
+
+    if (store != nullptr && opts_.checkpoint_every > 0 &&
+        (epoch + 1) % opts_.checkpoint_every == 0) {
+      obs::MetricRecord ckpt_rec = rec;
+      ckpt_rec.run += ".ckpt";
+      if (sink != nullptr) sink->Log(ckpt_rec);
+      ckpt::TrainCheckpoint c;
+      c.run = "vae";
+      c.iter = epoch + 1;
+      c.total_iters = opts_.epochs;
+      c.seed = opts_.seed;
+      c.telemetry_records = sink != nullptr ? sink->records_logged() : 0;
+      c.rng_state = train_rng.GetState();
+      c.params = synth::GetState(params_);
+      c.optimizer_state = {OptimizerBlob(*optimizer_)};
+      c.healthy_params = last_healthy;
+      c.extra = {final_loss_};
+      health = store->Save(c);
+      if (!health.ok()) break;
+    }
+
+    ++epochs_this_run;
+    if (opts_.max_iters_per_run > 0 &&
+        epochs_this_run >= opts_.max_iters_per_run &&
+        epoch + 1 < opts_.epochs) {
+      paused_ = true;
+      break;
     }
   }
   if (sink != nullptr) sink->Flush();

@@ -29,6 +29,19 @@ struct VaeOptions {
   size_t log_every = 1;
   /// Divergence sentinel thresholds, checked once per epoch.
   obs::SentinelOptions sentinel;
+
+  /// Crash-safe checkpointing, in epochs (see GanOptions for the
+  /// contract): with checkpoint_every > 0 and a checkpoint_dir, Fit
+  /// saves an atomic checkpoint every checkpoint_every epochs; with
+  /// resume set it restores the newest valid one and continues
+  /// bit-for-bit. max_iters_per_run pauses Fit cleanly after that many
+  /// epochs in this process (0 = run to completion).
+  size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  size_t checkpoint_keep = 3;
+  bool resume = false;
+  size_t max_iters_per_run = 0;
+
   uint64_t seed = 23;
 };
 
@@ -49,6 +62,9 @@ class VaeSynthesizer {
   /// Final average training loss (reconstruction + KL), for tests.
   double final_loss() const { return final_loss_; }
 
+  /// True when the last Fit stopped early on max_iters_per_run.
+  bool paused() const { return paused_; }
+
  private:
   double TrainBatch(const Matrix& batch, Rng* rng);
 
@@ -67,6 +83,7 @@ class VaeSynthesizer {
 
   double final_loss_ = 0.0;
   bool fitted_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace daisy::baselines

@@ -1,5 +1,6 @@
 #include "core/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -107,5 +108,28 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 }
 
 Rng Rng::Split() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+std::vector<uint64_t> Rng::GetState() const {
+  return {s_[0], s_[1], s_[2], s_[3],
+          has_cached_gaussian_ ? 1ULL : 0ULL,
+          std::bit_cast<uint64_t>(cached_gaussian_)};
+}
+
+Status Rng::SetState(const std::vector<uint64_t>& state) {
+  if (state.size() != 6) {
+    return Status::InvalidArgument("rng state must hold 6 words, got " +
+                                   std::to_string(state.size()));
+  }
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    return Status::InvalidArgument("all-zero xoshiro state");
+  }
+  if (state[4] > 1) {
+    return Status::InvalidArgument("rng cached-gaussian flag must be 0 or 1");
+  }
+  for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  has_cached_gaussian_ = state[4] == 1;
+  cached_gaussian_ = std::bit_cast<double>(state[5]);
+  return Status::OK();
+}
 
 }  // namespace daisy

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/status.h"
+
 namespace daisy {
 
 /// xoshiro256** PRNG seeded via splitmix64. Fast, high quality, and
@@ -45,6 +47,16 @@ class Rng {
 
   /// Fork a new independent stream (e.g. one per worker / component).
   Rng Split();
+
+  /// Complete engine state as opaque words: the four xoshiro words plus
+  /// the Box-Muller cache (has_cached flag and cached value bits).
+  /// Restoring via SetState resumes the exact output stream, so a
+  /// checkpointed run continues bit-for-bit where it left off.
+  std::vector<uint64_t> GetState() const;
+
+  /// Restores state captured by GetState. Rejects wrong-sized vectors
+  /// and an all-zero xoshiro state (which would lock the engine at 0).
+  Status SetState(const std::vector<uint64_t>& state);
 
  private:
   uint64_t s_[4];

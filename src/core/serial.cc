@@ -1,7 +1,9 @@
 #include "core/serial.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace daisy {
 
@@ -67,8 +69,21 @@ uint64_t Deserializer::ReadU64() {
 
 double Deserializer::ReadDouble() {
   if (!ok_) return 0.0;
-  double v = 0.0;
-  if (!(*is_ >> v)) Fail("failed to read double");
+  // istream's num_get refuses the "nan" / "inf" tokens that %.17g
+  // emits, so read a whitespace-delimited token and hand it to strtod,
+  // which accepts them. The whole token must be consumed.
+  std::string tok;
+  if (!(*is_ >> tok)) {
+    Fail("failed to read double");
+    return 0.0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size() || tok.empty()) {
+    Fail("malformed double: " + tok);
+    return 0.0;
+  }
   return v;
 }
 
@@ -85,7 +100,14 @@ std::string Deserializer::ReadString() {
     Fail("malformed string length");
     return "";
   }
-  is_->get();  // the ':' separator
+  if (len > (1u << 30)) {
+    Fail("implausible string length");
+    return "";
+  }
+  if (is_->get() != ':') {
+    Fail("malformed string separator");
+    return "";
+  }
   std::string out(len, '\0');
   is_->read(out.data(), static_cast<std::streamsize>(len));
   if (is_->gcount() != static_cast<std::streamsize>(len)) {

@@ -52,9 +52,12 @@ class Deserializer {
   Matrix ReadMatrix();
   std::vector<double> ReadDoubleVector();
 
- private:
+  /// Latches the first failure. Public so that callers layering their
+  /// own validation on top (optimizer shape checks, checkpoint version
+  /// gates) report errors through the same channel.
   void Fail(const std::string& what);
 
+ private:
   std::istream* is_;
   bool ok_ = true;
   std::string error_;

@@ -63,6 +63,94 @@ void RmsProp::Step() {
   }
 }
 
+namespace {
+
+// Reads `count` matrices and verifies each matches the shape of the
+// corresponding slot in `shaped`; a mismatch latches on `des`. Returns
+// the matrices so the caller can commit them only after the whole
+// optimizer blob parsed cleanly (failed loads leave state untouched).
+std::vector<Matrix> ReadMoments(Deserializer* des, const char* what,
+                                const std::vector<Matrix>& shaped) {
+  std::vector<Matrix> out;
+  out.reserve(shaped.size());
+  for (size_t i = 0; i < shaped.size(); ++i) {
+    Matrix m = des->ReadMatrix();
+    if (!des->ok()) return {};
+    if (m.rows() != shaped[i].rows() || m.cols() != shaped[i].cols()) {
+      des->Fail(std::string(what) + " moment " + std::to_string(i) +
+                " shape mismatch");
+      return {};
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Sgd::Save(Serializer* ser) const { ser->WriteTag("opt.sgd"); }
+
+void Sgd::Load(Deserializer* des) { des->ExpectTag("opt.sgd"); }
+
+void Adam::Save(Serializer* ser) const {
+  ser->WriteTag("opt.adam");
+  ser->WriteDouble(beta1_);
+  ser->WriteDouble(beta2_);
+  ser->WriteDouble(eps_);
+  ser->WriteU64(static_cast<uint64_t>(t_));
+  ser->WriteU64(m_.size());
+  for (const Matrix& m : m_) ser->WriteMatrix(m);
+  for (const Matrix& v : v_) ser->WriteMatrix(v);
+}
+
+void Adam::Load(Deserializer* des) {
+  des->ExpectTag("opt.adam");
+  const double beta1 = des->ReadDouble();
+  const double beta2 = des->ReadDouble();
+  const double eps = des->ReadDouble();
+  const uint64_t t = des->ReadU64();
+  const uint64_t n = des->ReadU64();
+  if (!des->ok()) return;
+  if (n != m_.size()) {
+    des->Fail("adam moment count mismatch");
+    return;
+  }
+  std::vector<Matrix> m = ReadMoments(des, "adam.m", m_);
+  std::vector<Matrix> v = ReadMoments(des, "adam.v", v_);
+  if (!des->ok()) return;
+  beta1_ = beta1;
+  beta2_ = beta2;
+  eps_ = eps;
+  t_ = static_cast<long long>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
+void RmsProp::Save(Serializer* ser) const {
+  ser->WriteTag("opt.rmsprop");
+  ser->WriteDouble(decay_);
+  ser->WriteDouble(eps_);
+  ser->WriteU64(sq_.size());
+  for (const Matrix& s : sq_) ser->WriteMatrix(s);
+}
+
+void RmsProp::Load(Deserializer* des) {
+  des->ExpectTag("opt.rmsprop");
+  const double decay = des->ReadDouble();
+  const double eps = des->ReadDouble();
+  const uint64_t n = des->ReadU64();
+  if (!des->ok()) return;
+  if (n != sq_.size()) {
+    des->Fail("rmsprop moment count mismatch");
+    return;
+  }
+  std::vector<Matrix> sq = ReadMoments(des, "rmsprop.sq", sq_);
+  if (!des->ok()) return;
+  decay_ = decay;
+  eps_ = eps;
+  sq_ = std::move(sq);
+}
+
 void ClipParams(const std::vector<Parameter*>& params, double c) {
   DAISY_CHECK(c > 0.0);
   for (Parameter* p : params) p->value.Clip(-c, c);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/serial.h"
 #include "nn/module.h"
 
 namespace daisy::nn {
@@ -19,6 +20,17 @@ class Optimizer {
 
   /// Applies one update using each parameter's accumulated gradient.
   virtual void Step() = 0;
+
+  /// Serializes mutable optimizer state (moment estimates, step count)
+  /// plus a kind tag and the hyperparameters, so a checkpointed run can
+  /// restore the exact update rule. Stateless optimizers write only the
+  /// kind tag.
+  virtual void Save(Serializer* ser) const = 0;
+
+  /// Restores state written by Save. Kind or shape mismatches latch a
+  /// failure on `des` and leave this optimizer untouched; the caller
+  /// checks des->ok() once at the end of loading.
+  virtual void Load(Deserializer* des) = 0;
 
   void ZeroGrad() {
     for (Parameter* p : params_) p->ZeroGrad();
@@ -38,6 +50,8 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Parameter*> params, double lr)
       : Optimizer(std::move(params), lr) {}
   void Step() override;
+  void Save(Serializer* ser) const override;
+  void Load(Deserializer* des) override;
 };
 
 /// Adam (Kingma & Ba) with bias correction.
@@ -46,6 +60,8 @@ class Adam : public Optimizer {
   Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void Step() override;
+  void Save(Serializer* ser) const override;
+  void Load(Deserializer* des) override;
 
  private:
   double beta1_, beta2_, eps_;
@@ -60,6 +76,8 @@ class RmsProp : public Optimizer {
   RmsProp(std::vector<Parameter*> params, double lr, double decay = 0.9,
           double eps = 1e-8);
   void Step() override;
+  void Save(Serializer* ser) const override;
+  void Load(Deserializer* des) override;
 
  private:
   double decay_, eps_;

@@ -45,6 +45,21 @@ class MetricSink {
   /// Forces buffered records out (no-op for in-memory sinks). Called
   /// by the trainers once per run, after the last record.
   virtual Status Flush() { return Status::OK(); }
+
+  /// Number of records this sink has accepted so far. Checkpoints
+  /// store this as the telemetry cursor so a resumed run knows where
+  /// the uninterrupted log ended.
+  virtual uint64_t records_logged() const { return 0; }
+
+  /// Repositions the sink so the next Log appends as record n+1:
+  /// records past n (logged by a crashed run after its last checkpoint)
+  /// are discarded. A sink holding fewer than n records keeps what it
+  /// has — a fresh sink attached to a resumed run starts empty and
+  /// that is not an error.
+  virtual Status ResumeAt(uint64_t n) {
+    (void)n;
+    return Status::OK();
+  }
 };
 
 /// Keeps every record in memory — for tests and in-process analysis.
@@ -52,6 +67,13 @@ class MemorySink : public MetricSink {
  public:
   void Log(const MetricRecord& record) override {
     records_.push_back(record);
+  }
+
+  uint64_t records_logged() const override { return records_.size(); }
+
+  Status ResumeAt(uint64_t n) override {
+    if (records_.size() > n) records_.resize(n);
+    return Status::OK();
   }
 
   const std::vector<MetricRecord>& records() const { return records_; }

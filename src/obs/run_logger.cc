@@ -243,6 +243,50 @@ Result<std::unique_ptr<RunLogger>> RunLogger::Open(const std::string& path) {
   return std::unique_ptr<RunLogger>(new RunLogger(f, path));
 }
 
+namespace {
+
+// Reads a whole file; a missing file reads as empty (a resumed run may
+// point at a log path that was never created).
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::string content;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RunLogger>> RunLogger::OpenForResume(
+    const std::string& path) {
+  std::string content = ReadFileOrEmpty(path);
+  // Keep only complete lines: a writer killed between the record bytes
+  // and its newline leaves a partial tail that would corrupt the next
+  // appended record.
+  const size_t last_nl = content.find_last_of('\n');
+  if (last_nl == std::string::npos) {
+    content.clear();
+  } else {
+    content.resize(last_nl + 1);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::IOError("cannot open run log '" + path + "' for writing");
+  if (!content.empty() &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    std::fclose(f);
+    return Status::IOError("failed to rewrite run log '" + path + "'");
+  }
+  std::fflush(f);
+  auto logger = std::unique_ptr<RunLogger>(new RunLogger(f, path));
+  for (char c : content)
+    if (c == '\n') ++logger->lines_;
+  return logger;
+}
+
 RunLogger::RunLogger(std::FILE* file, std::string path)
     : file_(file), path_(std::move(path)) {}
 
@@ -261,6 +305,32 @@ void RunLogger::Log(const MetricRecord& record) {
 Status RunLogger::Flush() {
   if (std::fflush(file_) != 0)
     return Status::IOError("flush failed for run log '" + path_ + "'");
+  return Status::OK();
+}
+
+Status RunLogger::ResumeAt(uint64_t n) {
+  if (lines_ <= n) return Status::OK();
+  if (std::fflush(file_) != 0)
+    return Status::IOError("flush failed for run log '" + path_ + "'");
+  std::string content = ReadFileOrEmpty(path_);
+  size_t end = 0;
+  uint64_t seen = 0;
+  while (end < content.size() && seen < n) {
+    if (content[end] == '\n') ++seen;
+    ++end;
+  }
+  if (seen < n)
+    return Status::IOError("run log '" + path_ + "' holds " +
+                           std::to_string(seen) + " lines, cannot keep " +
+                           std::to_string(n));
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr)
+    return Status::IOError("cannot rewrite run log '" + path_ + "'");
+  if (end > 0 && std::fwrite(content.data(), 1, end, file_) != end)
+    return Status::IOError("failed to rewrite run log '" + path_ + "'");
+  std::fflush(file_);
+  lines_ = n;
   return Status::OK();
 }
 

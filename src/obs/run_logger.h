@@ -32,6 +32,15 @@ Result<MetricRecord> ParseJsonLine(const std::string& line);
 class RunLogger : public MetricSink {
  public:
   static Result<std::unique_ptr<RunLogger>> Open(const std::string& path);
+
+  /// Like Open, but keeps an existing log instead of truncating it:
+  /// complete lines are preserved (a trailing partial line from a
+  /// killed writer is dropped) and new records append after them. Use
+  /// with `--resume` so the combined log reads as one uninterrupted
+  /// run once ResumeAt has trimmed it to the checkpoint's cursor.
+  static Result<std::unique_ptr<RunLogger>> OpenForResume(
+      const std::string& path);
+
   ~RunLogger() override;
 
   RunLogger(const RunLogger&) = delete;
@@ -39,6 +48,12 @@ class RunLogger : public MetricSink {
 
   void Log(const MetricRecord& record) override;
   Status Flush() override;
+  uint64_t records_logged() const override { return lines_; }
+
+  /// Truncates the log to its first n lines (no-op when it already has
+  /// n or fewer), so records a crashed run wrote after its last
+  /// checkpoint are erased before the resumed run re-emits them.
+  Status ResumeAt(uint64_t n) override;
 
   size_t lines_written() const { return lines_; }
   const std::string& path() const { return path_; }

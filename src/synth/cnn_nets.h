@@ -44,6 +44,11 @@ class CnnDiscriminator : public Discriminator {
   Matrix Forward(const Matrix& x, const Matrix& cond, bool training) override;
   Matrix Backward(const Matrix& grad_logit) override;
   std::vector<nn::Parameter*> Params() override;
+  std::vector<Matrix*> Buffers() override {
+    std::vector<Matrix*> bufs = conv_body_.Buffers();
+    for (Matrix* b : head_.Buffers()) bufs.push_back(b);
+    return bufs;
+  }
 
  private:
   size_t side_;

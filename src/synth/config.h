@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/sentinel.h"
@@ -85,6 +86,25 @@ struct GanOptions {
   /// Divergence sentinel thresholds (obs/sentinel.h). Set
   /// sentinel.enabled = false to reproduce the old push-NaNs behavior.
   obs::SentinelOptions sentinel;
+
+  /// Crash-safe checkpointing (src/ckpt). With checkpoint_every > 0
+  /// and a non-empty checkpoint_dir, the trainer writes an atomic,
+  /// checksummed TrainCheckpoint every checkpoint_every iterations and
+  /// keeps the newest checkpoint_keep files. With resume set, training
+  /// restores the newest valid checkpoint in checkpoint_dir (if any)
+  /// and continues bit-for-bit where that run left off: identical
+  /// parameters, rng stream and telemetry as an uninterrupted run.
+  size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  size_t checkpoint_keep = 3;
+  bool resume = false;
+
+  /// Preemption budget: when > 0, the trainer pauses cleanly (no
+  /// rollback, no final-snapshot bookkeeping) after this many
+  /// iterations in the current process, leaving completion to a later
+  /// resumed run. 0 disables. Used by tests and budgeted schedulers to
+  /// split one logical run across processes deterministically.
+  size_t max_iters_per_run = 0;
 
   /// Worker threads for the Matrix kernels during training and
   /// generation. 0 keeps the process-wide default (the DAISY_THREADS

@@ -30,6 +30,11 @@ class Discriminator {
 
   virtual std::vector<nn::Parameter*> Params() = 0;
 
+  /// Persistent non-parameter state (batch-norm running statistics),
+  /// mirroring Generator::Buffers; checkpoints capture these so a
+  /// resumed discriminator scores exactly like the original.
+  virtual std::vector<Matrix*> Buffers() { return {}; }
+
   /// Deep replica with identical parameter values, zeroed gradients and
   /// empty caches, or nullptr when the architecture does not support
   /// replication. The DP-SGD replica engine runs concurrent per-sample

@@ -50,6 +50,7 @@ class MlpDiscriminator : public Discriminator {
   Matrix Forward(const Matrix& x, const Matrix& cond, bool training) override;
   Matrix Backward(const Matrix& grad_logit) override;
   std::vector<nn::Parameter*> Params() override;
+  std::vector<Matrix*> Buffers() override { return body_.Buffers(); }
   std::unique_ptr<Discriminator> Clone() const override;
   nn::Sequential* FastPathBody() override { return &body_; }
 

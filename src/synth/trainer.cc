@@ -1,8 +1,10 @@
 #include "synth/trainer.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "core/parallel.h"
+#include "core/serial.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/sentinel.h"
@@ -20,6 +22,49 @@ const char* AlgoName(TrainAlgo algo) {
     case TrainAlgo::kDPTrain: return "gan.dptrain";
   }
   return "gan";
+}
+
+std::string OptimizerBlob(const nn::Optimizer& opt) {
+  std::ostringstream os;
+  Serializer ser(&os);
+  opt.Save(&ser);
+  return os.str();
+}
+
+Status LoadOptimizerBlob(nn::Optimizer* opt, const std::string& blob,
+                         const char* which) {
+  std::istringstream is(blob);
+  Deserializer des(&is);
+  opt->Load(&des);
+  if (!des.ok())
+    return Status::InvalidArgument(std::string("checkpoint ") + which +
+                                   " optimizer state: " + des.error());
+  return Status::OK();
+}
+
+bool AllFinite(const StateDict& state) {
+  for (const Matrix& m : state)
+    for (size_t r = 0; r < m.rows(); ++r)
+      for (size_t c = 0; c < m.cols(); ++c)
+        if (!std::isfinite(m(r, c))) return false;
+  return true;
+}
+
+// Shapes of `state` match the live parameter list exactly.
+bool ShapesMatch(const std::vector<nn::Parameter*>& params,
+                 const StateDict& state) {
+  if (params.size() != state.size()) return false;
+  for (size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->value.SameShape(state[i])) return false;
+  return true;
+}
+
+bool BufferShapesMatch(const std::vector<Matrix*>& buffers,
+                       const StateDict& state) {
+  if (buffers.size() != state.size()) return false;
+  for (size_t i = 0; i < buffers.size(); ++i)
+    if (!buffers[i]->SameShape(state[i])) return false;
+  return true;
 }
 
 }  // namespace
@@ -157,6 +202,141 @@ double GanTrainer::GeneratorStep(const Matrix& z, const Matrix& cond,
   return loss;
 }
 
+ckpt::TrainCheckpoint GanTrainer::MakeCheckpoint(
+    size_t completed, uint64_t cursor, const TrainResult& result,
+    const StateDict& last_healthy, const StateDict& last_healthy_buffers,
+    Rng* rng) {
+  ckpt::TrainCheckpoint c;
+  c.run = AlgoName(opts_.algo);
+  c.phase = 0;
+  c.iter = completed;
+  c.total_iters = opts_.iterations;
+  c.seed = opts_.seed;
+  c.telemetry_records = cursor;
+  c.rng_state = rng->GetState();
+
+  // Generator state first, discriminator appended — RestoreFromCheckpoint
+  // splits at the live generator's parameter count.
+  c.params = GetState(g_->Params());
+  for (Matrix& m : GetState(d_->Params())) c.params.push_back(std::move(m));
+  c.buffers = GetBufferState(g_->Buffers());
+  for (Matrix& m : GetBufferState(d_->Buffers()))
+    c.buffers.push_back(std::move(m));
+
+  c.optimizer_state = {OptimizerBlob(*g_opt_), OptimizerBlob(*d_opt_)};
+
+  c.healthy_params = last_healthy;
+  c.healthy_buffers = last_healthy_buffers;
+
+  c.d_losses = result.d_losses;
+  c.g_losses = result.g_losses;
+  c.snapshots = result.snapshots;
+  c.snapshot_iters.assign(result.snapshot_iters.begin(),
+                          result.snapshot_iters.end());
+  return c;
+}
+
+Status GanTrainer::RestoreFromCheckpoint(const ckpt::TrainCheckpoint& c,
+                                         Rng* rng, obs::MetricSink* sink,
+                                         TrainResult* result,
+                                         StateDict* last_healthy,
+                                         StateDict* last_healthy_buffers,
+                                         size_t* start_iter) {
+  if (c.run != AlgoName(opts_.algo))
+    return Status::InvalidArgument("checkpoint is for run '" + c.run +
+                                   "', this trainer runs '" +
+                                   AlgoName(opts_.algo) + "'");
+  if (c.phase != 0)
+    return Status::InvalidArgument("GAN checkpoints have a single phase, got " +
+                                   std::to_string(c.phase));
+  if (c.total_iters != opts_.iterations)
+    return Status::InvalidArgument(
+        "checkpoint is from a " + std::to_string(c.total_iters) +
+        "-iteration run, options say " + std::to_string(opts_.iterations));
+  if (c.seed != opts_.seed)
+    return Status::InvalidArgument("checkpoint seed " +
+                                   std::to_string(c.seed) +
+                                   " != options seed " +
+                                   std::to_string(opts_.seed));
+  if (c.iter > c.total_iters)
+    return Status::InvalidArgument("checkpoint iteration counter exceeds its "
+                                   "configured run length");
+
+  const std::vector<nn::Parameter*> g_params = g_->Params();
+  const std::vector<nn::Parameter*> d_params = d_->Params();
+  const std::vector<Matrix*> g_buffers = g_->Buffers();
+  const std::vector<Matrix*> d_buffers = d_->Buffers();
+
+  // Validate every shape before mutating anything.
+  if (c.params.size() != g_params.size() + d_params.size())
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  if (c.buffers.size() != g_buffers.size() + d_buffers.size())
+    return Status::InvalidArgument("checkpoint buffer count mismatch");
+  for (size_t i = 0; i < g_params.size(); ++i)
+    if (!g_params[i]->value.SameShape(c.params[i]))
+      return Status::InvalidArgument("checkpoint generator parameter " +
+                                     std::to_string(i) + " shape mismatch");
+  for (size_t i = 0; i < d_params.size(); ++i)
+    if (!d_params[i]->value.SameShape(c.params[g_params.size() + i]))
+      return Status::InvalidArgument("checkpoint discriminator parameter " +
+                                     std::to_string(i) + " shape mismatch");
+  for (size_t i = 0; i < g_buffers.size(); ++i)
+    if (!g_buffers[i]->SameShape(c.buffers[i]))
+      return Status::InvalidArgument("checkpoint generator buffer " +
+                                     std::to_string(i) + " shape mismatch");
+  for (size_t i = 0; i < d_buffers.size(); ++i)
+    if (!d_buffers[i]->SameShape(c.buffers[g_buffers.size() + i]))
+      return Status::InvalidArgument("checkpoint discriminator buffer " +
+                                     std::to_string(i) + " shape mismatch");
+  if (!ShapesMatch(g_params, c.healthy_params))
+    return Status::InvalidArgument(
+        "checkpoint sentinel-baseline parameters do not match the generator");
+  if (!BufferShapesMatch(g_buffers, c.healthy_buffers))
+    return Status::InvalidArgument(
+        "checkpoint sentinel-baseline buffers do not match the generator");
+  if (c.snapshots.size() != c.snapshot_iters.size())
+    return Status::InvalidArgument("checkpoint snapshot bookkeeping mismatch");
+  if (c.d_losses.size() != c.iter || c.g_losses.size() != c.iter)
+    return Status::InvalidArgument("checkpoint loss traces do not cover its "
+                                   "iteration counter");
+  if (c.optimizer_state.size() != 2)
+    return Status::InvalidArgument("GAN checkpoints carry two optimizer "
+                                   "blobs, got " +
+                                   std::to_string(c.optimizer_state.size()));
+
+  // Apply. The optimizer loads run first: each is all-or-nothing, and a
+  // kind/shape mismatch inside a blob is the one failure the shape
+  // checks above cannot see.
+  DAISY_RETURN_IF_ERROR(
+      LoadOptimizerBlob(g_opt_.get(), c.optimizer_state[0], "generator"));
+  DAISY_RETURN_IF_ERROR(
+      LoadOptimizerBlob(d_opt_.get(), c.optimizer_state[1], "discriminator"));
+  DAISY_RETURN_IF_ERROR(rng->SetState(c.rng_state));
+
+  for (size_t i = 0; i < g_params.size(); ++i)
+    g_params[i]->value = c.params[i];
+  for (size_t i = 0; i < d_params.size(); ++i)
+    d_params[i]->value = c.params[g_params.size() + i];
+  for (size_t i = 0; i < g_buffers.size(); ++i) *g_buffers[i] = c.buffers[i];
+  for (size_t i = 0; i < d_buffers.size(); ++i)
+    *d_buffers[i] = c.buffers[g_buffers.size() + i];
+
+  *last_healthy = c.healthy_params;
+  *last_healthy_buffers = c.healthy_buffers;
+
+  result->d_losses = c.d_losses;
+  result->g_losses = c.g_losses;
+  result->snapshots = c.snapshots;
+  result->snapshot_iters.assign(c.snapshot_iters.begin(),
+                                c.snapshot_iters.end());
+  result->completed_iters = c.iter;
+  *start_iter = c.iter;
+
+  if (sink != nullptr)
+    DAISY_RETURN_IF_ERROR(sink->ResumeAt(c.telemetry_records));
+  return Status::OK();
+}
+
 TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
                               obs::MetricSink* sink) {
   const bool wasserstein =
@@ -219,7 +399,40 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
   StateDict last_healthy = GetState(g_->Params());
   StateDict last_healthy_buffers = GetBufferState(g_->Buffers());
 
-  for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  if (!opts_.checkpoint_dir.empty())
+    store = std::make_unique<ckpt::CheckpointStore>(opts_.checkpoint_dir,
+                                                    opts_.checkpoint_keep);
+
+  size_t start_iter = 0;
+  if (opts_.resume && store != nullptr) {
+    auto loaded = store->LoadLatest();
+    if (loaded.ok()) {
+      const Status restored = RestoreFromCheckpoint(
+          loaded.value(), rng, sink, &result, &last_healthy,
+          &last_healthy_buffers, &start_iter);
+      if (!restored.ok()) {
+        result.health = restored;
+        result.snapshots.push_back(GetState(g_->Params()));
+        result.snapshot_iters.push_back(0);
+        if (sink != nullptr) sink->Flush();
+        return result;
+      }
+    } else if (loaded.status().code() != Status::Code::kNotFound) {
+      // Checkpoints exist but none verifies: refusing to silently
+      // restart protects the surviving log/model artifacts.
+      result.health = loaded.status();
+      result.snapshots.push_back(GetState(g_->Params()));
+      result.snapshot_iters.push_back(0);
+      if (sink != nullptr) sink->Flush();
+      return result;
+    }
+    // NotFound: nothing saved yet — a cold start with resume requested
+    // is a fresh run, so schedulers can always pass --resume.
+  }
+
+  size_t iters_this_run = 0;
+  for (size_t iter = start_iter; iter < opts_.iterations; ++iter) {
     obs::WallTimer iter_timer;
     if (label_aware) {
       // Algorithm 3: one D+G update per label, with label-restricted
@@ -316,9 +529,58 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
         result.snapshot_iters.push_back(iter + 1);
       }
     }
+
+    if (store != nullptr && opts_.checkpoint_every > 0 &&
+        (iter + 1) % opts_.checkpoint_every == 0) {
+      // The checkpoint record goes to the sink FIRST so the cursor
+      // stored in the checkpoint covers it — a resumed run then
+      // re-emits the exact same record sequence as an uninterrupted
+      // one.
+      obs::MetricRecord ckpt_rec = rec;
+      ckpt_rec.run += ".ckpt";
+      if (sink != nullptr) sink->Log(ckpt_rec);
+      const Status saved = store->Save(MakeCheckpoint(
+          iter + 1, sink != nullptr ? sink->records_logged() : 0, result,
+          last_healthy, last_healthy_buffers, rng));
+      if (!saved.ok()) {
+        // Fail fast: training on while checkpoints silently rot defeats
+        // their purpose.
+        result.health = saved;
+        break;
+      }
+    }
+
+    ++iters_this_run;
+    if (opts_.max_iters_per_run > 0 &&
+        iters_this_run >= opts_.max_iters_per_run &&
+        iter + 1 < opts_.iterations) {
+      result.paused = true;
+      break;
+    }
   }
 
   if (!result.health.ok()) {
+    // Durable fallback: the in-memory baseline can itself be poisoned
+    // (BatchNorm running stats go non-finite without tripping the
+    // param-norm check). Prefer the newest on-disk checkpoint whose
+    // sentinel baseline is finite.
+    if (store != nullptr &&
+        (!AllFinite(last_healthy) || !AllFinite(last_healthy_buffers))) {
+      const std::vector<std::string> files = store->ListFiles();
+      for (auto it = files.rbegin(); it != files.rend(); ++it) {
+        auto fallback = ckpt::LoadCheckpoint(*it);
+        if (!fallback.ok()) continue;
+        const ckpt::TrainCheckpoint& fc = fallback.value();
+        if (!ShapesMatch(g_->Params(), fc.healthy_params) ||
+            !BufferShapesMatch(g_->Buffers(), fc.healthy_buffers))
+          continue;
+        if (!AllFinite(fc.healthy_params) || !AllFinite(fc.healthy_buffers))
+          continue;
+        last_healthy = fc.healthy_params;
+        last_healthy_buffers = fc.healthy_buffers;
+        break;
+      }
+    }
     // Roll the generator back to the last healthy state and make that
     // state the final snapshot, so generation after a diverged run
     // works from sane parameters.
@@ -326,9 +588,11 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
     SetBufferState(g_->Buffers(), last_healthy_buffers);
     result.snapshots.push_back(std::move(last_healthy));
     result.snapshot_iters.push_back(result.completed_iters);
-  } else if (result.snapshot_iters.empty() ||
-             result.snapshot_iters.back() != opts_.iterations) {
-    // Guarantee the final state is snapshotted.
+  } else if (!result.paused &&
+             (result.snapshot_iters.empty() ||
+              result.snapshot_iters.back() != opts_.iterations)) {
+    // Guarantee the final state is snapshotted (a paused run is not
+    // final — its resumed continuation does this bookkeeping).
     result.snapshots.push_back(GetState(g_->Params()));
     result.snapshot_iters.push_back(opts_.iterations);
   }

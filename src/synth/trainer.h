@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/rng.h"
 #include "data/table.h"
 #include "nn/optimizer.h"
@@ -47,6 +48,12 @@ struct TrainResult {
   std::vector<size_t> snapshot_iters;
   Status health;                       // OK, or why the run stopped early
   size_t completed_iters = 0;          // healthy iterations applied
+
+  /// True when the run stopped early because it exhausted
+  /// GanOptions::max_iters_per_run (health stays OK). A paused run did
+  /// no rollback / final-snapshot bookkeeping; resume it from its
+  /// checkpoint directory to finish.
+  bool paused = false;
 };
 
 /// Runs one of the four training algorithms. The trainer does not own
@@ -91,6 +98,26 @@ class GanTrainer {
 
   Matrix SampleNoise(size_t m, Rng* rng) const;
   Matrix OneHotLabels(const std::vector<size_t>& labels) const;
+
+  // Snapshots the complete mutable training state after `completed`
+  // iterations: G+D parameter values and buffers, both optimizer
+  // blobs, the rng engine, loss traces / snapshots accumulated so far,
+  // the sentinel baselines and the telemetry cursor.
+  ckpt::TrainCheckpoint MakeCheckpoint(size_t completed, uint64_t cursor,
+                                       const TrainResult& result,
+                                       const StateDict& last_healthy,
+                                       const StateDict& last_healthy_buffers,
+                                       Rng* rng);
+
+  // Applies a checkpoint produced by MakeCheckpoint. Validates run
+  // tag, configured length, seed and every shape BEFORE mutating
+  // anything, so a mismatched or hostile checkpoint leaves the trainer
+  // untouched.
+  Status RestoreFromCheckpoint(const ckpt::TrainCheckpoint& c, Rng* rng,
+                               obs::MetricSink* sink, TrainResult* result,
+                               StateDict* last_healthy,
+                               StateDict* last_healthy_buffers,
+                               size_t* start_iter);
 
   Generator* g_;
   Discriminator* d_;

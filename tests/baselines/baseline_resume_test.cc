@@ -1,0 +1,188 @@
+// Bitwise pause/resume equivalence for the baseline synthesizers: VAE
+// (epoch-denominated checkpoints), medGAN (phase-aware checkpoints
+// across the autoencoder -> adversarial hand-off), and PATE-GAN
+// (multi-stream rng state + privacy ledger), the latter swept across
+// thread counts because its teacher updates fan out via ParallelFor.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/medgan.h"
+#include "baselines/pategan.h"
+#include "baselines/vae.h"
+#include "core/parallel.h"
+#include "data/generators/sdata.h"
+#include "obs/metrics.h"
+
+namespace daisy::baselines {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+data::Table SmallTable() {
+  Rng rng(7);
+  data::SDataCatOptions opts;
+  opts.num_records = 200;
+  return data::MakeSDataCat(opts, &rng);
+}
+
+void ExpectSameTable(const data::Table& a, const data::Table& b) {
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t i = 0; i < a.num_records(); ++i)
+    for (size_t j = 0; j < a.num_attributes(); ++j)
+      EXPECT_EQ(a.value(i, j), b.value(i, j))
+          << "generated tables diverge at (" << i << "," << j << ")";
+}
+
+void ExpectSameRecords(const std::vector<obs::MetricRecord>& a,
+                       const std::vector<obs::MetricRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].run, b[i].run) << "record " << i;
+    EXPECT_EQ(a[i].iter, b[i].iter) << "record " << i;
+    EXPECT_EQ(a[i].d_loss, b[i].d_loss) << "record " << i;
+    EXPECT_EQ(a[i].g_loss, b[i].g_loss) << "record " << i;
+    EXPECT_EQ(a[i].g_grad_norm, b[i].g_grad_norm) << "record " << i;
+    EXPECT_EQ(a[i].param_norm, b[i].param_norm) << "record " << i;
+  }
+}
+
+TEST(BaselineResumeTest, VaeResumeIsBitwiseAcrossThreadCounts) {
+  const data::Table table = SmallTable();
+  for (size_t threads : {1u, 2u, 7u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::SetNumThreads(threads);
+
+    VaeOptions opts;
+    opts.epochs = 8;
+    opts.checkpoint_every = 3;
+    opts.checkpoint_dir = FreshDir("vae_a_" + std::to_string(threads));
+    obs::MemorySink sink_a;
+    VaeSynthesizer a(opts, {});
+    ASSERT_TRUE(a.Fit(table, &sink_a).ok());
+
+    VaeOptions opts_b = opts;
+    opts_b.checkpoint_dir = FreshDir("vae_b_" + std::to_string(threads));
+    opts_b.resume = true;
+    opts_b.max_iters_per_run = 3;
+    obs::MemorySink sink_b;
+    double final_loss_b = 0.0;
+    data::Table gen_b;
+    bool done = false;
+    for (int seg = 0; seg < 10 && !done; ++seg) {
+      VaeSynthesizer b(opts_b, {});
+      ASSERT_TRUE(b.Fit(table, &sink_b).ok());
+      if (!b.paused()) {
+        done = true;
+        final_loss_b = b.final_loss();
+        Rng gen_rng(1234);
+        gen_b = b.Generate(40, &gen_rng);
+      }
+    }
+    ASSERT_TRUE(done);
+
+    EXPECT_EQ(a.final_loss(), final_loss_b);
+    Rng gen_rng(1234);
+    ExpectSameTable(a.Generate(40, &gen_rng), gen_b);
+    ExpectSameRecords(sink_a.records(), sink_b.records());
+  }
+  par::SetNumThreads(0);
+}
+
+TEST(BaselineResumeTest, MedGanResumesAcrossBothPhases) {
+  const data::Table table = SmallTable();
+
+  MedGanOptions opts;
+  opts.ae_epochs = 6;
+  opts.gan_iterations = 10;
+  opts.checkpoint_every = 2;
+  opts.checkpoint_dir = FreshDir("medgan_a");
+  obs::MemorySink sink_a;
+  MedGanSynthesizer a(opts, {});
+  ASSERT_TRUE(a.Fit(table, &sink_a).ok());
+
+  // Pause every 4 epochs/iterations: the segments land inside phase 1,
+  // across the phase boundary, and inside phase 2.
+  MedGanOptions opts_b = opts;
+  opts_b.checkpoint_dir = FreshDir("medgan_b");
+  opts_b.resume = true;
+  opts_b.max_iters_per_run = 4;
+  obs::MemorySink sink_b;
+  double pretrain_b = 0.0;
+  data::Table gen_b;
+  bool done = false;
+  int segments = 0;
+  for (; segments < 12 && !done; ++segments) {
+    MedGanSynthesizer b(opts_b, {});
+    ASSERT_TRUE(b.Fit(table, &sink_b).ok());
+    if (!b.paused()) {
+      done = true;
+      pretrain_b = b.pretrain_loss();
+      Rng gen_rng(99);
+      gen_b = b.Generate(40, &gen_rng);
+    }
+  }
+  ASSERT_TRUE(done);
+  EXPECT_GE(segments, 3) << "expected pauses in both phases";
+
+  EXPECT_EQ(a.pretrain_loss(), pretrain_b);
+  Rng gen_rng(99);
+  ExpectSameTable(a.Generate(40, &gen_rng), gen_b);
+  ExpectSameRecords(sink_a.records(), sink_b.records());
+}
+
+TEST(BaselineResumeTest, PateGanResumeIsBitwiseAcrossThreadCounts) {
+  const data::Table table = SmallTable();
+  for (size_t threads : {1u, 2u, 7u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::SetNumThreads(threads);
+
+    PateGanOptions opts;
+    opts.iterations = 9;
+    opts.checkpoint_every = 3;
+    opts.checkpoint_dir = FreshDir("pategan_a_" + std::to_string(threads));
+    obs::MemorySink sink_a;
+    PateGanSynthesizer a(opts, {});
+    ASSERT_TRUE(a.Fit(table, &sink_a).ok());
+
+    PateGanOptions opts_b = opts;
+    opts_b.checkpoint_dir = FreshDir("pategan_b_" + std::to_string(threads));
+    opts_b.resume = true;
+    opts_b.max_iters_per_run = 4;
+    obs::MemorySink sink_b;
+    double eps_b = 0.0;
+    data::Table gen_b;
+    bool done = false;
+    for (int seg = 0; seg < 10 && !done; ++seg) {
+      PateGanSynthesizer b(opts_b, {});
+      ASSERT_TRUE(b.Fit(table, &sink_b).ok());
+      if (!b.paused()) {
+        done = true;
+        eps_b = b.ApproxEpsilonSpent();
+        Rng gen_rng(55);
+        gen_b = b.Generate(40, &gen_rng);
+      }
+    }
+    ASSERT_TRUE(done);
+
+    // The privacy ledger must carry across the crash, not reset.
+    EXPECT_EQ(a.ApproxEpsilonSpent(), eps_b);
+    Rng gen_rng(55);
+    ExpectSameTable(a.Generate(40, &gen_rng), gen_b);
+    ExpectSameRecords(sink_a.records(), sink_b.records());
+  }
+  par::SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace daisy::baselines

@@ -1,0 +1,254 @@
+// Tests for the crash-safe checkpoint layer: full-fidelity round-trips
+// (NaN/inf payloads included), the checksum trailer's corruption
+// guarantees (exhaustive single-byte-flip and truncation sweeps), the
+// atomic write protocol, and the store's retention / skip-corrupt
+// behavior.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "core/rng.h"
+
+namespace daisy::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TrainCheckpoint MakeSample() {
+  Rng rng(5);
+  TrainCheckpoint c;
+  c.run = "gan.wtrain";
+  c.phase = 1;
+  c.iter = 42;
+  c.total_iters = 100;
+  c.seed = 17;
+  c.telemetry_records = 7;
+  c.rng_state = {1, 2, 3, 4, 0, 0xDEADBEEFULL};
+  c.params = {Matrix::Randn(3, 2, &rng), Matrix::Randn(1, 4, &rng)};
+  c.params[0](0, 0) = std::numeric_limits<double>::quiet_NaN();
+  c.params[0](1, 1) = std::numeric_limits<double>::infinity();
+  c.params[0](2, 0) = -std::numeric_limits<double>::infinity();
+  c.buffers = {Matrix::Randn(1, 2, &rng)};
+  c.optimizer_state = {"opt.adam\nblob with\nnewlines",
+                       std::string("\0binary\0", 8)};
+  c.healthy_params = {Matrix::Randn(3, 2, &rng), Matrix::Randn(1, 4, &rng)};
+  c.healthy_buffers = {Matrix::Randn(1, 2, &rng)};
+  c.d_losses = {0.5, 0.25, std::numeric_limits<double>::quiet_NaN()};
+  c.g_losses = {1.5, -2.25, 3.125};
+  c.snapshots = {{Matrix::Randn(2, 2, &rng)},
+                 {Matrix::Randn(2, 2, &rng)}};
+  c.snapshot_iters = {10, 20};
+  c.extra = {3.75};
+  return c;
+}
+
+void ExpectSameMatrices(const std::vector<Matrix>& a,
+                        const std::vector<Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].SameShape(b[i]));
+    for (size_t r = 0; r < a[i].rows(); ++r) {
+      for (size_t col = 0; col < a[i].cols(); ++col) {
+        if (std::isnan(a[i](r, col))) {
+          EXPECT_TRUE(std::isnan(b[i](r, col)));
+        } else {
+          EXPECT_EQ(a[i](r, col), b[i](r, col));
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointTest, RoundTripPreservesEveryField) {
+  const TrainCheckpoint c = MakeSample();
+  auto parsed = ParseCheckpoint(SerializeCheckpoint(c));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TrainCheckpoint& r = parsed.value();
+  EXPECT_EQ(r.run, c.run);
+  EXPECT_EQ(r.phase, c.phase);
+  EXPECT_EQ(r.iter, c.iter);
+  EXPECT_EQ(r.total_iters, c.total_iters);
+  EXPECT_EQ(r.seed, c.seed);
+  EXPECT_EQ(r.telemetry_records, c.telemetry_records);
+  EXPECT_EQ(r.rng_state, c.rng_state);
+  ExpectSameMatrices(r.params, c.params);
+  ExpectSameMatrices(r.buffers, c.buffers);
+  ASSERT_EQ(r.optimizer_state.size(), c.optimizer_state.size());
+  for (size_t i = 0; i < c.optimizer_state.size(); ++i)
+    EXPECT_EQ(r.optimizer_state[i], c.optimizer_state[i]);
+  ExpectSameMatrices(r.healthy_params, c.healthy_params);
+  ExpectSameMatrices(r.healthy_buffers, c.healthy_buffers);
+  EXPECT_EQ(r.g_losses, c.g_losses);
+  ASSERT_EQ(r.d_losses.size(), c.d_losses.size());
+  EXPECT_TRUE(std::isnan(r.d_losses[2]));
+  ASSERT_EQ(r.snapshots.size(), c.snapshots.size());
+  for (size_t i = 0; i < c.snapshots.size(); ++i)
+    ExpectSameMatrices(r.snapshots[i], c.snapshots[i]);
+  EXPECT_EQ(r.snapshot_iters, c.snapshot_iters);
+  EXPECT_EQ(r.extra, c.extra);
+}
+
+TEST(CheckpointTest, SaveLoadFileRoundTrip) {
+  const std::string dir = FreshDir("ckpt_file_rt");
+  const std::string path = dir + "/one.daisyckpt";
+  const TrainCheckpoint c = MakeSample();
+  ASSERT_TRUE(SaveCheckpoint(c, path).ok());
+  // The atomic protocol must not leave its temp file behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().run, c.run);
+
+  // Overwriting an existing checkpoint goes through the same rename.
+  TrainCheckpoint c2 = c;
+  c2.iter = 43;
+  ASSERT_TRUE(SaveCheckpoint(c2, path).ok());
+  auto reloaded = LoadCheckpoint(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().iter, 43u);
+}
+
+TEST(CheckpointTest, RejectsFutureVersion) {
+  // Forge a version-2 file with a VALID checksum: the version gate, not
+  // the checksum, must reject it.
+  const std::string bytes = SerializeCheckpoint(MakeSample());
+  const size_t trailer_len = std::string("checksum ").size() + 16 + 1;
+  std::string payload = bytes.substr(0, bytes.size() - trailer_len);
+  const std::string marker = "daisy-ckpt-v1\n1\n";
+  const size_t pos = payload.find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, marker.size(), "daisy-ckpt-v1\n2\n");
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "checksum %016llx\n",
+                static_cast<unsigned long long>(
+                    Fnv1a64(payload.data(), payload.size())));
+  auto parsed = ParseCheckpoint(payload + trailer);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+}
+
+TEST(CheckpointTest, EveryByteFlipIsDetected) {
+  std::string bytes = SerializeCheckpoint(MakeSample());
+  ASSERT_TRUE(ParseCheckpoint(bytes).ok());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const char orig = bytes[i];
+    bytes[i] = static_cast<char>(orig ^ 0x01);
+    auto parsed = ParseCheckpoint(bytes);
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " went undetected";
+    bytes[i] = orig;
+  }
+}
+
+TEST(CheckpointTest, EveryTruncationIsDetected) {
+  const std::string bytes = SerializeCheckpoint(MakeSample());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto parsed = ParseCheckpoint(bytes.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "truncation to " << cut
+                              << " bytes went undetected";
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(CheckpointTest, LoadMissingFileIsNotFound) {
+  auto missing = LoadCheckpoint(FreshDir("ckpt_missing") + "/nope.daisyckpt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+}
+
+TEST(CheckpointStoreTest, FileNamesSortByPhaseThenIter) {
+  EXPECT_LT(CheckpointStore::FileName(0, 2), CheckpointStore::FileName(0, 10));
+  EXPECT_LT(CheckpointStore::FileName(0, 999999),
+            CheckpointStore::FileName(1, 1));
+}
+
+TEST(CheckpointStoreTest, RetentionKeepsNewest) {
+  const std::string dir = FreshDir("ckpt_retention");
+  CheckpointStore store(dir, /*keep_last=*/2);
+  TrainCheckpoint c = MakeSample();
+  for (uint64_t i = 1; i <= 5; ++i) {
+    c.iter = i * 10;
+    ASSERT_TRUE(store.Save(c).ok());
+  }
+  const std::vector<std::string> files = store.ListFiles();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("i000000000040"), std::string::npos);
+  EXPECT_NE(files[1].find("i000000000050"), std::string::npos);
+
+  std::string from;
+  auto latest = store.LoadLatest(&from);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().iter, 50u);
+  EXPECT_EQ(from, files[1]);
+}
+
+TEST(CheckpointStoreTest, LoadLatestSkipsCorruptFiles) {
+  const std::string dir = FreshDir("ckpt_skip_corrupt");
+  CheckpointStore store(dir, 5);
+  TrainCheckpoint c = MakeSample();
+  c.iter = 10;
+  ASSERT_TRUE(store.Save(c).ok());
+  c.iter = 20;
+  ASSERT_TRUE(store.Save(c).ok());
+
+  // Corrupt the newest file in place.
+  const std::vector<std::string> files = store.ListFiles();
+  ASSERT_EQ(files.size(), 2u);
+  {
+    std::FILE* f = std::fopen(files[1].c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+
+  std::string from;
+  auto latest = store.LoadLatest(&from);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().iter, 10u);
+  EXPECT_EQ(from, files[0]);
+
+  // With every file corrupt the caller gets the newest file's error,
+  // not NotFound — the directory is damaged, not empty.
+  {
+    std::FILE* f = std::fopen(files[0].c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  auto none = store.LoadLatest();
+  ASSERT_FALSE(none.ok());
+  EXPECT_NE(none.status().code(), Status::Code::kNotFound);
+}
+
+TEST(CheckpointStoreTest, EmptyDirIsNotFoundAndTmpFilesIgnored) {
+  const std::string dir = FreshDir("ckpt_empty");
+  CheckpointStore store(dir, 3);
+  auto none = store.LoadLatest();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), Status::Code::kNotFound);
+
+  // A stray temp file from a crashed writer is invisible to the store.
+  std::FILE* f =
+      std::fopen((dir + "/ckpt-p0000-i000000000001.daisyckpt.tmp").c_str(),
+                 "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("half-written", f);
+  std::fclose(f);
+  EXPECT_TRUE(store.ListFiles().empty());
+  EXPECT_EQ(store.LoadLatest().status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace daisy::ckpt

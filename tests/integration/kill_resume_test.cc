@@ -1,0 +1,208 @@
+// End-to-end crash recovery through the real binary: launch daisy_cli
+// as a child process, SIGKILL it the moment the first checkpoint file
+// appears (so death lands mid-training, possibly mid-write of the next
+// checkpoint or telemetry line), rerun the SAME command plus --resume,
+// and require the final artifacts — saved model bytes and generated
+// CSV — to match an uninterrupted run exactly. Covers the GAN path and
+// one baseline (VAE), per the resume-equivalence acceptance criterion.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/csv.h"
+#include "data/generators/sdata.h"
+
+#ifndef DAISY_CLI_BIN
+#error "DAISY_CLI_BIN must point at the daisy_cli executable"
+#endif
+
+namespace daisy {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+// Fork/exec daisy_cli with the given arguments, stdout/stderr silenced.
+pid_t Launch(const std::vector<std::string>& args) {
+  std::vector<std::string> full = {DAISY_CLI_BIN};
+  full.insert(full.end(), args.begin(), args.end());
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(full.size() + 1);
+    for (std::string& s : full) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(126);
+    if (std::freopen("/dev/null", "w", stderr) == nullptr) _exit(126);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int RunToCompletion(const std::vector<std::string>& args) {
+  const pid_t pid = Launch(args);
+  if (pid < 0) return -1;
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+size_t CountCheckpoints(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 10 &&
+        name.compare(name.size() - 10, 10, ".daisyckpt") == 0)
+      ++n;
+  }
+  return n;
+}
+
+// Launch, wait until the first checkpoint lands on disk, then SIGKILL.
+// Returns false if the child exited before we could kill it (the run
+// was too short for the crash to be mid-flight — a test setup bug).
+bool KillAfterFirstCheckpoint(const std::vector<std::string>& args,
+                              const std::string& ckpt_dir) {
+  const pid_t pid = Launch(args);
+  if (pid < 0) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  bool saw_checkpoint = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (CountCheckpoints(ckpt_dir) > 0) {
+      saw_checkpoint = true;
+      break;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) return false;  // finished
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!saw_checkpoint) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    return false;
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+std::string WriteRealCsv(const std::string& dir) {
+  Rng rng(7);
+  data::SDataCatOptions opts;
+  opts.num_records = 200;
+  const data::Table table = data::MakeSDataCat(opts, &rng);
+  const std::string path = dir + "/real.csv";
+  EXPECT_TRUE(data::WriteCsv(table, path).ok());
+  return path;
+}
+
+TEST(KillResumeTest, GanSurvivesSigkillBitwise) {
+  const std::string dir = FreshDir("kill_gan");
+  const std::string real_csv = WriteRealCsv(dir);
+  const std::string dir_a = FreshDir("kill_gan_a");
+  const std::string dir_b = FreshDir("kill_gan_b");
+
+  const auto cmd = [&](const std::string& ckpt_dir, const std::string& tag) {
+    return std::vector<std::string>{
+        "synth",           "--input",          real_csv,
+        "--output",        dir + "/fake_" + tag + ".csv",
+        "--method",        "gan",
+        "--iterations",    "200",
+        "--seed",          "21",
+        "--threads",       "2",
+        "--checkpoint-every", "3",
+        "--checkpoint-dir",   ckpt_dir,
+        "--save-model",    dir + "/model_" + tag + ".daisy",
+        "--log-jsonl",     dir + "/log_" + tag + ".jsonl"};
+  };
+
+  // Uninterrupted reference run.
+  ASSERT_EQ(RunToCompletion(cmd(dir_a, "a")), 0);
+
+  // Crash run: SIGKILL once the first checkpoint exists, then resume.
+  ASSERT_TRUE(KillAfterFirstCheckpoint(cmd(dir_b, "b"), dir_b))
+      << "child finished before it could be killed — raise --iterations";
+  std::vector<std::string> resume_cmd = cmd(dir_b, "b");
+  resume_cmd.push_back("--resume");
+  ASSERT_EQ(RunToCompletion(resume_cmd), 0);
+
+  EXPECT_EQ(FileBytes(dir + "/model_a.daisy"),
+            FileBytes(dir + "/model_b.daisy"))
+      << "resumed model differs from uninterrupted run";
+  EXPECT_EQ(FileBytes(dir + "/fake_a.csv"), FileBytes(dir + "/fake_b.csv"))
+      << "resumed CSV differs from uninterrupted run";
+  // Telemetry timings differ; the record count must not (the resume
+  // cursor truncates any torn tail the crash left behind).
+  EXPECT_EQ(CountLines(dir + "/log_a.jsonl"), CountLines(dir + "/log_b.jsonl"));
+}
+
+TEST(KillResumeTest, VaeSurvivesSigkillBitwise) {
+  const std::string dir = FreshDir("kill_vae");
+  const std::string real_csv = WriteRealCsv(dir);
+  const std::string dir_a = FreshDir("kill_vae_a");
+  const std::string dir_b = FreshDir("kill_vae_b");
+
+  const auto cmd = [&](const std::string& ckpt_dir, const std::string& tag) {
+    return std::vector<std::string>{
+        "synth",           "--input",          real_csv,
+        "--output",        dir + "/fake_" + tag + ".csv",
+        "--method",        "vae",
+        "--iterations",    "120",
+        "--seed",          "23",
+        "--checkpoint-every", "2",
+        "--checkpoint-dir",   ckpt_dir,
+        "--log-jsonl",     dir + "/log_" + tag + ".jsonl"};
+  };
+
+  ASSERT_EQ(RunToCompletion(cmd(dir_a, "a")), 0);
+
+  ASSERT_TRUE(KillAfterFirstCheckpoint(cmd(dir_b, "b"), dir_b))
+      << "child finished before it could be killed — raise --iterations";
+  std::vector<std::string> resume_cmd = cmd(dir_b, "b");
+  resume_cmd.push_back("--resume");
+  ASSERT_EQ(RunToCompletion(resume_cmd), 0);
+
+  EXPECT_EQ(FileBytes(dir + "/fake_a.csv"), FileBytes(dir + "/fake_b.csv"))
+      << "resumed CSV differs from uninterrupted run";
+  EXPECT_EQ(CountLines(dir + "/log_a.jsonl"), CountLines(dir + "/log_b.jsonl"));
+}
+
+}  // namespace
+}  // namespace daisy

@@ -1,9 +1,16 @@
 // Finite-difference gradient checking shared by the nn tests. The loss
 // used is L = sum(output .* coeff) for a fixed random coeff matrix,
 // which exercises every output element with distinct weights.
+//
+// All comparisons use a relative-error criterion,
+//   |analytic - numeric| <= tol * max(1, |analytic|, |numeric|),
+// so large gradients (convolutions summing many terms) are held to the
+// same number of significant digits as small ones instead of a fixed
+// absolute slack.
 #ifndef DAISY_TESTS_NN_GRADCHECK_H_
 #define DAISY_TESTS_NN_GRADCHECK_H_
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -15,14 +22,23 @@
 
 namespace daisy::nn::testing {
 
+/// Relative-error comparison used by every checker below.
+inline void ExpectGradClose(double analytic, double numeric, double tol,
+                            const std::string& what) {
+  const double scale =
+      std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+  EXPECT_LE(std::fabs(analytic - numeric), tol * scale)
+      << what << ": analytic=" << analytic << " numeric=" << numeric
+      << " rel_err=" << std::fabs(analytic - numeric) / scale;
+}
+
 /// Checks dL/dInput returned by Backward against central differences.
 /// `forward` must be deterministic given the same module state.
 inline void CheckInputGradient(Module* module, const Matrix& x,
                                double tol = 1e-6, double h = 1e-5) {
   Rng rng(99);
-  Matrix coeff = Matrix::Randn(0, 0, &rng);  // placeholder, sized below
   Matrix y = module->Forward(x, /*training=*/true);
-  coeff = Matrix::Randn(y.rows(), y.cols(), &rng);
+  Matrix coeff = Matrix::Randn(y.rows(), y.cols(), &rng);
 
   module->ZeroGrad();
   Matrix analytic = module->Backward(coeff);
@@ -36,8 +52,9 @@ inline void CheckInputGradient(Module* module, const Matrix& x,
       const double lp = module->Forward(xp, true).CWiseMul(coeff).Sum();
       const double lm = module->Forward(xm, true).CWiseMul(coeff).Sum();
       const double numeric = (lp - lm) / (2.0 * h);
-      EXPECT_NEAR(analytic(r, c), numeric, tol)
-          << "input grad mismatch at (" << r << "," << c << ")";
+      ExpectGradClose(analytic(r, c), numeric, tol,
+                      "input grad at (" + std::to_string(r) + "," +
+                          std::to_string(c) + ")");
     }
   }
 }
@@ -63,10 +80,37 @@ inline void CheckParamGradients(Module* module, const Matrix& x,
         const double lm = module->Forward(x, true).CWiseMul(coeff).Sum();
         p->value(r, c) = orig;
         const double numeric = (lp - lm) / (2.0 * h);
-        EXPECT_NEAR(p->grad(r, c), numeric, tol)
-            << "param " << p->name << " grad mismatch at (" << r << "," << c
-            << ")";
+        ExpectGradClose(p->grad(r, c), numeric, tol,
+                        "param " + p->name + " grad at (" +
+                            std::to_string(r) + "," + std::to_string(c) +
+                            ")");
       }
+    }
+  }
+}
+
+/// Checks the gradient a scalar loss function reports for its
+/// prediction argument: loss(pred, grad_out) must return L and fill
+/// *grad_out with dL/dpred. Central differences over every element.
+inline void CheckLossGradient(
+    const std::function<double(const Matrix&, Matrix*)>& loss,
+    const Matrix& pred, double tol = 1e-6, double h = 1e-6) {
+  Matrix analytic;
+  loss(pred, &analytic);
+  ASSERT_TRUE(analytic.SameShape(pred));
+
+  for (size_t r = 0; r < pred.rows(); ++r) {
+    for (size_t c = 0; c < pred.cols(); ++c) {
+      Matrix pp = pred, pm = pred;
+      pp(r, c) += h;
+      pm(r, c) -= h;
+      Matrix unused;
+      const double lp = loss(pp, &unused);
+      const double lm = loss(pm, &unused);
+      const double numeric = (lp - lm) / (2.0 * h);
+      ExpectGradClose(analytic(r, c), numeric, tol,
+                      "loss grad at (" + std::to_string(r) + "," +
+                          std::to_string(c) + ")");
     }
   }
 }

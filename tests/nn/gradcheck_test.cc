@@ -6,6 +6,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "nn/loss.h"
 #include "nn/lstm.h"
 #include "nn/sequential.h"
 #include "tests/nn/gradcheck.h"
@@ -116,6 +117,48 @@ TEST(GradCheck, SequentialComposition) {
   Matrix x = Matrix::Randn(3, 4, &rng);
   CheckInputGradient(&seq, x);
   CheckParamGradients(&seq, x);
+}
+
+// The scalar losses report dL/dpred through an out-parameter; verify
+// those against central differences too (they close the training loop,
+// so a wrong factor here silently rescales every run).
+TEST(GradCheck, MseLoss) {
+  Rng rng(20);
+  Matrix pred = Matrix::Randn(4, 3, &rng);
+  Matrix target = Matrix::Randn(4, 3, &rng);
+  testing::CheckLossGradient(
+      [&](const Matrix& p, Matrix* g) { return MseLoss(p, target, g); },
+      pred);
+}
+
+TEST(GradCheck, BceLoss) {
+  Rng rng(21);
+  // Probabilities strictly inside (0,1), away from the clamp region.
+  Matrix pred(4, 2);
+  Matrix target(4, 2);
+  for (size_t r = 0; r < pred.rows(); ++r) {
+    for (size_t c = 0; c < pred.cols(); ++c) {
+      pred(r, c) = 0.1 + 0.8 * rng.Uniform();
+      target(r, c) = rng.Uniform() < 0.5 ? 0.0 : 1.0;
+    }
+  }
+  testing::CheckLossGradient(
+      [&](const Matrix& p, Matrix* g) { return BceLoss(p, target, g); },
+      pred);
+}
+
+TEST(GradCheck, BceWithLogitsLoss) {
+  Rng rng(22);
+  Matrix logits = Matrix::Randn(5, 2, &rng);
+  Matrix target(5, 2);
+  for (size_t r = 0; r < target.rows(); ++r)
+    for (size_t c = 0; c < target.cols(); ++c)
+      target(r, c) = rng.Uniform() < 0.5 ? 0.0 : 1.0;
+  testing::CheckLossGradient(
+      [&](const Matrix& p, Matrix* g) {
+        return BceWithLogitsLoss(p, target, g);
+      },
+      logits);
 }
 
 // LSTM is not a Module (stepwise interface); check it directly over a

@@ -1,0 +1,279 @@
+// The headline invariant of the checkpoint subsystem: training N
+// iterations straight and training k, "crashing", and resuming to N
+// produce identical parameters, rng stream, loss traces, and telemetry
+// values — for any DAISY_THREADS. Also covers: checkpointing never
+// perturbs a run, resume validation rejects mismatched configs and
+// corrupt-only directories without touching the trainer, and the
+// durable sentinel fallback restores from disk when the in-memory
+// rollback baseline is itself poisoned.
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "core/parallel.h"
+#include "data/generators/sdata.h"
+#include "obs/metrics.h"
+#include "synth/mlp_nets.h"
+#include "synth/synthesizer.h"
+#include "synth/trainer.h"
+
+namespace daisy::synth {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+data::Table SmallTable() {
+  Rng rng(7);
+  data::SDataCatOptions opts;
+  opts.num_records = 200;
+  return data::MakeSDataCat(opts, &rng);
+}
+
+GanOptions BaseOptions(size_t threads) {
+  GanOptions opts;
+  opts.algo = TrainAlgo::kVTrain;
+  opts.iterations = 24;
+  opts.batch_size = 16;
+  opts.snapshots = 4;
+  opts.seed = 33;
+  opts.num_threads = threads;
+  return opts;
+}
+
+// Deterministic record fields only — timings legitimately differ
+// between an uninterrupted and a resumed run.
+void ExpectSameRecords(const std::vector<obs::MetricRecord>& a,
+                       const std::vector<obs::MetricRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].run, b[i].run) << "record " << i;
+    EXPECT_EQ(a[i].iter, b[i].iter) << "record " << i;
+    EXPECT_EQ(a[i].d_loss, b[i].d_loss) << "record " << i;
+    EXPECT_EQ(a[i].g_loss, b[i].g_loss) << "record " << i;
+    EXPECT_EQ(a[i].d_grad_norm, b[i].d_grad_norm) << "record " << i;
+    EXPECT_EQ(a[i].g_grad_norm, b[i].g_grad_norm) << "record " << i;
+    EXPECT_EQ(a[i].param_norm, b[i].param_norm) << "record " << i;
+    EXPECT_EQ(a[i].seed, b[i].seed) << "record " << i;
+  }
+}
+
+TEST(CheckpointResumeTest, GanResumeIsBitwiseAcrossThreadCounts) {
+  const data::Table table = SmallTable();
+  for (size_t threads : {1u, 2u, 7u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    // Run A: straight through, checkpointing enabled.
+    GanOptions opts_a = BaseOptions(threads);
+    opts_a.checkpoint_every = 6;
+    opts_a.checkpoint_dir = FreshDir("resume_a_" + std::to_string(threads));
+    obs::MemorySink sink_a;
+    TableSynthesizer synth_a(opts_a, {});
+    ASSERT_TRUE(synth_a.Fit(table, &sink_a).ok());
+    const std::string model_a =
+        opts_a.checkpoint_dir + "/model_a.daisy";
+    ASSERT_TRUE(synth_a.Save(model_a).ok());
+
+    // Run B: pause every 7 iterations ("crash"), then resume in a
+    // fresh synthesizer — as a restarted process would — until done.
+    // The shared sink plays the role of the on-disk JSONL file.
+    GanOptions opts_b = BaseOptions(threads);
+    opts_b.checkpoint_every = 6;
+    opts_b.checkpoint_dir = FreshDir("resume_b_" + std::to_string(threads));
+    opts_b.resume = true;
+    opts_b.max_iters_per_run = 7;
+    obs::MemorySink sink_b;
+    std::string model_b;
+    std::vector<double> g_losses_b, d_losses_b;
+    int segments = 0;
+    for (; segments < 16; ++segments) {
+      TableSynthesizer synth_b(opts_b, {});
+      ASSERT_TRUE(synth_b.Fit(table, &sink_b).ok());
+      if (!synth_b.train_result().paused) {
+        model_b = opts_b.checkpoint_dir + "/model_b.daisy";
+        ASSERT_TRUE(synth_b.Save(model_b).ok());
+        g_losses_b = synth_b.train_result().g_losses;
+        d_losses_b = synth_b.train_result().d_losses;
+        break;
+      }
+    }
+    ASSERT_FALSE(model_b.empty()) << "run never completed";
+    EXPECT_GE(segments, 2) << "pause knob never engaged";
+
+    EXPECT_EQ(FileBytes(model_a), FileBytes(model_b))
+        << "resumed model differs from uninterrupted run";
+    EXPECT_EQ(synth_a.train_result().g_losses, g_losses_b);
+    EXPECT_EQ(synth_a.train_result().d_losses, d_losses_b);
+    ExpectSameRecords(sink_a.records(), sink_b.records());
+  }
+}
+
+TEST(CheckpointResumeTest, CheckpointingIsNonPerturbing) {
+  const data::Table table = SmallTable();
+  GanOptions plain = BaseOptions(2);
+  plain.algo = TrainAlgo::kWTrain;
+  TableSynthesizer synth_plain(plain, {});
+  ASSERT_TRUE(synth_plain.Fit(table).ok());
+
+  GanOptions ckpt = plain;
+  ckpt.checkpoint_every = 5;
+  ckpt.checkpoint_dir = FreshDir("nonperturb");
+  TableSynthesizer synth_ckpt(ckpt, {});
+  ASSERT_TRUE(synth_ckpt.Fit(table).ok());
+
+  const std::string pa = ckpt.checkpoint_dir + "/plain.daisy";
+  const std::string pb = ckpt.checkpoint_dir + "/ckpt.daisy";
+  ASSERT_TRUE(synth_plain.Save(pa).ok());
+  ASSERT_TRUE(synth_ckpt.Save(pb).ok());
+  EXPECT_EQ(FileBytes(pa), FileBytes(pb));
+}
+
+TEST(CheckpointResumeTest, ResumeOnEmptyDirIsAColdStart) {
+  const data::Table table = SmallTable();
+  GanOptions plain = BaseOptions(1);
+  TableSynthesizer a(plain, {});
+  ASSERT_TRUE(a.Fit(table).ok());
+
+  GanOptions resuming = plain;
+  resuming.checkpoint_dir = FreshDir("cold_start");
+  resuming.resume = true;  // nothing there yet — schedulers always pass it
+  TableSynthesizer b(resuming, {});
+  ASSERT_TRUE(b.Fit(table).ok());
+
+  const std::string pa = resuming.checkpoint_dir + "/a.daisy";
+  const std::string pb = resuming.checkpoint_dir + "/b.daisy";
+  ASSERT_TRUE(a.Save(pa).ok());
+  ASSERT_TRUE(b.Save(pb).ok());
+  EXPECT_EQ(FileBytes(pa), FileBytes(pb));
+}
+
+TEST(CheckpointResumeTest, ResumeRejectsMismatchedConfig) {
+  const data::Table table = SmallTable();
+  GanOptions opts = BaseOptions(1);
+  opts.checkpoint_every = 6;
+  opts.checkpoint_dir = FreshDir("mismatch");
+  TableSynthesizer a(opts, {});
+  ASSERT_TRUE(a.Fit(table).ok());
+  ASSERT_FALSE(ckpt::CheckpointStore(opts.checkpoint_dir).ListFiles().empty());
+
+  GanOptions other = opts;
+  other.resume = true;
+  other.seed = opts.seed + 1;  // different run — must be refused
+  TableSynthesizer b(other, {});
+  const Status st = b.Fit(table);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(CheckpointResumeTest, ResumeFromCorruptOnlyDirFailsCleanly) {
+  const data::Table table = SmallTable();
+  GanOptions opts = BaseOptions(1);
+  opts.checkpoint_every = 6;
+  opts.checkpoint_dir = FreshDir("all_corrupt");
+  TableSynthesizer a(opts, {});
+  ASSERT_TRUE(a.Fit(table).ok());
+
+  for (const std::string& f :
+       ckpt::CheckpointStore(opts.checkpoint_dir).ListFiles()) {
+    std::ofstream out(f, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+
+  GanOptions resuming = opts;
+  resuming.resume = true;
+  TableSynthesizer b(resuming, {});
+  EXPECT_FALSE(b.Fit(table).ok());
+}
+
+// Stage a divergence whose in-memory rollback baseline is ALSO
+// poisoned (via a doctored checkpoint), and verify the trainer walks
+// back to the newest on-disk checkpoint with a finite healthy state.
+TEST(CheckpointResumeTest, DurableFallbackRestoresFromOlderCheckpoint) {
+  const data::Table table = SmallTable();
+  const std::string dir = FreshDir("durable_fallback");
+
+  GanOptions opts = BaseOptions(1);
+  opts.iterations = 30;
+  opts.checkpoint_every = 10;
+  opts.checkpoint_dir = dir;
+  opts.checkpoint_keep = 5;
+  opts.max_iters_per_run = 20;  // stop after the iter-20 checkpoint
+
+  const auto build_and_train = [&](const GanOptions& o) {
+    Rng rng(o.seed);
+    transform::TransformOptions topts;
+    auto transformer = std::make_unique<transform::RecordTransformer>(
+        transform::RecordTransformer::Fit(table, topts, &rng));
+    auto g = std::make_unique<MlpGenerator>(8, 0, std::vector<size_t>{24},
+                                            transformer->segments(), &rng);
+    auto d = std::make_unique<MlpDiscriminator>(transformer->sample_dim(), 0,
+                                                std::vector<size_t>{24},
+                                                false, &rng);
+    GanTrainer trainer(g.get(), d.get(), transformer.get(), o);
+    TrainResult result = trainer.Train(table, &rng);
+    return std::make_tuple(std::move(transformer), std::move(g),
+                           std::move(d), std::move(result));
+  };
+
+  {
+    auto [transformer, g, d, result] = build_and_train(opts);
+    ASSERT_TRUE(result.paused);
+  }
+  ckpt::CheckpointStore store(dir, 5);
+  std::vector<std::string> files = store.ListFiles();
+  ASSERT_EQ(files.size(), 2u);  // iters 10 and 20
+
+  // Keep the iter-10 healthy state as the expected restore target.
+  auto good = ckpt::LoadCheckpoint(files[0]);
+  ASSERT_TRUE(good.ok());
+
+  // Doctor the iter-20 checkpoint: NaN parameters (to trip the
+  // sentinel on the next iteration) AND NaN healthy baseline (so the
+  // in-memory rollback target is poisoned too).
+  auto doctored = ckpt::LoadCheckpoint(files[1]);
+  ASSERT_TRUE(doctored.ok());
+  ckpt::TrainCheckpoint bad = doctored.take();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (Matrix& m : bad.params) m.Fill(nan);
+  for (Matrix& m : bad.healthy_params) m.Fill(nan);
+  ASSERT_TRUE(ckpt::SaveCheckpoint(bad, files[1]).ok());
+
+  GanOptions resuming = opts;
+  resuming.resume = true;
+  resuming.max_iters_per_run = 0;
+  auto [transformer, g, d, result] = build_and_train(resuming);
+  EXPECT_FALSE(result.health.ok());  // sentinel tripped on NaN losses
+
+  // The generator must hold the iter-10 healthy parameters — finite,
+  // and bitwise equal to what the surviving checkpoint recorded.
+  const StateDict state = GetState(g->Params());
+  ASSERT_EQ(state.size(), good.value().healthy_params.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    ASSERT_TRUE(state[i].SameShape(good.value().healthy_params[i]));
+    for (size_t r = 0; r < state[i].rows(); ++r)
+      for (size_t c = 0; c < state[i].cols(); ++c)
+        EXPECT_EQ(state[i](r, c), good.value().healthy_params[i](r, c));
+  }
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -16,7 +16,14 @@
 // `synth` accepts --save-model PATH to persist the trained model;
 // `generate` reloads it and samples without retraining. `--log-jsonl`
 // streams per-iteration training telemetry (losses, grad norms,
-// wall-clock) as JSONL; `--log-every` thins it. If the divergence
+// wall-clock) as JSONL; `--log-every` thins it. With
+// --checkpoint-every N and --checkpoint-dir DIR, training writes an
+// atomic checkpoint every N iterations (keeping the newest
+// --checkpoint-keep files); after a crash, rerunning the SAME command
+// plus --resume continues from the newest valid checkpoint and
+// produces bitwise-identical results to an uninterrupted run.
+// --max-iters-per-run N pauses cleanly after N iterations in this
+// process (for schedulers and tests). If the divergence
 // sentinel stops training early, the CLI reports the failing iteration
 // and generates from the last healthy snapshot.
 //
@@ -72,6 +79,9 @@ int Usage() {
                "            [--iterations N] [--seed S] [--threads T]\n"
                "            [--log-jsonl PATH] [--log-every N]\n"
                "            [--save-model PATH]\n"
+               "            [--checkpoint-every N] [--checkpoint-dir DIR]\n"
+               "            [--checkpoint-keep K] [--resume]\n"
+               "            [--max-iters-per-run N]\n"
                "  daisy_cli generate --model PATH --output fake.csv [--n N]\n"
                "            [--seed S]\n"
                "  daisy_cli eval --real real.csv --synthetic fake.csv\n"
@@ -109,10 +119,29 @@ int RunSynth(const Args& args) {
   if (args.Get("num", "gmm") == "simple")
     topts.numerical = daisy::transform::NumericalNormalization::kSimple;
 
+  // Checkpointing knobs (shared across methods). With --resume the
+  // telemetry file is reopened in resume mode: the checkpointed record
+  // cursor truncates any tail written by the crashed run, so the final
+  // JSONL matches an uninterrupted run line for line.
+  const std::string ckpt_dir = args.Get("checkpoint-dir");
+  const size_t ckpt_every =
+      static_cast<size_t>(std::max(0L, args.GetInt("checkpoint-every", 0)));
+  const size_t ckpt_keep =
+      static_cast<size_t>(std::max(1L, args.GetInt("checkpoint-keep", 3)));
+  const bool resume = !args.Get("resume").empty();
+  const size_t max_iters_per_run = static_cast<size_t>(
+      std::max(0L, args.GetInt("max-iters-per-run", 0)));
+  if ((ckpt_every > 0 || resume) && ckpt_dir.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--resume require --checkpoint-dir\n");
+    return 1;
+  }
+
   std::unique_ptr<daisy::obs::RunLogger> logger;
   const std::string log_path = args.Get("log-jsonl");
   if (!log_path.empty()) {
-    auto opened = daisy::obs::RunLogger::Open(log_path);
+    auto opened = resume ? daisy::obs::RunLogger::OpenForResume(log_path)
+                         : daisy::obs::RunLogger::Open(log_path);
     if (!opened.ok()) {
       std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
                    opened.status().ToString().c_str());
@@ -148,6 +177,11 @@ int RunSynth(const Args& args) {
     opts.iterations = static_cast<size_t>(args.GetInt("iterations", 800));
     opts.seed = seed;
     opts.log_every = log_every;
+    opts.checkpoint_every = ckpt_every;
+    opts.checkpoint_dir = ckpt_dir;
+    opts.checkpoint_keep = ckpt_keep;
+    opts.resume = resume;
+    opts.max_iters_per_run = max_iters_per_run;
     // 0 = keep the process default (DAISY_THREADS env, else hardware).
     opts.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
 
@@ -167,6 +201,11 @@ int RunSynth(const Args& args) {
                    "generating from the last healthy snapshot\n",
                    health.ToString().c_str());
     }
+    if (synth.train_result().paused) {
+      std::printf("paused after --max-iters-per-run iterations; "
+                  "rerun with --resume to continue\n");
+      return 0;
+    }
     fake = synth.Generate(n, &gen_rng);
 
     if (!model_path.empty()) {
@@ -183,6 +222,11 @@ int RunSynth(const Args& args) {
     opts.epochs = static_cast<size_t>(args.GetInt("iterations", 30));
     opts.seed = seed;
     opts.log_every = log_every;
+    opts.checkpoint_every = ckpt_every;
+    opts.checkpoint_dir = ckpt_dir;
+    opts.checkpoint_keep = ckpt_keep;
+    opts.resume = resume;
+    opts.max_iters_per_run = max_iters_per_run;
     daisy::baselines::VaeSynthesizer synth(opts, topts);
     std::printf("training (vae, %zu epochs)...\n", opts.epochs);
     const Status health = synth.Fit(table.value(), logger.get());
@@ -191,12 +235,22 @@ int RunSynth(const Args& args) {
                    "training stopped early: %s\n"
                    "generating from the last healthy snapshot\n",
                    health.ToString().c_str());
+    if (synth.paused()) {
+      std::printf("paused after --max-iters-per-run epochs; "
+                  "rerun with --resume to continue\n");
+      return 0;
+    }
     fake = synth.Generate(n, &gen_rng);
   } else {  // medgan
     daisy::baselines::MedGanOptions opts;
     opts.gan_iterations = static_cast<size_t>(args.GetInt("iterations", 300));
     opts.seed = seed;
     opts.log_every = log_every;
+    opts.checkpoint_every = ckpt_every;
+    opts.checkpoint_dir = ckpt_dir;
+    opts.checkpoint_keep = ckpt_keep;
+    opts.resume = resume;
+    opts.max_iters_per_run = max_iters_per_run;
     daisy::baselines::MedGanSynthesizer synth(opts, topts);
     std::printf("training (medgan, %zu AE epochs + %zu GAN iterations)...\n",
                 opts.ae_epochs, opts.gan_iterations);
@@ -206,6 +260,11 @@ int RunSynth(const Args& args) {
                    "training stopped early: %s\n"
                    "generating from the last healthy snapshot\n",
                    health.ToString().c_str());
+    if (synth.paused()) {
+      std::printf("paused after --max-iters-per-run epochs/iterations; "
+                  "rerun with --resume to continue\n");
+      return 0;
+    }
     fake = synth.Generate(n, &gen_rng);
   }
 
@@ -321,10 +380,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return Usage();
+    // Boolean flags take no value.
+    if (key == "--resume") {
+      args.flags[key.substr(2)] = "1";
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= argc) return Usage();
     args.flags[key.substr(2)] = argv[i + 1];
+    i += 2;
   }
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "generate") return RunGenerate(args);
