@@ -1,0 +1,130 @@
+// Serving throughput bench (google-benchmark): closed-loop clients
+// submit GEN jobs straight into an in-process ServeEngine — the same
+// scheduler, coalescing, decode and CSV-encode path daisy_serve runs
+// behind its socket, minus kernel socket I/O. Axes:
+//
+//   clients  — closed-loop submitters (each keeps one job in flight)
+//   models   — 1: every job hits one model (maximal coalescing);
+//              2: jobs alternate between two models (grouping must
+//              split batches)
+//   rows     — rows per request
+//
+// Reported items/sec is generated CSV rows per second. The engine's
+// determinism contract means the bytes are identical across all axes —
+// only time may change. EXPERIMENTS.md describes exporting the sweep
+// as BENCH_serve.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators/realistic.h"
+#include "serve/engine.h"
+#include "serve/registry.h"
+
+namespace daisy::bench {
+namespace {
+
+// Trains (once) two small GAN models, persists them, and loads them
+// into a shared registry — bench setup, outside every timed region.
+const serve::ModelRegistry& SharedRegistry() {
+  static const serve::ModelRegistry* registry = [] {
+    auto* reg = new serve::ModelRegistry();
+    const struct {
+      const char* name;
+      uint64_t seed;
+    } kModels[] = {{"alpha", 0x5E1}, {"beta", 0x5E2}};
+    for (const auto& m : kModels) {
+      Rng rng(m.seed);
+      const data::Table train = data::MakeAdultSim(400, &rng);
+      synth::GanOptions opts = BenchGanOptions();
+      opts.iterations = 60;
+      opts.snapshots = 1;
+      opts.seed = m.seed;
+      transform::TransformOptions topts;
+      synth::TableSynthesizer model(opts, topts);
+      DAISY_CHECK(model.Fit(train).ok());
+      // Scratch model files go to /tmp, not the CWD (benches run from
+      // the repo root in CI and locally).
+      const std::string path =
+          std::string("/tmp/bench_serve_") + m.name + ".daisy";
+      DAISY_CHECK(model.Save(path).ok());
+      DAISY_CHECK(reg->Load(m.name, path).ok());
+    }
+    return reg;
+  }();
+  return *registry;
+}
+
+void BM_ServeGen(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t num_models = static_cast<size_t>(state.range(1));
+  const size_t rows = static_cast<size_t>(state.range(2));
+  const char* kNames[] = {"alpha", "beta"};
+
+  const serve::ModelRegistry& registry = SharedRegistry();
+  serve::ServeEngine::Options eopts;
+  eopts.chunk_rows = 256;
+  eopts.max_batch_rows = 1024;
+
+  size_t total_rows = 0;
+  for (auto _ : state) {
+    serve::ServeEngine engine(&registry, eopts);
+    engine.Start();
+
+    // Each client thread submits back-to-back requests, waiting for
+    // each reply stream to finish before sending the next (closed
+    // loop, one job in flight per client).
+    const size_t requests_per_client = 2;
+    std::atomic<size_t> bytes_seen{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t r = 0; r < requests_per_client; ++r) {
+          std::mutex m;
+          std::condition_variable cv;
+          bool done = false;
+          const Status st = engine.SubmitGen(
+              kNames[(c + r) % num_models], rows, /*seed=*/c * 31 + r,
+              [&](const std::string& chunk, bool is_done) {
+                if (is_done) {
+                  std::lock_guard<std::mutex> lock(m);
+                  done = true;
+                  cv.notify_one();
+                  return;
+                }
+                bytes_seen.fetch_add(chunk.size(),
+                                     std::memory_order_relaxed);
+              });
+          DAISY_CHECK(st.ok());
+          std::unique_lock<std::mutex> lock(m);
+          cv.wait(lock, [&] { return done; });
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.Drain();
+    benchmark::DoNotOptimize(bytes_seen.load());
+    total_rows += clients * requests_per_client * rows;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_rows));
+}
+BENCHMARK(BM_ServeGen)
+    ->ArgsProduct({{1, 2, 4}, {1, 2}, {500, 2000}})
+    ->ArgNames({"clients", "models", "rows"})
+    // Rows are produced by the engine's worker threads, not the
+    // benchmark thread itself, so items/s must be a wall-clock rate.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace daisy::bench
+
+BENCHMARK_MAIN();

@@ -10,45 +10,73 @@ namespace daisy::data {
 
 namespace {
 
-// RFC-4180 field splitting: inside a quoted section a doubled quote
-// ("") is an escaped literal quote, a single quote closes the section.
-// A quote left open at end of line is an error (multi-line fields are
-// not supported; WriteCsv never emits them).
-Status SplitLine(const std::string& line, std::vector<std::string>* fields) {
+// RFC-4180 record parsing: inside a quoted section a doubled quote
+// ("") is an escaped literal quote, a single quote closes the section,
+// and a line break is part of the field — a record may span several
+// physical lines. A quote left open at end of file is an error.
+// On success sets *got to whether a record was read (false = clean
+// EOF); blank physical lines between records are skipped.
+Status ParseRecord(std::istream& in, std::vector<std::string>* fields,
+                   bool* got) {
   fields->clear();
+  *got = false;
+  std::string line;
+  bool had_cr = false;
+  // CRLF terminators: strip the '\r' at record boundaries (it is part
+  // of the line ending, not of the last field).
+  const auto next_line = [&in, &line, &had_cr] {
+    if (!std::getline(in, line)) return false;
+    had_cr = !line.empty() && line.back() == '\r';
+    if (had_cr) line.pop_back();
+    return true;
+  };
+  do {
+    if (!next_line()) return Status::OK();  // clean EOF
+  } while (line.empty());
+
   std::string field;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    const char ch = line[i];
-    if (in_quotes) {
-      if (ch == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field.push_back('"');
-          ++i;
+  for (;;) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char ch = line[i];
+      if (in_quotes) {
+        if (ch == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field.push_back('"');
+            ++i;
+          } else {
+            in_quotes = false;
+          }
         } else {
-          in_quotes = false;
+          field.push_back(ch);
         }
+      } else if (ch == '"') {
+        in_quotes = true;
+      } else if (ch == ',') {
+        fields->push_back(std::move(field));
+        field.clear();
       } else {
         field.push_back(ch);
       }
-    } else if (ch == '"') {
-      in_quotes = true;
-    } else if (ch == ',') {
-      fields->push_back(std::move(field));
-      field.clear();
-    } else {
-      field.push_back(ch);
     }
+    if (!in_quotes) break;
+    // The open quote swallows the line break: the field continues on
+    // the next physical line. Inside quotes a stripped '\r' was cell
+    // content (a quoted CRLF), so restore it.
+    if (had_cr) field.push_back('\r');
+    if (!next_line())
+      return Status::InvalidArgument("unterminated quote in csv record");
+    field.push_back('\n');
   }
-  if (in_quotes)
-    return Status::InvalidArgument("unterminated quote in csv line: " + line);
   fields->push_back(std::move(field));
+  *got = true;
   return Status::OK();
 }
 
-std::string EscapeField(const std::string& s) {
-  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos)
-    return s;
+}  // namespace
+
+std::string EscapeCsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (char ch : s) {
     if (ch == '"') out += "\"\"";
@@ -57,6 +85,8 @@ std::string EscapeField(const std::string& s) {
   out += "\"";
   return out;
 }
+
+namespace {
 
 bool ParseDouble(const std::string& s, double* out) {
   if (s.empty()) return false;
@@ -76,13 +106,13 @@ Status WriteCsv(const Table& table, const std::string& path) {
   const Schema& schema = table.schema();
   for (size_t j = 0; j < schema.num_attributes(); ++j) {
     if (j) out << ',';
-    out << EscapeField(schema.attribute(j).name);
+    out << EscapeCsvField(schema.attribute(j).name);
   }
   out << '\n';
   for (size_t i = 0; i < table.num_records(); ++i) {
     for (size_t j = 0; j < schema.num_attributes(); ++j) {
       if (j) out << ',';
-      out << EscapeField(table.CellToString(i, j));
+      out << EscapeCsvField(table.CellToString(i, j));
     }
     out << '\n';
   }
@@ -95,18 +125,17 @@ Result<Table> ReadCsv(const std::string& path,
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
 
-  std::string line;
-  if (!std::getline(in, line))
-    return Status::InvalidArgument("empty csv: " + path);
   std::vector<std::string> header;
-  if (Status st = SplitLine(line, &header); !st.ok()) return st;
+  bool got = false;
+  if (Status st = ParseRecord(in, &header, &got); !st.ok()) return st;
+  if (!got) return Status::InvalidArgument("empty csv: " + path);
   const size_t m = header.size();
 
   std::vector<std::vector<std::string>> raw;  // rows of string fields
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  for (;;) {
     std::vector<std::string> fields;
-    if (Status st = SplitLine(line, &fields); !st.ok()) return st;
+    if (Status st = ParseRecord(in, &fields, &got); !st.ok()) return st;
+    if (!got) break;
     if (fields.size() != m)
       return Status::InvalidArgument("ragged row in csv: " + path);
     raw.push_back(std::move(fields));

@@ -9,8 +9,16 @@
 
 namespace daisy::data {
 
+/// RFC-4180 escaping for one cell: the field is quoted (with embedded
+/// quotes doubled) when it contains a comma, quote, CR or LF. Exposed
+/// so streaming writers (the serve CSV encoder) produce bytes identical
+/// to WriteCsv.
+std::string EscapeCsvField(const std::string& s);
+
 /// Writes the table with a header row; categorical cells are written as
-/// category names, numerics with full precision.
+/// category names, numerics with full precision. Cells containing
+/// delimiters, quotes or line breaks are quoted per RFC 4180, and
+/// ReadCsv round-trips them (including embedded newlines).
 Status WriteCsv(const Table& table, const std::string& path);
 
 /// Reads a CSV with a header row. Columns where every value parses as a

@@ -6,6 +6,10 @@ namespace daisy::nn {
 
 Matrix ReLU::Forward(const Matrix& x, bool /*training*/) {
   cached_input_ = x;
+  return InferenceForward(x);
+}
+
+Matrix ReLU::InferenceForward(const Matrix& x) const {
   return x.Apply([](double v) { return v > 0.0 ? v : 0.0; });
 }
 
@@ -20,6 +24,10 @@ Matrix ReLU::Backward(const Matrix& grad_out) {
 
 Matrix LeakyReLU::Forward(const Matrix& x, bool /*training*/) {
   cached_input_ = x;
+  return InferenceForward(x);
+}
+
+Matrix LeakyReLU::InferenceForward(const Matrix& x) const {
   const double a = alpha_;
   return x.Apply([a](double v) { return v > 0.0 ? v : a * v; });
 }
@@ -34,9 +42,11 @@ Matrix LeakyReLU::Backward(const Matrix& grad_out) {
 }
 
 Matrix Tanh::Forward(const Matrix& x, bool /*training*/) {
-  cached_output_ = x.Apply([](double v) { return std::tanh(v); });
+  cached_output_ = InferenceForward(x);
   return cached_output_;
 }
+
+Matrix Tanh::InferenceForward(const Matrix& x) const { return TanhMat(x); }
 
 Matrix Tanh::Backward(const Matrix& grad_out) {
   DAISY_CHECK(grad_out.SameShape(cached_output_));
@@ -50,8 +60,12 @@ Matrix Tanh::Backward(const Matrix& grad_out) {
 }
 
 Matrix Sigmoid::Forward(const Matrix& x, bool /*training*/) {
-  cached_output_ = SigmoidMat(x);
+  cached_output_ = InferenceForward(x);
   return cached_output_;
+}
+
+Matrix Sigmoid::InferenceForward(const Matrix& x) const {
+  return SigmoidMat(x);
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_out) {
@@ -66,8 +80,12 @@ Matrix Sigmoid::Backward(const Matrix& grad_out) {
 }
 
 Matrix Softmax::Forward(const Matrix& x, bool /*training*/) {
-  cached_output_ = SoftmaxRows(x);
+  cached_output_ = InferenceForward(x);
   return cached_output_;
+}
+
+Matrix Softmax::InferenceForward(const Matrix& x) const {
+  return SoftmaxRows(x);
 }
 
 Matrix Softmax::Backward(const Matrix& grad_out) {

@@ -10,6 +10,7 @@ namespace daisy::nn {
 class ReLU : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::unique_ptr<Module> Clone() const override;
 
@@ -22,6 +23,7 @@ class LeakyReLU : public Module {
  public:
   explicit LeakyReLU(double alpha = 0.2) : alpha_(alpha) {}
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::unique_ptr<Module> Clone() const override;
 
@@ -34,6 +36,7 @@ class LeakyReLU : public Module {
 class Tanh : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::unique_ptr<Module> Clone() const override;
 
@@ -45,6 +48,7 @@ class Tanh : public Module {
 class Sigmoid : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::unique_ptr<Module> Clone() const override;
 
@@ -56,6 +60,7 @@ class Sigmoid : public Module {
 class Softmax : public Module {
  public:
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::unique_ptr<Module> Clone() const override;
 

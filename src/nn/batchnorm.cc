@@ -56,6 +56,23 @@ Matrix BatchNorm1d::Forward(const Matrix& x, bool training) {
   return y;
 }
 
+Matrix BatchNorm1d::InferenceForward(const Matrix& x) const {
+  DAISY_CHECK(x.cols() == features_);
+  // Mirrors the eval branch of Forward expression-for-expression so the
+  // two paths agree to the last bit.
+  Matrix inv_std(1, features_);
+  for (size_t c = 0; c < features_; ++c)
+    inv_std(0, c) = 1.0 / std::sqrt(running_var_(0, c) + eps_);
+
+  Matrix y(x.rows(), features_);
+  for (size_t r = 0; r < x.rows(); ++r)
+    for (size_t c = 0; c < features_; ++c) {
+      const double xhat = (x(r, c) - running_mean_(0, c)) * inv_std(0, c);
+      y(r, c) = gamma_.value(0, c) * xhat + beta_.value(0, c);
+    }
+  return y;
+}
+
 Matrix BatchNorm1d::Backward(const Matrix& grad_out) {
   DAISY_CHECK(grad_out.SameShape(cached_xhat_));
   const size_t n = grad_out.rows();

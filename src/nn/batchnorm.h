@@ -15,6 +15,7 @@ class BatchNorm1d : public Module {
                        double eps = 1e-5);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
   std::vector<Matrix*> Buffers() override {

@@ -34,8 +34,12 @@ Conv2d::Conv2d(ImageShape in, size_t out_channels, size_t kernel,
 }
 
 Matrix Conv2d::Forward(const Matrix& x, bool /*training*/) {
-  DAISY_CHECK(x.cols() == in_shape_.Flat());
   cached_input_ = x;
+  return InferenceForward(x);
+}
+
+Matrix Conv2d::InferenceForward(const Matrix& x) const {
+  DAISY_CHECK(x.cols() == in_shape_.Flat());
   const size_t n = x.rows();
   const size_t ih = in_shape_.height, iw = in_shape_.width;
   const size_t oh = out_shape_.height, ow = out_shape_.width;
@@ -133,8 +137,12 @@ ConvTranspose2d::ConvTranspose2d(ImageShape in, size_t out_channels,
 }
 
 Matrix ConvTranspose2d::Forward(const Matrix& x, bool /*training*/) {
-  DAISY_CHECK(x.cols() == in_shape_.Flat());
   cached_input_ = x;
+  return InferenceForward(x);
+}
+
+Matrix ConvTranspose2d::InferenceForward(const Matrix& x) const {
+  DAISY_CHECK(x.cols() == in_shape_.Flat());
   const size_t n = x.rows();
   const size_t ih = in_shape_.height, iw = in_shape_.width;
   const size_t oh = out_shape_.height, ow = out_shape_.width;

@@ -25,6 +25,7 @@ class Conv2d : public Module {
          size_t padding, Rng* rng);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
 
@@ -49,6 +50,7 @@ class ConvTranspose2d : public Module {
                   size_t stride, size_t padding, Rng* rng);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
 

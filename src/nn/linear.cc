@@ -12,8 +12,12 @@ Linear::Linear(size_t in, size_t out, Rng* rng) : in_(in), out_(out) {
 }
 
 Matrix Linear::Forward(const Matrix& x, bool /*training*/) {
-  DAISY_CHECK(x.cols() == in_);
   cached_input_ = x;
+  return InferenceForward(x);
+}
+
+Matrix Linear::InferenceForward(const Matrix& x) const {
+  DAISY_CHECK(x.cols() == in_);
   Matrix y = x.MatMul(weight_.value);
   y.AddRowBroadcast(bias_.value);
   return y;

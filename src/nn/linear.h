@@ -14,6 +14,7 @@ class Linear : public Module {
   Linear(size_t in, size_t out, Rng* rng);
 
   Matrix Forward(const Matrix& x, bool training) override;
+  Matrix InferenceForward(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
   std::unique_ptr<Module> Clone() const override;

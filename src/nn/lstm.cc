@@ -59,6 +59,36 @@ LstmState LstmCell::StepForward(const Matrix& x, const LstmState& prev) {
   return next;
 }
 
+LstmState LstmCell::StepInference(const Matrix& x,
+                                  const LstmState& prev) const {
+  DAISY_CHECK(x.cols() == input_size_);
+  DAISY_CHECK(prev.h.cols() == hidden_size_ && prev.c.cols() == hidden_size_);
+  DAISY_CHECK(x.rows() == prev.h.rows());
+  const size_t n = x.rows(), hs = hidden_size_;
+
+  // Same expressions in the same order as StepForward, minus the cache:
+  // the two paths must agree to the last bit.
+  Matrix xh = Matrix::HCat(x, prev.h);
+  Matrix pre = xh.MatMul(weight_.value);
+  pre.AddRowBroadcast(bias_.value);
+
+  LstmState next;
+  next.h = Matrix(n, hs);
+  next.c = Matrix(n, hs);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < hs; ++j) {
+      const double i = SigmoidScalar(pre(r, j));
+      const double f = SigmoidScalar(pre(r, hs + j));
+      const double g = std::tanh(pre(r, 2 * hs + j));
+      const double o = SigmoidScalar(pre(r, 3 * hs + j));
+      const double c = f * prev.c(r, j) + i * g;
+      next.c(r, j) = c;
+      next.h(r, j) = o * std::tanh(c);
+    }
+  }
+  return next;
+}
+
 LstmCell::StepGrads LstmCell::StepBackward(const Matrix& grad_h,
                                            const Matrix& grad_c) {
   DAISY_CHECK(!cache_.empty());

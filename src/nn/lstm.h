@@ -32,6 +32,12 @@ class LstmCell {
   /// One timestep. Pushes the step's cache onto the BPTT stack.
   LstmState StepForward(const Matrix& x, const LstmState& prev);
 
+  /// Inference-only timestep: identical gate arithmetic to StepForward
+  /// but const and cache-free — nothing is pushed onto the BPTT stack,
+  /// so it is safe to call concurrently from many threads on one shared
+  /// cell. StepBackward must never follow a StepInference.
+  LstmState StepInference(const Matrix& x, const LstmState& prev) const;
+
   /// Reverse of the most recent un-popped StepForward. `grad_h` /
   /// `grad_c` are dLoss/dh_t and dLoss/dc_t; outputs are dLoss/dx plus
   /// the gradients to pass to the previous step.

@@ -39,6 +39,17 @@ class Module {
   /// `training` toggles behaviours such as batch-norm statistics.
   virtual Matrix Forward(const Matrix& x, bool training) = 0;
 
+  /// Inference-only forward: the exact arithmetic of
+  /// Forward(x, /*training=*/false) — bit-for-bit, including BatchNorm
+  /// running statistics — but const and cache-free. It writes no
+  /// backward caches, allocates no gradient or optimizer state, and is
+  /// therefore safe to call concurrently from many threads on one
+  /// shared instance (the serving path relies on this to run a single
+  /// loaded model on a whole worker pool without cloning). Backward
+  /// must never follow an InferenceForward: there is no cache to
+  /// consume.
+  virtual Matrix InferenceForward(const Matrix& x) const = 0;
+
   /// Backpropagates. `grad_out` is dLoss/dOutput of the last Forward.
   virtual Matrix Backward(const Matrix& grad_out) = 0;
 

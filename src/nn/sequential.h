@@ -32,6 +32,12 @@ class Sequential : public Module {
     return h;
   }
 
+  Matrix InferenceForward(const Matrix& x) const override {
+    Matrix h = x;
+    for (const auto& layer : layers_) h = layer->InferenceForward(h);
+    return h;
+  }
+
   Matrix Backward(const Matrix& grad_out) override {
     Matrix g = grad_out;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

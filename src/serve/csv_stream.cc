@@ -1,0 +1,30 @@
+#include "serve/csv_stream.h"
+
+#include "data/csv.h"
+
+namespace daisy::serve {
+
+std::string CsvHeader(const data::Schema& schema) {
+  std::string out;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j) out += ',';
+    out += data::EscapeCsvField(schema.attribute(j).name);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string CsvRows(const data::Table& chunk) {
+  std::string out;
+  const data::Schema& schema = chunk.schema();
+  for (size_t i = 0; i < chunk.num_records(); ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      if (j) out += ',';
+      out += data::EscapeCsvField(chunk.CellToString(i, j));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace daisy::serve

@@ -1,0 +1,159 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "serve/csv_stream.h"
+
+namespace daisy::serve {
+
+ServeEngine::ServeEngine(const ModelRegistry* registry)
+    : ServeEngine(registry, Options()) {}
+
+ServeEngine::ServeEngine(const ModelRegistry* registry, Options opts)
+    : registry_(registry), opts_(opts) {
+  DAISY_CHECK(registry_ != nullptr);
+  DAISY_CHECK(opts_.chunk_rows > 0);
+  opts_.max_batch_rows = std::max(opts_.max_batch_rows, opts_.chunk_rows);
+}
+
+ServeEngine::~ServeEngine() { Drain(); }
+
+void ServeEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DAISY_CHECK(!started_);
+  started_ = true;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+void ServeEngine::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      // Second Drain (e.g. the destructor after an explicit call):
+      // nothing left to do once the scheduler has been joined.
+      if (!scheduler_.joinable()) return;
+    }
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+Status ServeEngine::SubmitGen(const std::string& model, size_t rows,
+                              uint64_t seed, ChunkSink sink) {
+  const synth::TableSynthesizer* m = registry_->Find(model);
+  if (m == nullptr) return Status::NotFound("unknown model: " + model);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_)
+      return Status::FailedPrecondition("server is shutting down");
+    DAISY_CHECK(started_);
+    queue_.push_back(
+        std::make_unique<Job>(m, rows, seed, std::move(sink)));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void ServeEngine::SchedulerLoop() {
+  for (;;) {
+    // One scheduling round: under the lock, group the front job with
+    // every other queued job for the same model, one chunk each, up to
+    // max_batch_rows coalesced rows.
+    std::vector<Job*> selected;
+    std::vector<size_t> take;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      const synth::TableSynthesizer* model = queue_.front()->model;
+      size_t batch = 0;
+      for (const auto& job : queue_) {
+        if (job->model != model) continue;
+        const size_t t = std::min(opts_.chunk_rows, job->remaining);
+        if (!selected.empty() && batch + t > opts_.max_batch_rows) break;
+        selected.push_back(job.get());
+        take.push_back(t);
+        batch += t;
+        if (batch >= opts_.max_batch_rows) break;
+      }
+    }
+
+    // Each job draws its own latents from its own rng stream — in
+    // selection order, but streams are independent, so cross-job order
+    // is irrelevant to the bytes each job receives. Only the scheduler
+    // touches job state, so no lock is needed from here on.
+    const size_t k = selected.size();
+    std::vector<Matrix> zs(k), conds(k);
+    std::vector<std::vector<size_t>> labels(k);
+    Matrix big_z, big_cond;
+    for (size_t i = 0; i < k; ++i) {
+      if (take[i] == 0) continue;
+      selected[i]->model->DrawLatents(take[i], &selected[i]->rng, &zs[i],
+                                      &conds[i], &labels[i]);
+      big_z = big_z.empty() ? zs[i] : Matrix::VCat(big_z, zs[i]);
+      if (!conds[i].empty())
+        big_cond =
+            big_cond.empty() ? conds[i] : Matrix::VCat(big_cond, conds[i]);
+    }
+
+    // One coalesced inference pass for the whole group (the generator
+    // itself fans out over the core/parallel pool). Per-row outputs are
+    // independent of batch composition, so splitting recovers exactly
+    // the bytes each job would have produced alone.
+    Matrix samples;
+    if (!big_z.empty())
+      samples = selected[0]->model->InferenceSamples(big_z, big_cond);
+
+    // Decode + CSV-encode every job's slice in parallel (row-local
+    // work; chunk order below restores per-job byte order).
+    std::vector<std::string> chunk(k);
+    std::vector<size_t> offset(k, 0);
+    for (size_t i = 0, at = 0; i < k; ++i) {
+      offset[i] = at;
+      at += take[i];
+    }
+    par::ParallelFor(0, k, 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        std::string bytes;
+        if (!selected[i]->header_sent)
+          bytes = CsvHeader(selected[i]->model->schema());
+        if (take[i] > 0) {
+          const Matrix part =
+              samples.RowRange(offset[i], offset[i] + take[i]);
+          bytes += CsvRows(selected[i]->model->DecodeRows(part, labels[i]));
+        }
+        chunk[i] = std::move(bytes);
+      }
+    });
+
+    // Deliver chunks and retire finished jobs. Sinks run on this
+    // thread only, so per-job chunk order is the selection order.
+    for (size_t i = 0; i < k; ++i) {
+      selected[i]->header_sent = true;
+      selected[i]->remaining -= take[i];
+      selected[i]->sink(chunk[i], /*done=*/false);
+      if (selected[i]->remaining == 0) {
+        ChunkSink done_sink = std::move(selected[i]->sink);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->get() == selected[i]) {
+              queue_.erase(it);
+              break;
+            }
+          }
+        }
+        done_sink("", /*done=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace daisy::serve

@@ -1,0 +1,89 @@
+// Request engine for the serving process: accepts "generate K rows
+// from model M as CSV" jobs from many threads, coalesces jobs that
+// target the same model into shared generator passes, and streams each
+// job's CSV back through its sink in bounded-memory chunks.
+//
+// Determinism contract: a job's reply bytes are a pure function of
+// (model, rows, seed). Each job draws its latents from its own rng
+// stream in Generate's fixed per-row order, per-row generator outputs
+// are independent of which other rows share a batch (the MatMul
+// accumulation-order guarantee), and decode/encode are row-local — so
+// neither the interleaving of concurrent jobs, nor the coalescing
+// grouping, nor the worker thread count can change a single byte.
+#ifndef DAISY_SERVE_ENGINE_H_
+#define DAISY_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/registry.h"
+
+namespace daisy::serve {
+
+class ServeEngine {
+ public:
+  struct Options {
+    /// Rows one job contributes to one generator pass (bounds the
+    /// per-job memory footprint; a 10M-row job streams as 10M /
+    /// chunk_rows passes).
+    size_t chunk_rows = 512;
+    /// Upper bound on coalesced rows per generator pass across jobs.
+    size_t max_batch_rows = 2048;
+  };
+
+  /// Receives one job's reply stream, called only from the scheduler
+  /// thread: one or more (bytes, done=false) chunks — the first starts
+  /// with the CSV header — then exactly one (empty, done=true).
+  using ChunkSink = std::function<void(const std::string& bytes, bool done)>;
+
+  explicit ServeEngine(const ModelRegistry* registry);
+  ServeEngine(const ModelRegistry* registry, Options opts);
+  ~ServeEngine();
+
+  void Start();
+
+  /// Stops accepting jobs, completes everything already queued, then
+  /// joins the scheduler (the graceful-shutdown drain).
+  void Drain();
+
+  /// Enqueues a generate job; the reply stream follows through `sink`.
+  /// Unknown model or a draining engine is an error and `sink` is
+  /// never called.
+  Status SubmitGen(const std::string& model, size_t rows, uint64_t seed,
+                   ChunkSink sink);
+
+ private:
+  struct Job {
+    const synth::TableSynthesizer* model = nullptr;
+    size_t remaining = 0;
+    bool header_sent = false;
+    Rng rng;
+    ChunkSink sink;
+
+    Job(const synth::TableSynthesizer* m, size_t rows, uint64_t seed,
+        ChunkSink s)
+        : model(m), remaining(rows), rng(seed), sink(std::move(s)) {}
+  };
+
+  void SchedulerLoop();
+
+  const ModelRegistry* registry_;
+  Options opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Job>> queue_;  // FIFO
+  bool draining_ = false;
+  bool started_ = false;
+  std::thread scheduler_;
+};
+
+}  // namespace daisy::serve
+
+#endif  // DAISY_SERVE_ENGINE_H_

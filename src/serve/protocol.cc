@@ -1,0 +1,70 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+#include <vector>
+
+namespace daisy::serve {
+
+namespace {
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(ch - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  if (tokens.empty())
+    return Status::InvalidArgument("empty request");
+
+  Request req;
+  const std::string& verb = tokens[0];
+  if (verb == "GEN") {
+    if (tokens.size() != 4)
+      return Status::InvalidArgument(
+          "GEN expects: GEN <model> <rows> <seed>");
+    req.kind = Request::Kind::kGen;
+    req.model = tokens[1];
+    if (!ParseU64(tokens[2], &req.rows))
+      return Status::InvalidArgument("GEN rows must be a non-negative "
+                                     "integer, got: " + tokens[2]);
+    if (!ParseU64(tokens[3], &req.seed))
+      return Status::InvalidArgument("GEN seed must be a non-negative "
+                                     "integer, got: " + tokens[3]);
+    return req;
+  }
+  if (verb == "LIST") {
+    if (tokens.size() != 1)
+      return Status::InvalidArgument("LIST takes no arguments");
+    req.kind = Request::Kind::kList;
+    return req;
+  }
+  if (verb == "PING") {
+    if (tokens.size() != 1)
+      return Status::InvalidArgument("PING takes no arguments");
+    req.kind = Request::Kind::kPing;
+    return req;
+  }
+  if (verb == "SHUTDOWN") {
+    if (tokens.size() != 1)
+      return Status::InvalidArgument("SHUTDOWN takes no arguments");
+    req.kind = Request::Kind::kShutdown;
+    return req;
+  }
+  return Status::InvalidArgument("unknown verb: " + verb);
+}
+
+}  // namespace daisy::serve

@@ -1,0 +1,45 @@
+// The daisy_serve line protocol. One request per line over a local
+// stream socket:
+//
+//   GEN <model> <rows> <seed>   generate rows from a loaded model
+//   LIST                        enumerate loaded models
+//   PING                        liveness probe
+//   SHUTDOWN                    drain in-flight requests, then exit
+//
+// Replies:
+//
+//   GEN      -> "OK <rows>\n" + CSV (header + rows) + "END\n"
+//   LIST     -> "OK <count>\n" + one "<name>\n" per model + "END\n"
+//   PING     -> "PONG\n"
+//   SHUTDOWN -> "OK 0\nEND\n", then the server stops accepting and
+//               drains
+//   any error-> "ERR <message>\n"
+//
+// A GEN response is a pure function of (model, rows, seed): the server
+// may interleave and batch concurrent requests however it likes without
+// changing a single reply byte.
+#ifndef DAISY_SERVE_PROTOCOL_H_
+#define DAISY_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace daisy::serve {
+
+struct Request {
+  enum class Kind { kGen, kList, kPing, kShutdown };
+  Kind kind = Kind::kPing;
+  std::string model;   // GEN only
+  uint64_t rows = 0;   // GEN only
+  uint64_t seed = 0;   // GEN only
+};
+
+/// Parses one protocol line (no trailing newline). Unknown verbs,
+/// missing or extra tokens, and non-numeric counts are errors.
+Result<Request> ParseRequest(const std::string& line);
+
+}  // namespace daisy::serve
+
+#endif  // DAISY_SERVE_PROTOCOL_H_

@@ -1,0 +1,65 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+
+namespace daisy::serve {
+
+namespace {
+
+// Re-wraps an error with request context, preserving its code.
+Status Annotate(const Status& st, const std::string& prefix) {
+  const std::string msg = prefix + st.message();
+  switch (st.code()) {
+    case Status::Code::kNotFound: return Status::NotFound(msg);
+    case Status::Code::kIOError: return Status::IOError(msg);
+    case Status::Code::kFailedPrecondition:
+      return Status::FailedPrecondition(msg);
+    case Status::Code::kInternal: return Status::Internal(msg);
+    default: return Status::InvalidArgument(msg);
+  }
+}
+
+}  // namespace
+
+Status ModelRegistry::Load(const std::string& name,
+                           const std::string& model_path,
+                           const std::string& checkpoint_dir) {
+  if (name.empty()) return Status::InvalidArgument("empty model name");
+  if (models_.count(name) != 0)
+    return Status::InvalidArgument("duplicate model name: " + name);
+
+  auto loaded = synth::TableSynthesizer::Load(model_path);
+  if (!loaded.ok())
+    return Annotate(loaded.status(), "model '" + name + "': ");
+
+  if (!checkpoint_dir.empty()) {
+    ckpt::CheckpointStore store(checkpoint_dir);
+    auto latest = store.LoadLatest();
+    if (!latest.ok())
+      return Annotate(latest.status(),
+                      "model '" + name + "' checkpoint overlay: ");
+    if (Status st = loaded.value()->OverlayCheckpoint(latest.value());
+        !st.ok())
+      return Annotate(st, "model '" + name + "' checkpoint overlay: ");
+  }
+
+  models_[name] = std::move(loaded.value());
+  return Status::OK();
+}
+
+const synth::TableSynthesizer* ModelRegistry::Find(
+    const std::string& name) const {
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace daisy::serve

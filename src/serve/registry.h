@@ -1,0 +1,44 @@
+// Model registry for the serving process: loads N persisted models
+// (optionally refreshed from a training checkpoint directory) up
+// front, then hands out shared const pointers. After Load-time the
+// registry is immutable, so lookups from many connection threads need
+// no locking, and the inference-only generator path lets all of them
+// share one TableSynthesizer instance.
+#ifndef DAISY_SERVE_REGISTRY_H_
+#define DAISY_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synth/synthesizer.h"
+
+namespace daisy::serve {
+
+class ModelRegistry {
+ public:
+  /// Loads the model persisted at `model_path` under `name`. When
+  /// `checkpoint_dir` is non-empty, the newest VALID checkpoint in that
+  /// directory overlays the generator weights (corrupt files are
+  /// skipped by the store's checksum walk; a directory with no valid
+  /// checkpoint — or a checkpoint whose shapes do not match the model —
+  /// rejects the load). Duplicate names are errors.
+  Status Load(const std::string& name, const std::string& model_path,
+              const std::string& checkpoint_dir = "");
+
+  /// Loaded model, or nullptr when the name is unknown.
+  const synth::TableSynthesizer* Find(const std::string& name) const;
+
+  /// Loaded model names in sorted order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<synth::TableSynthesizer>> models_;
+};
+
+}  // namespace daisy::serve
+
+#endif  // DAISY_SERVE_REGISTRY_H_

@@ -1,0 +1,213 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace daisy::serve {
+
+namespace {
+
+// Best-effort full write; the client may vanish mid-reply, in which
+// case the engine still completes the job and the bytes go nowhere.
+void WriteAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(const ModelRegistry* registry, ServeEngine* engine,
+                           std::string socket_path)
+    : registry_(registry), engine_(engine),
+      socket_path_(std::move(socket_path)) {
+  DAISY_CHECK(registry_ != nullptr && engine_ != nullptr);
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path))
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(socket_path_.c_str());  // stale file from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status st =
+        Status::IOError("bind(" + socket_path_ + "): " +
+                        std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status st =
+        Status::IOError("listen(): " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void SocketServer::HandleConnection(int fd) {
+  std::string buf;
+  char tmp[4096];
+  for (;;) {
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      auto parsed = ParseRequest(line);
+      if (!parsed.ok()) {
+        WriteAll(fd, "ERR " + parsed.status().message() + "\n");
+        continue;
+      }
+      const Request& req = parsed.value();
+      switch (req.kind) {
+        case Request::Kind::kPing:
+          WriteAll(fd, "PONG\n");
+          break;
+        case Request::Kind::kList: {
+          const auto names = registry_->Names();
+          std::string reply = "OK " + std::to_string(names.size()) + "\n";
+          for (const auto& name : names) reply += name + "\n";
+          reply += "END\n";
+          WriteAll(fd, reply);
+          break;
+        }
+        case Request::Kind::kShutdown: {
+          WriteAll(fd, "OK 0\nEND\n");
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_requested_ = true;
+          }
+          cv_.notify_all();
+          break;
+        }
+        case Request::Kind::kGen: {
+          // The reader blocks until the engine finishes this job, so
+          // scheduler-thread chunk writes never interleave with reads
+          // or other writes on this socket.
+          struct WaitState {
+            std::mutex m;
+            std::condition_variable cv;
+            bool done = false;
+            bool first = true;
+          };
+          auto ws = std::make_shared<WaitState>();
+          const uint64_t rows = req.rows;
+          auto sink = [fd, rows, ws](const std::string& bytes, bool done) {
+            if (done) {
+              {
+                std::lock_guard<std::mutex> lock(ws->m);
+                ws->done = true;
+              }
+              ws->cv.notify_one();
+              return;
+            }
+            if (ws->first) {
+              // first is only touched by the scheduler thread.
+              ws->first = false;
+              WriteAll(fd, "OK " + std::to_string(rows) + "\n");
+            }
+            WriteAll(fd, bytes);
+          };
+          const Status st = engine_->SubmitGen(
+              req.model, static_cast<size_t>(req.rows), req.seed, sink);
+          if (!st.ok()) {
+            WriteAll(fd, "ERR " + st.message() + "\n");
+            break;
+          }
+          std::unique_lock<std::mutex> lock(ws->m);
+          ws->cv.wait(lock, [&] { return ws->done; });
+          WriteAll(fd, "END\n");
+          break;
+        }
+      }
+    }
+    const ssize_t n = ::read(fd, tmp, sizeof(tmp));
+    if (n <= 0) break;  // EOF, error, or Stop()'s shutdown(fd)
+    buf.append(tmp, static_cast<size_t>(n));
+  }
+}
+
+void SocketServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  cv_.notify_all();
+
+  // 1. Stop accepting new connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain the engine: every GEN accepted before the shutdown
+  //    finishes and its reply bytes reach the socket.
+  engine_->Drain();
+
+  // 3. Unblock idle readers and join every connection thread.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    conns.swap(connections_);
+  }
+  for (auto& t : conns) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : open_fds_) ::close(fd);
+    open_fds_.clear();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+}  // namespace daisy::serve

@@ -1,0 +1,67 @@
+// AF_UNIX line-protocol front end over ServeEngine. One listener
+// thread accepts connections; each connection gets a reader thread that
+// parses protocol lines and submits jobs. Reply chunks for a GEN are
+// written by the engine's scheduler thread while the reader blocks
+// until the job is done, so writes to one socket are never interleaved.
+//
+// Shutdown (SHUTDOWN verb or Stop()): the listener closes, queued jobs
+// drain to completion, open connections are shut down, and every
+// thread is joined — no request accepted before the shutdown is ever
+// dropped.
+#ifndef DAISY_SERVE_SERVER_H_
+#define DAISY_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/registry.h"
+
+namespace daisy::serve {
+
+class SocketServer {
+ public:
+  /// `registry` and `engine` must outlive the server; the engine must
+  /// be Start()ed by the caller.
+  SocketServer(const ModelRegistry* registry, ServeEngine* engine,
+               std::string socket_path);
+  ~SocketServer();
+
+  /// Binds the unix socket (removing a stale file), listens, and
+  /// spawns the accept loop.
+  Status Start();
+
+  /// Blocks until a client sends SHUTDOWN or Stop() is called.
+  void Wait();
+
+  /// Graceful shutdown: stop accepting, drain the engine (in-flight
+  /// GENs complete), close connections, join threads. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const ModelRegistry* registry_;
+  ServeEngine* engine_;
+  std::string socket_path_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace daisy::serve
+
+#endif  // DAISY_SERVE_SERVER_H_

@@ -40,6 +40,15 @@ Matrix CnnGenerator::Forward(const Matrix& z, const Matrix& cond,
   return out;
 }
 
+Matrix CnnGenerator::InferenceForward(const Matrix& z,
+                                      const Matrix& cond) const {
+  DAISY_CHECK(z.cols() == noise_dim_);
+  Matrix input = cond_dim_ > 0 ? Matrix::HCat(z, cond) : z;
+  Matrix out = body_.InferenceForward(input);
+  DAISY_CHECK(out.cols() == side_ * side_);
+  return out;
+}
+
 void CnnGenerator::Backward(const Matrix& grad_sample) {
   body_.Backward(grad_sample);
 }

@@ -23,6 +23,7 @@ class CnnGenerator : public Generator {
   size_t sample_dim() const override { return side_ * side_; }
 
   Matrix Forward(const Matrix& z, const Matrix& cond, bool training) override;
+  Matrix InferenceForward(const Matrix& z, const Matrix& cond) const override;
   void Backward(const Matrix& grad_sample) override;
   std::vector<nn::Parameter*> Params() override { return body_.Params(); }
   std::vector<Matrix*> Buffers() override { return body_.Buffers(); }

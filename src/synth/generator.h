@@ -26,6 +26,14 @@ class Generator {
   virtual Matrix Forward(const Matrix& z, const Matrix& cond,
                          bool training) = 0;
 
+  /// Inference-only forward: the exact arithmetic of
+  /// Forward(z, cond, /*training=*/false) — bit-for-bit — but const and
+  /// cache-free, so many threads can drive one shared generator
+  /// concurrently (the serving path relies on this). Backward must
+  /// never follow an InferenceForward.
+  virtual Matrix InferenceForward(const Matrix& z,
+                                  const Matrix& cond) const = 0;
+
   /// Backpropagates dLoss/dSample of the last Forward into parameter
   /// gradients (the gradient w.r.t. the noise is discarded).
   virtual void Backward(const Matrix& grad_sample) = 0;

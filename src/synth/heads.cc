@@ -49,6 +49,20 @@ Matrix HeadProjection::Forward(const Matrix& features) {
   return cached_out_;
 }
 
+Matrix HeadProjection::InferenceForward(const Matrix& features) const {
+  Matrix pre = linear_.InferenceForward(features);
+  switch (unit_.act) {
+    case HeadUnit::Act::kTanh:
+      return nn::TanhMat(pre);
+    case HeadUnit::Act::kSoftmax:
+      return nn::SoftmaxRows(pre);
+    case HeadUnit::Act::kSigmoid:
+      return nn::SigmoidMat(pre);
+  }
+  DAISY_CHECK(false);
+  return Matrix();
+}
+
 Matrix HeadProjection::Backward(const Matrix& grad_out) {
   DAISY_CHECK(grad_out.SameShape(cached_out_));
   Matrix grad_pre(grad_out.rows(), grad_out.cols());
@@ -93,6 +107,18 @@ Matrix AttributeHeads::Forward(const Matrix& features) {
   Matrix sample(features.rows(), sample_dim_);
   for (auto& proj : projections_) {
     const Matrix out = proj.Forward(features);
+    const HeadUnit& u = proj.unit();
+    for (size_t r = 0; r < out.rows(); ++r)
+      for (size_t c = 0; c < u.width; ++c)
+        sample(r, u.offset + c) = out(r, c);
+  }
+  return sample;
+}
+
+Matrix AttributeHeads::InferenceForward(const Matrix& features) const {
+  Matrix sample(features.rows(), sample_dim_);
+  for (const auto& proj : projections_) {
+    const Matrix out = proj.InferenceForward(features);
     const HeadUnit& u = proj.unit();
     for (size_t r = 0; r < out.rows(); ++r)
       for (size_t c = 0; c < u.width; ++c)

@@ -35,6 +35,9 @@ class HeadProjection {
 
   /// batch x in -> batch x unit.width.
   Matrix Forward(const Matrix& features);
+  /// Same arithmetic as Forward but const and cache-free (no Backward
+  /// possible afterwards); safe for concurrent use on a shared head.
+  Matrix InferenceForward(const Matrix& features) const;
   /// dLoss/dUnitOutput -> dLoss/dFeatures (accumulates param grads).
   Matrix Backward(const Matrix& grad_out);
 
@@ -58,6 +61,8 @@ class AttributeHeads {
 
   /// batch x in -> batch x sample_dim (assembled full sample).
   Matrix Forward(const Matrix& features);
+  /// Const, cache-free Forward (no Backward possible afterwards).
+  Matrix InferenceForward(const Matrix& features) const;
   /// dLoss/dSample -> dLoss/dFeatures.
   Matrix Backward(const Matrix& grad_sample);
 

@@ -58,6 +58,36 @@ Matrix LstmGenerator::Forward(const Matrix& z, const Matrix& cond,
   return sample;
 }
 
+Matrix LstmGenerator::InferenceForward(const Matrix& z,
+                                       const Matrix& cond) const {
+  DAISY_CHECK(z.cols() == noise_dim_);
+  const size_t batch = z.rows();
+
+  // Mirrors Forward step-for-step (StepInference shares StepForward's
+  // gate arithmetic) so the two paths agree to the last bit.
+  nn::LstmState state = cell_.InitialState(batch);
+  Matrix f_prev(batch, feature_size_);
+  Matrix sample(batch, sample_dim_);
+
+  for (const auto& head : heads_) {
+    Matrix x = Matrix::HCat(z, f_prev);
+    if (cond_dim_ > 0) x = Matrix::HCat(x, cond);
+    state = cell_.StepInference(x, state);
+
+    Matrix pre_f = state.h.MatMul(fproj_w_.value);
+    pre_f.AddRowBroadcast(fproj_b_.value);
+    Matrix f = nn::TanhMat(pre_f);
+
+    const Matrix out = head.InferenceForward(f);
+    const HeadUnit& u = head.unit();
+    for (size_t r = 0; r < batch; ++r)
+      for (size_t c = 0; c < u.width; ++c)
+        sample(r, u.offset + c) = out(r, c);
+    f_prev = std::move(f);
+  }
+  return sample;
+}
+
 void LstmGenerator::Backward(const Matrix& grad_sample) {
   DAISY_CHECK(grad_sample.cols() == sample_dim_);
   const size_t batch = grad_sample.rows();

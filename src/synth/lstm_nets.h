@@ -29,6 +29,7 @@ class LstmGenerator : public Generator {
   size_t num_timesteps() const { return heads_.size(); }
 
   Matrix Forward(const Matrix& z, const Matrix& cond, bool training) override;
+  Matrix InferenceForward(const Matrix& z, const Matrix& cond) const override;
   void Backward(const Matrix& grad_sample) override;
   std::vector<nn::Parameter*> Params() override;
 

@@ -34,6 +34,14 @@ Matrix MlpGenerator::Forward(const Matrix& z, const Matrix& cond,
   return heads_.Forward(features);
 }
 
+Matrix MlpGenerator::InferenceForward(const Matrix& z,
+                                      const Matrix& cond) const {
+  DAISY_CHECK(z.cols() == noise_dim_);
+  Matrix input = cond_dim_ > 0 ? Matrix::HCat(z, cond) : z;
+  Matrix features = body_.InferenceForward(input);
+  return heads_.InferenceForward(features);
+}
+
 void MlpGenerator::Backward(const Matrix& grad_sample) {
   Matrix grad_features = heads_.Backward(grad_sample);
   body_.Backward(grad_features);

@@ -24,6 +24,7 @@ class MlpGenerator : public Generator {
   size_t sample_dim() const override { return heads_.sample_dim(); }
 
   Matrix Forward(const Matrix& z, const Matrix& cond, bool training) override;
+  Matrix InferenceForward(const Matrix& z, const Matrix& cond) const override;
   void Backward(const Matrix& grad_sample) override;
   std::vector<nn::Parameter*> Params() override;
   std::vector<Matrix*> Buffers() override { return body_.Buffers(); }

@@ -105,51 +105,118 @@ void TableSynthesizer::UseFinal() {
   SetState(g_->Params(), final_state_);
 }
 
-data::Table TableSynthesizer::Generate(size_t n, Rng* rng) {
+Status TableSynthesizer::OverlayCheckpoint(const ckpt::TrainCheckpoint& c) {
   DAISY_CHECK(fitted_);
-  constexpr size_t kGenBatch = 256;
+  const auto params = g_->Params();
+  const auto buffers = g_->Buffers();
+  if (c.params.size() < params.size())
+    return Status::InvalidArgument(
+        "checkpoint holds fewer params than the generator");
+  if (c.buffers.size() < buffers.size())
+    return Status::InvalidArgument(
+        "checkpoint holds fewer buffers than the generator");
+  for (size_t i = 0; i < params.size(); ++i)
+    if (!params[i]->value.SameShape(c.params[i]))
+      return Status::InvalidArgument(
+          "checkpoint param shape mismatch at index " + std::to_string(i));
+  for (size_t i = 0; i < buffers.size(); ++i)
+    if (!buffers[i]->SameShape(c.buffers[i]))
+      return Status::InvalidArgument(
+          "checkpoint buffer shape mismatch at index " + std::to_string(i));
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = c.params[i];
+  for (size_t i = 0; i < buffers.size(); ++i) *buffers[i] = c.buffers[i];
+  final_state_ = GetState(params);
+  return Status::OK();
+}
 
+void TableSynthesizer::DrawLatents(size_t n, Rng* rng, Matrix* z,
+                                   Matrix* cond,
+                                   std::vector<size_t>* labels) const {
+  DAISY_CHECK(fitted_);
+  const size_t noise_dim = g_->noise_dim();
+  *z = Matrix(n, noise_dim);
+  labels->assign(n, 0);
+  *cond = opts_.conditional ? Matrix(n, full_schema_.num_labels())
+                            : Matrix();
+  // Strict per-row order — noise first, then the label — so the stream
+  // position after row i never depends on how rows are batched into
+  // chunks. That invariant is what makes GenerateChunked bitwise equal
+  // to a single-shot Generate for any chunk size.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < noise_dim; ++c)
+      (*z)(i, c) = rng->Gaussian(0.0, 1.0);
+    if (opts_.conditional) {
+      (*labels)[i] = rng->Categorical(label_weights_);
+      (*cond)(i, (*labels)[i]) = 1.0;
+    }
+  }
+}
+
+Matrix TableSynthesizer::InferenceSamples(const Matrix& z,
+                                          const Matrix& cond) const {
+  DAISY_CHECK(fitted_);
+  return g_->InferenceForward(z, cond);
+}
+
+data::Table TableSynthesizer::DecodeRows(
+    const Matrix& samples, const std::vector<size_t>& labels) const {
+  DAISY_CHECK(fitted_);
+  DAISY_CHECK(labels.size() == samples.rows());
+  data::Table decoded = transformer_->InverseTransform(samples);
+
+  // Reassemble rows under the full schema (re-inserting the label
+  // column when it was excluded from the transform).
   data::Table out(full_schema_);
-  out.Reserve(n);
-  const size_t num_labels =
-      opts_.conditional ? full_schema_.num_labels() : 0;
+  out.Reserve(samples.rows());
+  std::vector<double> record(full_schema_.num_attributes());
+  const data::Schema& sub = transformer_->schema();
+  for (size_t i = 0; i < samples.rows(); ++i) {
+    size_t sub_j = 0;
+    for (size_t j = 0; j < full_schema_.num_attributes(); ++j) {
+      if (opts_.conditional && full_schema_.has_label() &&
+          j == full_schema_.label_index()) {
+        record[j] = static_cast<double>(labels[i]);
+      } else {
+        DAISY_CHECK(sub_j < sub.num_attributes());
+        record[j] = decoded.value(i, sub_j);
+        ++sub_j;
+      }
+    }
+    out.AppendRecord(record);
+  }
+  return out;
+}
 
+void TableSynthesizer::GenerateChunked(
+    size_t n, size_t chunk_rows, Rng* rng,
+    const std::function<void(const data::Table&)>& emit) const {
+  DAISY_CHECK(fitted_);
+  DAISY_CHECK(chunk_rows > 0);
   size_t produced = 0;
   while (produced < n) {
-    const size_t m = std::min(kGenBatch, n - produced);
-    Matrix z = Matrix::Randn(m, g_->noise_dim(), rng);
+    const size_t m = std::min(chunk_rows, n - produced);
+    Matrix z;
     Matrix cond;
-    std::vector<size_t> labels(m, 0);
-    if (opts_.conditional) {
-      cond = Matrix(m, num_labels);
-      for (size_t i = 0; i < m; ++i) {
-        labels[i] = rng->Categorical(label_weights_);
-        cond(i, labels[i]) = 1.0;
-      }
-    }
-    Matrix samples = g_->Forward(z, cond, /*training=*/false);
-    data::Table decoded = transformer_->InverseTransform(samples);
-
-    // Reassemble rows under the full schema (re-inserting the label
-    // column when it was excluded from the transform).
-    std::vector<double> record(full_schema_.num_attributes());
-    const data::Schema& sub = transformer_->schema();
-    for (size_t i = 0; i < m; ++i) {
-      size_t sub_j = 0;
-      for (size_t j = 0; j < full_schema_.num_attributes(); ++j) {
-        if (opts_.conditional && full_schema_.has_label() &&
-            j == full_schema_.label_index()) {
-          record[j] = static_cast<double>(labels[i]);
-        } else {
-          DAISY_CHECK(sub_j < sub.num_attributes());
-          record[j] = decoded.value(i, sub_j);
-          ++sub_j;
-        }
-      }
-      out.AppendRecord(record);
-    }
+    std::vector<size_t> labels;
+    DrawLatents(m, rng, &z, &cond, &labels);
+    emit(DecodeRows(InferenceSamples(z, cond), labels));
     produced += m;
   }
+}
+
+data::Table TableSynthesizer::Generate(size_t n, Rng* rng) const {
+  DAISY_CHECK(fitted_);
+  constexpr size_t kGenBatch = 256;
+  data::Table out(full_schema_);
+  out.Reserve(n);
+  std::vector<double> record(full_schema_.num_attributes());
+  GenerateChunked(n, kGenBatch, rng, [&](const data::Table& chunk) {
+    for (size_t i = 0; i < chunk.num_records(); ++i) {
+      for (size_t j = 0; j < full_schema_.num_attributes(); ++j)
+        record[j] = chunk.value(i, j);
+      out.AppendRecord(record);
+    }
+  });
   return out;
 }
 

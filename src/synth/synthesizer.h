@@ -4,8 +4,10 @@
 #ifndef DAISY_SYNTH_SYNTHESIZER_H_
 #define DAISY_SYNTH_SYNTHESIZER_H_
 
+#include <functional>
 #include <memory>
 
+#include "ckpt/checkpoint.h"
 #include "synth/config.h"
 #include "synth/discriminator.h"
 #include "synth/generator.h"
@@ -53,7 +55,42 @@ class TableSynthesizer {
   /// are drawn from the training label distribution and appended as
   /// the label column; otherwise the GAN generates the label attribute
   /// like any other.
-  data::Table Generate(size_t n, Rng* rng);
+  ///
+  /// Latents are consumed from `rng` in a fixed per-row order (for each
+  /// row: noise_dim gaussians, then — for conditional models — one
+  /// categorical label), so the output is a pure function of the model
+  /// state and the rng stream, independent of internal batching.
+  data::Table Generate(size_t n, Rng* rng) const;
+
+  /// Streaming Generate: emits the n records as a sequence of decoded
+  /// tables of at most `chunk_rows` rows each, holding only one chunk
+  /// in memory at a time (how the serving path keeps a 10M-row request
+  /// bounded). Because latents are drawn per row from the single `rng`
+  /// stream, the concatenated chunks are bitwise identical to a
+  /// single-shot Generate(n, rng) for ANY chunk size.
+  void GenerateChunked(
+      size_t n, size_t chunk_rows, Rng* rng,
+      const std::function<void(const data::Table&)>& emit) const;
+
+  /// Serving hooks — the three phases of one Generate chunk, exposed
+  /// separately so a request scheduler can draw latents per request
+  /// (own rng) yet run coalesced generator passes across requests.
+  /// All three are const and safe to call concurrently.
+  ///
+  /// Fills z (n x noise_dim), cond (n x num_labels, empty when
+  /// unconditional) and labels (n, zeros when unconditional) drawing in
+  /// the fixed per-row order documented at Generate.
+  void DrawLatents(size_t n, Rng* rng, Matrix* z, Matrix* cond,
+                   std::vector<size_t>* labels) const;
+  /// Transformed samples for drawn latents: one inference-only
+  /// generator pass. Per-row outputs do not depend on which other rows
+  /// share the batch, so callers may concatenate latents from many
+  /// requests into one pass and split the result.
+  Matrix InferenceSamples(const Matrix& z, const Matrix& cond) const;
+  /// Inverse-transforms generator output and reassembles full-schema
+  /// records (re-inserting the label column for conditional models).
+  data::Table DecodeRows(const Matrix& samples,
+                         const std::vector<size_t>& labels) const;
 
   /// Number of generator snapshots captured during training.
   size_t num_snapshots() const { return result_.snapshots.size(); }
@@ -61,6 +98,19 @@ class TableSynthesizer {
   void UseSnapshot(size_t i);
   /// Restores the final trained parameters.
   void UseFinal();
+
+  /// Overlays the generator weights stored in a training checkpoint
+  /// onto this (already Load-ed or Fit-ted) synthesizer. Checkpoints
+  /// store generator params/buffers first, then the discriminator's, so
+  /// the generator prefix is taken; every matrix must match the live
+  /// generator's shape or the overlay is rejected untouched. This is
+  /// how the serving registry refreshes a model from a training run's
+  /// checkpoint directory without a full Save.
+  Status OverlayCheckpoint(const ckpt::TrainCheckpoint& c);
+
+  /// Schema of generated tables (the full training schema, including a
+  /// conditional model's label column).
+  const data::Schema& schema() const { return full_schema_; }
 
   const TrainResult& train_result() const { return result_; }
   const transform::RecordTransformer& transformer() const {

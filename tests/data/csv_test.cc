@@ -100,6 +100,52 @@ TEST_F(CsvTest, EmbeddedQuotesRoundTrip) {
   EXPECT_EQ(read.CellToString(3, 0), "plain");
 }
 
+TEST_F(CsvTest, HostileCellsRoundTrip) {
+  // Embedded newlines and carriage returns must be quoted on write and
+  // reassembled on read — an unquoted "\n" would silently split one
+  // record into two.
+  Schema schema({Attribute::Categorical(
+      "c", {"line1\nline2", "cr\rhere", "crlf\r\nboth", "q\"uote",
+            "all,of\n\"it\"\r", "plain"})});
+  Table t(schema);
+  for (double v : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) t.AppendRecord({v});
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& read = result.value();
+  ASSERT_EQ(read.num_records(), 6u);
+  EXPECT_EQ(read.CellToString(0, 0), "line1\nline2");
+  EXPECT_EQ(read.CellToString(1, 0), "cr\rhere");
+  EXPECT_EQ(read.CellToString(2, 0), "crlf\r\nboth");
+  EXPECT_EQ(read.CellToString(3, 0), "q\"uote");
+  EXPECT_EQ(read.CellToString(4, 0), "all,of\n\"it\"\r");
+  EXPECT_EQ(read.CellToString(5, 0), "plain");
+}
+
+TEST_F(CsvTest, EscapeCsvFieldQuotesControlCharacters) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(EscapeCsvField("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST_F(CsvTest, CrlfTerminatedFileParses) {
+  // Files written by tools that emit CRLF line endings must read back
+  // without the '\r' leaking into the last field of each record.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "x,c\r\n1.5,alpha\r\n2.5,beta\r\n";
+  }
+  auto result = ReadCsv(path_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& read = result.value();
+  ASSERT_EQ(read.num_records(), 2u);
+  EXPECT_EQ(read.CellToString(0, 1), "alpha");
+  EXPECT_EQ(read.CellToString(1, 1), "beta");
+  EXPECT_DOUBLE_EQ(read.value(1, 0), 2.5);
+}
+
 TEST_F(CsvTest, UnterminatedQuoteIsAnError) {
   {
     std::ofstream out(path_);

@@ -1,0 +1,156 @@
+// Strict flag handling through the real binaries: daisy_cli and
+// daisy_serve must reject unknown flags, missing values and
+// non-numeric values with a non-zero exit code and a clear stderr
+// message — a typo must never be silently ignored.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef DAISY_CLI_BIN
+#error "DAISY_CLI_BIN must point at the daisy_cli executable"
+#endif
+#ifndef DAISY_SERVE_BIN
+#error "DAISY_SERVE_BIN must point at the daisy_serve executable"
+#endif
+
+namespace daisy {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+// Fork/exec a binary, capture its exit code and stderr.
+RunResult RunBinary(const char* bin, const std::vector<std::string>& args) {
+  RunResult result;
+  // Unique per process: parallel ctest runs sibling tests concurrently.
+  const std::string err_path = ::testing::TempDir() + "cli_flags_stderr_" +
+                               std::to_string(getpid()) + ".txt";
+  std::vector<std::string> full = {bin};
+  full.insert(full.end(), args.begin(), args.end());
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(full.size() + 1);
+    for (std::string& s : full) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(126);
+    if (std::freopen(err_path.c_str(), "w", stderr) == nullptr) _exit(126);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(err_path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  result.stderr_text = os.str();
+  std::remove(err_path.c_str());
+  return result;
+}
+
+void ExpectRejected(const char* bin, const std::vector<std::string>& args,
+                    const std::string& message_piece) {
+  const RunResult r = RunBinary(bin, args);
+  EXPECT_NE(r.exit_code, 0) << "accepted: " << args[1];
+  EXPECT_NE(r.stderr_text.find(message_piece), std::string::npos)
+      << "stderr was: " << r.stderr_text;
+}
+
+TEST(CliFlagsTest, UnknownFlagIsRejected) {
+  ExpectRejected(DAISY_CLI_BIN,
+                 {"synth", "--input", "x.csv", "--output", "y.csv",
+                  "--iteratoins", "50"},
+                 "unknown flag: --iteratoins");
+}
+
+TEST(CliFlagsTest, MissingValueIsRejected) {
+  ExpectRejected(DAISY_CLI_BIN,
+                 {"synth", "--input", "x.csv", "--output"},
+                 "flag --output requires a value");
+}
+
+TEST(CliFlagsTest, NonNumericValueIsRejected) {
+  ExpectRejected(DAISY_CLI_BIN,
+                 {"synth", "--input", "x.csv", "--output", "y.csv",
+                  "--iterations", "fifty"},
+                 "flag --iterations expects an integer, got: fifty");
+  ExpectRejected(DAISY_CLI_BIN,
+                 {"generate", "--model", "m.daisy", "--output", "y.csv",
+                  "--n", "10x"},
+                 "expects an integer");
+}
+
+TEST(CliFlagsTest, DuplicateFlagIsRejected) {
+  ExpectRejected(DAISY_CLI_BIN,
+                 {"eval", "--real", "a.csv", "--real", "b.csv"},
+                 "given more than once");
+}
+
+TEST(CliFlagsTest, PositionalArgumentIsRejected) {
+  ExpectRejected(DAISY_CLI_BIN, {"synth", "stray"},
+                 "unexpected positional argument: stray");
+}
+
+TEST(CliFlagsTest, UnknownCommandIsRejected) {
+  const RunResult r = RunBinary(DAISY_CLI_BIN, {"frobnicate"});
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("usage"), std::string::npos);
+}
+
+TEST(CliFlagsTest, ExitCodeIsTwoForUsageErrors) {
+  const RunResult r = RunBinary(DAISY_CLI_BIN, {"synth", "--bogus", "1"});
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(ServeFlagsTest, UnknownFlagIsRejected) {
+  ExpectRejected(DAISY_SERVE_BIN, {"--sokcet", "/tmp/x.sock"},
+                 "unknown flag: --sokcet");
+}
+
+TEST(ServeFlagsTest, MissingRequiredFlagsShowUsage) {
+  const RunResult r = RunBinary(DAISY_SERVE_BIN, {});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.stderr_text.find("usage"), std::string::npos);
+}
+
+TEST(ServeFlagsTest, NonNumericChunkRowsIsRejected) {
+  ExpectRejected(DAISY_SERVE_BIN,
+                 {"--socket", "/tmp/x.sock", "--model", "a=m.daisy",
+                  "--chunk-rows", "big"},
+                 "flag --chunk-rows expects an integer, got: big");
+}
+
+TEST(ServeFlagsTest, NonPositiveChunkRowsIsRejected) {
+  ExpectRejected(DAISY_SERVE_BIN,
+                 {"--socket", "/tmp/x.sock", "--model", "a=m.daisy",
+                  "--chunk-rows", "0"},
+                 "must be positive");
+}
+
+TEST(ServeFlagsTest, BadModelSpecIsRejected) {
+  ExpectRejected(DAISY_SERVE_BIN,
+                 {"--socket", "/tmp/x.sock", "--model", "no-equals-here"},
+                 "bad --model spec");
+}
+
+TEST(ServeFlagsTest, MissingModelFileFailsCleanly) {
+  const RunResult r = RunBinary(DAISY_SERVE_BIN,
+                          {"--socket", "/tmp/daisy_cli_flags_test.sock",
+                           "--model", "a=/nonexistent/model.daisy"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_FALSE(r.stderr_text.empty());
+}
+
+}  // namespace
+}  // namespace daisy

@@ -1,0 +1,185 @@
+// InferenceForward contract (satellite of the serving PR): for every
+// concrete Module, InferenceForward(x) must equal
+// Forward(x, /*training=*/false) to 0 ULP, be callable on a const
+// instance, leave all parameters, gradients and buffers untouched
+// (no cache, no grad-tape, no optimizer state), and be stable under
+// concurrent calls on one shared instance.
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/sequential.h"
+
+namespace daisy::nn {
+namespace {
+
+Matrix RandomInput(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Randn(rows, cols, &rng);
+}
+
+// Bitwise equality — 0 ULP, including the sign of zero and NaN bits.
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      uint64_t ba, bb;
+      const double va = a(r, c), vb = b(r, c);
+      std::memcpy(&ba, &va, sizeof(ba));
+      std::memcpy(&bb, &vb, sizeof(bb));
+      ASSERT_EQ(ba, bb) << "mismatch at (" << r << "," << c << "): "
+                        << va << " vs " << vb;
+    }
+  }
+}
+
+std::vector<Matrix> SnapshotState(Module* m) {
+  std::vector<Matrix> snap;
+  for (Parameter* p : m->Params()) {
+    snap.push_back(p->value);
+    snap.push_back(p->grad);
+  }
+  for (Matrix* b : m->Buffers()) snap.push_back(*b);
+  return snap;
+}
+
+// Checks the whole contract for one module on one input.
+void CheckModule(Module* m, const Matrix& x) {
+  const Matrix eval = m->Forward(x, /*training=*/false);
+
+  const std::vector<Matrix> before = SnapshotState(m);
+  const Module* cm = m;  // must compile and run on a const instance
+  const Matrix inf = cm->InferenceForward(x);
+  const std::vector<Matrix> after = SnapshotState(m);
+
+  ExpectBitwiseEqual(eval, inf);
+
+  // No parameter, gradient or buffer may change: InferenceForward
+  // writes no caches and allocates no training state.
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i)
+    ExpectBitwiseEqual(before[i], after[i]);
+
+  // Thread-safety smoke: many threads sharing the one instance all see
+  // the same bytes.
+  std::vector<Matrix> outs(4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < outs.size(); ++t)
+    threads.emplace_back([&, t] { outs[t] = cm->InferenceForward(x); });
+  for (auto& th : threads) th.join();
+  for (const Matrix& out : outs) ExpectBitwiseEqual(eval, out);
+}
+
+TEST(InferenceForwardTest, ReLU) {
+  ReLU relu;
+  CheckModule(&relu, RandomInput(5, 7, 101));
+}
+
+TEST(InferenceForwardTest, LeakyReLU) {
+  LeakyReLU leaky(0.2);
+  CheckModule(&leaky, RandomInput(5, 7, 102));
+}
+
+TEST(InferenceForwardTest, Tanh) {
+  Tanh tanh_layer;
+  CheckModule(&tanh_layer, RandomInput(5, 7, 103));
+}
+
+TEST(InferenceForwardTest, Sigmoid) {
+  Sigmoid sigmoid;
+  CheckModule(&sigmoid, RandomInput(5, 7, 104));
+}
+
+TEST(InferenceForwardTest, Softmax) {
+  Softmax softmax;
+  CheckModule(&softmax, RandomInput(5, 7, 105));
+}
+
+TEST(InferenceForwardTest, Linear) {
+  Rng rng(106);
+  Linear linear(7, 4, &rng);
+  CheckModule(&linear, RandomInput(5, 7, 107));
+}
+
+TEST(InferenceForwardTest, BatchNorm1dUsesRunningStats) {
+  BatchNorm1d bn(6);
+  // Populate running statistics with a few training passes so the
+  // eval path has real state to disagree with batch statistics.
+  for (uint64_t s = 0; s < 3; ++s)
+    bn.Forward(RandomInput(8, 6, 200 + s), /*training=*/true);
+  const Matrix x = RandomInput(5, 6, 210);
+
+  // The inference path must follow the running-stats branch, which
+  // differs from what training-mode batch statistics would give.
+  const Matrix train_out = bn.Forward(x, /*training=*/true);
+  const Matrix inf = static_cast<const Module&>(bn).InferenceForward(x);
+  bool differs = false;
+  for (size_t r = 0; r < x.rows() && !differs; ++r)
+    for (size_t c = 0; c < x.cols() && !differs; ++c)
+      differs = train_out(r, c) != inf(r, c);
+  EXPECT_TRUE(differs) << "running stats should differ from batch stats";
+
+  // Training-mode Forward mutates running stats; re-snapshot and run
+  // the full contract afterwards.
+  CheckModule(&bn, x);
+}
+
+TEST(InferenceForwardTest, Conv2d) {
+  Rng rng(108);
+  ImageShape in{2, 6, 6};
+  Conv2d conv(in, /*out_channels=*/3, /*kernel=*/3, /*stride=*/2,
+              /*padding=*/1, &rng);
+  CheckModule(&conv, RandomInput(4, in.Flat(), 109));
+}
+
+TEST(InferenceForwardTest, ConvTranspose2d) {
+  Rng rng(110);
+  ImageShape in{3, 3, 3};
+  ConvTranspose2d deconv(in, /*out_channels=*/2, /*kernel=*/4,
+                         /*stride=*/2, /*padding=*/1, &rng);
+  CheckModule(&deconv, RandomInput(4, in.Flat(), 111));
+}
+
+TEST(InferenceForwardTest, SequentialStack) {
+  Rng rng(112);
+  Sequential net;
+  net.Emplace<Linear>(10, 16, &rng);
+  net.Emplace<BatchNorm1d>(16);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(16, 4, &rng);
+  net.Emplace<Tanh>();
+  for (uint64_t s = 0; s < 2; ++s)
+    net.Forward(RandomInput(8, 10, 300 + s), /*training=*/true);
+  CheckModule(&net, RandomInput(5, 10, 310));
+}
+
+TEST(InferenceForwardTest, LstmCellStepInference) {
+  Rng rng(113);
+  LstmCell cell(5, 8, &rng);
+  const LstmCell& ccell = cell;
+
+  LstmState train_state = cell.InitialState(3);
+  LstmState inf_state = ccell.InitialState(3);
+  for (uint64_t t = 0; t < 4; ++t) {
+    const Matrix x = RandomInput(3, 5, 400 + t);
+    train_state = cell.StepForward(x, train_state);
+    inf_state = ccell.StepInference(x, inf_state);
+    ExpectBitwiseEqual(train_state.h, inf_state.h);
+    ExpectBitwiseEqual(train_state.c, inf_state.c);
+  }
+  cell.ClearCache();
+}
+
+}  // namespace
+}  // namespace daisy::nn

@@ -1,0 +1,113 @@
+// Chunked generation must be bitwise identical to single-shot
+// generation for ANY chunk size (the serving-path bugfix): latents are
+// drawn per row from the one rng stream, so where the chunk boundaries
+// fall can never change a byte. Sweeps chunk sizes {1, 7, 64, n} over
+// unconditional and conditional models and the MLP/LSTM architectures.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/realistic.h"
+#include "synth/synthesizer.h"
+
+namespace daisy::synth {
+namespace {
+
+GanOptions FastOptions(GeneratorArch arch, bool conditional) {
+  GanOptions opts;
+  opts.generator = arch;
+  opts.conditional = conditional;
+  opts.iterations = 25;
+  opts.batch_size = 32;
+  opts.g_hidden = {32};
+  opts.d_hidden = {32};
+  opts.lstm_hidden = 24;
+  opts.lstm_feature = 12;
+  opts.noise_dim = 8;
+  opts.snapshots = 1;
+  return opts;
+}
+
+void ExpectBitwiseEqualTables(const data::Table& a, const data::Table& b) {
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t i = 0; i < a.num_records(); ++i) {
+    for (size_t j = 0; j < a.num_attributes(); ++j) {
+      if (a.schema().attribute(j).is_categorical()) {
+        ASSERT_EQ(a.category(i, j), b.category(i, j))
+            << "categorical cell (" << i << "," << j << ")";
+      } else {
+        uint64_t ba, bb;
+        const double va = a.value(i, j), vb = b.value(i, j);
+        std::memcpy(&ba, &va, sizeof(ba));
+        std::memcpy(&bb, &vb, sizeof(bb));
+        ASSERT_EQ(ba, bb) << "numeric cell (" << i << "," << j << "): "
+                          << va << " vs " << vb;
+      }
+    }
+  }
+}
+
+// Concatenates emitted chunks back into one table for comparison.
+data::Table ChunkedTable(const TableSynthesizer& synth, size_t n,
+                         size_t chunk_rows, uint64_t seed) {
+  std::vector<data::Table> chunks;
+  Rng rng(seed);
+  synth.GenerateChunked(n, chunk_rows, &rng,
+                        [&](const data::Table& t) { chunks.push_back(t); });
+  data::Table out(chunks.at(0).schema());
+  size_t total = 0;
+  for (const data::Table& t : chunks) {
+    EXPECT_LE(t.num_records(), chunk_rows);
+    total += t.num_records();
+    std::vector<double> row(t.num_attributes());
+    for (size_t i = 0; i < t.num_records(); ++i) {
+      for (size_t j = 0; j < t.num_attributes(); ++j) row[j] = t.value(i, j);
+      out.AppendRecord(row);
+    }
+  }
+  EXPECT_EQ(total, n);
+  return out;
+}
+
+void CheckChunkInvariance(GeneratorArch arch, bool conditional) {
+  Rng rng(21);
+  data::Table train = data::MakeAdultSim(250, &rng);
+  TableSynthesizer synth(FastOptions(arch, conditional),
+                         transform::TransformOptions{});
+  ASSERT_TRUE(synth.Fit(train).ok());
+
+  const size_t n = 97;  // deliberately not a multiple of any chunk size
+  Rng single_rng(777);
+  const data::Table single = synth.Generate(n, &single_rng);
+  for (const size_t chunk : {size_t{1}, size_t{7}, size_t{64}, n}) {
+    const data::Table chunked = ChunkedTable(synth, n, chunk, 777);
+    ExpectBitwiseEqualTables(single, chunked);
+  }
+}
+
+TEST(GenerateChunkedTest, MlpUnconditional) {
+  CheckChunkInvariance(GeneratorArch::kMlp, /*conditional=*/false);
+}
+
+TEST(GenerateChunkedTest, MlpConditional) {
+  CheckChunkInvariance(GeneratorArch::kMlp, /*conditional=*/true);
+}
+
+TEST(GenerateChunkedTest, LstmUnconditional) {
+  CheckChunkInvariance(GeneratorArch::kLstm, /*conditional=*/false);
+}
+
+TEST(GenerateChunkedTest, RepeatedGenerateIsDeterministic) {
+  Rng rng(22);
+  data::Table train = data::MakeAdultSim(250, &rng);
+  TableSynthesizer synth(FastOptions(GeneratorArch::kMlp, true),
+                         transform::TransformOptions{});
+  ASSERT_TRUE(synth.Fit(train).ok());
+  Rng r1(5), r2(5);
+  ExpectBitwiseEqualTables(synth.Generate(60, &r1), synth.Generate(60, &r2));
+}
+
+}  // namespace
+}  // namespace daisy::synth

@@ -41,6 +41,7 @@
 
 #include "baselines/medgan.h"
 #include "baselines/vae.h"
+#include "cli_flags.h"
 #include "core/parallel.h"
 #include "data/csv.h"
 #include "eval/report.h"
@@ -52,21 +53,7 @@ namespace {
 
 using daisy::Rng;
 using daisy::Status;
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> flags;
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback = "") const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-  long GetInt(const std::string& key, long fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atol(it->second.c_str());
-  }
-};
+using Args = daisy::cli::FlagSet;
 
 int Usage() {
   std::fprintf(stderr,
@@ -378,23 +365,50 @@ int RunEval(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc;) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) return Usage();
-    // Boolean flags take no value.
-    if (key == "--resume") {
-      args.flags[key.substr(2)] = "1";
-      i += 1;
-      continue;
-    }
-    if (i + 1 >= argc) return Usage();
-    args.flags[key.substr(2)] = argv[i + 1];
-    i += 2;
+  const std::string command = argv[1];
+  std::vector<daisy::cli::FlagSpec> specs;
+  if (command == "synth") {
+    specs = {{"input"},
+             {"output"},
+             {"label"},
+             {"n", false, true},
+             {"method"},
+             {"arch"},
+             {"algo"},
+             {"cat"},
+             {"num"},
+             {"iterations", false, true},
+             {"seed", false, true},
+             {"threads", false, true},
+             {"log-jsonl"},
+             {"log-every", false, true},
+             {"save-model"},
+             {"checkpoint-every", false, true},
+             {"checkpoint-dir"},
+             {"checkpoint-keep", false, true},
+             {"resume", true},
+             {"max-iters-per-run", false, true}};
+  } else if (command == "generate") {
+    specs = {{"model"},
+             {"output"},
+             {"n", false, true},
+             {"seed", false, true}};
+  } else if (command == "eval") {
+    specs = {{"real"},     {"synthetic"},
+             {"label"},    {"threads", false, true},
+             {"log-jsonl"}, {"report"}};
+  } else {
+    std::fprintf(stderr, "daisy_cli: unknown command: %s\n", command.c_str());
+    return Usage();
   }
-  if (args.command == "synth") return RunSynth(args);
-  if (args.command == "generate") return RunGenerate(args);
-  if (args.command == "eval") return RunEval(args);
-  return Usage();
+
+  Args args;
+  std::string error;
+  if (!args.Parse(argc, argv, 2, specs, &error)) {
+    std::fprintf(stderr, "daisy_cli: %s\n", error.c_str());
+    return Usage();
+  }
+  if (command == "synth") return RunSynth(args);
+  if (command == "generate") return RunGenerate(args);
+  return RunEval(args);
 }
