@@ -4,8 +4,10 @@
 // fitting, and AQP query execution.
 #include <benchmark/benchmark.h>
 
+#include "core/kernels/kernels.h"
 #include "core/matrix.h"
 #include "core/parallel.h"
+#include "nn/activations.h"
 #include "data/generators/realistic.h"
 #include "eval/aqp.h"
 #include "eval/decision_tree.h"
@@ -84,6 +86,120 @@ void BM_GemmTransposeBThreads(benchmark::State& state) {
 BENCHMARK(BM_GemmTransposeBThreads)
     ->ArgsProduct({{256, 512}, {1, 2, 4}})
     ->Unit(benchmark::kMillisecond);
+
+// Kernel x ISA sweeps: args are {n, isa} with isa 0 = scalar, 1 =
+// avx2. The ISA is forced through kern::SetIsaForTesting (the same
+// table the DAISY_SIMD env var selects) and restored afterwards; on a
+// machine without AVX2 the avx2 rows are skipped with a message.
+// Output is bit-identical across the ISA axis; only time changes.
+bool ForceIsaOrSkip(benchmark::State& state, int64_t isa_arg) {
+  const auto isa =
+      isa_arg == 1 ? kern::Isa::kAvx2 : kern::Isa::kScalar;
+  if (!kern::IsaAvailable(isa)) {
+    state.SkipWithError("AVX2 kernel table unavailable");
+    return false;
+  }
+  kern::SetIsaForTesting(isa);
+  return true;
+}
+
+void BM_KernelGemmIsa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, &rng);
+  Matrix b = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_KernelGemmIsa)
+    ->ArgsProduct({{128, 256}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelTanhIsa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::TanhMat(x));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelTanhIsa)->ArgsProduct({{256, 512}, {0, 1}});
+
+void BM_KernelSigmoidIsa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::SigmoidMat(x));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelSigmoidIsa)->ArgsProduct({{256, 512}, {0, 1}});
+
+void BM_KernelLeakyReluIsa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::LeakyReluMat(x, 0.2));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelLeakyReluIsa)->ArgsProduct({{256, 512}, {0, 1}});
+
+void BM_KernelSoftmaxIsa(benchmark::State& state) {
+  const size_t cols = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(4096, cols, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::SoftmaxRows(x));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_KernelSoftmaxIsa)->ArgsProduct({{16, 128}, {0, 1}});
+
+void BM_KernelRowNormIsa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    Matrix scales = x.RowSquaredNorms();
+    Matrix y = x;
+    benchmark::DoNotOptimize(y.ScaleRows(scales));
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelRowNormIsa)->ArgsProduct({{256, 512}, {0, 1}});
+
+void BM_KernelArgmaxIsa(benchmark::State& state) {
+  const size_t cols = state.range(0);
+  if (!ForceIsaOrSkip(state, state.range(1))) return;
+  Rng rng(1);
+  Matrix x = Matrix::Randn(4096, cols, &rng);
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (size_t r = 0; r < x.rows(); ++r) acc += x.ArgMaxRow(r);
+    benchmark::DoNotOptimize(acc);
+  }
+  kern::ResetIsaForTesting();
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_KernelArgmaxIsa)->ArgsProduct({{16, 128}, {0, 1}});
 
 void BM_GmmFit(benchmark::State& state) {
   Rng rng(2);

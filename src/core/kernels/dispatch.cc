@@ -1,0 +1,106 @@
+// Runtime kernel dispatch: pick the widest ISA the CPU (and build)
+// supports, exactly once, at first use; allow DAISY_SIMD=scalar|avx2
+// to override for testing, CI fallback coverage, and benchmarking.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kernels/tables.h"
+#include "core/status.h"
+
+namespace daisy::kern {
+namespace {
+
+struct Choice {
+  const KernelTable* table;
+  Isa isa;
+};
+
+// Packed into one atomic-pointer-sized install so ActiveIsa() and
+// Active() can never disagree mid-switch.
+std::atomic<const Choice*> g_active{nullptr};
+
+Isa ResolveStartupIsa() {
+  const char* env = std::getenv("DAISY_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (IsaAvailable(Isa::kAvx2)) return Isa::kAvx2;
+      std::fprintf(stderr,
+                   "daisy: DAISY_SIMD=avx2 requested but %s; "
+                   "falling back to scalar kernels\n",
+                   CpuSupportsAvx2() ? "the build has no AVX2 kernels"
+                                     : "the CPU lacks AVX2");
+      return Isa::kScalar;
+    }
+    std::fprintf(stderr,
+                 "daisy: ignoring unrecognized DAISY_SIMD value '%s' "
+                 "(expected 'scalar' or 'avx2'); auto-selecting\n",
+                 env);
+  }
+  return IsaAvailable(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
+}
+
+const Choice* MakeChoice(Isa isa) {
+  static const Choice kScalarChoice{&kScalarTable, Isa::kScalar};
+#if defined(DAISY_HAVE_AVX2_BUILD)
+  static const Choice kAvx2Choice{&kAvx2Table, Isa::kAvx2};
+  if (isa == Isa::kAvx2) return &kAvx2Choice;
+#endif
+  DAISY_CHECK(isa == Isa::kScalar);
+  return &kScalarChoice;
+}
+
+const Choice* ActiveChoice() {
+  const Choice* c = g_active.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // Benign race: concurrent first calls resolve to the same value.
+    c = MakeChoice(ResolveStartupIsa());
+    g_active.store(c, std::memory_order_release);
+  }
+  return c;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool IsaAvailable(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(DAISY_HAVE_AVX2_BUILD)
+  return CpuSupportsAvx2();
+#else
+  return false;
+#endif
+}
+
+Isa ActiveIsa() { return ActiveChoice()->isa; }
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+const KernelTable& Active() { return *ActiveChoice()->table; }
+
+const KernelTable& Table(Isa isa) {
+  DAISY_CHECK(IsaAvailable(isa));
+  return *MakeChoice(isa)->table;
+}
+
+void SetIsaForTesting(Isa isa) {
+  DAISY_CHECK(IsaAvailable(isa));
+  g_active.store(MakeChoice(isa), std::memory_order_release);
+}
+
+void ResetIsaForTesting() {
+  g_active.store(MakeChoice(ResolveStartupIsa()), std::memory_order_release);
+}
+
+}  // namespace daisy::kern

@@ -1,0 +1,126 @@
+// Scalar kernel table: the portable fallback and the reference the
+// AVX2 specialization must match bitwise. Per-lane math comes from
+// lane_ops.h (shared with the AVX2 TU); reductions use the striped
+// order documented there. Built with -ffp-contract=off so the compiler
+// cannot fuse the mul+add sequences the contract fixes.
+#include "core/kernels/kernels.h"
+#include "core/kernels/lane_ops.h"
+#include "core/kernels/tables.h"
+
+namespace daisy::kern {
+namespace {
+
+void GemmPanelScalar(const double* a, const double* b, size_t b_stride,
+                     size_t pn, double* o, size_t jn) {
+  for (size_t p = 0; p < pn; ++p) {
+    const double ap = a[p];
+    const double* br = b + p * b_stride;
+    for (size_t j = 0; j < jn; ++j) o[j] += ap * br[j];
+  }
+}
+
+void AxpyScalar(double a, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  return lane::DotStriped(a, b, n);
+}
+
+void ScaleScalar(double s, double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] *= s;
+}
+
+void AddScalar(const double* s, double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void SubScalar(const double* s, double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] -= s[i];
+}
+
+void MulScalar(const double* s, double* d, size_t n) {
+  for (size_t i = 0; i < n; ++i) d[i] *= s[i];
+}
+
+void TanhScalar(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = lane::Tanh(x[i]);
+}
+
+void SigmoidScalar(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = lane::Sigmoid(x[i]);
+}
+
+void ReluScalar(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void LeakyReluScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0 ? x[i] : alpha * x[i];
+}
+
+void TanhBwdScalar(const double* y, double* g, size_t n) {
+  for (size_t i = 0; i < n; ++i) g[i] = g[i] * (1.0 - y[i] * y[i]);
+}
+
+void SigmoidBwdScalar(const double* y, double* g, size_t n) {
+  for (size_t i = 0; i < n; ++i) g[i] = g[i] * (y[i] * (1.0 - y[i]));
+}
+
+void ReluBwdScalar(const double* x, double* g, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!(x[i] > 0.0)) g[i] = 0.0;
+  }
+}
+
+void LeakyReluBwdScalar(double alpha, const double* x, double* g, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!(x[i] > 0.0)) g[i] = alpha * g[i];
+  }
+}
+
+void SoftmaxRowScalar(const double* x, double* y, size_t n) {
+  double mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = lane::Max2(mx, x[i]);
+  for (size_t i = 0; i < n; ++i) y[i] = lane::Exp(x[i] - mx);
+  const double inv = 1.0 / lane::SumStriped(y, n);
+  for (size_t i = 0; i < n; ++i) y[i] = y[i] * inv;
+}
+
+void SoftmaxRowBwdScalar(const double* y, const double* g, double* out,
+                         size_t n) {
+  const double dot = lane::DotStriped(g, y, n);
+  for (size_t i = 0; i < n; ++i) out[i] = y[i] * (g[i] - dot);
+}
+
+size_t ArgMaxScalar(const double* x, size_t n) {
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+}  // namespace
+
+const KernelTable kScalarTable = {
+    .gemm_panel = GemmPanelScalar,
+    .axpy = AxpyScalar,
+    .dot = DotScalar,
+    .scale = ScaleScalar,
+    .add = AddScalar,
+    .sub = SubScalar,
+    .mul = MulScalar,
+    .tanh = TanhScalar,
+    .sigmoid = SigmoidScalar,
+    .relu = ReluScalar,
+    .leaky_relu = LeakyReluScalar,
+    .tanh_bwd = TanhBwdScalar,
+    .sigmoid_bwd = SigmoidBwdScalar,
+    .relu_bwd = ReluBwdScalar,
+    .leaky_relu_bwd = LeakyReluBwdScalar,
+    .softmax_row = SoftmaxRowScalar,
+    .softmax_row_bwd = SoftmaxRowBwdScalar,
+    .argmax = ArgMaxScalar,
+};
+
+}  // namespace daisy::kern

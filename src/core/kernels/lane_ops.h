@@ -1,0 +1,154 @@
+// Per-lane scalar definitions of every transcendental kernel, shared by
+// the scalar and AVX2 translation units.
+//
+// The SIMD determinism contract (DESIGN.md §5g) requires the scalar
+// fallback and each vector specialization to execute the *same* IEEE
+// operation sequence per element: same polynomial, same Horner order,
+// no FMA contraction (both kernel TUs build with -ffp-contract=off),
+// branch-free special-case handling that a vector blend can mirror
+// exactly. Anything that computes per-lane math therefore lives here,
+// once, and the AVX2 file transcribes it op-for-op with intrinsics; the
+// cross-ISA equivalence suite (kernels_test.cc) pins the two bitwise
+// equal.
+//
+// Exp/tanh use the Cephes rational approximations (Moshier, netlib
+// cephes/cmath), which are within a few ULP of correctly-rounded libm
+// over the full double range. The accuracy policy is documented in
+// DESIGN.md §5g and pinned by KernelAccuracyTest.
+#ifndef DAISY_CORE_KERNELS_LANE_OPS_H_
+#define DAISY_CORE_KERNELS_LANE_OPS_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace daisy::kern::lane {
+
+// --- exp ------------------------------------------------------------
+// Cody-Waite argument reduction (x = n*ln2 + r) with the ln2 split into
+// a high part exactly representable in 32 bits and a low correction, so
+// r keeps full precision; then the Cephes degree-2/3 rational in r².
+inline constexpr double kLog2E = 1.4426950408889634073599;
+inline constexpr double kExpC1 = 6.93145751953125E-1;
+inline constexpr double kExpC2 = 1.42860682030941723212E-6;
+inline constexpr double kExpP0 = 1.26177193074810590878E-4;
+inline constexpr double kExpP1 = 3.02994407707441961300E-2;
+inline constexpr double kExpP2 = 9.99999999999999999910E-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042E-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192E-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766E-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005E0;
+// exp overflows double above kExpMax and underflows (past subnormals)
+// below kExpMin.
+inline constexpr double kExpMax = 709.782712893383996843;
+inline constexpr double kExpMin = -745.133219101941108420;
+
+/// 2^k for integer-valued k with k+1023 in [1, 2046] (normal range),
+/// built directly in the exponent field.
+inline double Pow2Int(double k) {
+  return std::bit_cast<double>((static_cast<int64_t>(k) + 1023) << 52);
+}
+
+/// exp(x) to within a few ULP. Saturates to +inf / 0 outside the
+/// representable range; propagates NaN.
+inline double Exp(double x) {
+  if (x != x) return x;
+  if (x > kExpMax) return std::numeric_limits<double>::infinity();
+  if (x < kExpMin) return 0.0;
+  const double n = std::floor(kLog2E * x + 0.5);
+  double r = x - n * kExpC1;
+  r = r - n * kExpC2;
+  const double rr = r * r;
+  double p = (kExpP0 * rr + kExpP1) * rr + kExpP2;
+  p = p * r;
+  const double q = ((kExpQ0 * rr + kExpQ1) * rr + kExpQ2) * rr + kExpQ3;
+  const double e = 1.0 + 2.0 * (p / (q - p));
+  // Scale by 2^n in two exactly-representable halves so exponents down
+  // to the subnormal range round gradually instead of overflowing the
+  // biased-exponent construction.
+  const double n1 = std::floor(0.5 * n);
+  return (e * Pow2Int(n1)) * Pow2Int(n - n1);
+}
+
+// --- tanh -----------------------------------------------------------
+// |x| < 0.625: Cephes rational poly x + x*z*P(z)/Q(z), z = x² (avoids
+// the catastrophic cancellation of the exp form near 0). Otherwise
+// 1 - 2/(exp(2|x|)+1) with the sign restored; exp saturation makes the
+// large-|x| limit exactly ±1 with no overflow.
+inline constexpr double kTanhP0 = -9.64399179425052238628E-1;
+inline constexpr double kTanhP1 = -9.92877231001918586564E1;
+inline constexpr double kTanhP2 = -1.61468768441708447952E3;
+inline constexpr double kTanhQ0 = 1.12811678491632931402E2;
+inline constexpr double kTanhQ1 = 2.23548839060100448583E3;
+inline constexpr double kTanhQ2 = 4.84406305325125486048E3;
+inline constexpr double kTanhPolyCut = 0.390625;  // 0.625²
+
+inline double Tanh(double x) {
+  if (x != x) return x;
+  const double z = x * x;
+  if (z < kTanhPolyCut) {
+    const double p = (kTanhP0 * z + kTanhP1) * z + kTanhP2;
+    const double q = ((z + kTanhQ0) * z + kTanhQ1) * z + kTanhQ2;
+    return x + x * (z * (p / q));
+  }
+  const double e = Exp(2.0 * std::fabs(x));
+  const double t = 1.0 - 2.0 / (e + 1.0);
+  return std::copysign(t, x);
+}
+
+// --- sigmoid --------------------------------------------------------
+// Branch-stable two-sided form: exp only ever sees -|x| (<= 0, never
+// overflows), and both branches share the 1+e denominator, so extreme
+// logits land exactly on 0 / 1 instead of round-tripping through inf.
+inline double Sigmoid(double x) {
+  if (x != x) return x;
+  const double e = Exp(-std::fabs(x));
+  const double d = 1.0 + e;
+  return x >= 0.0 ? 1.0 / d : e / d;
+}
+
+// --- striped reductions ---------------------------------------------
+// Sums and dot products reduce in four interleaved stripes (element i
+// belongs to stripe i mod 4 — exactly the lanes of one 256-bit vector)
+// and combine as (s0+s2)+(s1+s3), matching the AVX2 horizontal add.
+// The stripe assignment depends only on the element index, never on
+// the thread partition, so results are bit-identical for any
+// DAISY_THREADS and for scalar vs AVX2.
+inline double CombineStripes(const double s[4]) {
+  return (s[0] + s[2]) + (s[1] + s[3]);
+}
+
+inline double DotStriped(const double* a, const double* b, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s[0] += a[i] * b[i];
+    s[1] += a[i + 1] * b[i + 1];
+    s[2] += a[i + 2] * b[i + 2];
+    s[3] += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s[i & 3] += a[i] * b[i];
+  return CombineStripes(s);
+}
+
+inline double SumStriped(const double* x, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s[0] += x[i];
+    s[1] += x[i + 1];
+    s[2] += x[i + 2];
+    s[3] += x[i + 3];
+  }
+  for (; i < n; ++i) s[i & 3] += x[i];
+  return CombineStripes(s);
+}
+
+/// Max in vmaxpd comparator form ((a > b) ? a : b). Order-insensitive
+/// for finite input, so no striping needed for bit-equality.
+inline double Max2(double a, double b) { return a > b ? a : b; }
+
+}  // namespace daisy::kern::lane
+
+#endif  // DAISY_CORE_KERNELS_LANE_OPS_H_

@@ -1,0 +1,19 @@
+// Internal: the per-ISA kernel tables the dispatcher selects between.
+// Not part of the public API — include core/kernels/kernels.h instead.
+// kAvx2Table exists only when the library was built with AVX2 support
+// (DAISY_HAVE_AVX2_BUILD is a daisy_core-private compile definition).
+#ifndef DAISY_CORE_KERNELS_TABLES_H_
+#define DAISY_CORE_KERNELS_TABLES_H_
+
+#include "core/kernels/kernels.h"
+
+namespace daisy::kern {
+
+extern const KernelTable kScalarTable;
+#if defined(DAISY_HAVE_AVX2_BUILD)
+extern const KernelTable kAvx2Table;
+#endif
+
+}  // namespace daisy::kern
+
+#endif  // DAISY_CORE_KERNELS_TABLES_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 
@@ -68,21 +69,19 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   const size_t k = cols_, m = other.cols_;
   // Row blocks own disjoint output rows; within a block the j/p tiles
-  // keep the active B panel hot while i-p-j order streams A and B
-  // forward. Per output element the p-sum runs 0..k ascending.
+  // keep the active B panel hot while the dispatched microkernel
+  // streams A and B forward. Per output element the p-sum runs 0..k
+  // ascending for every ISA, so results are bit-identical for any
+  // thread count and for scalar vs AVX2.
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, rows_, RowGrain(2 * k * m), [&](size_t r0, size_t r1) {
     for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
       const size_t j1 = std::min(m, j0 + kTileJ);
       for (size_t p0 = 0; p0 < k; p0 += kTileP) {
         const size_t p1 = std::min(k, p0 + kTileP);
         for (size_t i = r0; i < r1; ++i) {
-          const double* a = row(i);
-          double* o = out.row(i);
-          for (size_t p = p0; p < p1; ++p) {
-            const double aip = a[p];
-            const double* b = other.row(p);
-            for (size_t j = j0; j < j1; ++j) o[j] += aip * b[j];
-          }
+          kt.gemm_panel(row(i) + p0, other.row(p0) + j0, other.cols_,
+                        p1 - p0, out.row(i) + j0, j1 - j0);
         }
       }
     }
@@ -98,17 +97,15 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   // Parallelize over output rows (the p axis): each chunk scans every
   // input row but writes only its own out rows, so there is no sharing
   // and the i-accumulation order per element is always 0..n ascending.
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, k, RowGrain(2 * n * m), [&](size_t p0, size_t p1) {
     for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
       const size_t j1 = std::min(m, j0 + kTileJ);
       for (size_t i = 0; i < n; ++i) {
         const double* a = row(i);
         const double* b = other.row(i);
-        for (size_t p = p0; p < p1; ++p) {
-          const double aip = a[p];
-          double* o = out.row(p);
-          for (size_t j = j0; j < j1; ++j) o[j] += aip * b[j];
-        }
+        for (size_t p = p0; p < p1; ++p)
+          kt.axpy(a[p], b + j0, out.row(p) + j0, j1 - j0);
       }
     }
   });
@@ -121,19 +118,17 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   Matrix out(rows_, other.rows_);
   const size_t k = cols_, m = other.rows_;
   // Both operands are scanned along contiguous rows (dot products), so
-  // only a j tile is needed to keep the B panel resident.
+  // only a j tile is needed to keep the B panel resident. The dot
+  // kernel reduces in the fixed striped order, a pure function of the
+  // element index — identical for any thread count or ISA.
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, rows_, RowGrain(2 * k * m), [&](size_t r0, size_t r1) {
     for (size_t j0 = 0; j0 < m; j0 += kTileJ) {
       const size_t j1 = std::min(m, j0 + kTileJ);
       for (size_t i = r0; i < r1; ++i) {
         const double* a = row(i);
         double* o = out.row(i);
-        for (size_t j = j0; j < j1; ++j) {
-          const double* b = other.row(j);
-          double acc = 0.0;
-          for (size_t p = 0; p < k; ++p) acc += a[p] * b[p];
-          o[j] = acc;
-        }
+        for (size_t j = j0; j < j1; ++j) o[j] = kt.dot(a, other.row(j), k);
       }
     }
   });
@@ -149,22 +144,24 @@ Matrix Matrix::Transpose() const {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   DAISY_CHECK(SameShape(other));
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) data_[i] += other.data_[i];
+    kt.add(other.data_.data() + b, data_.data() + b, e - b);
   });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   DAISY_CHECK(SameShape(other));
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) data_[i] -= other.data_[i];
+    kt.sub(other.data_.data() + b, data_.data() + b, e - b);
   });
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& v : data_) v *= s;
+  kern::Active().scale(s, data_.data(), data_.size());
   return *this;
 }
 
@@ -189,18 +186,18 @@ Matrix Matrix::operator*(double s) const {
 Matrix Matrix::CWiseMul(const Matrix& other) const {
   DAISY_CHECK(SameShape(other));
   Matrix out = *this;
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, data_.size(), kElemGrain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) out.data_[i] *= other.data_[i];
+    kt.mul(other.data_.data() + b, out.data_.data() + b, e - b);
   });
   return out;
 }
 
 Matrix& Matrix::AddRowBroadcast(const Matrix& row_vec) {
   DAISY_CHECK(row_vec.rows_ == 1 && row_vec.cols_ == cols_);
-  for (size_t r = 0; r < rows_; ++r) {
-    double* d = row(r);
-    for (size_t c = 0; c < cols_; ++c) d[c] += row_vec.data_[c];
-  }
+  const kern::KernelTable& kt = kern::Active();
+  for (size_t r = 0; r < rows_; ++r)
+    kt.add(row_vec.data_.data(), row(r), cols_);
   return *this;
 }
 
@@ -303,14 +300,13 @@ void Matrix::CopyRowFrom(const Matrix& src, size_t src_row) {
 
 Matrix Matrix::RowSquaredNorms() const {
   Matrix out(rows_, 1);
-  // Each row is reduced by exactly one chunk owner in ascending column
-  // order — bit-identical for any thread count.
+  // Each row is reduced by exactly one chunk owner in the kernel's
+  // fixed striped order — bit-identical for any thread count.
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, rows_, RowGrain(2 * cols_), [&](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const double* d = row(r);
-      double s = 0.0;
-      for (size_t c = 0; c < cols_; ++c) s += d[c] * d[c];
-      out.data_[r] = s;
+      out.data_[r] = kt.dot(d, d, cols_);
     }
   });
   return out;
@@ -319,27 +315,20 @@ Matrix Matrix::RowSquaredNorms() const {
 Matrix Matrix::RowDots(const Matrix& a, const Matrix& b) {
   DAISY_CHECK(a.SameShape(b));
   Matrix out(a.rows_, 1);
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, a.rows_, RowGrain(2 * a.cols_),
                    [&](size_t r0, size_t r1) {
-    for (size_t r = r0; r < r1; ++r) {
-      const double* x = a.row(r);
-      const double* y = b.row(r);
-      double s = 0.0;
-      for (size_t c = 0; c < a.cols_; ++c) s += x[c] * y[c];
-      out.data_[r] = s;
-    }
+    for (size_t r = r0; r < r1; ++r)
+      out.data_[r] = kt.dot(a.row(r), b.row(r), a.cols_);
   });
   return out;
 }
 
 Matrix& Matrix::ScaleRows(const Matrix& scales) {
   DAISY_CHECK(scales.rows_ == rows_ && scales.cols_ == 1);
+  const kern::KernelTable& kt = kern::Active();
   par::ParallelFor(0, rows_, RowGrain(cols_), [&](size_t r0, size_t r1) {
-    for (size_t r = r0; r < r1; ++r) {
-      const double s = scales.data_[r];
-      double* d = row(r);
-      for (size_t c = 0; c < cols_; ++c) d[c] *= s;
-    }
+    for (size_t r = r0; r < r1; ++r) kt.scale(scales.data_[r], row(r), cols_);
   });
   return *this;
 }
@@ -370,11 +359,7 @@ Matrix Matrix::VCat(const Matrix& a, const Matrix& b) {
 
 size_t Matrix::ArgMaxRow(size_t r) const {
   DAISY_CHECK(r < rows_ && cols_ > 0);
-  const double* d = row(r);
-  size_t best = 0;
-  for (size_t c = 1; c < cols_; ++c)
-    if (d[c] > d[best]) best = c;
-  return best;
+  return kern::Active().argmax(row(r), cols_);
 }
 
 void Matrix::AppendRow(const double* vals, size_t n) {

@@ -1,4 +1,7 @@
-// Elementwise activations plus row-wise Softmax.
+// Elementwise activations plus row-wise Softmax. All forward and
+// backward passes run on the runtime-dispatched SIMD kernels
+// (core/kernels/), parallelized in index-stable chunks — results are
+// bit-identical for any DAISY_THREADS value and for scalar vs AVX2.
 #ifndef DAISY_NN_ACTIVATIONS_H_
 #define DAISY_NN_ACTIVATIONS_H_
 
@@ -69,9 +72,24 @@ class Softmax : public Module {
 };
 
 /// Free-function forms used where a Module instance is overkill.
+/// SoftmaxRows of a zero-column matrix is the empty rows x 0 matrix
+/// (a degenerate head must not read x(r, 0)).
 Matrix SoftmaxRows(const Matrix& x);
+/// Branch-stable sigmoid: exp only ever sees non-positive arguments,
+/// so extreme logits (e.g. ±750) saturate to exactly 0/1 instead of
+/// overflowing exp.
 Matrix SigmoidMat(const Matrix& x);
 Matrix TanhMat(const Matrix& x);
+Matrix ReluMat(const Matrix& x);
+Matrix LeakyReluMat(const Matrix& x, double alpha);
+
+/// Backward helpers shared by the Modules above and the generator
+/// output heads (synth/heads.cc). Each returns dLoss/dPreactivation
+/// given the cached forward *output* y (tanh/sigmoid/softmax) and the
+/// incoming gradient.
+Matrix TanhBackwardFromOutput(const Matrix& y, const Matrix& grad_out);
+Matrix SigmoidBackwardFromOutput(const Matrix& y, const Matrix& grad_out);
+Matrix SoftmaxRowsBackward(const Matrix& y, const Matrix& grad_out);
 
 }  // namespace daisy::nn
 

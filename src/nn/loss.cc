@@ -35,8 +35,12 @@ double BceWithLogitsLoss(const Matrix& logits, const Matrix& targets,
       const double x = logits(r, c);
       const double t = targets(r, c);
       // log(1+exp(-|x|)) + max(x,0) - x*t is the stable form.
-      loss += std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0) - x * t;
-      const double p = 1.0 / (1.0 + std::exp(-x));
+      const double e = std::exp(-std::fabs(x));
+      loss += std::log1p(e) + std::max(x, 0.0) - x * t;
+      // Two-sided sigmoid: exp only sees -|x|, so x = -750 gives
+      // p = 0 exactly instead of 1/(1+inf) passing through overflow
+      // (and x = +750 no longer risks exp(-x) -> 0/0 style traps).
+      const double p = x >= 0.0 ? 1.0 / (1.0 + e) : e / (1.0 + e);
       (*grad)(r, c) = (p - t) / n;
     }
   }

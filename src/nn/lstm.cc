@@ -2,10 +2,16 @@
 
 #include <cmath>
 
+#include "core/kernels/lane_ops.h"
+
 namespace daisy::nn {
 
 namespace {
-double SigmoidScalar(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+// Branch-stable sigmoid shared with the SIMD kernel layer: exp only
+// ever sees non-positive arguments, so a -750 gate preactivation
+// saturates to 0 instead of overflowing exp(750) to inf (which made
+// the gate NaN via inf/inf downstream).
+double SigmoidScalar(double v) { return kern::lane::Sigmoid(v); }
 }  // namespace
 
 LstmCell::LstmCell(size_t input_size, size_t hidden_size, Rng* rng)

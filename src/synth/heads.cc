@@ -15,8 +15,14 @@ std::vector<HeadUnit> BuildHeadUnits(
         break;
       case Kind::kGmmNumeric:
         units.push_back({seg.offset, 1, HeadUnit::Act::kTanh});
-        units.push_back({seg.offset + 1, seg.width - 1,
-                         HeadUnit::Act::kSoftmax});
+        // A single-component GMM has width 1: just the normalized
+        // value, no component-selector columns. Emitting a width-0
+        // softmax unit here used to build a head whose SoftmaxRows
+        // read x(r, 0) of a rows x 0 matrix.
+        if (seg.width > 1) {
+          units.push_back({seg.offset + 1, seg.width - 1,
+                           HeadUnit::Act::kSoftmax});
+        }
         break;
       case Kind::kOneHotCat:
         units.push_back({seg.offset, seg.width, HeadUnit::Act::kSoftmax});
@@ -31,7 +37,12 @@ std::vector<HeadUnit> BuildHeadUnits(
 
 HeadProjection::HeadProjection(size_t in_features, const HeadUnit& unit,
                                Rng* rng)
-    : unit_(unit), linear_(in_features, unit.width, rng) {}
+    : unit_(unit), linear_(in_features, unit.width, rng) {
+  // A width-0 unit would project onto an empty slice and feed
+  // zero-column matrices into the activation kernels; BuildHeadUnits
+  // never emits one, and ad-hoc callers must not either.
+  DAISY_CHECK(unit.width > 0);
+}
 
 Matrix HeadProjection::Forward(const Matrix& features) {
   Matrix pre = linear_.Forward(features, /*training=*/true);
@@ -65,30 +76,16 @@ Matrix HeadProjection::InferenceForward(const Matrix& features) const {
 
 Matrix HeadProjection::Backward(const Matrix& grad_out) {
   DAISY_CHECK(grad_out.SameShape(cached_out_));
-  Matrix grad_pre(grad_out.rows(), grad_out.cols());
+  Matrix grad_pre;
   switch (unit_.act) {
     case HeadUnit::Act::kTanh:
-      for (size_t r = 0; r < grad_out.rows(); ++r)
-        for (size_t c = 0; c < grad_out.cols(); ++c) {
-          const double y = cached_out_(r, c);
-          grad_pre(r, c) = grad_out(r, c) * (1.0 - y * y);
-        }
+      grad_pre = nn::TanhBackwardFromOutput(cached_out_, grad_out);
       break;
     case HeadUnit::Act::kSigmoid:
-      for (size_t r = 0; r < grad_out.rows(); ++r)
-        for (size_t c = 0; c < grad_out.cols(); ++c) {
-          const double y = cached_out_(r, c);
-          grad_pre(r, c) = grad_out(r, c) * y * (1.0 - y);
-        }
+      grad_pre = nn::SigmoidBackwardFromOutput(cached_out_, grad_out);
       break;
     case HeadUnit::Act::kSoftmax:
-      for (size_t r = 0; r < grad_out.rows(); ++r) {
-        double dot = 0.0;
-        for (size_t c = 0; c < grad_out.cols(); ++c)
-          dot += grad_out(r, c) * cached_out_(r, c);
-        for (size_t c = 0; c < grad_out.cols(); ++c)
-          grad_pre(r, c) = cached_out_(r, c) * (grad_out(r, c) - dot);
-      }
+      grad_pre = nn::SoftmaxRowsBackward(cached_out_, grad_out);
       break;
   }
   return linear_.Backward(grad_pre);

@@ -22,7 +22,9 @@ struct HeadUnit {
 
 /// Expands attribute segments into head units: simple numeric -> tanh;
 /// GMM numeric -> tanh (value) + softmax (component); one-hot ->
-/// softmax; ordinal -> sigmoid.
+/// softmax; ordinal -> sigmoid. A degenerate single-component GMM
+/// segment (width 1) yields only the tanh unit — never a width-0
+/// softmax head.
 std::vector<HeadUnit> BuildHeadUnits(
     const std::vector<transform::AttrSegment>& segments);
 

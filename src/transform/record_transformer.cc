@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
+
 namespace daisy::transform {
 
 namespace {
@@ -176,6 +178,7 @@ Matrix RecordTransformer::TransformRows(const data::Table& table,
 
 data::Table RecordTransformer::InverseTransform(const Matrix& samples) const {
   DAISY_CHECK(samples.cols() == sample_dim_);
+  const kern::KernelTable& kt = kern::Active();
   data::Table out(schema_);
   out.Reserve(samples.rows());
   std::vector<double> record(schema_.num_attributes());
@@ -190,18 +193,16 @@ data::Table RecordTransformer::InverseTransform(const Matrix& samples) const {
           break;
         }
         case AttrSegment::Kind::kGmmNumeric: {
-          size_t k = 0;
-          for (size_t c = 1; c < seg.gmm.num_components(); ++c)
-            if (s[seg.offset + 1 + c] > s[seg.offset + 1 + k]) k = c;
+          // Dispatched first-max-wins argmax over the component
+          // selector (softmax outputs are NaN-free by construction).
+          const size_t k =
+              kt.argmax(s + seg.offset + 1, seg.gmm.num_components());
           const double vgmm = std::clamp(s[seg.offset], -1.0, 1.0);
           v = vgmm * 2.0 * seg.gmm.stddev(k) + seg.gmm.mean(k);
           break;
         }
         case AttrSegment::Kind::kOneHotCat: {
-          size_t k = 0;
-          for (size_t c = 1; c < seg.domain; ++c)
-            if (s[seg.offset + c] > s[seg.offset + k]) k = c;
-          v = static_cast<double>(k);
+          v = static_cast<double>(kt.argmax(s + seg.offset, seg.domain));
           break;
         }
         case AttrSegment::Kind::kOrdinalCat: {

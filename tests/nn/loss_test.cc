@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "nn/activations.h"
 
 namespace daisy::nn {
 namespace {
@@ -75,6 +76,30 @@ TEST(LossTest, BceWithLogitsStableAtExtremeLogits) {
   const double loss = BceWithLogitsLoss(logits, targets, &grad);
   EXPECT_TRUE(std::isfinite(loss));
   EXPECT_NEAR(loss, 0.0, 1e-9);
+}
+
+TEST(LossTest, BceWithLogitsGradStableAtExtremeLogits) {
+  // The old gradient path computed p = 1/(1+exp(-x)), which for
+  // x = -750 evaluates exp(750) = inf. The two-sided form saturates
+  // p to exactly 0/1, so the gradient is exact at the extremes.
+  Matrix logits = Matrix::FromRows({{750.0, -750.0, 750.0, -750.0}});
+  Matrix targets = Matrix::FromRows({{1.0, 0.0, 0.0, 1.0}});
+  Matrix grad;
+  const double loss = BceWithLogitsLoss(logits, targets, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  const double n = 4.0;
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);         // p=1, t=1
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0.0);         // p=0, t=0
+  EXPECT_DOUBLE_EQ(grad(0, 2), 1.0 / n);     // p=1, t=0
+  EXPECT_DOUBLE_EQ(grad(0, 3), -1.0 / n);    // p=0, t=1
+}
+
+TEST(LossTest, SigmoidMatSaturatesExactlyAtExtremeLogits) {
+  Matrix logits = Matrix::FromRows({{750.0, -750.0, 0.0}});
+  Matrix p = SigmoidMat(logits);
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p(0, 2), 0.5);
 }
 
 TEST(LossTest, BceClampsoSaturatedProbabilities) {

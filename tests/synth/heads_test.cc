@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/activations.h"
 #include "transform/record_transformer.h"
 
 namespace daisy::synth {
@@ -40,6 +41,46 @@ TEST(HeadsTest, BuildHeadUnitsExpandsSegments) {
   EXPECT_EQ(units[3].act, HeadUnit::Act::kSoftmax);
   EXPECT_EQ(units[3].width, 2u);
   EXPECT_EQ(units[4].act, HeadUnit::Act::kSigmoid);
+}
+
+TEST(HeadsTest, SingleComponentGmmSegmentYieldsNoWidthZeroUnit) {
+  // A GMM segment that collapsed to one component has width 1: only
+  // the normalized value, no component-selector columns. This used to
+  // emit a width-0 softmax unit whose SoftmaxRows read x(r, 0) of a
+  // rows x 0 matrix.
+  using Kind = transform::AttrSegment::Kind;
+  std::vector<transform::AttrSegment> segs(1);
+  segs[0].kind = Kind::kGmmNumeric;
+  segs[0].offset = 0;
+  segs[0].width = 1;
+  const auto units = BuildHeadUnits(segs);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].act, HeadUnit::Act::kTanh);
+  EXPECT_EQ(units[0].width, 1u);
+
+  // The resulting heads must be constructible and usable end to end.
+  Rng rng(7);
+  AttributeHeads heads(4, segs, &rng);
+  EXPECT_EQ(heads.sample_dim(), 1u);
+  Matrix sample = heads.Forward(Matrix::Randn(5, 4, &rng));
+  EXPECT_EQ(sample.cols(), 1u);
+  for (size_t r = 0; r < sample.rows(); ++r)
+    EXPECT_LE(std::fabs(sample(r, 0)), 1.0);
+}
+
+TEST(HeadsTest, WidthZeroProjectionAborts) {
+  Rng rng(8);
+  HeadUnit unit{0, 0, HeadUnit::Act::kSoftmax};
+  EXPECT_DEATH(HeadProjection(4, unit, &rng), "DAISY_CHECK");
+}
+
+TEST(HeadsTest, SoftmaxRowsOfZeroColumnMatrixIsEmpty) {
+  // Defense-in-depth behind the BuildHeadUnits guard: the activation
+  // itself must not read x(r, 0) of a rows x 0 matrix.
+  Matrix empty(6, 0);
+  Matrix y = nn::SoftmaxRows(empty);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 0u);
 }
 
 TEST(HeadsTest, ForwardProducesValidRanges) {

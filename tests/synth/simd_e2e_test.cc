@@ -1,0 +1,101 @@
+// End-to-end SIMD determinism: a short GAN training run plus a
+// generate pass must produce byte-identical parameters and samples
+// whichever ISA the dispatcher is forced to (DESIGN.md §5g — the
+// scalar and AVX2 tables execute the same IEEE operation sequence),
+// and whichever DAISY_THREADS value partitions the work.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kernels/kernels.h"
+#include "core/parallel.h"
+#include "data/generators/sdata.h"
+#include "synth/mlp_nets.h"
+#include "synth/trainer.h"
+
+namespace daisy::synth {
+namespace {
+
+struct RunOutput {
+  std::vector<Matrix> g_params;
+  Matrix samples;
+};
+
+// Trains a small MLP GAN for a handful of iterations from a fixed seed
+// and generates a fixed batch. Everything stochastic derives from
+// explicit Rng seeds, so any cross-run difference can only come from
+// the numeric kernels.
+RunOutput TrainAndGenerate() {
+  Rng data_rng(21);
+  data::SDataCatOptions dopts;
+  dopts.num_records = 200;
+  data::Table table = data::MakeSDataCat(dopts, &data_rng);
+
+  Rng nets_rng(22);
+  transform::TransformOptions topts;
+  auto tf = transform::RecordTransformer::Fit(table, topts, &nets_rng);
+  MlpGenerator g(8, 0, {24}, tf.segments(), &nets_rng);
+  MlpDiscriminator d(tf.sample_dim(), 0, {24}, false, &nets_rng);
+
+  GanOptions opts;
+  opts.algo = TrainAlgo::kVTrain;
+  opts.iterations = 15;
+  opts.batch_size = 16;
+  GanTrainer trainer(&g, &d, &tf, opts);
+  Rng train_rng(23);
+  trainer.Train(table, &train_rng);
+
+  RunOutput out;
+  for (const nn::Parameter* p : g.Params()) out.g_params.push_back(p->value);
+  Rng gen_rng(24);
+  Matrix z = Matrix::Randn(64, g.noise_dim(), &gen_rng);
+  out.samples = g.Forward(z, Matrix(), false);
+  return out;
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool BitwiseEqual(const RunOutput& a, const RunOutput& b) {
+  if (a.g_params.size() != b.g_params.size()) return false;
+  for (size_t i = 0; i < a.g_params.size(); ++i)
+    if (!BitwiseEqual(a.g_params[i], b.g_params[i])) return false;
+  return BitwiseEqual(a.samples, b.samples);
+}
+
+TEST(SimdE2eTest, TrainAndGenerateByteIdenticalScalarVsAvx2) {
+  if (!kern::IsaAvailable(kern::Isa::kAvx2)) {
+    GTEST_SKIP() << "AVX2 kernel table unavailable on this machine/build "
+                    "- forced-ISA e2e comparison not run";
+  }
+  kern::SetIsaForTesting(kern::Isa::kScalar);
+  const RunOutput scalar = TrainAndGenerate();
+  kern::SetIsaForTesting(kern::Isa::kAvx2);
+  const RunOutput avx2 = TrainAndGenerate();
+  kern::ResetIsaForTesting();
+  EXPECT_TRUE(BitwiseEqual(scalar, avx2))
+      << "forced scalar vs forced avx2 runs diverged";
+}
+
+TEST(SimdE2eTest, TrainAndGenerateByteIdenticalAcrossThreadCounts) {
+  const size_t restore = par::NumThreads();
+  par::SetNumThreads(1);
+  const RunOutput base = TrainAndGenerate();
+  for (size_t threads : {2u, 7u}) {
+    par::SetNumThreads(threads);
+    EXPECT_TRUE(BitwiseEqual(base, TrainAndGenerate()))
+        << "threads=" << threads << " diverged from threads=1";
+  }
+  par::SetNumThreads(restore);
+}
+
+TEST(SimdE2eTest, RepeatedRunsAreByteIdentical) {
+  // Run-vs-run determinism on whatever ISA startup resolution picked.
+  EXPECT_TRUE(BitwiseEqual(TrainAndGenerate(), TrainAndGenerate()));
+}
+
+}  // namespace
+}  // namespace daisy::synth
