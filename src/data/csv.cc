@@ -86,9 +86,7 @@ std::string EscapeCsvField(const std::string& s) {
   return out;
 }
 
-namespace {
-
-bool ParseDouble(const std::string& s, double* out) {
+bool ParseCsvNumber(const std::string& s, double* out) {
   if (s.empty()) return false;
   errno = 0;
   char* end = nullptr;
@@ -98,7 +96,38 @@ bool ParseDouble(const std::string& s, double* out) {
   return true;
 }
 
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  return ParseCsvNumber(s, out);
+}
+
 }  // namespace
+
+Status CsvStreamReader::Open(const std::string& path) {
+  if (in_.is_open()) in_.close();
+  in_.clear();
+  in_.open(path);
+  if (!in_) return Status::IOError("cannot open for read: " + path);
+  path_ = path;
+  rows_read_ = 0;
+  header_.clear();
+  bool got = false;
+  DAISY_RETURN_IF_ERROR(ParseRecord(in_, &header_, &got));
+  if (!got) return Status::InvalidArgument("empty csv: " + path);
+  return Status::OK();
+}
+
+Status CsvStreamReader::Next(std::vector<std::string>* fields, bool* got) {
+  if (!in_.is_open())
+    return Status::FailedPrecondition("csv stream reader is not open");
+  DAISY_RETURN_IF_ERROR(ParseRecord(in_, fields, got));
+  if (!*got) return Status::OK();
+  if (fields->size() != header_.size())
+    return Status::InvalidArgument("ragged row in csv: " + path_);
+  ++rows_read_;
+  return Status::OK();
+}
 
 Status WriteCsv(const Table& table, const std::string& path) {
   std::ofstream out(path);

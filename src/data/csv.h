@@ -2,12 +2,48 @@
 #ifndef DAISY_DATA_CSV_H_
 #define DAISY_DATA_CSV_H_
 
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/status.h"
 #include "data/table.h"
 
 namespace daisy::data {
+
+/// Strict numeric parse used for CSV schema inference: the whole field
+/// must be consumed by strtod and must be non-empty. Exposed so the
+/// streaming CSV->dcol converter infers types byte-identically to
+/// ReadCsv.
+bool ParseCsvNumber(const std::string& s, double* out);
+
+/// Record-at-a-time CSV reader: same RFC-4180 grammar as ReadCsv
+/// (quoted fields, doubled quotes, CRLF line endings, fields spanning
+/// physical lines) but holding only one record in memory, so
+/// arbitrarily large files stream in bounded space. Open() consumes
+/// the header row; call Open() again to rewind for another pass.
+class CsvStreamReader {
+ public:
+  CsvStreamReader() = default;
+
+  Status Open(const std::string& path);
+
+  /// Header fields (valid after a successful Open).
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Reads the next data record. Sets *got = false on clean EOF.
+  /// Ragged records (width != header width) are an error.
+  Status Next(std::vector<std::string>* fields, bool* got);
+
+  /// Data records returned by Next since the last Open.
+  size_t rows_read() const { return rows_read_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  std::vector<std::string> header_;
+  size_t rows_read_ = 0;
+};
 
 /// RFC-4180 escaping for one cell: the field is quoted (with embedded
 /// quotes doubled) when it contains a comma, quote, CR or LF. Exposed

@@ -166,6 +166,195 @@ Gmm1d Gmm1d::Fit(const std::vector<double>& values, const Options& opts,
   return gmm;
 }
 
+Gmm1d Gmm1d::FitStreaming(const ValueSource& values, const Options& opts,
+                          Rng* rng) {
+  const size_t n = values.size();
+  DAISY_CHECK(n > 0);
+  const size_t k = std::max<size_t>(1, std::min(opts.components, n));
+
+  Gmm1d gmm;
+  gmm.means_.resize(k);
+  gmm.stddevs_.assign(k, 0.0);
+  gmm.weights_.assign(k, 1.0 / static_cast<double>(k));
+
+  // Windowed scans: window boundaries are multiples of kRowGrain, so
+  // the per-window ParallelForIndexed calls below partition rows into
+  // exactly the chunks Fit's whole-range calls produce, and filling the
+  // same chunk-indexed partials yields bit-identical reductions.
+  constexpr size_t kRowGrain = 256;
+  constexpr size_t kWindowRows = 64 * kRowGrain;
+  std::vector<double> window(std::min(n, kWindowRows));
+  const auto for_each_window =
+      [&](const std::function<void(size_t, size_t, const double*)>& fn) {
+        for (size_t b = 0; b < n; b += kWindowRows) {
+          const size_t e = std::min(n, b + kWindowRows);
+          values.Read(b, e, window.data());
+          fn(b, e, window.data());
+        }
+      };
+
+  // k-means++ seeding with Fit's exact rng stream: one UniformInt for
+  // the first mean, then one Categorical over the min squared
+  // distances per extra component. Rng::Categorical sums the weights
+  // in ascending order, draws Uniform()*total and subtract-scans — and
+  // consumes no Uniform at all when total <= 0 — so it is re-enacted
+  // here as two streaming scans.
+  gmm.means_[0] = values.At(rng->UniformInt(n));
+  for (size_t c = 1; c < k; ++c) {
+    const auto min_d2 = [&](double v) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < c; ++j) {
+        const double d = v - gmm.means_[j];
+        best = std::min(best, d * d);
+      }
+      return best;
+    };
+    double total = 0.0;
+    for_each_window([&](size_t b, size_t e, const double* vals) {
+      for (size_t i = b; i < e; ++i) total += min_d2(vals[i - b]);
+    });
+    size_t pick = n - 1;
+    if (total > 0.0) {
+      double x = rng->Uniform() * total;
+      bool found = false;
+      for (size_t b = 0; b < n && !found; b += kWindowRows) {
+        const size_t e = std::min(n, b + kWindowRows);
+        values.Read(b, e, window.data());
+        for (size_t i = b; i < e; ++i) {
+          x -= min_d2(window[i - b]);
+          if (x < 0.0) {
+            pick = i;
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    gmm.means_[c] = values.At(pick);
+  }
+
+  // Global mean then variance, each a serial ascending scan as in Fit.
+  double global_var = 0.0, global_mean = 0.0;
+  for_each_window([&](size_t b, size_t e, const double* vals) {
+    for (size_t i = b; i < e; ++i) global_mean += vals[i - b];
+  });
+  global_mean /= static_cast<double>(n);
+  for_each_window([&](size_t b, size_t e, const double* vals) {
+    for (size_t i = b; i < e; ++i)
+      global_var += (vals[i - b] - global_mean) * (vals[i - b] - global_mean);
+  });
+  global_var /= static_cast<double>(n);
+  const double init_sd =
+      std::max(opts.min_stddev, std::sqrt(global_var / static_cast<double>(k)));
+  for (auto& s : gmm.stddevs_) s = init_sd;
+
+  const size_t num_chunks = (n + kRowGrain - 1) / kRowGrain;
+  std::vector<double> ll_part(num_chunks);
+  std::vector<std::vector<double>> nj_part(num_chunks);
+  std::vector<std::vector<double>> mu_part(num_chunks);
+  std::vector<std::vector<double>> var_part(num_chunks);
+  std::vector<double> old_means, old_stddevs, old_weights;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < opts.max_iters; ++iter) {
+    // The dead-component reseeds below mutate the parameters the E
+    // step just used; the variance scan recomputes responsibilities,
+    // so it needs this pre-update snapshot.
+    old_means = gmm.means_;
+    old_stddevs = gmm.stddevs_;
+    old_weights = gmm.weights_;
+
+    // Scan 1: E step fused with M-step pass 1. Per chunk this runs the
+    // same rows in the same order as Fit's two separate loops, and each
+    // accumulator (lsum, nj, mu) sees the same additions in the same
+    // order, so the partials are bit-identical; responsibilities are
+    // recomputed per row instead of being stored n x k.
+    for_each_window([&](size_t wb, size_t we, const double* vals) {
+      par::ParallelForIndexed(wb, we, kRowGrain,
+                              [&](size_t c, size_t b, size_t e) {
+        const size_t chunk = wb / kRowGrain + c;
+        std::vector<double> logp(k), r(k);
+        double lsum = 0.0;
+        nj_part[chunk].assign(k, 0.0);
+        mu_part[chunk].assign(k, 0.0);
+        for (size_t i = b; i < e; ++i) {
+          const double v = vals[i - wb];
+          for (size_t j = 0; j < k; ++j)
+            logp[j] = std::log(std::max(gmm.weights_[j], 1e-300)) +
+                      LogNormalPdf(v, gmm.means_[j], gmm.stddevs_[j]);
+          const double lse = LogSumExp(logp);
+          lsum += lse;
+          for (size_t j = 0; j < k; ++j) r[j] = std::exp(logp[j] - lse);
+          for (size_t j = 0; j < k; ++j) {
+            nj_part[chunk][j] += r[j];
+            mu_part[chunk][j] += r[j] * v;
+          }
+        }
+        ll_part[chunk] = lsum;
+      });
+    });
+    double ll = 0.0;
+    for (size_t c = 0; c < num_chunks; ++c) ll += ll_part[c];
+    std::vector<double> nj(k, 0.0);
+    std::vector<double> mu(k, 0.0);
+    for (size_t c = 0; c < num_chunks; ++c)
+      for (size_t j = 0; j < k; ++j) {
+        nj[j] += nj_part[c][j];
+        mu[j] += mu_part[c][j];
+      }
+
+    std::vector<bool> alive(k, false);
+    for (size_t j = 0; j < k; ++j) {
+      if (nj[j] < 1e-10) {
+        gmm.means_[j] = values.At(rng->UniformInt(n));
+        gmm.stddevs_[j] = init_sd;
+        gmm.weights_[j] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      alive[j] = true;
+      mu[j] /= nj[j];
+    }
+
+    // Scan 2: variance partials around the new means, responsibilities
+    // recomputed from the snapshot (bitwise equal to Fit's stored resp:
+    // same inputs, same expressions).
+    for_each_window([&](size_t wb, size_t we, const double* vals) {
+      par::ParallelForIndexed(wb, we, kRowGrain,
+                              [&](size_t c, size_t b, size_t e) {
+        const size_t chunk = wb / kRowGrain + c;
+        std::vector<double> logp(k);
+        var_part[chunk].assign(k, 0.0);
+        for (size_t i = b; i < e; ++i) {
+          const double v = vals[i - wb];
+          for (size_t j = 0; j < k; ++j)
+            logp[j] = std::log(std::max(old_weights[j], 1e-300)) +
+                      LogNormalPdf(v, old_means[j], old_stddevs[j]);
+          const double lse = LogSumExp(logp);
+          for (size_t j = 0; j < k; ++j) {
+            const double d = v - mu[j];
+            var_part[chunk][j] += std::exp(logp[j] - lse) * d * d;
+          }
+        }
+      });
+    });
+    for (size_t j = 0; j < k; ++j) {
+      if (!alive[j]) continue;
+      double var = 0.0;
+      for (size_t c = 0; c < num_chunks; ++c) var += var_part[c][j];
+      var /= nj[j];
+      gmm.means_[j] = mu[j];
+      gmm.stddevs_[j] = std::max(opts.min_stddev, std::sqrt(var));
+      gmm.weights_[j] = nj[j] / static_cast<double>(n);
+    }
+    double wsum = 0.0;
+    for (double w : gmm.weights_) wsum += w;
+    if (wsum > 0.0)
+      for (auto& w : gmm.weights_) w /= wsum;
+    if (std::fabs(ll - prev_ll) < opts.tol * static_cast<double>(n)) break;
+    prev_ll = ll;
+  }
+  return gmm;
+}
+
 Gmm1d Gmm1d::FromParams(std::vector<double> means,
                         std::vector<double> stddevs,
                         std::vector<double> weights) {

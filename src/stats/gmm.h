@@ -9,6 +9,33 @@
 
 namespace daisy::stats {
 
+/// Read-only access to a sequence of doubles that may live out of
+/// core (e.g. one column of a paged table). `Read` is the streaming
+/// primitive; `At` serves point lookups (k-means++ reseeds).
+class ValueSource {
+ public:
+  virtual ~ValueSource() = default;
+  virtual size_t size() const = 0;
+  virtual double At(size_t i) const = 0;
+  /// Fills out[0 .. end-begin) with values [begin, end).
+  virtual void Read(size_t begin, size_t end, double* out) const = 0;
+};
+
+/// In-memory adapter over a vector (tests, equivalence checks).
+class VectorSource final : public ValueSource {
+ public:
+  explicit VectorSource(const std::vector<double>& values)
+      : values_(values) {}
+  size_t size() const override { return values_.size(); }
+  double At(size_t i) const override { return values_[i]; }
+  void Read(size_t begin, size_t end, double* out) const override {
+    for (size_t i = begin; i < end; ++i) out[i - begin] = values_[i];
+  }
+
+ private:
+  const std::vector<double>& values_;
+};
+
 /// A fitted 1-D mixture of `s` Gaussians.
 class Gmm1d {
  public:
@@ -24,6 +51,16 @@ class Gmm1d {
   /// Fits by EM with k-means++-style initialization of the means.
   static Gmm1d Fit(const std::vector<double>& values, const Options& opts,
                    Rng* rng);
+
+  /// Out-of-core Fit: streams `values` in fixed windows instead of
+  /// requiring them in memory, holding O(window + n/grain) state. The
+  /// rng consumption order, chunk partition (kRowGrain rows) and every
+  /// ascending-order reduction replicate Fit exactly, so the fitted
+  /// parameters are bitwise identical to Fit on the same sequence, for
+  /// any DAISY_THREADS. Costs one extra pass per EM iteration
+  /// (responsibilities are recomputed rather than stored).
+  static Gmm1d FitStreaming(const ValueSource& values, const Options& opts,
+                            Rng* rng);
 
   /// Reconstructs a fitted model from its parameters (persistence).
   static Gmm1d FromParams(std::vector<double> means,

@@ -35,10 +35,22 @@ enum class DpEngineKind {
   kVectorized,       ///< Batched norms + scaled GEMMs (Linear-only stacks).
 };
 
+/// Minibatch sampler for the non-label-aware algorithms (Figure 2's
+/// Sampler box). kUniform draws with replacement from the whole table
+/// — the paper's sampler and the default. kChunkedShuffle visits the
+/// table as shuffled chunks of shuffle_chunk_rows consecutive records
+/// (shuffled within each chunk): one epoch covers every record once,
+/// and a minibatch touches O(1) pages of a paged table instead of
+/// random-faulting the whole file — the out-of-core mode. The chunked
+/// sampler derives its own rng streams from the seed and consumes
+/// nothing from the training rng. kCTrain ignores this knob (label-
+/// aware sampling needs per-label pools).
+enum class SamplerKind { kUniform, kChunkedShuffle };
+
 /// Hyper-parameters shared by the architectures and trainers. The
 /// sampler choice (Figure 2's Sampler box) is implied by the training
-/// algorithm: kCTrain uses label-aware sampling, everything else
-/// samples uniformly.
+/// algorithm: kCTrain uses label-aware sampling, everything else uses
+/// `sampler` (uniform by default).
 struct GanOptions {
   GeneratorArch generator = GeneratorArch::kMlp;
   DiscriminatorArch discriminator = DiscriminatorArch::kMlp;
@@ -65,6 +77,8 @@ struct GanOptions {
   double lr_g = 1e-3;
   double lr_d = 1e-3;
   size_t d_steps = 1;        // discriminator steps per generator step
+  SamplerKind sampler = SamplerKind::kUniform;
+  size_t shuffle_chunk_rows = 4096;  // kChunkedShuffle chunk size
   double weight_clip = 0.01; // WGAN parameter clipping
   double kl_weight = 1.0;    // VTrain warm-up term weight
 

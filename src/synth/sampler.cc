@@ -1,12 +1,111 @@
 #include "synth/sampler.h"
 
+#include <algorithm>
+
 namespace daisy::synth {
+
+ChunkedShuffleSampler::ChunkedShuffleSampler(size_t num_records,
+                                             size_t chunk_rows,
+                                             uint64_t seed)
+    : n_(num_records), chunk_rows_(chunk_rows), seed_(seed) {
+  DAISY_CHECK(n_ > 0);
+  if (chunk_rows_ == 0 || chunk_rows_ > n_) chunk_rows_ = n_;
+  num_chunks_ = (n_ + chunk_rows_ - 1) / chunk_rows_;
+  StartEpoch();
+}
+
+size_t ChunkedShuffleSampler::ChunkSize(size_t chunk) const {
+  const size_t begin = chunk * chunk_rows_;
+  return std::min(n_, begin + chunk_rows_) - begin;
+}
+
+void ChunkedShuffleSampler::StartEpoch() {
+  visit_pos_ = 0;
+  pos_within_ = 0;
+  drawn_in_epoch_ = 0;
+  within_.clear();
+  // One derived stream per epoch; the golden-gamma multiplier keeps
+  // consecutive epoch seeds far apart in splitmix64's input space.
+  Rng rng(seed_ + 0x9E3779B97F4A7C15ULL *
+                      (static_cast<uint64_t>(epoch_) + 1));
+  chunk_order_ = rng.Permutation(num_chunks_);
+  chunk_seeds_.resize(num_chunks_);
+  for (auto& s : chunk_seeds_) s = rng.Next();
+}
+
+void ChunkedShuffleSampler::AdvanceChunk() {
+  ++visit_pos_;
+  pos_within_ = 0;
+  within_.clear();
+  if (visit_pos_ == num_chunks_) {
+    ++epoch_;
+    StartEpoch();
+  }
+}
+
+size_t ChunkedShuffleSampler::NextIndex() {
+  if (within_.empty()) {
+    // Materialize the current chunk's permutation on first use (an
+    // AdvanceRows skip may have left pos_within_ mid-chunk).
+    const size_t chunk = chunk_order_[visit_pos_];
+    Rng rng(chunk_seeds_[visit_pos_]);
+    within_ = rng.Permutation(ChunkSize(chunk));
+    const size_t base = chunk * chunk_rows_;
+    for (auto& idx : within_) idx += base;
+  }
+  ++drawn_in_epoch_;
+  const size_t idx = within_[pos_within_++];
+  // Roll chunk (and epoch) boundaries eagerly, so the sampler state
+  // after drawing k rows is identical to AdvanceRows(k) — epoch()
+  // included — which is what makes resume fast-forward exact.
+  if (pos_within_ >= within_.size()) AdvanceChunk();
+  return idx;
+}
+
+std::vector<size_t> ChunkedShuffleSampler::SampleBatch(size_t m) {
+  std::vector<size_t> out(m);
+  for (auto& idx : out) idx = NextIndex();
+  return out;
+}
+
+void ChunkedShuffleSampler::AdvanceRows(uint64_t rows) {
+  // Resolve epoch crossings first, so the chunk walk below never has
+  // to roll an epoch (it always consumes < n_ rows from the current
+  // position).
+  const uint64_t total = static_cast<uint64_t>(drawn_in_epoch_) + rows;
+  if (total >= n_) {
+    epoch_ += static_cast<size_t>(total / n_);
+    rows = total % n_;
+    StartEpoch();
+  }
+  while (rows > 0) {
+    const uint64_t avail = ChunkSize(chunk_order_[visit_pos_]) - pos_within_;
+    if (rows >= avail) {
+      rows -= avail;
+      drawn_in_epoch_ += static_cast<size_t>(avail);
+      AdvanceChunk();  // whole-chunk skip: no permutation materialized
+    } else {
+      pos_within_ += static_cast<size_t>(rows);
+      drawn_in_epoch_ += static_cast<size_t>(rows);
+      rows = 0;
+    }
+  }
+}
 
 LabelAwareSampler::LabelAwareSampler(const data::Table& table) {
   DAISY_CHECK(table.schema().has_label());
   by_label_.resize(table.schema().num_labels());
   for (size_t i = 0; i < table.num_records(); ++i)
     by_label_[table.label(i)].push_back(i);
+}
+
+LabelAwareSampler::LabelAwareSampler(const std::vector<size_t>& labels,
+                                     size_t num_labels) {
+  by_label_.resize(num_labels);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    DAISY_CHECK(labels[i] < num_labels);
+    by_label_[labels[i]].push_back(i);
+  }
 }
 
 std::vector<size_t> LabelAwareSampler::SampleBatchWithLabel(size_t label,

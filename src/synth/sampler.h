@@ -26,11 +26,66 @@ class RandomSampler {
   size_t n_;
 };
 
+/// Epoch-style sampler tuned for out-of-core training: visits the
+/// table as shuffled fixed-size chunks of consecutive records,
+/// shuffling within each chunk, so one epoch touches every record
+/// exactly once while any minibatch spans at most a couple of chunks —
+/// O(1) resident pages under a paged table instead of random faults
+/// across the whole file.
+///
+/// Determinism contract: the index stream is a pure function of
+/// (num_records, chunk_rows, seed) and the number of indices drawn so
+/// far — independent of batch boundaries, page budgets and thread
+/// counts. The sampler owns its rng streams (per-epoch chunk order and
+/// per-chunk permutations are derived from `seed`), consuming nothing
+/// from the training rng, and AdvanceRows fast-forwards to any stream
+/// position without materializing skipped permutations — how a resumed
+/// run re-aligns the sampler with its checkpoint.
+class ChunkedShuffleSampler {
+ public:
+  ChunkedShuffleSampler(size_t num_records, size_t chunk_rows,
+                        uint64_t seed);
+
+  /// m record indices, continuing the stream (batches freely cross
+  /// chunk and epoch boundaries).
+  std::vector<size_t> SampleBatch(size_t m);
+
+  /// Skips `rows` indices, as if they had been drawn and discarded.
+  void AdvanceRows(uint64_t rows);
+
+  size_t num_chunks() const { return num_chunks_; }
+  size_t epoch() const { return epoch_; }
+
+ private:
+  void StartEpoch();
+  void AdvanceChunk();
+  size_t ChunkSize(size_t chunk) const;
+  size_t NextIndex();
+
+  size_t n_;
+  size_t chunk_rows_;
+  size_t num_chunks_;
+  uint64_t seed_;
+
+  size_t epoch_ = 0;
+  std::vector<size_t> chunk_order_;   // visit order of chunks this epoch
+  std::vector<uint64_t> chunk_seeds_; // per visit-position shuffle seed
+  size_t visit_pos_ = 0;              // position in chunk_order_
+  std::vector<size_t> within_;        // lazily materialized permutation
+  size_t pos_within_ = 0;             // indices consumed in this chunk
+  size_t drawn_in_epoch_ = 0;         // indices consumed this epoch
+};
+
 /// Label-aware sampling (paper §5.3): draws a batch restricted to one
 /// label so minority labels get fair training opportunities.
 class LabelAwareSampler {
  public:
   explicit LabelAwareSampler(const data::Table& table);
+
+  /// Same pools built from a label vector (how the trainer constructs
+  /// it from a TrainDataSource, paged or in-memory). Every entry must
+  /// be < num_labels.
+  LabelAwareSampler(const std::vector<size_t>& labels, size_t num_labels);
 
   size_t num_labels() const { return by_label_.size(); }
   /// Number of training records carrying the label.

@@ -50,6 +50,34 @@ Status TableSynthesizer::Fit(const data::Table& train,
   return result_.health;
 }
 
+Status TableSynthesizer::Fit(const data::PagedTable& train,
+                             obs::MetricSink* sink) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 0);
+  if (opts_.num_threads > 0) par::SetNumThreads(opts_.num_threads);
+  fitted_ = true;
+  full_schema_ = train.schema();
+  if (opts_.conditional) {
+    DAISY_CHECK(full_schema_.has_label());
+    topts_.exclude_label = true;
+    label_weights_.assign(full_schema_.num_labels(), 0.0);
+    auto labels = train.ReadLabels();
+    DAISY_CHECK(labels.ok());
+    for (size_t y : labels.value()) label_weights_[y] += 1.0;
+  }
+
+  transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::FitStreaming(train, topts_, &rng_));
+  BuildNetworks();
+
+  GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
+  Rng train_rng = rng_.Split();
+  PagedTrainSource source(&train, transformer_.get());
+  result_ = trainer.Train(source, &train_rng, sink);
+  final_state_ = GetState(g_->Params());
+  return result_.health;
+}
+
 void TableSynthesizer::BuildNetworks() {
   const size_t cond_dim =
       opts_.conditional ? full_schema_.num_labels() : 0;

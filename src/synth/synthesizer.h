@@ -37,6 +37,17 @@ class TableSynthesizer {
   /// last healthy snapshot and Generate still works.
   Status Fit(const data::Table& train, obs::MetricSink* sink = nullptr);
 
+  /// Out-of-core Fit over a paged .dcol table: transformer statistics
+  /// come from streaming fits (RecordTransformer::FitStreaming) and
+  /// training minibatches fault through the table's page cache, so
+  /// peak memory is bounded by the page budget + model size instead of
+  /// the table size. Consumes this synthesizer's rng exactly like the
+  /// in-memory Fit, so for equivalent data the fitted model is bitwise
+  /// identical at any page budget / thread count. Prefer
+  /// GanOptions::SamplerKind::kChunkedShuffle with this overload —
+  /// uniform sampling random-faults pages every batch.
+  Status Fit(const data::PagedTable& train, obs::MetricSink* sink = nullptr);
+
   /// Health of the training run (same Status that Fit returned).
   const Status& health() const { return result_.health; }
 

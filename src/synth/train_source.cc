@@ -1,0 +1,44 @@
+#include "synth/train_source.h"
+
+namespace daisy::synth {
+
+InMemoryTrainSource::InMemoryTrainSource(
+    const data::Table& table,
+    const transform::RecordTransformer* transformer)
+    : table_(table), real_all_(transformer->Transform(table)) {
+  if (table.schema().has_label()) labels_ = table.Labels();
+}
+
+PagedTrainSource::PagedTrainSource(
+    const data::PagedTable* table,
+    const transform::RecordTransformer* transformer)
+    : table_(table), transformer_(transformer) {
+  if (table_->schema().has_label()) {
+    auto labels = table_->ReadLabels();
+    // The file's checksums were verified at Open; a failure here is a
+    // hardware/filesystem fault, not bad data.
+    DAISY_CHECK(labels.ok());
+    labels_ = labels.take();
+  }
+}
+
+Matrix PagedTrainSource::GatherSamples(
+    const std::vector<size_t>& rows) const {
+  auto raw = table_->GatherRows(rows);
+  DAISY_CHECK(raw.ok());
+  const Matrix& cells = raw.value();
+
+  // Rehydrate the batch as a tiny full-schema table so the transformer
+  // encodes it exactly as it would the in-memory original (same
+  // category validation, same per-record encoding).
+  data::Table batch(table_->schema());
+  batch.Reserve(rows.size());
+  std::vector<double> record(table_->num_attributes());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < record.size(); ++j) record[j] = cells(i, j);
+    batch.AppendRecord(record);
+  }
+  return transformer_->Transform(batch);
+}
+
+}  // namespace daisy::synth

@@ -339,15 +339,23 @@ Status GanTrainer::RestoreFromCheckpoint(const ckpt::TrainCheckpoint& c,
 
 TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
                               obs::MetricSink* sink) {
+  // Pre-transforms all real records once and serves batches as row
+  // gathers — the historical in-memory path.
+  InMemoryTrainSource source(table, transformer_);
+  return Train(source, rng, sink);
+}
+
+TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
+                              obs::MetricSink* sink) {
   const bool wasserstein =
       opts_.algo == TrainAlgo::kWTrain || opts_.algo == TrainAlgo::kDPTrain;
   const bool dp = opts_.algo == TrainAlgo::kDPTrain;
   const bool label_aware = opts_.algo == TrainAlgo::kCTrain;
   const bool conditional = g_->cond_dim() > 0;
-  DAISY_CHECK(!conditional || table.schema().has_label());
-  if (conditional) num_labels_ = table.schema().num_labels();
+  DAISY_CHECK(!conditional || source.schema().has_label());
+  if (conditional) num_labels_ = source.schema().num_labels();
 
-  if (table.num_records() == 0) {
+  if (source.num_records() == 0) {
     TrainResult result;
     result.health = Status::InvalidArgument(
         "cannot train on an empty table: no records to sample");
@@ -356,14 +364,15 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
     return result;
   }
 
-  // Pre-transform all real records once.
-  const Matrix real_all = transformer_->Transform(table);
-  const std::vector<size_t> labels_all =
-      table.schema().has_label() ? table.Labels() : std::vector<size_t>();
+  const std::vector<size_t>& labels_all = source.labels();
 
-  RandomSampler random_sampler(table.num_records());
+  RandomSampler random_sampler(source.num_records());
   std::unique_ptr<LabelAwareSampler> label_sampler;
-  if (label_aware) label_sampler = std::make_unique<LabelAwareSampler>(table);
+  if (label_aware) {
+    DAISY_CHECK(source.schema().has_label());
+    label_sampler = std::make_unique<LabelAwareSampler>(
+        labels_all, source.schema().num_labels());
+  }
 
   // Empirical label distribution, for sampling fake-batch conditions.
   std::vector<double> label_weights;
@@ -431,6 +440,25 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
     // is a fresh run, so schedulers can always pass --resume.
   }
 
+  // Chunked-shuffle sampler (out-of-core locality). It owns streams
+  // derived from the run seed — switching sampler kinds never perturbs
+  // the main rng — and a resumed run fast-forwards it by exactly the
+  // rows each completed iteration consumed: d_steps real batches plus
+  // the (unconditionally drawn) KL reference batch.
+  std::unique_ptr<ChunkedShuffleSampler> chunk_sampler;
+  if (!label_aware && opts_.sampler == SamplerKind::kChunkedShuffle) {
+    chunk_sampler = std::make_unique<ChunkedShuffleSampler>(
+        source.num_records(), opts_.shuffle_chunk_rows,
+        opts_.seed ^ 0xC0FFEE5EED5A55AAULL);
+    const size_t d_steps = std::max<size_t>(1, opts_.d_steps);
+    chunk_sampler->AdvanceRows(static_cast<uint64_t>(start_iter) *
+                               (d_steps + 1) * opts_.batch_size);
+  }
+  auto sample_rows = [&](size_t m) {
+    return chunk_sampler != nullptr ? chunk_sampler->SampleBatch(m)
+                                    : random_sampler.SampleBatch(m, rng);
+  };
+
   size_t iters_this_run = 0;
   for (size_t iter = start_iter; iter < opts_.iterations; ++iter) {
     obs::WallTimer iter_timer;
@@ -444,7 +472,7 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
                                                         rng);
         if (rows.empty()) continue;
         ++active;
-        Matrix real = real_all.GatherRows(rows);
+        Matrix real = source.GatherSamples(rows);
         Matrix cond = OneHotLabels(std::vector<size_t>(rows.size(), y));
         Matrix z = SampleNoise(rows.size(), rng);
         Matrix fake = g_->Forward(z, cond, /*training=*/true);
@@ -469,8 +497,8 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
       double d_loss = 0.0;
       const size_t d_steps = std::max<size_t>(1, opts_.d_steps);
       for (size_t s = 0; s < d_steps; ++s) {
-        auto rows = random_sampler.SampleBatch(opts_.batch_size, rng);
-        Matrix real = real_all.GatherRows(rows);
+        auto rows = sample_rows(opts_.batch_size);
+        Matrix real = source.GatherSamples(rows);
         Matrix real_cond = gather_cond(rows);
         Matrix z = SampleNoise(opts_.batch_size, rng);
         Matrix fake_cond = random_cond(opts_.batch_size);
@@ -480,9 +508,12 @@ TrainResult GanTrainer::Train(const data::Table& table, Rng* rng,
       }
       result.d_losses.push_back(d_loss / static_cast<double>(d_steps));
 
-      auto ref_rows = random_sampler.SampleBatch(opts_.batch_size, rng);
+      // The ref batch is drawn even under Wasserstein (where it goes
+      // unused) so the sampler stream position per iteration is
+      // algorithm-independent.
+      auto ref_rows = sample_rows(opts_.batch_size);
       Matrix real_ref = wasserstein ? Matrix()
-                                    : real_all.GatherRows(ref_rows);
+                                    : source.GatherSamples(ref_rows);
       Matrix z = SampleNoise(opts_.batch_size, rng);
       Matrix cond = random_cond(opts_.batch_size);
       result.g_losses.push_back(

@@ -26,6 +26,7 @@
 #include "synth/discriminator.h"
 #include "synth/generator.h"
 #include "synth/kl_regularizer.h"
+#include "synth/train_source.h"
 #include "transform/record_transformer.h"
 
 namespace daisy::synth {
@@ -72,6 +73,14 @@ class GanTrainer {
   /// (options.sentinel) is checked every iteration either way, and its
   /// verdict lands in TrainResult::health.
   TrainResult Train(const data::Table& table, Rng* rng,
+                    obs::MetricSink* sink = nullptr);
+
+  /// Same training loop over any TrainDataSource — the out-of-core
+  /// entry point (Train(table) is a thin wrapper over an
+  /// InMemoryTrainSource). For a fixed options/seed/source content the
+  /// run is bitwise identical whichever source implementation serves
+  /// it, because encoded batches are (see train_source.h).
+  TrainResult Train(const TrainDataSource& source, Rng* rng,
                     obs::MetricSink* sink = nullptr);
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/kernels/kernels.h"
+#include "data/columnar.h"
 
 namespace daisy::transform {
 
@@ -17,10 +18,10 @@ size_t CeilSqrt(size_t n) {
 
 }  // namespace
 
-RecordTransformer RecordTransformer::Fit(const data::Table& table,
-                                         const TransformOptions& options,
-                                         Rng* rng) {
-  DAISY_CHECK(table.num_records() > 0);
+RecordTransformer RecordTransformer::FitImpl(const data::Schema& full,
+                                             const TransformOptions& options,
+                                             Rng* rng,
+                                             const ColumnStats& stats) {
   RecordTransformer t;
   t.options_ = options;
   if (options.form == SampleForm::kMatrix) {
@@ -30,7 +31,6 @@ RecordTransformer RecordTransformer::Fit(const data::Table& table,
     t.options_.numerical = NumericalNormalization::kSimple;
   }
 
-  const data::Schema& full = table.schema();
   std::vector<size_t> source_cols;
   std::vector<data::Attribute> attrs;
   for (size_t j = 0; j < full.num_attributes(); ++j) {
@@ -78,13 +78,13 @@ RecordTransformer RecordTransformer::Fit(const data::Table& table,
         seg.kind = AttrSegment::Kind::kGmmNumeric;
         stats::Gmm1d::Options gopts;
         gopts.components = options.gmm_components;
-        seg.gmm = stats::Gmm1d::Fit(table.Column(seg.source_col), gopts, rng);
+        seg.gmm = stats.fit_gmm(seg.source_col, gopts, rng);
         seg.width = 1 + seg.gmm.num_components();
       } else {
         seg.kind = AttrSegment::Kind::kSimpleNumeric;
         seg.width = 1;
-        seg.v_min = table.AttributeMin(seg.source_col);
-        seg.v_max = table.AttributeMax(seg.source_col);
+        seg.v_min = stats.attr_min(seg.source_col);
+        seg.v_max = stats.attr_max(seg.source_col);
         if (seg.v_max <= seg.v_min) seg.v_max = seg.v_min + 1.0;
         seg.lo = -1.0;
         seg.hi = 1.0;
@@ -100,6 +100,63 @@ RecordTransformer RecordTransformer::Fit(const data::Table& table,
     t.sample_dim_ = t.matrix_side_ * t.matrix_side_;  // zero padding
   }
   return t;
+}
+
+RecordTransformer RecordTransformer::Fit(const data::Table& table,
+                                         const TransformOptions& options,
+                                         Rng* rng) {
+  DAISY_CHECK(table.num_records() > 0);
+  ColumnStats stats;
+  stats.fit_gmm = [&table](size_t col, const stats::Gmm1d::Options& gopts,
+                           Rng* r) {
+    return stats::Gmm1d::Fit(table.Column(col), gopts, r);
+  };
+  stats.attr_min = [&table](size_t col) { return table.AttributeMin(col); };
+  stats.attr_max = [&table](size_t col) { return table.AttributeMax(col); };
+  return FitImpl(table.schema(), options, rng, stats);
+}
+
+namespace {
+
+// One column of a paged table as a streaming value source. Scans go
+// straight to disk (no cache churn); the rare point lookups (k-means++
+// reseeds) fault through the table's page cache. IO errors abort: the
+// file's checksums were verified at Open, so a failure here is a
+// hardware/filesystem fault, not bad data.
+class PagedColumnSource final : public stats::ValueSource {
+ public:
+  PagedColumnSource(const data::PagedTable& table, size_t col)
+      : table_(table), col_(col) {}
+  size_t size() const override { return table_.num_records(); }
+  double At(size_t i) const override {
+    auto v = table_.ValueAt(i, col_);
+    DAISY_CHECK(v.ok());
+    return v.value();
+  }
+  void Read(size_t begin, size_t end, double* out) const override {
+    DAISY_CHECK(table_.ScanColumn(col_, begin, end, out).ok());
+  }
+
+ private:
+  const data::PagedTable& table_;
+  size_t col_;
+};
+
+}  // namespace
+
+RecordTransformer RecordTransformer::FitStreaming(
+    const data::PagedTable& table, const TransformOptions& options,
+    Rng* rng) {
+  DAISY_CHECK(table.num_records() > 0);
+  ColumnStats stats;
+  stats.fit_gmm = [&table](size_t col, const stats::Gmm1d::Options& gopts,
+                           Rng* r) {
+    return stats::Gmm1d::FitStreaming(PagedColumnSource(table, col), gopts,
+                                      r);
+  };
+  stats.attr_min = [&table](size_t col) { return table.attribute_min(col); };
+  stats.attr_max = [&table](size_t col) { return table.attribute_max(col); };
+  return FitImpl(table.schema(), options, rng, stats);
 }
 
 RecordTransformer RecordTransformer::FromState(

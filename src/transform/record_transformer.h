@@ -13,12 +13,17 @@
 #ifndef DAISY_TRANSFORM_RECORD_TRANSFORMER_H_
 #define DAISY_TRANSFORM_RECORD_TRANSFORMER_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/matrix.h"
 #include "core/rng.h"
 #include "data/table.h"
 #include "stats/gmm.h"
+
+namespace daisy::data {
+class PagedTable;
+}
 
 namespace daisy::transform {
 
@@ -71,6 +76,16 @@ class RecordTransformer {
   static RecordTransformer Fit(const data::Table& table,
                                const TransformOptions& options, Rng* rng);
 
+  /// Out-of-core Fit over a paged table: simple-normalization ranges
+  /// come from the .dcol footer (written with Table::AttributeMin/Max
+  /// accumulation order) and GMM stats from Gmm1d::FitStreaming, which
+  /// scans each numeric column in bounded windows. Consumes the rng in
+  /// the same order as Fit, so the fitted state is bitwise identical
+  /// to Fit on the equivalent in-memory table.
+  static RecordTransformer FitStreaming(const data::PagedTable& table,
+                                        const TransformOptions& options,
+                                        Rng* rng);
+
   /// Reconstructs a fitted transformer from persisted state. The
   /// segments must be internally consistent (offsets/widths); the
   /// derived dimensions are recomputed.
@@ -104,6 +119,19 @@ class RecordTransformer {
   std::vector<AttrSegment> segments_;
   size_t sample_dim_ = 0;
   size_t matrix_side_ = 0;
+
+  /// Shared fitting body: Fit / FitStreaming differ only in where the
+  /// per-column statistics come from.
+  struct ColumnStats {
+    std::function<stats::Gmm1d(size_t col, const stats::Gmm1d::Options&,
+                               Rng*)>
+        fit_gmm;
+    std::function<double(size_t col)> attr_min;
+    std::function<double(size_t col)> attr_max;
+  };
+  static RecordTransformer FitImpl(const data::Schema& full,
+                                   const TransformOptions& options, Rng* rng,
+                                   const ColumnStats& stats);
 
   void EncodeRecord(const data::Table& table, size_t record,
                     double* out) const;

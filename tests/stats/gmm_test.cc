@@ -214,5 +214,35 @@ TEST(GmmTest, FitIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(GmmTest, StreamingFitIsBitwiseEqualToFit) {
+  // FitStreaming recomputes responsibilities window by window instead
+  // of holding them; its rng draws, chunk partition and reduction
+  // order replicate Fit exactly, so the result must be bitwise equal —
+  // not merely close — for any thread count.
+  Rng data_rng(91);
+  auto values = TwoModeData(&data_rng, 1500, -2.0, 6.0, 1.5);
+  Gmm1d::Options opts;
+  opts.components = 5;
+
+  for (size_t threads : {1u, 2u, 7u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::SetNumThreads(threads);
+    Rng rng_mem(17);
+    Rng rng_str(17);
+    const Gmm1d mem = Gmm1d::Fit(values, opts, &rng_mem);
+    VectorSource source(values);
+    const Gmm1d str = Gmm1d::FitStreaming(source, opts, &rng_str);
+    par::SetNumThreads(0);
+
+    EXPECT_EQ(rng_mem.Next(), rng_str.Next());
+    ASSERT_EQ(mem.num_components(), str.num_components());
+    for (size_t j = 0; j < mem.num_components(); ++j) {
+      EXPECT_EQ(mem.mean(j), str.mean(j)) << "component " << j;
+      EXPECT_EQ(mem.stddev(j), str.stddev(j)) << "component " << j;
+      EXPECT_EQ(mem.weight(j), str.weight(j)) << "component " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace daisy::stats
