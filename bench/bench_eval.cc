@@ -11,6 +11,7 @@
 
 #include "core/parallel.h"
 #include "data/generators/realistic.h"
+#include "data/generators/skewed.h"
 #include "eval/aqp.h"
 #include "eval/fidelity.h"
 #include "eval/privacy.h"
@@ -26,6 +27,7 @@ enum EvalMetric : int {
   kRandomForestFit = 2,
   kAqpDiff = 3,
   kFidelity = 4,
+  kHeavyTail = 5,  // rare-mode recall + per-category KL on a Zipf table
 };
 
 void BM_Eval(benchmark::State& state) {
@@ -34,8 +36,13 @@ void BM_Eval(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(2));
 
   Rng rng(61);
-  const data::Table real = data::MakeAdultSim(rows, &rng);
-  const data::Table synth = data::MakeAdultSim(rows, &rng);
+  const bool heavy_tail = metric == kHeavyTail;
+  data::SkewedTableOptions sk;
+  sk.num_records = rows;
+  const data::Table real = heavy_tail ? data::MakeSkewedTable(sk, &rng)
+                                      : data::MakeAdultSim(rows, &rng);
+  const data::Table synth = heavy_tail ? data::MakeSkewedTable(sk, &rng)
+                                       : data::MakeAdultSim(rows, &rng);
 
   // Metric-specific setup outside the timed loop.
   const Matrix x = real.FeatureMatrix();
@@ -90,13 +97,18 @@ void BM_Eval(benchmark::State& state) {
         benchmark::DoNotOptimize(eval::EvaluateFidelity(real, synth));
         break;
       }
+      case kHeavyTail: {
+        benchmark::DoNotOptimize(eval::RareModeRecall(real, synth).recall);
+        benchmark::DoNotOptimize(eval::PerCategoryKl(real, synth));
+        break;
+      }
     }
   }
   par::SetNumThreads(0);
   state.SetItemsProcessed(state.iterations() * rows);
 }
 BENCHMARK(BM_Eval)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {2000, 8000}, {1, 2, 4}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {2000, 8000}, {1, 2, 4}})
     ->ArgNames({"metric", "rows", "threads"})
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,55 @@
+#include "data/generators/skewed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace daisy::data {
+
+Table MakeSkewedTable(const SkewedTableOptions& opts, Rng* rng) {
+  DAISY_CHECK(opts.num_records > 0);
+  DAISY_CHECK(opts.zipf_domain >= 2);
+  DAISY_CHECK(opts.zipf_exponent > 0.0);
+  DAISY_CHECK(opts.pareto_shape > 0.0);
+  DAISY_CHECK(opts.pareto_scale > 0.0);
+
+  const size_t k = opts.zipf_domain;
+  std::vector<double> zipf(k), zipf_rev(k);
+  for (size_t c = 0; c < k; ++c) {
+    zipf[c] = 1.0 / std::pow(static_cast<double>(c + 1),
+                             opts.zipf_exponent);
+    zipf_rev[k - 1 - c] = zipf[c];
+  }
+
+  std::vector<std::string> cats(k);
+  for (size_t c = 0; c < k; ++c) cats[c] = "c" + std::to_string(c);
+  Schema schema(
+      {Attribute::Categorical("category", std::move(cats)),
+       Attribute::Numerical("heavy"), Attribute::Numerical("value"),
+       Attribute::Categorical("label", {"common", "rare"})},
+      /*label_index=*/3);
+  Table table((schema));
+  table.Reserve(opts.num_records);
+
+  const double inv_alpha = 1.0 / opts.pareto_shape;
+  for (size_t i = 0; i < opts.num_records; ++i) {
+    // Deterministic 1:R interleave keeps the label ratio exact for any
+    // record count (a Bernoulli draw would make small tables flaky).
+    const bool rare = (i % (opts.label_imbalance + 1)) == 0;
+    const size_t cat =
+        rng->Categorical(rare ? zipf_rev : zipf);
+    // Inverse-CDF Pareto: x_m / U^(1/alpha), U in (0, 1].
+    const double u = 1.0 - rng->Uniform();
+    const double heavy = opts.pareto_scale * std::pow(u, -inv_alpha);
+    // Category-indexed mean makes the (category, value) joint
+    // learnable; unit noise keeps the modes overlapping but distinct.
+    const double value =
+        2.0 * static_cast<double>(cat) + rng->Gaussian();
+    table.AppendRecord({static_cast<double>(cat), heavy, value,
+                        rare ? 1.0 : 0.0});
+  }
+  return table;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,49 @@
+// Heavy-tailed benchmark tables for the rare-label robustness sweep:
+// Zipf-distributed categoricals (a long tail of rare categories), a
+// Pareto-distributed numeric column (the critic's exploding-gradient
+// trigger) and a configurable 1:R binary label imbalance. These are the
+// stress inputs for training-by-sampling and critic regularization —
+// uniform sampling sees a tail category once per epoch at best, and an
+// unregularized critic is dominated by the Pareto outliers.
+#ifndef DAISY_DATA_GENERATORS_SKEWED_H_
+#define DAISY_DATA_GENERATORS_SKEWED_H_
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::data {
+
+struct SkewedTableOptions {
+  size_t num_records = 10000;
+
+  /// Domain size of the Zipf categorical attribute.
+  size_t zipf_domain = 12;
+  /// Zipf exponent s: P(category c) proportional to 1/(c+1)^s. Larger =
+  /// heavier head, rarer tail.
+  double zipf_exponent = 1.5;
+
+  /// Pareto tail index alpha of the "heavy" numeric attribute; values
+  /// below 2 have infinite variance (the interesting regime).
+  double pareto_shape = 1.5;
+  /// Pareto scale x_m (the minimum value).
+  double pareto_scale = 1.0;
+
+  /// Label imbalance R: exactly one minority-label record per R
+  /// majority-label records (deterministic 1:R interleaving, so a test
+  /// asserting the ratio never flakes). R = 999 gives the paper-style
+  /// 1:1000 skew on the label column.
+  size_t label_imbalance = 999;
+};
+
+/// Generates the skewed table. Schema: category (Zipf categorical),
+/// heavy (Pareto numeric), value (category-indexed Gaussian numeric, so
+/// the joint (category, value) distribution is learnable), label
+/// (binary, 1:R imbalanced, label column). Minority records draw their
+/// category from the REVERSED Zipf weights — the rare label lives in
+/// the rare categories, coupling the two skews the way fraud/anomaly
+/// tables do.
+Table MakeSkewedTable(const SkewedTableOptions& opts, Rng* rng);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_GENERATORS_SKEWED_H_

@@ -7,7 +7,6 @@
 namespace daisy::data {
 
 TableProfile ProfileTable(const Table& table) {
-  DAISY_CHECK(table.num_records() > 0);
   TableProfile profile;
   profile.num_records = table.num_records();
   const Schema& schema = table.schema();
@@ -22,34 +21,45 @@ TableProfile ProfileTable(const Table& table) {
       std::vector<double> counts(ap.domain_size, 0.0);
       for (size_t i = 0; i < table.num_records(); ++i)
         counts[table.category(i, j)] += 1.0;
-      ap.frequencies.resize(ap.domain_size);
+      ap.frequencies.assign(ap.domain_size, 0.0);
+      // 0/0 frequencies on a zero-record table used to produce NaNs
+      // that poisoned everything downstream of the profile; an empty
+      // table now profiles as all-zero frequencies / zero entropy.
       const double n = static_cast<double>(table.num_records());
       for (size_t c = 0; c < ap.domain_size; ++c) {
-        ap.frequencies[c] = counts[c] / n;
+        ap.frequencies[c] = n > 0.0 ? counts[c] / n : 0.0;
         if (ap.frequencies[c] > ap.frequencies[ap.mode_category])
           ap.mode_category = c;
         if (ap.frequencies[c] > 0.0)
           ap.entropy_bits -=
               ap.frequencies[c] * std::log2(ap.frequencies[c]);
+        if (counts[c] == 0.0) ++ap.absent_categories;
       }
     } else {
       std::vector<double> values = table.Column(j);
       std::sort(values.begin(), values.end());
-      ap.min = values.front();
-      ap.max = values.back();
-      double sum = 0.0;
-      for (double v : values) sum += v;
-      ap.mean = sum / static_cast<double>(values.size());
-      double var = 0.0;
-      for (double v : values) var += (v - ap.mean) * (v - ap.mean);
-      ap.stddev = std::sqrt(var / static_cast<double>(values.size()));
-      ap.quantiles.resize(11);
-      for (int q = 0; q <= 10; ++q) {
-        const double pos = q / 10.0 * static_cast<double>(values.size() - 1);
-        const size_t lo = static_cast<size_t>(pos);
-        const size_t hi = std::min(lo + 1, values.size() - 1);
-        const double frac = pos - static_cast<double>(lo);
-        ap.quantiles[q] = values[lo] + frac * (values[hi] - values[lo]);
+      if (values.empty()) {
+        // values.front() on an empty column was UB; all-zero stats are
+        // the documented degenerate profile.
+        ap.quantiles.assign(11, 0.0);
+      } else {
+        ap.min = values.front();
+        ap.max = values.back();
+        double sum = 0.0;
+        for (double v : values) sum += v;
+        ap.mean = sum / static_cast<double>(values.size());
+        double var = 0.0;
+        for (double v : values) var += (v - ap.mean) * (v - ap.mean);
+        ap.stddev = std::sqrt(var / static_cast<double>(values.size()));
+        ap.quantiles.resize(11);
+        for (int q = 0; q <= 10; ++q) {
+          const double pos =
+              q / 10.0 * static_cast<double>(values.size() - 1);
+          const size_t lo = static_cast<size_t>(pos);
+          const size_t hi = std::min(lo + 1, values.size() - 1);
+          const double frac = pos - static_cast<double>(lo);
+          ap.quantiles[q] = values[lo] + frac * (values[hi] - values[lo]);
+        }
       }
     }
     profile.attributes.push_back(std::move(ap));
@@ -59,12 +69,20 @@ TableProfile ProfileTable(const Table& table) {
     const auto counts = table.LabelCounts();
     size_t lo = table.num_records(), hi = 0;
     for (size_t c : counts) {
-      if (c == 0) continue;
+      if (c == 0) {
+        // Absent labels are surfaced, not folded into the ratio: a
+        // zero count would make the ratio divide by zero, and silently
+        // skipping it hid exactly the starved labels a rare-label
+        // sweep needs to see.
+        ++profile.absent_labels;
+        continue;
+      }
       lo = std::min(lo, c);
       hi = std::max(hi, c);
     }
     profile.label_imbalance_ratio =
-        lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo) : 0.0;
+        hi > 0 && lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo)
+                         : 0.0;
   }
   return profile;
 }
@@ -82,22 +100,40 @@ std::string ProfileToString(const TableProfile& profile) {
     out += buf;
   }
   out += "\n";
+  if (profile.absent_labels > 0) {
+    std::snprintf(buf, sizeof(buf), "  %zu label(s) absent from the data\n",
+                  profile.absent_labels);
+    out += buf;
+  }
   for (const auto& ap : profile.attributes) {
     if (ap.categorical) {
+      // mode_category indexes frequencies only when the domain is
+      // non-empty; a width-0 domain renders without a mode line.
+      const double mode_freq = ap.mode_category < ap.frequencies.size()
+                                   ? ap.frequencies[ap.mode_category]
+                                   : 0.0;
       std::snprintf(buf, sizeof(buf),
                     "  %-20s categorical  domain=%zu  entropy=%.2f bits  "
-                    "mode=%zu (%.1f%%)\n",
+                    "mode=%zu (%.1f%%)",
                     ap.name.c_str(), ap.domain_size, ap.entropy_bits,
-                    ap.mode_category,
-                    100.0 * ap.frequencies[ap.mode_category]);
+                    ap.mode_category, 100.0 * mode_freq);
+      out += buf;
+      if (ap.absent_categories > 0) {
+        std::snprintf(buf, sizeof(buf), "  absent=%zu",
+                      ap.absent_categories);
+        out += buf;
+      }
+      out += "\n";
     } else {
+      const double median =
+          ap.quantiles.size() > 5 ? ap.quantiles[5] : 0.0;
       std::snprintf(buf, sizeof(buf),
                     "  %-20s numerical    min=%-10.4g max=%-10.4g "
                     "mean=%-10.4g sd=%-10.4g median=%.4g\n",
                     ap.name.c_str(), ap.min, ap.max, ap.mean, ap.stddev,
-                    ap.quantiles[5]);
+                    median);
+      out += buf;
     }
-    out += buf;
   }
   return out;
 }

@@ -23,24 +23,37 @@ struct AttributeProfile {
 
   // Categorical attributes.
   size_t domain_size = 0;
-  /// Category frequencies in domain order (sums to 1).
+  /// Category frequencies in domain order (sums to 1 when the table has
+  /// records; all-zero for an empty table).
   std::vector<double> frequencies;
   /// Shannon entropy of the category distribution, in bits.
   double entropy_bits = 0.0;
   /// Index of the most frequent category.
   size_t mode_category = 0;
+  /// Schema categories with zero occurrences in the data. Rare-label
+  /// pipelines read this instead of scanning frequencies for exact
+  /// zeros: an absent category cannot be conditioned on (CTrain starves
+  /// it; training-by-sampling never draws it).
+  size_t absent_categories = 0;
 };
 
 /// Whole-table profile.
 struct TableProfile {
   size_t num_records = 0;
   std::vector<AttributeProfile> attributes;
-  /// Label imbalance: most-common / least-common label count
-  /// (0 when unlabeled; the paper calls a table skewed when > 9).
+  /// Label imbalance: most-common / least-common label count, over
+  /// labels that actually occur (0 when unlabeled or no records; the
+  /// paper calls a table skewed when > 9).
   double label_imbalance_ratio = 0.0;
+  /// Schema labels with zero training records (0 when unlabeled).
+  /// Nonzero means the imbalance ratio understates the skew — the
+  /// truly rarest labels have no records at all.
+  size_t absent_labels = 0;
 };
 
-/// Computes the profile in one pass per attribute.
+/// Computes the profile in one pass per attribute. Degenerate inputs
+/// are well-defined: a zero-record table yields all-zero statistics
+/// (no NaNs), with every category counted absent.
 TableProfile ProfileTable(const Table& table);
 
 /// Renders the profile as a fixed-width text block.

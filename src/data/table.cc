@@ -126,4 +126,81 @@ TableSplit SplitTable(const Table& table, double train_ratio,
   return split;
 }
 
+Result<Schema> UnionSchema(const Schema& a, const Schema& b) {
+  if (a.num_attributes() != b.num_attributes())
+    return Status::InvalidArgument("union schema: attribute counts differ");
+  const bool label_match =
+      a.has_label() == b.has_label() &&
+      (!a.has_label() || a.label_index() == b.label_index());
+  if (!label_match)
+    return Status::InvalidArgument("union schema: label positions differ");
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(a.num_attributes());
+  for (size_t j = 0; j < a.num_attributes(); ++j) {
+    const Attribute& aj = a.attribute(j);
+    const Attribute& bj = b.attribute(j);
+    if (aj.name != bj.name)
+      return Status::InvalidArgument("union schema: attribute " +
+                                     std::to_string(j) + " named '" +
+                                     aj.name + "' vs '" + bj.name + "'");
+    if (aj.is_categorical() != bj.is_categorical())
+      return Status::InvalidArgument("union schema: attribute '" + aj.name +
+                                     "' is categorical in one table only");
+    if (!aj.is_categorical()) {
+      attrs.push_back(aj);
+      continue;
+    }
+    std::vector<std::string> cats = aj.categories;
+    for (const auto& cat : bj.categories) {
+      bool seen = false;
+      for (const auto& have : cats) seen = seen || have == cat;
+      if (!seen) cats.push_back(cat);
+    }
+    attrs.push_back(Attribute::Categorical(aj.name, std::move(cats)));
+  }
+  return Schema(std::move(attrs),
+                a.has_label() ? static_cast<int>(a.label_index()) : -1);
+}
+
+Result<Table> RemapToSchema(const Table& table, const Schema& target) {
+  const Schema& source = table.schema();
+  if (source.num_attributes() != target.num_attributes())
+    return Status::InvalidArgument("remap: attribute counts differ");
+
+  // index_map[j][c] = target category index of source category c.
+  std::vector<std::vector<double>> index_map(source.num_attributes());
+  for (size_t j = 0; j < source.num_attributes(); ++j) {
+    const Attribute& sj = source.attribute(j);
+    const Attribute& tj = target.attribute(j);
+    if (sj.name != tj.name || sj.is_categorical() != tj.is_categorical())
+      return Status::InvalidArgument("remap: attribute '" + sj.name +
+                                     "' does not match the target schema");
+    if (!sj.is_categorical()) continue;
+    index_map[j].reserve(sj.categories.size());
+    for (const auto& cat : sj.categories) {
+      size_t to = tj.categories.size();
+      for (size_t c = 0; c < tj.categories.size(); ++c)
+        if (tj.categories[c] == cat) to = c;
+      if (to == tj.categories.size())
+        return Status::InvalidArgument("remap: category '" + cat +
+                                       "' of attribute '" + sj.name +
+                                       "' missing from the target schema");
+      index_map[j].push_back(static_cast<double>(to));
+    }
+  }
+
+  Table out(target);
+  out.Reserve(table.num_records());
+  std::vector<double> record(source.num_attributes());
+  for (size_t i = 0; i < table.num_records(); ++i) {
+    for (size_t j = 0; j < source.num_attributes(); ++j)
+      record[j] = index_map[j].empty()
+                      ? table.value(i, j)
+                      : index_map[j][table.category(i, j)];
+    out.AppendRecord(record);
+  }
+  return out;
+}
+
 }  // namespace daisy::data

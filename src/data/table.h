@@ -90,6 +90,22 @@ struct TableSplit {
 TableSplit SplitTable(const Table& table, double train_ratio,
                       double valid_ratio, Rng* rng);
 
+/// Merges two schemas attribute-by-attribute: names, types and (when
+/// present) label position must match; each categorical domain becomes
+/// a's categories followed by b's categories not in a. Two tables read
+/// from independent CSVs (first-seen category order, possibly missing
+/// rare categories entirely) can both be remapped onto the union and
+/// then compared index-for-index — without this, a synthetic table
+/// that dropped a rare label evaluates against the wrong indices or
+/// crashes the classifiers on a one-label domain.
+Result<Schema> UnionSchema(const Schema& a, const Schema& b);
+
+/// Rewrites a table's categorical indices under `target`, matching
+/// categories by name. Names/types must match attribute-for-attribute
+/// and every category of the table's schema must exist in `target`
+/// (UnionSchema guarantees both). Numerical cells pass through.
+Result<Table> RemapToSchema(const Table& table, const Schema& target);
+
 }  // namespace daisy::data
 
 #endif  // DAISY_DATA_TABLE_H_

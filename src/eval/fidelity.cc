@@ -173,6 +173,68 @@ FidelityReport EvaluateFidelity(const data::Table& real,
   return report;
 }
 
+RareModeReport RareModeRecall(const data::Table& real,
+                              const data::Table& synthetic,
+                              double rare_threshold) {
+  DAISY_CHECK(real.num_attributes() == synthetic.num_attributes());
+  DAISY_CHECK(real.num_records() > 0);
+  RareModeReport report;
+  const double n = static_cast<double>(real.num_records());
+  for (size_t j = 0; j < real.num_attributes(); ++j) {
+    const auto& attr = real.schema().attribute(j);
+    if (!attr.is_categorical()) continue;
+    std::vector<size_t> cr(attr.domain_size(), 0);
+    std::vector<size_t> cs(attr.domain_size(), 0);
+    for (size_t i = 0; i < real.num_records(); ++i)
+      ++cr[real.category(i, j)];
+    for (size_t i = 0; i < synthetic.num_records(); ++i)
+      ++cs[synthetic.category(i, j)];
+    for (size_t c = 0; c < attr.domain_size(); ++c) {
+      if (cr[c] == 0) continue;  // absent in the data: not a mode at all
+      if (static_cast<double>(cr[c]) / n > rare_threshold) continue;
+      ++report.rare_modes;
+      if (cs[c] > 0) ++report.recovered_modes;
+    }
+  }
+  report.recall = report.rare_modes == 0
+                      ? 1.0
+                      : static_cast<double>(report.recovered_modes) /
+                            static_cast<double>(report.rare_modes);
+  return report;
+}
+
+double PerCategoryKl(const data::Table& real, const data::Table& synthetic,
+                     double smoothing) {
+  DAISY_CHECK(real.num_attributes() == synthetic.num_attributes());
+  DAISY_CHECK(real.num_records() > 0 && synthetic.num_records() > 0);
+  DAISY_CHECK(smoothing > 0.0);
+  double total = 0.0;
+  size_t cat_attrs = 0;
+  for (size_t j = 0; j < real.num_attributes(); ++j) {
+    const auto& attr = real.schema().attribute(j);
+    if (!attr.is_categorical()) continue;
+    ++cat_attrs;
+    const size_t k = attr.domain_size();
+    std::vector<double> cr(k, 0.0), cs(k, 0.0);
+    for (size_t i = 0; i < real.num_records(); ++i)
+      cr[real.category(i, j)] += 1.0;
+    for (size_t i = 0; i < synthetic.num_records(); ++i)
+      cs[synthetic.category(i, j)] += 1.0;
+    const double zr = static_cast<double>(real.num_records()) +
+                      smoothing * static_cast<double>(k);
+    const double zs = static_cast<double>(synthetic.num_records()) +
+                      smoothing * static_cast<double>(k);
+    double kl = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      const double p = (cr[c] + smoothing) / zr;
+      const double q = (cs[c] + smoothing) / zs;
+      kl += p * std::log(p / q);
+    }
+    total += kl;
+  }
+  return cat_attrs > 0 ? total / static_cast<double>(cat_attrs) : 0.0;
+}
+
 std::vector<FunctionalDependency> DiscoverFds(const data::Table& table,
                                               double min_confidence) {
   DAISY_CHECK(table.num_records() > 0);

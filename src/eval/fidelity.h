@@ -49,6 +49,33 @@ FidelityReport EvaluateFidelity(const data::Table& real,
 /// Cramér's V association between two categorical attributes in [0, 1].
 double CramersV(const data::Table& table, size_t attr_a, size_t attr_b);
 
+/// Rare-mode coverage of a synthetic table: across every categorical
+/// attribute, a real category is a "rare mode" when its real frequency
+/// is nonzero but at most `rare_threshold`; it is "recovered" when the
+/// synthetic table emits it at least once. Mode-collapsed generators
+/// score near 0 here while looking fine on aggregate KL — this is the
+/// headline metric of the heavy-tail robustness sweep.
+struct RareModeReport {
+  size_t rare_modes = 0;       ///< rare real categories, summed over attrs
+  size_t recovered_modes = 0;  ///< of those, present in the synthetic table
+  double recall = 1.0;         ///< recovered/rare; 1 when nothing is rare
+};
+
+/// Computes rare-mode recall; both tables must share the schema.
+RareModeReport RareModeRecall(const data::Table& real,
+                              const data::Table& synthetic,
+                              double rare_threshold = 0.01);
+
+/// Mean smoothed KL(real || synth) over the categorical marginals,
+/// add-lambda smoothed (both sides) so a synthetic table that drops a
+/// category entirely is penalized by a large finite term instead of
+/// infinity. Unlike FidelityReport::marginal_kl this covers only
+/// categorical attributes and never saturates, which is what makes it
+/// sensitive to tail categories. 0 when the schema has no categorical
+/// attribute.
+double PerCategoryKl(const data::Table& real, const data::Table& synthetic,
+                     double smoothing = 0.5);
+
 /// An (approximate) functional dependency lhs -> rhs between two
 /// categorical attributes, with the value mapping observed in the
 /// table it was discovered on.

@@ -119,6 +119,21 @@ Result<SuiteReport> EvaluationSuite::Run(const data::Table& real,
     emit.Add("fidelity.cat_assoc_diff", fid.categorical_association_diff,
              fid.categorical_ms);
 
+    {
+      // Heavy-tail diagnostics: rare-mode coverage and a smoothed
+      // categorical KL that stays finite (and sensitive) when the
+      // generator drops tail categories.
+      obs::WallTimer t;
+      const auto rare =
+          RareModeRecall(real, synthetic, opts_.rare_mode_threshold);
+      emit.Add("fidelity.rare_mode_recall", rare.recall, t.ElapsedMs());
+    }
+    {
+      obs::WallTimer t;
+      emit.Add("fidelity.per_category_kl", PerCategoryKl(real, synthetic),
+               t.ElapsedMs());
+    }
+
     obs::WallTimer t;
     const auto fds = DiscoverFds(real, opts_.fd_min_confidence);
     if (!fds.empty()) {

@@ -55,6 +55,9 @@ struct SuiteOptions {
   size_t privacy_samples = 500;
 
   FidelityOptions fidelity_opts;
+  /// Real-frequency ceiling below which a (nonzero) category counts as
+  /// a rare mode for fidelity.rare_mode_recall.
+  double rare_mode_threshold = 0.01;
   double fd_min_confidence = 0.95;
   AqpWorkloadOptions aqp_workload;
   AqpDiffOptions aqp_diff;

@@ -156,6 +156,16 @@ void ClipParams(const std::vector<Parameter*>& params, double c) {
   for (Parameter* p : params) p->value.Clip(-c, c);
 }
 
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  DAISY_CHECK(max_norm > 0.0);
+  const double norm = GlobalGradNorm(params);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params) p->grad *= scale;
+  }
+  return norm;
+}
+
 double GlobalGradNorm(const std::vector<Parameter*>& params) {
   double sq = 0.0;
   for (const Parameter* p : params)

@@ -87,6 +87,11 @@ class RmsProp : public Optimizer {
 /// Clamps every parameter value into [-c, c] (WGAN weight clipping).
 void ClipParams(const std::vector<Parameter*>& params, double c);
 
+/// Rescales the accumulated gradients so their global L2 norm is at
+/// most max_norm (RCC-GAN-style critic regularization; no-op when the
+/// norm is already within the bound). Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
 /// Per-sample DP-SGD gradient aggregation (Abadi et al.). Usage, per
 /// minibatch: run the backward pass for ONE sample at a time, call
 /// AccumulateSample after each (clips that sample's gradient to

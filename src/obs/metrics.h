@@ -32,6 +32,7 @@ struct MetricRecord {
   double wall_ms = 0.0;     // wall-clock since training started
   size_t threads = 0;       // par::NumThreads() at emit time
   uint64_t seed = 0;        // the run's base seed
+  size_t starved_labels = 0;  // CTrain: labels with zero records (skipped)
 };
 
 /// Receives records from a training run. Implementations must not

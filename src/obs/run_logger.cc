@@ -182,6 +182,7 @@ std::string ToJsonLine(const MetricRecord& r) {
   field("wall_ms", r.wall_ms);
   ufield("threads", r.threads);
   ufield("seed", r.seed);
+  ufield("starved_labels", r.starved_labels);
   out += '}';
   return out;
 }
@@ -208,13 +209,16 @@ Result<MetricRecord> ParseJsonLine(const std::string& line) {
       if (key == "run") r.run = sval;
       continue;
     }
-    if (key == "iter" || key == "threads" || key == "seed") {
+    if (key == "iter" || key == "threads" || key == "seed" ||
+        key == "starved_labels") {
       unsigned long long u = 0;
       if (!scan.ReadUnsigned(&u))
         return Status::InvalidArgument("malformed integer for key '" + key +
                                        "'");
       if (key == "iter") r.iter = static_cast<size_t>(u);
       else if (key == "threads") r.threads = static_cast<size_t>(u);
+      else if (key == "starved_labels")
+        r.starved_labels = static_cast<size_t>(u);
       else r.seed = static_cast<uint64_t>(u);
       continue;
     }

@@ -43,9 +43,16 @@ enum class DpEngineKind {
 /// and a minibatch touches O(1) pages of a paged table instead of
 /// random-faulting the whole file — the out-of-core mode. The chunked
 /// sampler derives its own rng streams from the seed and consumes
-/// nothing from the training rng. kCTrain ignores this knob (label-
-/// aware sampling needs per-label pools).
-enum class SamplerKind { kUniform, kChunkedShuffle };
+/// nothing from the training rng. kTrainingBySampling is CTGAN-style
+/// training-by-sampling (arXiv:2010.00638): each draw conditions on a
+/// (column, category) pair drawn from the column's log-frequency
+/// distribution, so rare categories are trained orders of magnitude
+/// more often than uniform sampling would; requires at least one
+/// one-hot categorical attribute and is incompatible with
+/// `conditional` (the cond vector is the attribute condition, not the
+/// label). kCTrain ignores this knob (label-aware sampling needs
+/// per-label pools).
+enum class SamplerKind { kUniform, kChunkedShuffle, kTrainingBySampling };
 
 /// Hyper-parameters shared by the architectures and trainers. The
 /// sampler choice (Figure 2's Sampler box) is implied by the training
@@ -81,6 +88,22 @@ struct GanOptions {
   size_t shuffle_chunk_rows = 4096;  // kChunkedShuffle chunk size
   double weight_clip = 0.01; // WGAN parameter clipping
   double kl_weight = 1.0;    // VTrain warm-up term weight
+
+  /// RCC-GAN-style critic regularization (arXiv:2205.11693): when > 0,
+  /// the discriminator/critic gradient is rescaled before the optimizer
+  /// step whenever its global L2 norm exceeds this bound. Tames the
+  /// critic's exploding gradients on heavy-tailed numeric columns,
+  /// where extreme (but valid) samples otherwise dominate the batch
+  /// gradient. 0 disables. Applies to every training algorithm; under
+  /// DPTrain the clamp runs after noising (post-processing, so the
+  /// privacy accounting is unchanged).
+  double critic_reg = 0.0;
+
+  /// Weight of the generator's conditional cross-entropy term under
+  /// kTrainingBySampling: penalizes generated rows whose conditioned
+  /// attribute's softmax block puts low mass on the requested category.
+  /// This is what forces the generator to *use* the cond vector.
+  double tbs_ce_weight = 1.0;
 
   // Differential privacy (DPTrain).
   double dp_noise_scale = 1.0;  // sigma_n

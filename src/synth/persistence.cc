@@ -10,7 +10,10 @@ namespace daisy::synth {
 
 namespace {
 
-constexpr char kFormatTag[] = "daisy-model-v1";
+// v2 adds the sampler kind and the training-by-sampling generation
+// weights; v1 files (pre-TBS) still load, defaulting to kUniform.
+constexpr char kFormatTag[] = "daisy-model-v2";
+constexpr char kLegacyFormatTag[] = "daisy-model-v1";
 
 void WriteSchema(Serializer* out, const data::Schema& schema) {
   out->WriteTag("schema");
@@ -135,6 +138,9 @@ Status TableSynthesizer::Save(const std::string& path) const {
   out.WriteU64(opts_.lstm_hidden);
   out.WriteU64(opts_.lstm_feature);
   out.WriteU64(opts_.seed);
+  // The sampler kind decides the cond-vector layout at load time
+  // (training-by-sampling models condition on attributes, not labels).
+  out.WriteU64(static_cast<uint64_t>(opts_.sampler));
   // Transform options.
   out.WriteU64(static_cast<uint64_t>(topts_.categorical));
   out.WriteU64(static_cast<uint64_t>(topts_.numerical));
@@ -146,6 +152,11 @@ Status TableSynthesizer::Save(const std::string& path) const {
   WriteSchema(&out, transformer_->schema());
   WriteSegments(&out, transformer_->segments());
   out.WriteDoubleVector(label_weights_);
+  // Raw per-category generation frequencies for training-by-sampling
+  // (empty for other samplers).
+  out.WriteTag("tbs");
+  out.WriteU64(tbs_weights_.size());
+  for (const auto& w : tbs_weights_) out.WriteDoubleVector(w);
 
   // Current generator parameters and buffers.
   auto* self = const_cast<TableSynthesizer*>(this);
@@ -167,8 +178,15 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
     const std::string& path) {
   std::ifstream file(path);
   if (!file) return Status::IOError("cannot open for read: " + path);
+  // Version dispatch on the leading tag (the tagged-text stream has no
+  // peek, so read it before handing the stream to the Deserializer).
+  std::string tag;
+  if (!(file >> tag))
+    return Status::InvalidArgument("empty model file: " + path);
+  const bool v2 = tag == kFormatTag;
+  if (!v2 && tag != kLegacyFormatTag)
+    return Status::InvalidArgument("unrecognized model format tag: " + tag);
   Deserializer in(&file);
-  in.ExpectTag(kFormatTag);
 
   GanOptions opts;
   opts.generator = static_cast<GeneratorArch>(in.ReadU64());
@@ -189,6 +207,12 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
   opts.lstm_hidden = in.ReadU64();
   opts.lstm_feature = in.ReadU64();
   opts.seed = in.ReadU64();
+  if (v2) {
+    const uint64_t sampler = in.ReadU64();
+    if (sampler > static_cast<uint64_t>(SamplerKind::kTrainingBySampling))
+      return Status::InvalidArgument("corrupt model file: bad sampler kind");
+    opts.sampler = static_cast<SamplerKind>(sampler);
+  }
 
   transform::TransformOptions topts;
   topts.categorical =
@@ -203,6 +227,15 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
   data::Schema sub_schema = ReadSchema(&in);
   auto segments = ReadSegments(&in);
   auto label_weights = in.ReadDoubleVector();
+  std::vector<std::vector<double>> tbs_weights;
+  if (v2) {
+    in.ExpectTag("tbs");
+    const size_t num_tbs = in.ReadU64();
+    if (!in.ok() || num_tbs > 100000)
+      return Status::InvalidArgument("corrupt model file: " + in.error());
+    tbs_weights.resize(num_tbs);
+    for (auto& w : tbs_weights) w = in.ReadDoubleVector();
+  }
 
   in.ExpectTag("generator");
   const size_t num_params = in.ReadU64();
@@ -223,10 +256,15 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
       new TableSynthesizer(opts, topts));
   synth->full_schema_ = std::move(full_schema);
   synth->label_weights_ = std::move(label_weights);
+  synth->tbs_weights_ = std::move(tbs_weights);
   synth->transformer_ = std::make_unique<transform::RecordTransformer>(
       transform::RecordTransformer::FromState(synth->topts_, sub_schema,
                                               std::move(segments)));
   synth->BuildNetworks();
+  if (synth->UsesTbs() &&
+      synth->tbs_weights_.size() != synth->tbs_blocks_.size())
+    return Status::InvalidArgument(
+        "model file TBS weights do not match its cond-vector layout");
   const auto params = synth->g_->Params();
   if (params.size() != state.size())
     return Status::InvalidArgument("model file does not match networks");

@@ -1,6 +1,7 @@
 #include "synth/sampler.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace daisy::synth {
 
@@ -116,6 +117,52 @@ std::vector<size_t> LabelAwareSampler::SampleBatchWithLabel(size_t label,
   if (pool.empty()) return {};
   std::vector<size_t> out(m);
   for (auto& idx : out) idx = pool[rng->UniformInt(pool.size())];
+  return out;
+}
+
+TrainingBySamplingSampler::TrainingBySamplingSampler(
+    const std::vector<std::vector<size_t>>& columns,
+    const std::vector<size_t>& domains) {
+  DAISY_CHECK(!columns.empty());
+  DAISY_CHECK(columns.size() == domains.size());
+  pools_.resize(columns.size());
+  log_weights_.resize(columns.size());
+  bool any_rows = false;
+  for (size_t b = 0; b < columns.size(); ++b) {
+    DAISY_CHECK(domains[b] > 0);
+    pools_[b].resize(domains[b]);
+    for (size_t i = 0; i < columns[b].size(); ++i) {
+      DAISY_CHECK(columns[b][i] < domains[b]);
+      pools_[b][columns[b][i]].push_back(i);
+    }
+    log_weights_[b].resize(domains[b]);
+    for (size_t c = 0; c < domains[b]; ++c) {
+      const size_t count = pools_[b][c].size();
+      // log1p flattens the head of a skewed distribution while keeping
+      // absent categories at exactly zero weight (never drawn — there
+      // is no row to pair the condition with).
+      log_weights_[b][c] =
+          count > 0 ? std::log1p(static_cast<double>(count)) : 0.0;
+      any_rows = any_rows || count > 0;
+    }
+  }
+  DAISY_CHECK(any_rows);
+}
+
+std::vector<TrainingBySamplingSampler::Draw>
+TrainingBySamplingSampler::SampleBatch(size_t m, Rng* rng) const {
+  std::vector<Draw> out(m);
+  for (auto& d : out) {
+    // Three serial rng draws per item, always in this order; a block
+    // whose every category is absent cannot occur (blocks are built
+    // from the table's own rows, so each block has >= 1 occupied
+    // category whenever the table is non-empty).
+    d.block = static_cast<size_t>(rng->UniformInt(pools_.size()));
+    d.category = rng->Categorical(log_weights_[d.block]);
+    const auto& pool = pools_[d.block][d.category];
+    DAISY_CHECK(!pool.empty());
+    d.row = pool[rng->UniformInt(pool.size())];
+  }
   return out;
 }
 

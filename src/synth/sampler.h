@@ -100,6 +100,56 @@ class LabelAwareSampler {
   std::vector<std::vector<size_t>> by_label_;
 };
 
+/// CTGAN-style training-by-sampling (arXiv:2010.00638), generalizing
+/// label-aware sampling from "condition on the label" to "condition on
+/// any one-hot categorical attribute": each draw picks a conditionable
+/// column uniformly, a category from that column's log-frequency
+/// distribution (log(1 + count), so rare categories get orders of
+/// magnitude more minibatch appearances than their raw frequency would
+/// give), and then a row uniformly among the rows carrying that
+/// category. Rare modes thus receive gradient signal every few batches
+/// instead of once per epoch.
+///
+/// Determinism contract: every draw consumes exactly three values from
+/// the caller's rng (column, category, row), all serially — the draw
+/// stream is a pure function of the rng state and the table contents,
+/// independent of DAISY_THREADS and DAISY_SIMD.
+class TrainingBySamplingSampler {
+ public:
+  /// One (row, condition) pair: row index to train on, plus the
+  /// (block, category) pair that selects the cond-vector bit.
+  struct Draw {
+    size_t row = 0;
+    size_t block = 0;     // index into the CondBlock layout
+    size_t category = 0;  // category within that block
+  };
+
+  /// `columns[b]` holds the per-row category indices of conditionable
+  /// column b (CondBlock order); `domains[b]` its domain size. Every
+  /// entry of columns[b] must be < domains[b]. At least one column with
+  /// at least one row is required.
+  TrainingBySamplingSampler(const std::vector<std::vector<size_t>>& columns,
+                            const std::vector<size_t>& domains);
+
+  size_t num_blocks() const { return pools_.size(); }
+  /// Rows carrying category c of block b.
+  size_t pool_size(size_t b, size_t c) const { return pools_[b][c].size(); }
+  /// log(1 + count) sampling weight of category c of block b (0 for
+  /// absent categories — they are never drawn).
+  double category_weight(size_t b, size_t c) const {
+    return log_weights_[b][c];
+  }
+
+  /// m (row, block, category) draws. Absent categories are never
+  /// selected, so every draw yields a row.
+  std::vector<Draw> SampleBatch(size_t m, Rng* rng) const;
+
+ private:
+  // pools_[b][c] = row indices with category c in block b.
+  std::vector<std::vector<std::vector<size_t>>> pools_;
+  std::vector<std::vector<double>> log_weights_;
+};
+
 }  // namespace daisy::synth
 
 #endif  // DAISY_SYNTH_SAMPLER_H_

@@ -19,6 +19,9 @@ TableSynthesizer::TableSynthesizer(
   }
   if (opts_.conditional) topts_.exclude_label = true;
   if (opts_.algo == TrainAlgo::kCTrain) opts_.conditional = true;
+  // Training-by-sampling owns the cond vector (attribute conditions);
+  // it cannot be combined with label conditioning.
+  DAISY_CHECK(!(UsesTbs() && opts_.conditional));
 }
 
 Status TableSynthesizer::Fit(const data::Table& train,
@@ -40,6 +43,15 @@ Status TableSynthesizer::Fit(const data::Table& train,
   transformer_ = std::make_unique<transform::RecordTransformer>(
       transform::RecordTransformer::Fit(train, topts_, &rng_));
   BuildNetworks();
+  if (UsesTbs()) {
+    tbs_weights_.clear();
+    for (const CondBlock& b : tbs_blocks_) {
+      std::vector<double> w(b.domain, 0.0);
+      for (size_t i = 0; i < train.num_records(); ++i)
+        w[train.category(i, b.source_col)] += 1.0;
+      tbs_weights_.push_back(std::move(w));
+    }
+  }
 
   GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
   Rng train_rng = rng_.Split();
@@ -73,14 +85,24 @@ Status TableSynthesizer::Fit(const data::PagedTable& train,
   GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
   Rng train_rng = rng_.Split();
   PagedTrainSource source(&train, transformer_.get());
+  if (UsesTbs()) {
+    tbs_weights_.clear();
+    for (const CondBlock& b : tbs_blocks_) {
+      std::vector<double> w(b.domain, 0.0);
+      for (size_t c : source.CategoryColumn(b.source_col)) w[c] += 1.0;
+      tbs_weights_.push_back(std::move(w));
+    }
+  }
   result_ = trainer.Train(source, &train_rng, sink);
   final_state_ = GetState(g_->Params());
   return result_.health;
 }
 
 void TableSynthesizer::BuildNetworks() {
-  const size_t cond_dim =
-      opts_.conditional ? full_schema_.num_labels() : 0;
+  tbs_blocks_ = UsesTbs() ? BuildCondBlocks(transformer_->segments())
+                          : std::vector<CondBlock>();
+  const size_t cond_dim = opts_.conditional ? full_schema_.num_labels()
+                                            : CondDim(tbs_blocks_);
   const auto& segments = transformer_->segments();
 
   Rng init_rng = rng_.Split();
@@ -162,20 +184,31 @@ void TableSynthesizer::DrawLatents(size_t n, Rng* rng, Matrix* z,
                                    std::vector<size_t>* labels) const {
   DAISY_CHECK(fitted_);
   const size_t noise_dim = g_->noise_dim();
+  const bool tbs_gen = !opts_.conditional && !tbs_blocks_.empty();
+  if (tbs_gen) DAISY_CHECK(tbs_weights_.size() == tbs_blocks_.size());
   *z = Matrix(n, noise_dim);
   labels->assign(n, 0);
   *cond = opts_.conditional ? Matrix(n, full_schema_.num_labels())
+          : tbs_gen         ? Matrix(n, CondDim(tbs_blocks_))
                             : Matrix();
-  // Strict per-row order — noise first, then the label — so the stream
-  // position after row i never depends on how rows are batched into
-  // chunks. That invariant is what makes GenerateChunked bitwise equal
-  // to a single-shot Generate for any chunk size.
+  // Strict per-row order — noise first, then the condition draws — so
+  // the stream position after row i never depends on how rows are
+  // batched into chunks. That invariant is what makes GenerateChunked
+  // bitwise equal to a single-shot Generate for any chunk size.
   for (size_t i = 0; i < n; ++i) {
     for (size_t c = 0; c < noise_dim; ++c)
       (*z)(i, c) = rng->Gaussian(0.0, 1.0);
     if (opts_.conditional) {
       (*labels)[i] = rng->Categorical(label_weights_);
       (*cond)(i, (*labels)[i]) = 1.0;
+    } else if (tbs_gen) {
+      // Attribute conditions come from the RAW category frequencies so
+      // the generated marginals track the data, not the log-flattened
+      // training distribution.
+      const size_t b = static_cast<size_t>(
+          rng->UniformInt(tbs_blocks_.size()));
+      const size_t c = rng->Categorical(tbs_weights_[b]);
+      (*cond)(i, tbs_blocks_[b].cond_offset + c) = 1.0;
     }
   }
 }

@@ -131,8 +131,17 @@ class TableSynthesizer {
 
  private:
   /// Builds generator + discriminator for the current options and
-  /// transformer (shared by Fit and Load).
+  /// transformer (shared by Fit and Load). Under training-by-sampling
+  /// this also derives the cond-vector layout (tbs_blocks_) from the
+  /// transformer segments.
   void BuildNetworks();
+
+  /// True when the cond vector carries training-by-sampling attribute
+  /// conditions instead of the label (kCTrain ignores the sampler knob).
+  bool UsesTbs() const {
+    return opts_.sampler == SamplerKind::kTrainingBySampling &&
+           opts_.algo != TrainAlgo::kCTrain;
+  }
 
   GanOptions opts_;
   transform::TransformOptions topts_;
@@ -147,6 +156,16 @@ class TableSynthesizer {
   // Full schema + label distribution kept for conditional generation.
   data::Schema full_schema_;
   std::vector<double> label_weights_;
+
+  // Training-by-sampling state: cond-vector layout (from the segments)
+  // and the raw per-category frequencies of each conditionable column.
+  // Generation draws its conditions from the RAW frequencies — the
+  // log-flattened weights are a training-time reweighting only, and
+  // using them at generation time would oversample rare categories in
+  // the output (see arXiv:2010.00638).
+  std::vector<CondBlock> tbs_blocks_;
+  std::vector<std::vector<double>> tbs_weights_;
+
   bool fitted_ = false;
 };
 

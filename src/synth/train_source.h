@@ -36,6 +36,12 @@ class TrainDataSource {
 
   /// Per-record label indices; empty when the schema has no label.
   virtual const std::vector<size_t>& labels() const = 0;
+
+  /// Per-record category indices of the ORIGINAL table column
+  /// `source_col` (which must be categorical). Training-by-sampling
+  /// builds its per-category row pools from this — one call per
+  /// conditionable column at training start, never in the hot loop.
+  virtual std::vector<size_t> CategoryColumn(size_t source_col) const = 0;
 };
 
 /// The historical path: transforms every record once up front, then
@@ -53,6 +59,7 @@ class InMemoryTrainSource final : public TrainDataSource {
     return real_all_.GatherRows(rows);
   }
   const std::vector<size_t>& labels() const override { return labels_; }
+  std::vector<size_t> CategoryColumn(size_t source_col) const override;
 
  private:
   const data::Table& table_;
@@ -77,6 +84,7 @@ class PagedTrainSource final : public TrainDataSource {
   size_t num_records() const override { return table_->num_records(); }
   Matrix GatherSamples(const std::vector<size_t>& rows) const override;
   const std::vector<size_t>& labels() const override { return labels_; }
+  std::vector<size_t> CategoryColumn(size_t source_col) const override;
 
  private:
   const data::PagedTable* table_;

@@ -1,5 +1,6 @@
 #include "synth/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -106,6 +107,17 @@ Matrix GanTrainer::OneHotLabels(const std::vector<size_t>& labels) const {
   return cond;
 }
 
+Matrix GanTrainer::TbsCond(
+    const std::vector<TrainingBySamplingSampler::Draw>& draws) const {
+  Matrix cond(draws.size(), CondDim(tbs_blocks_));
+  for (size_t i = 0; i < draws.size(); ++i) {
+    const CondBlock& b = tbs_blocks_[draws[i].block];
+    DAISY_CHECK(draws[i].category < b.domain);
+    cond(i, b.cond_offset + draws[i].category) = 1.0;
+  }
+  return cond;
+}
+
 double GanTrainer::DiscriminatorStep(const Matrix& real,
                                      const Matrix& real_cond,
                                      const Matrix& fake,
@@ -147,6 +159,11 @@ double GanTrainer::DiscriminatorStep(const Matrix& real,
   }
 
   last_d_grad_norm_ = nn::GlobalGradNorm(d_->Params());
+  // RCC-GAN-style critic regularization: rescale the update when the
+  // critic gradient explodes (heavy-tailed batches), leaving telemetry
+  // with the true pre-clamp norm.
+  if (opts_.critic_reg > 0.0)
+    nn::ClipGradNorm(d_->Params(), opts_.critic_reg);
   d_opt_->Step();
   if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
   return loss;
@@ -164,14 +181,20 @@ double GanTrainer::DpDiscriminatorStep(const Matrix& real,
   // Telemetry keeps the documented "true gradient magnitude before
   // noise" semantics: the clipped batch-averaged norm.
   last_d_grad_norm_ = dp_engine_->last_sum_norm() * inv_m;
+  // The clamp runs on the already-noised gradient — post-processing of
+  // the DP release, so the privacy accounting is unchanged.
+  if (opts_.critic_reg > 0.0)
+    nn::ClipGradNorm(d_->Params(), opts_.critic_reg);
   d_opt_->Step();
   if (wasserstein) nn::ClipParams(d_->Params(), opts_.weight_clip);
   return loss;
 }
 
-double GanTrainer::GeneratorStep(const Matrix& z, const Matrix& cond,
-                                 const Matrix& real_ref, bool wasserstein,
-                                 Rng* /*rng*/) {
+double GanTrainer::GeneratorStep(
+    const Matrix& z, const Matrix& cond, const Matrix& real_ref,
+    bool wasserstein,
+    const std::vector<TrainingBySamplingSampler::Draw>* draws,
+    Rng* /*rng*/) {
   g_->ZeroGrad();
   d_->ZeroGrad();  // gradients accumulated below are discarded
 
@@ -194,6 +217,26 @@ double GanTrainer::GeneratorStep(const Matrix& z, const Matrix& cond,
 
   if (!wasserstein && !real_ref.empty() && opts_.kl_weight > 0.0) {
     loss += kl_.Compute(real_ref, fake, opts_.kl_weight, &grad_fake);
+  }
+
+  if (draws != nullptr && opts_.tbs_ce_weight > 0.0) {
+    // Conditional cross-entropy (CTGAN Eq. for L_G's cond term): each
+    // row pays -log of the probability its conditioned softmax block
+    // assigns to the requested category. Without this the generator is
+    // free to ignore the cond vector entirely — the discriminator alone
+    // only enforces marginal realism. The head's softmax output is the
+    // probability, so dCE/dp = -w/(m*p), floored to keep the gradient
+    // finite when the generator currently assigns ~0 mass.
+    DAISY_CHECK(draws->size() == fake.rows());
+    const double w = opts_.tbs_ce_weight;
+    const double inv_m = 1.0 / static_cast<double>(draws->size());
+    for (size_t i = 0; i < draws->size(); ++i) {
+      const CondBlock& b = tbs_blocks_[(*draws)[i].block];
+      const size_t col = b.sample_offset + (*draws)[i].category;
+      const double p = std::max(fake(i, col), 1e-12);
+      loss += w * inv_m * -std::log(p);
+      grad_fake(i, col) += w * inv_m * (-1.0 / p);
+    }
   }
 
   g_->Backward(grad_fake);
@@ -351,7 +394,12 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
       opts_.algo == TrainAlgo::kWTrain || opts_.algo == TrainAlgo::kDPTrain;
   const bool dp = opts_.algo == TrainAlgo::kDPTrain;
   const bool label_aware = opts_.algo == TrainAlgo::kCTrain;
-  const bool conditional = g_->cond_dim() > 0;
+  // Training-by-sampling repurposes the cond vector for attribute
+  // conditions; kCTrain ignores the sampler knob (label-aware pools).
+  const bool tbs =
+      !label_aware && opts_.sampler == SamplerKind::kTrainingBySampling;
+  // Label-conditional (paper §5.3): cond vector carries the label.
+  const bool conditional = g_->cond_dim() > 0 && !tbs;
   DAISY_CHECK(!conditional || source.schema().has_label());
   if (conditional) num_labels_ = source.schema().num_labels();
 
@@ -372,6 +420,36 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
     DAISY_CHECK(source.schema().has_label());
     label_sampler = std::make_unique<LabelAwareSampler>(
         labels_all, source.schema().num_labels());
+  }
+
+  std::unique_ptr<TrainingBySamplingSampler> tbs_sampler;
+  if (tbs) {
+    tbs_blocks_ = BuildCondBlocks(transformer_->segments());
+    if (tbs_blocks_.empty()) {
+      TrainResult result;
+      result.health = Status::InvalidArgument(
+          "training-by-sampling needs at least one one-hot categorical "
+          "attribute; this table has none");
+      result.snapshots.push_back(GetState(g_->Params()));
+      result.snapshot_iters.push_back(0);
+      return result;
+    }
+    DAISY_CHECK(g_->cond_dim() == CondDim(tbs_blocks_));
+    // Per-category row pools, one column scan each (never in the hot
+    // loop). Pools depend only on data, so a resumed run rebuilds them
+    // identically and the rng state in the checkpoint covers the rest.
+    std::vector<std::vector<size_t>> columns;
+    std::vector<size_t> domains;
+    columns.reserve(tbs_blocks_.size());
+    domains.reserve(tbs_blocks_.size());
+    for (const CondBlock& b : tbs_blocks_) {
+      columns.push_back(source.CategoryColumn(b.source_col));
+      domains.push_back(b.domain);
+    }
+    tbs_sampler = std::make_unique<TrainingBySamplingSampler>(columns,
+                                                              domains);
+  } else {
+    tbs_blocks_.clear();
   }
 
   // Empirical label distribution, for sampling fake-batch conditions.
@@ -481,8 +559,12 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
         Matrix z2 = SampleNoise(opts_.batch_size, rng);
         Matrix cond2 =
             OneHotLabels(std::vector<size_t>(opts_.batch_size, y));
-        g_loss += GeneratorStep(z2, cond2, real, wasserstein, rng);
+        g_loss += GeneratorStep(z2, cond2, real, wasserstein, nullptr, rng);
       }
+      // Labels with zero records are skipped, not trained — surface the
+      // count so a starved minority label shows up in telemetry instead
+      // of silently degrading the conditional generator.
+      last_starved_labels_ = num_labels_ - active;
       if (active == 0) {
         result.health = Status::InvalidArgument(
             "label-aware training at iteration " + std::to_string(iter + 1) +
@@ -493,15 +575,29 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
       result.g_losses.push_back(g_loss / static_cast<double>(active));
     } else {
       // Algorithms 1/2/4: d_steps discriminator updates, then one
-      // generator update.
+      // generator update. Under training-by-sampling every batch is a
+      // set of (row, condition) pairs: real rows carry the drawn
+      // category, and the fake batch is conditioned identically so the
+      // discriminator compares like with like (CTGAN).
       double d_loss = 0.0;
       const size_t d_steps = std::max<size_t>(1, opts_.d_steps);
       for (size_t s = 0; s < d_steps; ++s) {
-        auto rows = sample_rows(opts_.batch_size);
-        Matrix real = source.GatherSamples(rows);
-        Matrix real_cond = gather_cond(rows);
+        Matrix real, real_cond, fake_cond;
+        if (tbs) {
+          const auto draws =
+              tbs_sampler->SampleBatch(opts_.batch_size, rng);
+          std::vector<size_t> rows(draws.size());
+          for (size_t i = 0; i < draws.size(); ++i) rows[i] = draws[i].row;
+          real = source.GatherSamples(rows);
+          real_cond = TbsCond(draws);
+          fake_cond = real_cond;
+        } else {
+          auto rows = sample_rows(opts_.batch_size);
+          real = source.GatherSamples(rows);
+          real_cond = gather_cond(rows);
+          fake_cond = random_cond(opts_.batch_size);
+        }
         Matrix z = SampleNoise(opts_.batch_size, rng);
-        Matrix fake_cond = random_cond(opts_.batch_size);
         Matrix fake = g_->Forward(z, fake_cond, /*training=*/true);
         d_loss += DiscriminatorStep(real, real_cond, fake, fake_cond,
                                     wasserstein, dp, rng);
@@ -511,13 +607,27 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
       // The ref batch is drawn even under Wasserstein (where it goes
       // unused) so the sampler stream position per iteration is
       // algorithm-independent.
-      auto ref_rows = sample_rows(opts_.batch_size);
-      Matrix real_ref = wasserstein ? Matrix()
-                                    : source.GatherSamples(ref_rows);
+      std::vector<TrainingBySamplingSampler::Draw> g_draws;
+      Matrix real_ref, cond;
+      if (tbs) {
+        g_draws = tbs_sampler->SampleBatch(opts_.batch_size, rng);
+        cond = TbsCond(g_draws);
+        if (!wasserstein) {
+          std::vector<size_t> rows(g_draws.size());
+          for (size_t i = 0; i < g_draws.size(); ++i)
+            rows[i] = g_draws[i].row;
+          real_ref = source.GatherSamples(rows);
+        }
+      } else {
+        auto ref_rows = sample_rows(opts_.batch_size);
+        real_ref = wasserstein ? Matrix()
+                               : source.GatherSamples(ref_rows);
+        cond = random_cond(opts_.batch_size);
+      }
       Matrix z = SampleNoise(opts_.batch_size, rng);
-      Matrix cond = random_cond(opts_.batch_size);
-      result.g_losses.push_back(
-          GeneratorStep(z, cond, real_ref, wasserstein, rng));
+      result.g_losses.push_back(GeneratorStep(z, cond, real_ref, wasserstein,
+                                              tbs ? &g_draws : nullptr,
+                                              rng));
     }
 
     obs::MetricRecord rec;
@@ -528,6 +638,7 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
     rec.d_grad_norm = last_d_grad_norm_;
     rec.g_grad_norm = last_g_grad_norm_;
     rec.param_norm = nn::GlobalParamNorm(g_->Params());
+    rec.starved_labels = label_aware ? last_starved_labels_ : 0;
     rec.iter_ms = iter_timer.ElapsedMs();
     rec.wall_ms = run_timer.ElapsedMs();
     rec.threads = par::NumThreads();

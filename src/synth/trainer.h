@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "synth/config.h"
 #include "synth/dp_engine.h"
+#include "synth/heads.h"
 #include "synth/sampler.h"
 #include "synth/discriminator.h"
 #include "synth/generator.h"
@@ -101,12 +102,22 @@ class GanTrainer {
                              bool wasserstein, Rng* rng);
 
   // One generator update; returns the generator loss. `real_ref` is a
-  // real minibatch for the KL warm-up (empty to skip the term).
-  double GeneratorStep(const Matrix& z, const Matrix& cond,
-                       const Matrix& real_ref, bool wasserstein, Rng* rng);
+  // real minibatch for the KL warm-up (empty to skip the term). Under
+  // training-by-sampling `draws` carries the batch's (block, category)
+  // conditions and the loss gains the conditional cross-entropy term
+  // (opts_.tbs_ce_weight) that penalizes generated rows whose
+  // conditioned softmax block ignores the requested category.
+  double GeneratorStep(
+      const Matrix& z, const Matrix& cond, const Matrix& real_ref,
+      bool wasserstein,
+      const std::vector<TrainingBySamplingSampler::Draw>* draws, Rng* rng);
 
   Matrix SampleNoise(size_t m, Rng* rng) const;
   Matrix OneHotLabels(const std::vector<size_t>& labels) const;
+  // Cond matrix for a training-by-sampling batch: row i is all-zero
+  // except a 1.0 at blocks[draw.block].cond_offset + draw.category.
+  Matrix TbsCond(
+      const std::vector<TrainingBySamplingSampler::Draw>& draws) const;
 
   // Snapshots the complete mutable training state after `completed`
   // iterations: G+D parameter values and buffers, both optimizer
@@ -135,12 +146,19 @@ class GanTrainer {
   KlRegularizer kl_;
   size_t num_labels_ = 0;
 
+  // Cond-vector layout under training-by-sampling (empty otherwise);
+  // set once per Train call from the transformer segments.
+  std::vector<CondBlock> tbs_blocks_;
+
   // Telemetry captured by the step functions: the global grad norm
   // right after the backward pass (before the optimizer applies it).
   // With multiple D steps (or labels) per iteration, the last step's
   // value is what gets logged.
   double last_d_grad_norm_ = 0.0;
   double last_g_grad_norm_ = 0.0;
+  // CTrain only: labels with zero training records in the last
+  // iteration (skipped silently before; now surfaced per record).
+  size_t last_starved_labels_ = 0;
 
   std::unique_ptr<nn::Optimizer> g_opt_;
   std::unique_ptr<nn::Optimizer> d_opt_;

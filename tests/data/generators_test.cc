@@ -5,6 +5,7 @@
 #include "data/generators/realistic.h"
 #include "data/generators/sdata.h"
 #include "data/generators/sim_config.h"
+#include "data/generators/skewed.h"
 #include "stats/metrics.h"
 
 namespace daisy::data {
@@ -216,6 +217,52 @@ TEST(SimConfigTest, LabelSignalIsLearnableByMeanSeparation) {
     max_sep = std::max(max_sep, std::fabs(m0 / n0 - m1 / n1));
   }
   EXPECT_GT(max_sep, 0.3);
+}
+
+TEST(SkewedTableTest, SchemaAndExactLabelRatio) {
+  Rng rng(40);
+  SkewedTableOptions opts;
+  opts.num_records = 3000;
+  opts.label_imbalance = 999;
+  const Table t = MakeSkewedTable(opts, &rng);
+  EXPECT_EQ(t.num_records(), 3000u);
+  ASSERT_EQ(t.num_attributes(), 4u);
+  EXPECT_TRUE(t.schema().has_label());
+  // The 1:R interleave is deterministic: exactly ceil(n / (R+1)) rares.
+  size_t rares = 0;
+  for (size_t i = 0; i < t.num_records(); ++i) rares += t.label(i);
+  EXPECT_EQ(rares, 3u);
+}
+
+TEST(SkewedTableTest, ZipfHeadDominatesAndTailIsPresent) {
+  Rng rng(41);
+  SkewedTableOptions opts;
+  opts.num_records = 20000;
+  const Table t = MakeSkewedTable(opts, &rng);
+  std::vector<size_t> counts(opts.zipf_domain, 0);
+  for (size_t i = 0; i < t.num_records(); ++i) ++counts[t.category(i, 0)];
+  // Head category carries far more mass than the last one, but the
+  // tail still appears — that's the regime the robustness pack targets.
+  EXPECT_GT(counts[0], 10 * counts[opts.zipf_domain - 1]);
+  EXPECT_GT(counts[opts.zipf_domain - 1], 0u);
+}
+
+TEST(SkewedTableTest, ParetoColumnIsHeavyTailedAndPositive) {
+  Rng rng(42);
+  SkewedTableOptions opts;
+  opts.num_records = 20000;
+  opts.pareto_shape = 1.5;
+  const Table t = MakeSkewedTable(opts, &rng);
+  double max_v = 0.0, sum = 0.0;
+  for (size_t i = 0; i < t.num_records(); ++i) {
+    const double v = t.value(i, 1);
+    ASSERT_GE(v, opts.pareto_scale);  // support is [x_m, inf)
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(t.num_records());
+  // Heavy tail: the max dwarfs the mean (a Gaussian would be ~5 sigma).
+  EXPECT_GT(max_v, 20.0 * mean);
 }
 
 }  // namespace

@@ -87,5 +87,63 @@ TEST(ProfileTest, SkewAnnotationAppearsPastNineToOne) {
   EXPECT_NE(text.find("(skew)"), std::string::npos);
 }
 
+TEST(ProfileTest, ZeroRecordTableProfilesWithoutNans) {
+  // Regression: an empty table used to trip a CHECK (and, with the
+  // check removed, 0/0 frequencies and values.front() UB downstream).
+  Schema schema({Attribute::Numerical("v"),
+                 Attribute::Categorical("c", {"a", "b"}),
+                 Attribute::Categorical("label", {"n", "p"})},
+                2);
+  const auto profile = ProfileTable(Table(schema));
+  EXPECT_EQ(profile.num_records, 0u);
+  const auto& v = profile.attributes[0];
+  EXPECT_TRUE(std::isfinite(v.min) && std::isfinite(v.max));
+  EXPECT_TRUE(std::isfinite(v.mean) && std::isfinite(v.stddev));
+  ASSERT_EQ(v.quantiles.size(), 11u);
+  for (double q : v.quantiles) EXPECT_DOUBLE_EQ(q, 0.0);
+  const auto& c = profile.attributes[1];
+  for (double f : c.frequencies) EXPECT_DOUBLE_EQ(f, 0.0);
+  EXPECT_DOUBLE_EQ(c.entropy_bits, 0.0);
+  EXPECT_EQ(c.absent_categories, 2u);
+  EXPECT_EQ(profile.absent_labels, 2u);
+  EXPECT_DOUBLE_EQ(profile.label_imbalance_ratio, 0.0);
+  // Rendering the degenerate profile must not crash either.
+  const auto text = ProfileToString(profile);
+  EXPECT_NE(text.find("0 records"), std::string::npos);
+  EXPECT_NE(text.find("absent"), std::string::npos);
+}
+
+TEST(ProfileTest, AbsentCategoriesAndLabelsAreCounted) {
+  Schema schema({Attribute::Categorical("c", {"a", "b", "c", "d"}),
+                 Attribute::Categorical("label", {"n", "p"})},
+                1);
+  Table t(schema);
+  t.AppendRecord({0.0, 0.0});
+  t.AppendRecord({2.0, 0.0});  // categories b and d never appear
+  const auto profile = ProfileTable(t);
+  EXPECT_EQ(profile.attributes[0].absent_categories, 2u);
+  EXPECT_EQ(profile.absent_labels, 1u);  // label "p" starved
+  // One present label: hi == lo, so the ratio over PRESENT labels is 1
+  // (and in particular not a divide-by-zero on the absent one).
+  EXPECT_DOUBLE_EQ(profile.label_imbalance_ratio, 1.0);
+  const auto text = ProfileToString(profile);
+  EXPECT_NE(text.find("absent=2"), std::string::npos);
+  EXPECT_NE(text.find("1 label(s) absent"), std::string::npos);
+}
+
+TEST(ProfileTest, SingleRecordTableProfiles) {
+  Schema schema({Attribute::Numerical("v"),
+                 Attribute::Categorical("c", {"a", "b"})});
+  Table t(schema);
+  t.AppendRecord({3.5, 1.0});
+  const auto profile = ProfileTable(t);
+  const auto& v = profile.attributes[0];
+  EXPECT_DOUBLE_EQ(v.min, 3.5);
+  EXPECT_DOUBLE_EQ(v.max, 3.5);
+  EXPECT_DOUBLE_EQ(v.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(v.quantiles[5], 3.5);
+  EXPECT_EQ(profile.attributes[1].mode_category, 1u);
+}
+
 }  // namespace
 }  // namespace daisy::data

@@ -116,6 +116,80 @@ TEST(TableTest, SplitPartitionsWithoutDuplication) {
   for (bool s : seen) EXPECT_TRUE(s);
 }
 
+TEST(UnionSchemaTest, MergesShuffledAndMissingCategories) {
+  // Two CSV reads of the same data: b saw the categories in a different
+  // first-seen order and never saw "blue" or label "pos" at all.
+  Schema a = TestSchema();
+  Schema b({Attribute::Numerical("age"),
+            Attribute::Categorical("color", {"green", "red"}),
+            Attribute::Categorical("label", {"neg"})},
+           2);
+  const auto u = UnionSchema(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().attribute(1).categories,
+            (std::vector<std::string>{"red", "green", "blue"}));
+  EXPECT_EQ(u.value().num_labels(), 2u);
+  EXPECT_EQ(u.value().label_index(), 2u);
+
+  // Extra categories in b land after a's.
+  Schema c({Attribute::Numerical("age"),
+            Attribute::Categorical("color", {"cyan", "red"}),
+            Attribute::Categorical("label", {"neg", "pos"})},
+           2);
+  const auto uc = UnionSchema(a, c);
+  ASSERT_TRUE(uc.ok());
+  EXPECT_EQ(uc.value().attribute(1).categories,
+            (std::vector<std::string>{"red", "green", "blue", "cyan"}));
+}
+
+TEST(UnionSchemaTest, RejectsIncompatibleSchemas) {
+  Schema a = TestSchema();
+  Schema renamed({Attribute::Numerical("years"),
+                  Attribute::Categorical("color", {"red"}),
+                  Attribute::Categorical("label", {"neg", "pos"})},
+                 2);
+  EXPECT_FALSE(UnionSchema(a, renamed).ok());
+  Schema retyped({Attribute::Categorical("age", {"25"}),
+                  Attribute::Categorical("color", {"red"}),
+                  Attribute::Categorical("label", {"neg", "pos"})},
+                 2);
+  EXPECT_FALSE(UnionSchema(a, retyped).ok());
+  Schema unlabeled({Attribute::Numerical("age"),
+                    Attribute::Categorical("color", {"red"}),
+                    Attribute::Categorical("label", {"neg", "pos"})});
+  EXPECT_FALSE(UnionSchema(a, unlabeled).ok());
+}
+
+TEST(RemapToSchemaTest, RewritesIndicesByCategoryName) {
+  // "green" is index 0 in the source but 1 in the target.
+  Schema source({Attribute::Numerical("age"),
+                 Attribute::Categorical("color", {"green", "red"}),
+                 Attribute::Categorical("label", {"neg"})},
+                2);
+  Table t(source);
+  t.AppendRecord({25.0, 0, 0});  // green, neg
+  t.AppendRecord({35.0, 1, 0});  // red, neg
+  const auto u = UnionSchema(TestSchema(), source);
+  ASSERT_TRUE(u.ok());
+  const auto remapped = RemapToSchema(t, u.value());
+  ASSERT_TRUE(remapped.ok());
+  EXPECT_EQ(remapped.value().CellToString(0, 1), "green");
+  EXPECT_EQ(remapped.value().category(0, 1), 1u);
+  EXPECT_EQ(remapped.value().CellToString(1, 1), "red");
+  EXPECT_DOUBLE_EQ(remapped.value().value(0, 0), 25.0);
+  // The remapped table sees the full union domain, so a two-class
+  // label survives even though the source file only contained "neg".
+  EXPECT_EQ(remapped.value().schema().num_labels(), 2u);
+}
+
+TEST(RemapToSchemaTest, RejectsCategoryMissingFromTarget) {
+  Schema target({Attribute::Categorical("c", {"a"})});
+  Schema source({Attribute::Categorical("c", {"a", "b"})});
+  Table t(source);
+  t.AppendRecord({1.0});
+  EXPECT_FALSE(RemapToSchema(t, target).ok());
+}
+
 TEST(TableDeathTest, CategoryOutOfDomainAborts) {
   Table t(TestSchema());
   EXPECT_DEATH(t.AppendRecord({1.0, 7.0, 0.0}), "DAISY_CHECK");

@@ -140,5 +140,90 @@ TEST(FdTest, UnseenLhsValuesAreSkipped) {
   EXPECT_DOUBLE_EQ(FdViolationRate(synth, fds), 0.0);
 }
 
+// Hand-built Zipf-ish table for the rare-mode golden: category "b"
+// appears exactly once in 100 records (freq 0.01 = rare at the default
+// threshold), "c" twice (0.02, not rare), "d" never (absent, not rare).
+data::Table RareModeReal() {
+  data::Schema schema(
+      {data::Attribute::Categorical("cat", {"a", "b", "c", "d"})});
+  data::Table t(schema);
+  for (int i = 0; i < 97; ++i) t.AppendRecord({0.0});
+  t.AppendRecord({1.0});
+  t.AppendRecord({2.0});
+  t.AppendRecord({2.0});
+  return t;
+}
+
+data::Table SyntheticWithCategories(const std::vector<size_t>& cats) {
+  data::Schema schema(
+      {data::Attribute::Categorical("cat", {"a", "b", "c", "d"})});
+  data::Table t(schema);
+  for (size_t c : cats) t.AppendRecord({static_cast<double>(c)});
+  return t;
+}
+
+TEST(RareModeRecallTest, GoldenCountsOnHandBuiltTable) {
+  const data::Table real = RareModeReal();
+  // Synthetic emits the rare "b": 1/1 recovered.
+  const auto hit = RareModeRecall(real, SyntheticWithCategories({0, 1, 2}));
+  EXPECT_EQ(hit.rare_modes, 1u);
+  EXPECT_EQ(hit.recovered_modes, 1u);
+  EXPECT_DOUBLE_EQ(hit.recall, 1.0);
+  // Mode-collapsed synthetic (all "a"): the rare mode is lost.
+  const auto miss = RareModeRecall(real, SyntheticWithCategories({0, 0, 2}));
+  EXPECT_EQ(miss.rare_modes, 1u);
+  EXPECT_EQ(miss.recovered_modes, 0u);
+  EXPECT_DOUBLE_EQ(miss.recall, 0.0);
+}
+
+TEST(RareModeRecallTest, ThresholdControlsWhatCountsAsRare) {
+  const data::Table real = RareModeReal();
+  // At 0.05 both "b" (0.01) and "c" (0.02) are rare.
+  const auto r = RareModeRecall(real, SyntheticWithCategories({0, 2}),
+                                /*rare_threshold=*/0.05);
+  EXPECT_EQ(r.rare_modes, 2u);
+  EXPECT_EQ(r.recovered_modes, 1u);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+TEST(RareModeRecallTest, NothingRareScoresPerfectRecall) {
+  data::Schema schema({data::Attribute::Categorical("c", {"a", "b"})});
+  data::Table real(schema);
+  real.AppendRecord({0.0});
+  real.AppendRecord({1.0});
+  const auto r = RareModeRecall(real, real);
+  EXPECT_EQ(r.rare_modes, 0u);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(PerCategoryKlTest, IdenticalTablesScoreZero) {
+  const data::Table real = RareModeReal();
+  EXPECT_NEAR(PerCategoryKl(real, real), 0.0, 1e-12);
+}
+
+TEST(PerCategoryKlTest, DroppedCategoryIsPenalizedButFinite) {
+  const data::Table real = RareModeReal();
+  // Same size and same head counts as the real table; "dropped" folds
+  // the one rare "b" record into "a".
+  std::vector<size_t> kept_cats(97, 0), dropped_cats(98, 0);
+  kept_cats.push_back(1);
+  kept_cats.insert(kept_cats.end(), {2, 2});
+  dropped_cats.insert(dropped_cats.end(), {2, 2});
+  const double kept = PerCategoryKl(real, SyntheticWithCategories(kept_cats));
+  const double dropped =
+      PerCategoryKl(real, SyntheticWithCategories(dropped_cats));
+  EXPECT_TRUE(std::isfinite(kept));
+  EXPECT_TRUE(std::isfinite(dropped));
+  EXPECT_GT(dropped, kept);
+}
+
+TEST(PerCategoryKlTest, ZeroWithoutCategoricalAttributes) {
+  data::Schema schema({data::Attribute::Numerical("x")});
+  data::Table a(schema), b(schema);
+  a.AppendRecord({1.0});
+  b.AppendRecord({2.0});
+  EXPECT_DOUBLE_EQ(PerCategoryKl(a, b), 0.0);
+}
+
 }  // namespace
 }  // namespace daisy::eval

@@ -9,6 +9,26 @@
 namespace daisy::nn {
 namespace {
 
+TEST(ClipGradNormTest, RescalesOnlyWhenOverBound) {
+  Parameter a("a", Matrix(1, 2, 0.0));
+  Parameter b("b", Matrix(1, 1, 0.0));
+  a.grad(0, 0) = 3.0;
+  a.grad(0, 1) = 0.0;
+  b.grad(0, 0) = 4.0;  // global norm = 5
+  std::vector<Parameter*> params = {&a, &b};
+
+  // Under the bound: grads untouched, pre-clip norm returned.
+  EXPECT_DOUBLE_EQ(ClipGradNorm(params, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 4.0);
+
+  // Over the bound: every grad scaled by max_norm / norm.
+  EXPECT_DOUBLE_EQ(ClipGradNorm(params, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 4.0 / 5.0);
+  EXPECT_NEAR(GlobalGradNorm(params), 1.0, 1e-12);
+}
+
 // Minimizing f(w) = sum (w - target)^2 must converge for every
 // optimizer.
 class QuadraticProblem {

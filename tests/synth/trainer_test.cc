@@ -107,6 +107,62 @@ TEST(TrainerTest, CTrainRequiresConditionalNets) {
   EXPECT_EQ(result.g_losses.size(), opts.iterations);
 }
 
+TEST(TrainerTest, CTrainWithStarvedLabelStaysFiniteAndReportsIt) {
+  // Regression for the rare-label sweep: a label present in the schema
+  // but absent from the data must neither NaN the losses nor silently
+  // vanish — it is skipped AND surfaced as starved_labels telemetry.
+  Rng rng(30);
+  data::Schema schema({data::Attribute::Numerical("x"),
+                       data::Attribute::Categorical("c", {"a", "b"}),
+                       data::Attribute::Categorical("label", {"n", "p"})},
+                      2);
+  data::Table table(schema);
+  for (int i = 0; i < 120; ++i)
+    table.AppendRecord({rng.Gaussian(), static_cast<double>(i % 2), 0.0});
+
+  Nets nets = BuildNets(table, /*cond_dim=*/2, &rng);
+  GanOptions opts = SmallOptions(TrainAlgo::kCTrain);
+  GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                     opts);
+  obs::MemorySink sink;
+  TrainResult result = trainer.Train(table, &rng, &sink);
+
+  EXPECT_TRUE(result.health.ok()) << result.health.ToString();
+  EXPECT_EQ(result.completed_iters, opts.iterations);
+  for (double loss : result.g_losses) EXPECT_TRUE(std::isfinite(loss));
+  for (double loss : result.d_losses) EXPECT_TRUE(std::isfinite(loss));
+  ASSERT_FALSE(sink.records().empty());
+  for (const auto& rec : sink.records())
+    EXPECT_EQ(rec.starved_labels, 1u);  // label "p" has zero records
+}
+
+TEST(TrainerTest, CriticRegBoundsPostClipGradientAndStaysFinite) {
+  auto run = [](double reg) {
+    Rng rng(31);
+    data::SDataCatOptions copts;
+    copts.num_records = 300;
+    data::Table table = MakeSDataCat(copts, &rng);
+    Rng nets_rng(32);
+    Nets nets = BuildNets(table, 0, &nets_rng);
+    GanOptions opts;
+    opts.algo = TrainAlgo::kVTrain;  // no weight clipping in the way
+    opts.iterations = 25;
+    opts.batch_size = 16;
+    opts.critic_reg = reg;
+    GanTrainer trainer(nets.g.get(), nets.d.get(), nets.transformer.get(),
+                       opts);
+    Rng train_rng(33);
+    TrainResult result = trainer.Train(table, &train_rng);
+    EXPECT_TRUE(result.health.ok()) << result.health.ToString();
+    for (double loss : result.d_losses) EXPECT_TRUE(std::isfinite(loss));
+    double sum = 0.0;
+    for (const nn::Parameter* p : nets.d->Params()) sum += p->value.Sum();
+    return sum;
+  };
+  // A tight bound must actually change the critic's trajectory.
+  EXPECT_NE(run(0.0), run(1e-3));
+}
+
 TEST(TrainerTest, MismatchedCondDimsAbort) {
   Rng rng(5);
   data::Table table = SmallTable(&rng);

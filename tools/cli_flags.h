@@ -101,6 +101,18 @@ class FlagSet {
     return it == flags_.end() ? fallback : std::atol(it->second.c_str());
   }
 
+  /// Value of a real-valued flag (declare it non-numeric: the integer
+  /// validation would reject "0.5"). A value that does not parse fully
+  /// as a decimal number returns the fallback.
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') return fallback;
+    return v;
+  }
+
   bool Has(const std::string& key) const {
     return flags_.count(key) != 0 || repeated_.count(key) != 0;
   }

@@ -87,8 +87,8 @@ int Usage() {
                "            [--checkpoint-keep K] [--resume]\n"
                "            [--max-iters-per-run N]\n"
                "            [--data-format csv|dcol] [--page-budget N]\n"
-               "            [--no-mmap] [--sampler uniform|chunked]\n"
-               "            [--chunk-rows N]\n"
+               "            [--no-mmap] [--sampler uniform|chunked|tbs]\n"
+               "            [--chunk-rows N] [--critic-reg C]\n"
                "  daisy_cli convert --input real.csv --output real.dcol\n"
                "            [--label COLUMN] [--page-rows N]\n"
                "  daisy_cli generate --model PATH --output fake.csv [--n N]\n"
@@ -239,10 +239,26 @@ int RunSynth(const Args& args) {
     const std::string sampler = args.Get("sampler", "uniform");
     if (sampler == "chunked")
       opts.sampler = daisy::synth::SamplerKind::kChunkedShuffle;
+    else if (sampler == "tbs")
+      opts.sampler = daisy::synth::SamplerKind::kTrainingBySampling;
     else if (sampler != "uniform")
       return Usage();
     opts.shuffle_chunk_rows = static_cast<size_t>(
         std::max(1L, args.GetInt("chunk-rows", 4096)));
+    if (opts.sampler == daisy::synth::SamplerKind::kTrainingBySampling &&
+        opts.algo == daisy::synth::TrainAlgo::kCTrain) {
+      std::fprintf(stderr,
+                   "--sampler tbs is not supported with --algo ctrain "
+                   "(ctrain already samples label-aware)\n");
+      return 1;
+    }
+
+    // RCC-GAN-style critic gradient clamp; 0 disables.
+    opts.critic_reg = args.GetDouble("critic-reg", 0.0);
+    if (opts.critic_reg < 0.0) {
+      std::fprintf(stderr, "--critic-reg must be >= 0\n");
+      return 1;
+    }
 
     const daisy::data::Schema& schema =
         paged_input ? paged->schema() : table.schema();
@@ -418,6 +434,29 @@ int RunEval(const Args& args) {
     return 1;
   }
 
+  // CSV schema inference assigns category indices in first-seen order,
+  // so two independently read files generally disagree on the index of
+  // any given category — and a synthetic file that dropped a rare label
+  // infers a smaller domain outright. Align both tables on the union
+  // schema before comparing.
+  auto unified = daisy::data::UnionSchema(real.value().schema(),
+                                          synthetic.value().schema());
+  if (!unified.ok()) {
+    std::fprintf(stderr, "schema mismatch between tables: %s\n",
+                 unified.status().ToString().c_str());
+    return 1;
+  }
+  auto real_aligned = daisy::data::RemapToSchema(real.value(),
+                                                 unified.value());
+  auto synth_aligned = daisy::data::RemapToSchema(synthetic.value(),
+                                                  unified.value());
+  if (!real_aligned.ok() || !synth_aligned.ok()) {
+    std::fprintf(stderr, "error aligning tables on the union schema\n");
+    return 1;
+  }
+  real = std::move(real_aligned);
+  synthetic = std::move(synth_aligned);
+
   // 0 = keep the process default (DAISY_THREADS env, else hardware).
   const long threads = args.GetInt("threads", 0);
   if (threads > 0) daisy::par::SetNumThreads(static_cast<size_t>(threads));
@@ -501,7 +540,8 @@ int main(int argc, char** argv) {
              {"page-budget", false, true},
              {"no-mmap", true},
              {"sampler"},
-             {"chunk-rows", false, true}};
+             {"chunk-rows", false, true},
+             {"critic-reg"}};
   } else if (command == "convert") {
     specs = {{"input"},
              {"output"},
