@@ -1,0 +1,105 @@
+// Relational synthesis bench (google-benchmark): fit and generation
+// cost of the multi-table pipeline over the Zipf two-table fixture,
+// plus the per-draw cost of the cardinality model (one Categorical
+// draw per synthetic parent — the fixed rng budget Generate relies
+// on). Axes:
+//
+//   parents — real parent rows (child rows follow the Zipf fan-out)
+//   scale   — Generate's size multiplier (x100 denominator)
+//
+// Reported items/sec for the generate benches is synthetic rows per
+// second across ALL generated tables. EXPERIMENTS.md describes
+// exporting the sweep as BENCH_rel.json.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators/relational_pair.h"
+#include "relational/relational_synthesizer.h"
+
+namespace daisy::bench {
+namespace {
+
+rel::RelationalOptions BenchRelOptions() {
+  rel::RelationalOptions opts;
+  opts.gan = BenchGanOptions();
+  opts.gan.iterations = 60;
+  opts.gan.snapshots = 1;
+  ApplyBenchScale(&opts.gan);
+  return opts;
+}
+
+data::RelationalPair BenchPair(size_t parents) {
+  data::RelationalPairOptions popts;
+  popts.num_parents = parents;
+  Rng rng(0x8E1);
+  return data::MakeRelationalPair(popts, &rng);
+}
+
+// Fits both table models + the cardinality/encoder state per
+// iteration — the end-to-end training cost of one bundle.
+void BM_RelationalFit(benchmark::State& state) {
+  const data::RelationalPair pair =
+      BenchPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rel::RelationalSynthesizer synth(BenchRelOptions());
+    const Status health = synth.Fit(
+        pair.schema, {{&pair.parent, nullptr}, {&pair.child, nullptr}});
+    DAISY_CHECK(health.ok());
+    benchmark::DoNotOptimize(synth.fitted());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(pair.parent.num_records() +
+                           pair.child.num_records()));
+}
+BENCHMARK(BM_RelationalFit)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+// Generation cost of the whole database at increasing scale; fit once
+// outside the timed region.
+void BM_RelationalGenerate(benchmark::State& state) {
+  const data::RelationalPair pair = BenchPair(400);
+  rel::RelationalSynthesizer synth(BenchRelOptions());
+  DAISY_CHECK(synth
+                  .Fit(pair.schema,
+                       {{&pair.parent, nullptr}, {&pair.child, nullptr}})
+                  .ok());
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  int64_t rows = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto out = synth.Generate(scale, &rng);
+    DAISY_CHECK(out.ok());
+    for (const auto& t : out.value())
+      rows += static_cast<int64_t>(t.num_records());
+    benchmark::DoNotOptimize(out.value().size());
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_RelationalGenerate)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw cardinality sampling: one Categorical draw per call.
+void BM_CardinalitySample(benchmark::State& state) {
+  const data::RelationalPair pair = BenchPair(2000);
+  std::vector<size_t> counts(pair.parent.num_records(), 0);
+  for (size_t r = 0; r < pair.child.num_records(); ++r)
+    ++counts[static_cast<size_t>(pair.child.value(r, 1)) - 1];
+  const rel::CardinalityModel model =
+      rel::CardinalityModel::Fit(counts).value();
+  Rng rng(7);
+  size_t sum = 0;
+  for (auto _ : state) sum += model.Sample(&rng);
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CardinalitySample);
+
+}  // namespace
+}  // namespace daisy::bench
+
+BENCHMARK_MAIN();

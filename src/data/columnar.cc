@@ -725,4 +725,32 @@ Status PagedTable::VerifyAllPages() const {
   return Status::OK();
 }
 
+Status ProjectColumnar(const PagedTable& in, const std::vector<size_t>& cols,
+                       const std::string& out_path) {
+  for (size_t c : cols)
+    if (c >= in.num_attributes())
+      return Status::InvalidArgument(
+          "ProjectColumnar: column index out of range");
+  const Schema out_schema = ProjectSchema(in.schema(), cols);
+  auto writer = ColumnarWriter::Create(out_path, out_schema, in.page_rows());
+  if (!writer.ok()) return writer.status();
+
+  const size_t window = std::max<size_t>(1, in.page_rows());
+  std::vector<std::vector<double>> buffers(cols.size());
+  std::vector<double> record(cols.size());
+  for (size_t begin = 0; begin < in.num_records(); begin += window) {
+    const size_t end = std::min(in.num_records(), begin + window);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      buffers[k].resize(end - begin);
+      DAISY_RETURN_IF_ERROR(
+          in.ScanColumn(cols[k], begin, end, buffers[k].data()));
+    }
+    for (size_t i = 0; i < end - begin; ++i) {
+      for (size_t k = 0; k < cols.size(); ++k) record[k] = buffers[k][i];
+      DAISY_RETURN_IF_ERROR(writer.value()->Append(record));
+    }
+  }
+  return writer.value()->Finish();
+}
+
 }  // namespace daisy::data

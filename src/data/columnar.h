@@ -107,6 +107,18 @@ Status ConvertCsvToColumnar(const std::string& csv_path,
                             const std::string& label_column,
                             size_t page_rows);
 
+class PagedTable;
+
+/// Streams the given columns of a paged table into a new .dcol at
+/// `out_path` (same page_rows as the source), holding one window of
+/// rows in memory. Cells move through ScanColumn in ascending row
+/// order, so the output footer's per-column min/max is bitwise equal
+/// to the in-memory ProjectColumns + WriteColumnar of the same table —
+/// the projection the relational layer uses to strip key columns
+/// without materializing an out-of-core table.
+Status ProjectColumnar(const PagedTable& in, const std::vector<size_t>& cols,
+                       const std::string& out_path);
+
 /// Bounded-memory reader over a .dcol file. Random accesses fault
 /// column pages through an LRU cache of at most `page_budget` resident
 /// pages; sequential scans stream pages through a scratch buffer

@@ -1,0 +1,83 @@
+#include "data/generators/relational_pair.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace daisy::data {
+
+RelationalPair MakeRelationalPair(const RelationalPairOptions& opts,
+                                  Rng* rng) {
+  DAISY_CHECK(opts.num_parents > 0);
+  DAISY_CHECK(opts.max_fanout >= 1);
+  DAISY_CHECK(opts.zipf_exponent > 0.0);
+  DAISY_CHECK(opts.num_segments >= 2);
+  DAISY_CHECK(opts.num_channels >= 2);
+
+  std::vector<std::string> segments(opts.num_segments);
+  for (size_t s = 0; s < opts.num_segments; ++s)
+    segments[s] = "seg" + std::to_string(s);
+  std::vector<std::string> channels(opts.num_channels);
+  for (size_t c = 0; c < opts.num_channels; ++c)
+    channels[c] = "ch" + std::to_string(c);
+
+  Schema parent_schema({Attribute::Numerical("user_id"),
+                        Attribute::Categorical("segment",
+                                               std::move(segments)),
+                        Attribute::Numerical("budget")});
+  Schema child_schema({Attribute::Numerical("order_id"),
+                       Attribute::Numerical("user_id"),
+                       Attribute::Categorical("channel",
+                                              std::move(channels)),
+                       Attribute::Numerical("amount")});
+
+  std::vector<double> fanout_weights(opts.max_fanout + 1);
+  for (size_t c = 0; c <= opts.max_fanout; ++c)
+    fanout_weights[c] =
+        1.0 / std::pow(static_cast<double>(c + 1), opts.zipf_exponent);
+
+  RelationalPair pair;
+  pair.parent = Table(parent_schema);
+  pair.parent.Reserve(opts.num_parents);
+  pair.child = Table(child_schema);
+
+  // Per-parent draw order (segment, budget, fanout, then the children's
+  // channel + amount) is fixed, so the fixture is reproducible for any
+  // consumer that replays the same rng stream.
+  size_t next_order_id = 1;
+  for (size_t p = 0; p < opts.num_parents; ++p) {
+    const double user_id = static_cast<double>(p + 1);
+    const size_t segment = static_cast<size_t>(
+        rng->UniformInt(opts.num_segments));
+    const double budget =
+        50.0 * static_cast<double>(segment + 1) + 10.0 * rng->Gaussian();
+    pair.parent.AppendRecord(
+        {user_id, static_cast<double>(segment), budget});
+
+    const size_t fanout = rng->Categorical(fanout_weights);
+    for (size_t k = 0; k < fanout; ++k) {
+      // Channel follows the parent's segment (mod the channel domain)
+      // three times out of four — a learnable cross-table association.
+      const size_t channel = rng->Uniform() < 0.75
+                                 ? segment % opts.num_channels
+                                 : static_cast<size_t>(rng->UniformInt(
+                                       opts.num_channels));
+      const double amount =
+          0.1 * budget + 2.0 * rng->Gaussian();
+      pair.child.AppendRecord({static_cast<double>(next_order_id++),
+                               user_id, static_cast<double>(channel),
+                               amount});
+    }
+  }
+
+  auto schema = RelationalSchema::Create(
+      {{"users", parent_schema, "user_id"},
+       {"orders", child_schema, "order_id"}},
+      {{"orders", "user_id", "users", "user_id"}});
+  DAISY_CHECK(schema.ok());
+  pair.schema = schema.take();
+  return pair;
+}
+
+}  // namespace daisy::data

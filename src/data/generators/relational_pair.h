@@ -1,0 +1,46 @@
+// Seeded two-table relational fixture shared by the relational tests
+// and benches (the multi-table counterpart of MakeSkewedTable): a
+// parent table with a numeric primary key and a child table whose
+// foreign-key fan-out follows a Zipf law — most parents have zero or
+// one child, a heavy head has many — with cross-table correlations the
+// relational evaluation metrics can measure (child `amount` tracks
+// parent `budget`; child `channel` tracks parent `segment`).
+#ifndef DAISY_DATA_GENERATORS_RELATIONAL_PAIR_H_
+#define DAISY_DATA_GENERATORS_RELATIONAL_PAIR_H_
+
+#include "core/rng.h"
+#include "data/relational_schema.h"
+#include "data/table.h"
+
+namespace daisy::data {
+
+struct RelationalPairOptions {
+  size_t num_parents = 200;
+
+  /// Children per parent are drawn from {0, ..., max_fanout} with
+  /// P(c) proportional to 1/(c+1)^zipf_exponent — the Zipf fan-out.
+  size_t max_fanout = 8;
+  double zipf_exponent = 1.2;
+
+  /// Domain of the parent's categorical `segment` attribute.
+  size_t num_segments = 4;
+  /// Domain of the child's categorical `channel` attribute.
+  size_t num_channels = 3;
+};
+
+struct RelationalPair {
+  Table parent;  ///< user_id (PK), segment (cat), budget (num)
+  Table child;   ///< order_id (PK), user_id (FK), channel (cat), amount (num)
+  RelationalSchema schema;
+};
+
+/// Generates the pair. Parent PKs are 1..num_parents; child PKs are
+/// 1..num_children; every child FK references an existing parent, so
+/// the fixture's FK validity is exactly 1.0 by construction. Output is
+/// a pure function of (opts, rng stream).
+RelationalPair MakeRelationalPair(const RelationalPairOptions& opts,
+                                  Rng* rng);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_GENERATORS_RELATIONAL_PAIR_H_

@@ -1,0 +1,147 @@
+#include "data/relational_schema.h"
+
+#include <set>
+#include <utility>
+
+namespace daisy::data {
+
+namespace {
+
+Status BadSchema(const std::string& what) {
+  return Status::InvalidArgument("relational schema: " + what);
+}
+
+}  // namespace
+
+Result<RelationalSchema> RelationalSchema::Create(
+    std::vector<RelationalTableDef> tables, std::vector<ForeignKey> fks) {
+  RelationalSchema rs;
+  rs.tables_ = std::move(tables);
+  rs.fks_ = std::move(fks);
+
+  if (rs.tables_.empty()) return BadSchema("no tables");
+
+  std::set<std::string> names;
+  for (const auto& t : rs.tables_) {
+    if (t.name.empty()) return BadSchema("empty table name");
+    if (!names.insert(t.name).second)
+      return BadSchema("duplicate table name '" + t.name + "'");
+    if (t.schema.num_attributes() == 0)
+      return BadSchema("table '" + t.name + "' has no attributes");
+    const int pk = t.schema.FindAttribute(t.primary_key);
+    if (pk < 0)
+      return BadSchema("table '" + t.name + "' primary key '" +
+                       t.primary_key + "' is not one of its columns");
+    if (t.schema.attribute(static_cast<size_t>(pk)).is_categorical())
+      return BadSchema("table '" + t.name + "' primary key '" +
+                       t.primary_key + "' must be a numerical column");
+  }
+
+  std::vector<int> parent_of(rs.tables_.size(), -1);
+  for (const auto& fk : rs.fks_) {
+    const int child = rs.FindTable(fk.child_table);
+    if (child < 0)
+      return BadSchema("foreign key child table '" + fk.child_table +
+                       "' does not exist");
+    const int parent = rs.FindTable(fk.parent_table);
+    if (parent < 0)
+      return BadSchema("foreign key parent table '" + fk.parent_table +
+                       "' does not exist");
+    if (child == parent)
+      return BadSchema("table '" + fk.child_table +
+                       "' references itself (self foreign keys are not "
+                       "supported)");
+    const auto& ct = rs.tables_[static_cast<size_t>(child)];
+    const auto& pt = rs.tables_[static_cast<size_t>(parent)];
+    const int ccol = ct.schema.FindAttribute(fk.child_column);
+    if (ccol < 0)
+      return BadSchema("foreign key column '" + fk.child_column +
+                       "' is not a column of table '" + fk.child_table + "'");
+    if (ct.schema.attribute(static_cast<size_t>(ccol)).is_categorical())
+      return BadSchema("foreign key column '" + fk.child_column +
+                       "' of table '" + fk.child_table +
+                       "' must be numerical");
+    if (fk.child_column == ct.primary_key)
+      return BadSchema("foreign key column '" + fk.child_column +
+                       "' of table '" + fk.child_table +
+                       "' is its primary key");
+    if (fk.parent_column != pt.primary_key)
+      return BadSchema("foreign key of table '" + fk.child_table +
+                       "' must reference the primary key of '" +
+                       fk.parent_table + "' ('" + pt.primary_key +
+                       "'), got '" + fk.parent_column + "'");
+    if (parent_of[static_cast<size_t>(child)] != -1)
+      return BadSchema("table '" + fk.child_table +
+                       "' has more than one foreign key (only one parent "
+                       "per table is supported)");
+    parent_of[static_cast<size_t>(child)] = parent;
+  }
+
+  // With at most one parent per table, a cycle is exactly a parent
+  // chain that never reaches a root; walking num_tables steps without
+  // terminating proves one.
+  for (size_t i = 0; i < rs.tables_.size(); ++i) {
+    int cur = static_cast<int>(i);
+    for (size_t steps = 0; cur != -1; ++steps) {
+      if (steps > rs.tables_.size())
+        return BadSchema("foreign keys form a cycle through table '" +
+                         rs.tables_[i].name + "'");
+      cur = parent_of[static_cast<size_t>(cur)];
+    }
+  }
+  return rs;
+}
+
+int RelationalSchema::FindTable(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i)
+    if (tables_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+size_t RelationalSchema::PrimaryKeyColumn(size_t i) const {
+  const int col = tables_[i].schema.FindAttribute(tables_[i].primary_key);
+  DAISY_CHECK(col >= 0);
+  return static_cast<size_t>(col);
+}
+
+const ForeignKey* RelationalSchema::ParentEdge(size_t i) const {
+  for (const auto& fk : fks_)
+    if (fk.child_table == tables_[i].name) return &fk;
+  return nullptr;
+}
+
+std::vector<size_t> RelationalSchema::TopologicalOrder() const {
+  std::vector<size_t> order;
+  order.reserve(tables_.size());
+  std::vector<bool> placed(tables_.size(), false);
+  while (order.size() < tables_.size()) {
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      if (placed[i]) continue;
+      const ForeignKey* edge = ParentEdge(i);
+      if (edge != nullptr) {
+        const int parent = FindTable(edge->parent_table);
+        DAISY_CHECK(parent >= 0);
+        if (!placed[static_cast<size_t>(parent)]) continue;
+      }
+      placed[i] = true;
+      order.push_back(i);
+    }
+  }
+  return order;
+}
+
+std::vector<size_t> RelationalSchema::ModeledColumns(size_t i) const {
+  const size_t pk = PrimaryKeyColumn(i);
+  const ForeignKey* edge = ParentEdge(i);
+  int fk_col = -1;
+  if (edge != nullptr)
+    fk_col = tables_[i].schema.FindAttribute(edge->child_column);
+  std::vector<size_t> cols;
+  for (size_t j = 0; j < tables_[i].schema.num_attributes(); ++j) {
+    if (j == pk || static_cast<int>(j) == fk_col) continue;
+    cols.push_back(j);
+  }
+  return cols;
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,89 @@
+// Multi-table schema with primary/foreign keys — the referential
+// skeleton the relational synthesizer (src/relational) models on top of
+// per-table data::Schema. Key columns are structural: they carry row
+// identity and parent linkage, never distributional content, so the
+// GAN layer strips them and the relational layer re-derives them at
+// generation time (sequential synthetic PKs, FKs from the sampled
+// cardinality model).
+//
+// Constraints enforced at Create (each violation is a descriptive
+// InvalidArgument):
+//   - table names are unique and non-empty
+//   - every primary key names an existing NUMERICAL column
+//   - every foreign key references existing tables/columns; the parent
+//     column must be that table's primary key and the child column an
+//     existing numerical non-PK column
+//   - at most one foreign key per child table (a hierarchy / forest,
+//     the shape Hierarchical Conditional Tabular GAN models)
+//   - no self-references and no cycles
+#ifndef DAISY_DATA_RELATIONAL_SCHEMA_H_
+#define DAISY_DATA_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/schema.h"
+
+namespace daisy::data {
+
+/// One referential edge: child.child_column references
+/// parent.parent_column (the parent's primary key).
+struct ForeignKey {
+  std::string child_table;
+  std::string child_column;
+  std::string parent_table;
+  std::string parent_column;
+};
+
+/// One table's slot in the relational schema.
+struct RelationalTableDef {
+  std::string name;
+  Schema schema;
+  std::string primary_key;  ///< column name; must be numerical
+};
+
+/// Validated set of tables + foreign keys. Immutable after Create.
+class RelationalSchema {
+ public:
+  RelationalSchema() = default;
+
+  /// Validates and builds. Table declaration order is preserved and is
+  /// the canonical order for parallel per-table containers everywhere
+  /// in the relational layer.
+  static Result<RelationalSchema> Create(
+      std::vector<RelationalTableDef> tables, std::vector<ForeignKey> fks);
+
+  size_t num_tables() const { return tables_.size(); }
+  const RelationalTableDef& table(size_t i) const { return tables_[i]; }
+  const std::vector<RelationalTableDef>& tables() const { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// Declaration index of a table by name, or -1.
+  int FindTable(const std::string& name) const;
+
+  /// Column index of table i's primary key.
+  size_t PrimaryKeyColumn(size_t i) const;
+
+  /// The FK edge whose child is table i, or nullptr for a root table
+  /// (at most one exists by construction).
+  const ForeignKey* ParentEdge(size_t i) const;
+
+  /// Table indices ordered parents-before-children. Stable: among
+  /// tables whose parents are all already placed, declaration order
+  /// wins — so the order is a pure function of the schema, which the
+  /// determinism contract of fit/generate relies on.
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// Column indices of table i excluding its primary key and (when
+  /// present) its foreign key column — the columns the GAN models.
+  std::vector<size_t> ModeledColumns(size_t i) const;
+
+ private:
+  std::vector<RelationalTableDef> tables_;
+  std::vector<ForeignKey> fks_;
+};
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,55 @@
+#include "data/schema_serial.h"
+
+#include <utility>
+#include <vector>
+
+namespace daisy::data {
+
+void SerializeSchema(Serializer* out, const Schema& schema) {
+  out->WriteTag("schema");
+  out->WriteU64(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const auto& attr = schema.attribute(j);
+    out->WriteString(attr.name);
+    out->WriteU64(attr.is_categorical() ? 1 : 0);
+    out->WriteU64(attr.categories.size());
+    for (const auto& cat : attr.categories) out->WriteString(cat);
+  }
+  out->WriteU64(schema.has_label() ? schema.label_index() + 1 : 0);
+}
+
+Schema DeserializeSchema(Deserializer* in) {
+  in->ExpectTag("schema");
+  const size_t n = in->ReadU64();
+  if (!in->ok() || n > 100000) {
+    if (in->ok()) in->Fail("implausible schema attribute count");
+    return Schema();
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(n);
+  for (size_t j = 0; j < n && in->ok(); ++j) {
+    const std::string name = in->ReadString();
+    const bool categorical = in->ReadU64() == 1;
+    const size_t num_cats = in->ReadU64();
+    if (!in->ok() || num_cats > 1000000) {
+      if (in->ok()) in->Fail("implausible category count");
+      return Schema();
+    }
+    std::vector<std::string> cats(num_cats);
+    for (auto& cat : cats) cat = in->ReadString();
+    if (categorical) {
+      attrs.push_back(Attribute::Categorical(name, std::move(cats)));
+    } else {
+      attrs.push_back(Attribute::Numerical(name));
+    }
+  }
+  const uint64_t label_plus1 = in->ReadU64();
+  if (!in->ok()) return Schema();
+  if (label_plus1 > attrs.size()) {
+    in->Fail("schema label index out of range");
+    return Schema();
+  }
+  return Schema(std::move(attrs), static_cast<int>(label_plus1) - 1);
+}
+
+}  // namespace daisy::data

@@ -1,0 +1,25 @@
+// Schema serialization over the core/serial tagged-text stream, shared
+// by the single-table model persistence (synth/persistence.cc) and the
+// relational multi-model bundle (relational/bundle.cc) so both formats
+// agree byte-for-byte on how a data::Schema is spelled.
+#ifndef DAISY_DATA_SCHEMA_SERIAL_H_
+#define DAISY_DATA_SCHEMA_SERIAL_H_
+
+#include "core/serial.h"
+#include "data/schema.h"
+
+namespace daisy::data {
+
+/// Writes `schema` under a "schema" tag: attribute count, then per
+/// attribute its name, type flag and category list, then the label
+/// index (stored +1 so 0 means "no label").
+void SerializeSchema(Serializer* out, const Schema& schema);
+
+/// Reads a schema written by SerializeSchema. On malformed input the
+/// deserializer's error latches and an empty Schema is returned;
+/// callers check in->ok() once at the end of loading.
+Schema DeserializeSchema(Deserializer* in);
+
+}  // namespace daisy::data
+
+#endif  // DAISY_DATA_SCHEMA_SERIAL_H_

@@ -203,4 +203,29 @@ Result<Table> RemapToSchema(const Table& table, const Schema& target) {
   return out;
 }
 
+Schema ProjectSchema(const Schema& schema, const std::vector<size_t>& cols) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(cols.size());
+  int label_index = -1;
+  for (size_t k = 0; k < cols.size(); ++k) {
+    DAISY_CHECK(cols[k] < schema.num_attributes());
+    attrs.push_back(schema.attribute(cols[k]));
+    if (schema.has_label() && cols[k] == schema.label_index())
+      label_index = static_cast<int>(k);
+  }
+  return Schema(std::move(attrs), label_index);
+}
+
+Table ProjectColumns(const Table& table, const std::vector<size_t>& cols) {
+  Table out(ProjectSchema(table.schema(), cols));
+  out.Reserve(table.num_records());
+  std::vector<double> record(cols.size());
+  for (size_t i = 0; i < table.num_records(); ++i) {
+    for (size_t k = 0; k < cols.size(); ++k)
+      record[k] = table.value(i, cols[k]);
+    out.AppendRecord(record);
+  }
+  return out;
+}
+
 }  // namespace daisy::data

@@ -106,6 +106,15 @@ Result<Schema> UnionSchema(const Schema& a, const Schema& b);
 /// (UnionSchema guarantees both). Numerical cells pass through.
 Result<Table> RemapToSchema(const Table& table, const Schema& target);
 
+/// Schema holding only the given columns, in the given order. A label
+/// column survives (with its index remapped) when it is among `cols`.
+Schema ProjectSchema(const Schema& schema, const std::vector<size_t>& cols);
+
+/// New table holding only the given columns, in the given order (the
+/// column counterpart of Gather). Used by the relational layer to
+/// strip key columns before the GAN sees a table.
+Table ProjectColumns(const Table& table, const std::vector<size_t>& cols);
+
 }  // namespace daisy::data
 
 #endif  // DAISY_DATA_TABLE_H_

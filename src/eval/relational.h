@@ -1,0 +1,67 @@
+// Relational evaluation metrics: do the synthetic tables keep the
+// CROSS-table structure the single-table suite cannot see? Three
+// checks per FK edge:
+//   - FK validity rate: fraction of child rows whose FK matches some
+//     parent PK (the generator constructs this to be 1.0; the metric
+//     verifies instead of assumes).
+//   - Join-size KL: KL divergence between the real and synthetic
+//     children-per-parent count distributions (zero-child parents
+//     included), the signature of the fan-out model.
+//   - Cross-table correlation diff: mean absolute difference of
+//     Pearson correlations between parent and child numeric non-key
+//     columns over the FK join — the signal parent-conditioned
+//     generation exists to preserve.
+// All metrics are deterministic (no sampling) and thread-invariant.
+#ifndef DAISY_EVAL_RELATIONAL_H_
+#define DAISY_EVAL_RELATIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/relational_schema.h"
+#include "data/table.h"
+#include "eval/suite.h"
+#include "obs/metrics.h"
+
+namespace daisy::eval {
+
+/// Fraction of child records whose `child_fk` value equals some
+/// parent's `parent_pk` value. 1.0 for an empty child table (no row
+/// violates).
+Result<double> FkValidityRate(const data::Table& parent, size_t parent_pk,
+                              const data::Table& child, size_t child_fk);
+
+/// KL(real || synthetic) over the children-per-parent count histograms
+/// of an FK edge. Parents with zero children count; both histograms
+/// are Laplace-smoothed over the union support so the divergence is
+/// finite.
+Result<double> JoinSizeKl(const data::Table& real_parent, size_t real_pk,
+                          const data::Table& real_child, size_t real_fk,
+                          const data::Table& synth_parent, size_t synth_pk,
+                          const data::Table& synth_child, size_t synth_fk);
+
+/// Mean |corr_real - corr_synth| of Pearson correlations between every
+/// (parent numeric non-key, child numeric non-key) column pair, each
+/// computed over the FK inner join. Zero-variance columns contribute a
+/// correlation of 0. Returns 0 when there are no pairs or no joined
+/// rows.
+Result<double> CrossTableCorrDiff(
+    const data::RelationalSchema& schema, size_t child_index,
+    const data::Table& real_parent, const data::Table& real_child,
+    const data::Table& synth_parent, const data::Table& synth_child);
+
+/// Runs all three metrics for every FK edge of the schema. `real` and
+/// `synth` are parallel to schema.tables(). Emits one SuiteMetric per
+/// (metric, child table): "relational.fk_validity.<child>",
+/// "relational.join_size_kl.<child>", "relational.xcorr_diff.<child>";
+/// mirrored into `sink` (when non-null) with run = "eval.<name>".
+Result<SuiteReport> RunRelationalSuite(
+    const data::RelationalSchema& schema,
+    const std::vector<data::Table>& real,
+    const std::vector<data::Table>& synth,
+    obs::MetricSink* sink = nullptr);
+
+}  // namespace daisy::eval
+
+#endif  // DAISY_EVAL_RELATIONAL_H_

@@ -1,0 +1,180 @@
+#include "relational/bundle.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ckpt/checkpoint.h"
+#include "core/serial.h"
+#include "data/schema_serial.h"
+
+namespace daisy::rel {
+
+namespace {
+
+constexpr char kFormatTag[] = "daisy-relbundle-v1";
+constexpr char kChecksumPrefix[] = "checksum ";
+constexpr size_t kChecksumPrefixLen = sizeof(kChecksumPrefix) - 1;
+// "checksum " + 16 hex digits + '\n'.
+constexpr size_t kTrailerLen = kChecksumPrefixLen + 16 + 1;
+
+// Far above any real schema, small enough that a corrupt length can't
+// drive a pathological allocation before the parse fails.
+constexpr uint64_t kMaxTables = 1u << 12;
+constexpr uint64_t kMaxCols = 1u << 16;
+
+void WritePayload(Serializer* out, const RelationalBundle& b) {
+  out->WriteTag(kFormatTag);
+  out->WriteU64(b.tables.size());
+  for (const BundleTable& t : b.tables) {
+    out->WriteTag("table");
+    out->WriteString(t.name);
+    data::SerializeSchema(out, t.schema);
+    out->WriteString(t.primary_key);
+    out->WriteU64(t.has_parent ? 1 : 0);
+    if (t.has_parent) {
+      out->WriteString(t.fk_column);
+      out->WriteString(t.fk_parent_table);
+      out->WriteString(t.fk_parent_column);
+    }
+    out->WriteU64(t.real_rows);
+    out->WriteU64(t.kept_cols.size());
+    for (uint64_t c : t.kept_cols) out->WriteU64(c);
+    // The embedded model payload is arbitrary bytes; WriteString is
+    // length-prefixed so it round-trips exactly.
+    out->WriteTag("model");
+    out->WriteString(t.model_blob);
+    if (t.has_parent) {
+      t.cardinality.Serialize(out);
+      t.encoder.Serialize(out);
+    }
+  }
+}
+
+Result<RelationalBundle> ReadPayload(Deserializer* in) {
+  in->ExpectTag(kFormatTag);
+  const uint64_t n = in->ReadU64();
+  if (!in->ok())
+    return Status::InvalidArgument("relational bundle: " + in->error());
+  if (n > kMaxTables)
+    return Status::InvalidArgument("relational bundle: implausible table "
+                                   "count");
+  RelationalBundle b;
+  b.tables.resize(n);
+  for (BundleTable& t : b.tables) {
+    in->ExpectTag("table");
+    t.name = in->ReadString();
+    t.schema = data::DeserializeSchema(in);
+    t.primary_key = in->ReadString();
+    t.has_parent = in->ReadU64() == 1;
+    if (t.has_parent) {
+      t.fk_column = in->ReadString();
+      t.fk_parent_table = in->ReadString();
+      t.fk_parent_column = in->ReadString();
+    }
+    t.real_rows = in->ReadU64();
+    const uint64_t kc = in->ReadU64();
+    if (!in->ok())
+      return Status::InvalidArgument("relational bundle: " + in->error());
+    if (kc > kMaxCols)
+      return Status::InvalidArgument("relational bundle: implausible kept "
+                                     "column count");
+    t.kept_cols.resize(kc);
+    for (uint64_t& c : t.kept_cols) c = in->ReadU64();
+    in->ExpectTag("model");
+    t.model_blob = in->ReadString();
+    if (t.has_parent) {
+      t.cardinality = CardinalityModel::Deserialize(in);
+      t.encoder = ParentCondEncoder::Deserialize(in);
+    }
+    if (!in->ok())
+      return Status::InvalidArgument("relational bundle: " + in->error());
+  }
+  return b;
+}
+
+}  // namespace
+
+std::string SerializeBundle(const RelationalBundle& bundle) {
+  std::ostringstream os;
+  Serializer out(&os);
+  WritePayload(&out, bundle);
+  std::string bytes = os.str();
+  char trailer[kTrailerLen + 1];
+  std::snprintf(trailer, sizeof(trailer), "%s%016llx\n", kChecksumPrefix,
+                static_cast<unsigned long long>(
+                    ckpt::Fnv1a64(bytes.data(), bytes.size())));
+  bytes += trailer;
+  return bytes;
+}
+
+Result<RelationalBundle> ParseBundle(const std::string& bytes) {
+  if (bytes.size() < kTrailerLen)
+    return Status::InvalidArgument("bundle too short for a checksum");
+  const size_t payload_len = bytes.size() - kTrailerLen;
+  const char* trailer = bytes.data() + payload_len;
+  uint64_t want = 0;
+  bool hex_ok = true;
+  for (size_t i = 0; i < 16; ++i) {
+    const char h = trailer[kChecksumPrefixLen + i];
+    want <<= 4;
+    if (h >= '0' && h <= '9') want |= static_cast<uint64_t>(h - '0');
+    else if (h >= 'a' && h <= 'f') want |= static_cast<uint64_t>(h - 'a' + 10);
+    else hex_ok = false;
+  }
+  if (bytes.compare(payload_len, kChecksumPrefixLen, kChecksumPrefix) != 0 ||
+      bytes.back() != '\n' || !hex_ok) {
+    return Status::InvalidArgument(
+        "bundle missing its checksum trailer (truncated write?)");
+  }
+  const uint64_t got = ckpt::Fnv1a64(bytes.data(), payload_len);
+  if (got != want)
+    return Status::InvalidArgument("bundle checksum mismatch (corrupt)");
+  std::istringstream is(bytes.substr(0, payload_len));
+  Deserializer in(&is);
+  return ReadPayload(&in);
+}
+
+Status SaveBundle(const RelationalBundle& bundle, const std::string& path) {
+  const std::string bytes = SerializeBundle(bundle);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IOError("cannot create bundle temp file '" + tmp + "'");
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  // fsync before rename: otherwise the rename can hit disk before the
+  // data does, and a power cut leaves a valid-looking empty file.
+  const bool synced = fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || !synced) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed writing bundle temp file '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed renaming bundle into '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<RelationalBundle> LoadBundle(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no bundle at '" + path + "'");
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return Status::IOError("failed reading bundle '" + path + "'");
+  auto parsed = ParseBundle(bytes);
+  if (!parsed.ok())
+    return Status::InvalidArgument("bundle '" + path +
+                                   "': " + parsed.status().message());
+  return parsed.take();
+}
+
+}  // namespace daisy::rel

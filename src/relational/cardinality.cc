@@ -1,0 +1,48 @@
+#include "relational/cardinality.h"
+
+#include <algorithm>
+
+namespace daisy::rel {
+
+Result<CardinalityModel> CardinalityModel::Fit(
+    const std::vector<size_t>& counts) {
+  if (counts.empty())
+    return Status::InvalidArgument(
+        "cardinality model: no parents to fit from");
+  const size_t max_c = *std::max_element(counts.begin(), counts.end());
+  if (max_c > 1000000)
+    return Status::InvalidArgument(
+        "cardinality model: implausible fan-out " + std::to_string(max_c));
+  CardinalityModel m;
+  m.weights_.assign(max_c + 1, 0.0);
+  for (size_t c : counts) m.weights_[c] += 1.0;
+  return m;
+}
+
+size_t CardinalityModel::Sample(Rng* rng) const {
+  DAISY_CHECK(!weights_.empty());
+  return rng->Categorical(weights_);
+}
+
+double CardinalityModel::Mean() const {
+  double total = 0.0, mass = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    total += static_cast<double>(c) * weights_[c];
+    mass += weights_[c];
+  }
+  return mass > 0.0 ? total / mass : 0.0;
+}
+
+void CardinalityModel::Serialize(Serializer* out) const {
+  out->WriteTag("cardinality");
+  out->WriteDoubleVector(weights_);
+}
+
+CardinalityModel CardinalityModel::Deserialize(Deserializer* in) {
+  in->ExpectTag("cardinality");
+  CardinalityModel m;
+  m.weights_ = in->ReadDoubleVector();
+  return m;
+}
+
+}  // namespace daisy::rel

@@ -1,0 +1,47 @@
+// Children-per-parent cardinality model for one FK edge. The GAN
+// synthesizes child attributes; how MANY children a parent has is a
+// separate one-dimensional distribution, modeled here as the empirical
+// histogram over counts 0..max observed in the real data (hierarchical
+// CTGAN-style, arXiv:2411.07009 keeps the fan-out model explicit for
+// the same reason: the joint GAN has no notion of set size).
+#ifndef DAISY_RELATIONAL_CARDINALITY_H_
+#define DAISY_RELATIONAL_CARDINALITY_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/serial.h"
+#include "core/status.h"
+
+namespace daisy::rel {
+
+/// Empirical distribution of children-per-parent counts.
+class CardinalityModel {
+ public:
+  CardinalityModel() = default;
+
+  /// Fits the histogram from one count per real parent (zeros included
+  /// — parents without children are part of the distribution).
+  static Result<CardinalityModel> Fit(const std::vector<size_t>& counts);
+
+  /// Draws one children count: exactly one Categorical draw from `rng`,
+  /// so the rng stream cost per parent is fixed.
+  size_t Sample(Rng* rng) const;
+
+  /// Largest count with non-zero mass.
+  size_t max_count() const { return weights_.empty() ? 0 : weights_.size() - 1; }
+  /// Mean of the fitted distribution.
+  double Mean() const;
+  const std::vector<double>& weights() const { return weights_; }
+
+  void Serialize(Serializer* out) const;
+  static CardinalityModel Deserialize(Deserializer* in);
+
+ private:
+  // weights_[c] = number of real parents with exactly c children.
+  std::vector<double> weights_;
+};
+
+}  // namespace daisy::rel
+
+#endif  // DAISY_RELATIONAL_CARDINALITY_H_

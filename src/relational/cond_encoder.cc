@@ -1,0 +1,98 @@
+#include "relational/cond_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daisy::rel {
+
+ParentCondEncoder ParentCondEncoder::Build(
+    const data::Schema& modeled_schema, const std::vector<double>& col_min,
+    const std::vector<double>& col_max) {
+  DAISY_CHECK(col_min.size() == modeled_schema.num_attributes());
+  DAISY_CHECK(col_max.size() == modeled_schema.num_attributes());
+  ParentCondEncoder enc;
+  size_t offset = 0;
+  for (size_t j = 0; j < modeled_schema.num_attributes(); ++j) {
+    const data::Attribute& a = modeled_schema.attribute(j);
+    Feature f;
+    f.source_col = j;
+    f.categorical = a.is_categorical();
+    f.offset = offset;
+    if (f.categorical) {
+      f.domain = a.domain_size();
+      offset += f.domain;
+    } else {
+      f.v_min = col_min[j];
+      f.v_max = col_max[j];
+      offset += 1;
+    }
+    enc.features_.push_back(f);
+  }
+  enc.cond_dim_ = offset;
+  return enc;
+}
+
+Matrix ParentCondEncoder::EncodeColumns(
+    const std::vector<std::vector<double>>& cols, size_t n) const {
+  DAISY_CHECK(cols.size() == features_.size());
+  Matrix out(n, cond_dim_);
+  for (size_t k = 0; k < features_.size(); ++k) {
+    const Feature& f = features_[k];
+    DAISY_CHECK(cols[k].size() == n);
+    if (f.categorical) {
+      for (size_t i = 0; i < n; ++i) {
+        const long long c = std::llround(cols[k][i]);
+        DAISY_CHECK(c >= 0 && c < static_cast<long long>(f.domain));
+        out(i, f.offset + static_cast<size_t>(c)) = 1.0;
+      }
+    } else {
+      const double span = f.v_max - f.v_min;
+      for (size_t i = 0; i < n; ++i) {
+        // Min-max to [-1, 1], clamped: synthetic parents can fall
+        // outside the training range. A constant column encodes as 0.
+        const double v = cols[k][i];
+        double e = span > 0.0 ? 2.0 * (v - f.v_min) / span - 1.0 : 0.0;
+        e = std::min(1.0, std::max(-1.0, e));
+        out(i, f.offset) = e;
+      }
+    }
+  }
+  return out;
+}
+
+void ParentCondEncoder::Serialize(Serializer* out) const {
+  out->WriteTag("cond_encoder");
+  out->WriteU64(features_.size());
+  for (const Feature& f : features_) {
+    out->WriteU64(f.source_col);
+    out->WriteU64(f.categorical ? 1 : 0);
+    out->WriteU64(f.domain);
+    out->WriteDouble(f.v_min);
+    out->WriteDouble(f.v_max);
+    out->WriteU64(f.offset);
+  }
+  out->WriteU64(cond_dim_);
+}
+
+ParentCondEncoder ParentCondEncoder::Deserialize(Deserializer* in) {
+  in->ExpectTag("cond_encoder");
+  ParentCondEncoder enc;
+  const size_t n = in->ReadU64();
+  if (!in->ok() || n > 100000) {
+    if (in->ok()) in->Fail("implausible cond-encoder feature count");
+    return enc;
+  }
+  enc.features_.resize(n);
+  for (Feature& f : enc.features_) {
+    f.source_col = in->ReadU64();
+    f.categorical = in->ReadU64() == 1;
+    f.domain = in->ReadU64();
+    f.v_min = in->ReadDouble();
+    f.v_max = in->ReadDouble();
+    f.offset = in->ReadU64();
+  }
+  enc.cond_dim_ = in->ReadU64();
+  return enc;
+}
+
+}  // namespace daisy::rel

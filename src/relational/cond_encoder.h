@@ -1,0 +1,62 @@
+// Encodes a parent record into the fixed-width condition vector the
+// child GAN trains and generates against (the CondBlock analogue for
+// relational conditioning): categorical parent columns one-hot, numeric
+// parent columns min-max scaled to [-1, 1]. The encoding is defined
+// over the parent's MODELED columns (keys stripped), so synthetic
+// parents — which have exactly those columns plus re-assigned keys —
+// encode through the same code path as real parents.
+#ifndef DAISY_RELATIONAL_COND_ENCODER_H_
+#define DAISY_RELATIONAL_COND_ENCODER_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/serial.h"
+#include "core/status.h"
+#include "data/schema.h"
+
+namespace daisy::rel {
+
+/// Deterministic parent-record -> condition-row encoder.
+class ParentCondEncoder {
+ public:
+  struct Feature {
+    size_t source_col = 0;   ///< column in the MODELED parent table
+    bool categorical = false;
+    size_t domain = 0;       ///< one-hot width (categorical only)
+    double v_min = 0.0;      ///< training min/max (numeric only)
+    double v_max = 0.0;
+    size_t offset = 0;       ///< first cond-vector column of this feature
+  };
+
+  ParentCondEncoder() = default;
+
+  /// Builds the encoder over a modeled parent schema. `col_min` /
+  /// `col_max` hold the training min/max per modeled column (ignored
+  /// for categorical columns); paged tables supply their footer values,
+  /// which are bitwise equal to the in-memory AttributeMin/Max.
+  static ParentCondEncoder Build(const data::Schema& modeled_schema,
+                                 const std::vector<double>& col_min,
+                                 const std::vector<double>& col_max);
+
+  size_t cond_dim() const { return cond_dim_; }
+  const std::vector<Feature>& features() const { return features_; }
+
+  /// Encodes n parent records given per-feature value columns
+  /// (`cols[f][i]` = raw cell of record i in feature f's source
+  /// column, in features() order). Numeric cells are clamped into the
+  /// training range, so out-of-range synthetic parents still encode.
+  Matrix EncodeColumns(const std::vector<std::vector<double>>& cols,
+                       size_t n) const;
+
+  void Serialize(Serializer* out) const;
+  static ParentCondEncoder Deserialize(Deserializer* in);
+
+ private:
+  std::vector<Feature> features_;
+  size_t cond_dim_ = 0;
+};
+
+}  // namespace daisy::rel
+
+#endif  // DAISY_RELATIONAL_COND_ENCODER_H_

@@ -71,6 +71,15 @@ struct GanOptions {
   /// "Simplified" mode-collapse mitigation of §5.2.
   bool simplified_discriminator = false;
 
+  /// Width of an externally supplied per-row condition vector (the
+  /// relational layer's encoded parent attributes). When > 0 the
+  /// trainer conditions G and D on the source's row_cond() matrix
+  /// instead of the label or a TBS attribute condition, and generation
+  /// takes one caller-provided condition row per output record.
+  /// Mutually exclusive with `conditional`, kCTrain and
+  /// kTrainingBySampling.
+  size_t parent_cond_dim = 0;
+
   // Network sizes.
   size_t noise_dim = 32;
   std::vector<size_t> g_hidden = {96, 96};   // MLP generator layers

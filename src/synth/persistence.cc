@@ -1,57 +1,27 @@
 // Model persistence for TableSynthesizer (Save/Load declared in
 // synthesizer.h). The format is the tagged text stream of
-// core/serial.h, versioned via the leading tag.
+// core/serial.h, versioned via the leading tag. SaveToStream/
+// LoadFromStream carry the exact payload so a container format (the
+// relational bundle) can embed many models inside one checksummed
+// file; the path forms wrap them over a plain fstream.
 #include <fstream>
+#include <sstream>
 
 #include "core/serial.h"
+#include "data/schema_serial.h"
 #include "synth/synthesizer.h"
 
 namespace daisy::synth {
 
 namespace {
 
-// v2 adds the sampler kind and the training-by-sampling generation
-// weights; v1 files (pre-TBS) still load, defaulting to kUniform.
-constexpr char kFormatTag[] = "daisy-model-v2";
-constexpr char kLegacyFormatTag[] = "daisy-model-v1";
-
-void WriteSchema(Serializer* out, const data::Schema& schema) {
-  out->WriteTag("schema");
-  out->WriteU64(schema.num_attributes());
-  for (size_t j = 0; j < schema.num_attributes(); ++j) {
-    const auto& attr = schema.attribute(j);
-    out->WriteString(attr.name);
-    out->WriteU64(attr.is_categorical() ? 1 : 0);
-    out->WriteU64(attr.categories.size());
-    for (const auto& cat : attr.categories) out->WriteString(cat);
-  }
-  out->WriteU64(schema.has_label() ? schema.label_index() + 1 : 0);
-}
-
-data::Schema ReadSchema(Deserializer* in) {
-  in->ExpectTag("schema");
-  const size_t n = in->ReadU64();
-  if (!in->ok() || n > 100000) return data::Schema();
-  std::vector<data::Attribute> attrs;
-  attrs.reserve(n);
-  for (size_t j = 0; j < n && in->ok(); ++j) {
-    const std::string name = in->ReadString();
-    const bool categorical = in->ReadU64() == 1;
-    const size_t num_cats = in->ReadU64();
-    if (!in->ok() || num_cats > 1000000) return data::Schema();
-    std::vector<std::string> cats(num_cats);
-    for (auto& cat : cats) cat = in->ReadString();
-    if (categorical) {
-      attrs.push_back(data::Attribute::Categorical(name, std::move(cats)));
-    } else {
-      attrs.push_back(data::Attribute::Numerical(name));
-    }
-  }
-  const uint64_t label_plus1 = in->ReadU64();
-  if (!in->ok()) return data::Schema();
-  return data::Schema(std::move(attrs),
-                      static_cast<int>(label_plus1) - 1);
-}
+// v3 adds parent_cond_dim (relational parent conditioning) right after
+// the sampler kind. v2 files (pre-relational) load with
+// parent_cond_dim = 0; v1 files (pre-TBS) additionally default the
+// sampler to kUniform.
+constexpr char kFormatTag[] = "daisy-model-v3";
+constexpr char kV2FormatTag[] = "daisy-model-v2";
+constexpr char kV1FormatTag[] = "daisy-model-v1";
 
 void WriteSegments(Serializer* out,
                    const std::vector<transform::AttrSegment>& segments) {
@@ -117,12 +87,10 @@ std::vector<transform::AttrSegment> ReadSegments(Deserializer* in) {
 
 }  // namespace
 
-Status TableSynthesizer::Save(const std::string& path) const {
+Status TableSynthesizer::SaveToStream(std::ostream& os) const {
   if (!fitted_)
     return Status::FailedPrecondition("cannot save an unfitted model");
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open for write: " + path);
-  Serializer out(&file);
+  Serializer out(&os);
 
   out.WriteTag(kFormatTag);
   // Options needed to rebuild the networks.
@@ -138,9 +106,11 @@ Status TableSynthesizer::Save(const std::string& path) const {
   out.WriteU64(opts_.lstm_hidden);
   out.WriteU64(opts_.lstm_feature);
   out.WriteU64(opts_.seed);
-  // The sampler kind decides the cond-vector layout at load time
-  // (training-by-sampling models condition on attributes, not labels).
+  // The sampler kind and parent_cond_dim decide the cond-vector layout
+  // at load time (training-by-sampling models condition on attributes,
+  // parent-conditioned models on external condition rows).
   out.WriteU64(static_cast<uint64_t>(opts_.sampler));
+  out.WriteU64(opts_.parent_cond_dim);
   // Transform options.
   out.WriteU64(static_cast<uint64_t>(topts_.categorical));
   out.WriteU64(static_cast<uint64_t>(topts_.numerical));
@@ -148,8 +118,8 @@ Status TableSynthesizer::Save(const std::string& path) const {
   out.WriteU64(topts_.gmm_components);
   out.WriteU64(topts_.exclude_label ? 1 : 0);
 
-  WriteSchema(&out, full_schema_);
-  WriteSchema(&out, transformer_->schema());
+  data::SerializeSchema(&out, full_schema_);
+  data::SerializeSchema(&out, transformer_->schema());
   WriteSegments(&out, transformer_->segments());
   out.WriteDoubleVector(label_weights_);
   // Raw per-category generation frequencies for training-by-sampling
@@ -169,22 +139,30 @@ Status TableSynthesizer::Save(const std::string& path) const {
   out.WriteU64(buffers.size());
   for (const Matrix* m : buffers) out.WriteMatrix(*m);
 
+  os.flush();
+  if (!os) return Status::IOError("model stream write failed");
+  return Status::OK();
+}
+
+Status TableSynthesizer::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open for write: " + path);
+  DAISY_RETURN_IF_ERROR(SaveToStream(file));
   file.flush();
   if (!file) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
 
-Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
-    const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open for read: " + path);
+Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::LoadFromStream(
+    std::istream& file) {
   // Version dispatch on the leading tag (the tagged-text stream has no
   // peek, so read it before handing the stream to the Deserializer).
   std::string tag;
   if (!(file >> tag))
-    return Status::InvalidArgument("empty model file: " + path);
-  const bool v2 = tag == kFormatTag;
-  if (!v2 && tag != kLegacyFormatTag)
+    return Status::InvalidArgument("empty model stream");
+  const bool v3 = tag == kFormatTag;
+  const bool v2 = tag == kV2FormatTag;
+  if (!v3 && !v2 && tag != kV1FormatTag)
     return Status::InvalidArgument("unrecognized model format tag: " + tag);
   Deserializer in(&file);
 
@@ -207,11 +185,16 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
   opts.lstm_hidden = in.ReadU64();
   opts.lstm_feature = in.ReadU64();
   opts.seed = in.ReadU64();
-  if (v2) {
+  if (v3 || v2) {
     const uint64_t sampler = in.ReadU64();
     if (sampler > static_cast<uint64_t>(SamplerKind::kTrainingBySampling))
       return Status::InvalidArgument("corrupt model file: bad sampler kind");
     opts.sampler = static_cast<SamplerKind>(sampler);
+  }
+  if (v3) {
+    opts.parent_cond_dim = in.ReadU64();
+    if (!in.ok() || opts.parent_cond_dim > 1000000)
+      return Status::InvalidArgument("corrupt model file: bad cond dim");
   }
 
   transform::TransformOptions topts;
@@ -223,12 +206,12 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
   topts.gmm_components = in.ReadU64();
   topts.exclude_label = in.ReadU64() == 1;
 
-  data::Schema full_schema = ReadSchema(&in);
-  data::Schema sub_schema = ReadSchema(&in);
+  data::Schema full_schema = data::DeserializeSchema(&in);
+  data::Schema sub_schema = data::DeserializeSchema(&in);
   auto segments = ReadSegments(&in);
   auto label_weights = in.ReadDoubleVector();
   std::vector<std::vector<double>> tbs_weights;
-  if (v2) {
+  if (v3 || v2) {
     in.ExpectTag("tbs");
     const size_t num_tbs = in.ReadU64();
     if (!in.ok() || num_tbs > 100000)
@@ -283,6 +266,16 @@ Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
   synth->final_state_ = std::move(state);
   synth->fitted_ = true;
   return synth;
+}
+
+Result<std::unique_ptr<TableSynthesizer>> TableSynthesizer::Load(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open for read: " + path);
+  auto loaded = LoadFromStream(file);
+  if (!loaded.ok() && loaded.status().message() == "empty model stream")
+    return Status::InvalidArgument("empty model file: " + path);
+  return loaded;
 }
 
 }  // namespace daisy::synth

@@ -22,6 +22,13 @@ TableSynthesizer::TableSynthesizer(
   // Training-by-sampling owns the cond vector (attribute conditions);
   // it cannot be combined with label conditioning.
   DAISY_CHECK(!(UsesTbs() && opts_.conditional));
+  // Parent conditioning owns the cond vector outright: no label
+  // conditioning, no label-aware sampling, no training-by-sampling.
+  if (opts_.parent_cond_dim > 0) {
+    DAISY_CHECK(!opts_.conditional);
+    DAISY_CHECK(opts_.algo != TrainAlgo::kCTrain);
+    DAISY_CHECK(opts_.sampler != SamplerKind::kTrainingBySampling);
+  }
 }
 
 Status TableSynthesizer::Fit(const data::Table& train,
@@ -98,11 +105,59 @@ Status TableSynthesizer::Fit(const data::PagedTable& train,
   return result_.health;
 }
 
+Status TableSynthesizer::FitConditioned(const data::Table& train,
+                                        const Matrix& row_cond,
+                                        obs::MetricSink* sink) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 0);
+  DAISY_CHECK(opts_.parent_cond_dim > 0);
+  if (opts_.num_threads > 0) par::SetNumThreads(opts_.num_threads);
+  fitted_ = true;
+  full_schema_ = train.schema();
+
+  transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::Fit(train, topts_, &rng_));
+  BuildNetworks();
+
+  GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
+  Rng train_rng = rng_.Split();
+  InMemoryTrainSource source(train, transformer_.get());
+  source.set_row_cond(row_cond);
+  result_ = trainer.Train(source, &train_rng, sink);
+  final_state_ = GetState(g_->Params());
+  return result_.health;
+}
+
+Status TableSynthesizer::FitConditioned(const data::PagedTable& train,
+                                        const Matrix& row_cond,
+                                        obs::MetricSink* sink) {
+  DAISY_CHECK(!fitted_);
+  DAISY_CHECK(train.num_records() > 0);
+  DAISY_CHECK(opts_.parent_cond_dim > 0);
+  if (opts_.num_threads > 0) par::SetNumThreads(opts_.num_threads);
+  fitted_ = true;
+  full_schema_ = train.schema();
+
+  transformer_ = std::make_unique<transform::RecordTransformer>(
+      transform::RecordTransformer::FitStreaming(train, topts_, &rng_));
+  BuildNetworks();
+
+  GanTrainer trainer(g_.get(), d_.get(), transformer_.get(), opts_);
+  Rng train_rng = rng_.Split();
+  PagedTrainSource source(&train, transformer_.get());
+  source.set_row_cond(row_cond);
+  result_ = trainer.Train(source, &train_rng, sink);
+  final_state_ = GetState(g_->Params());
+  return result_.health;
+}
+
 void TableSynthesizer::BuildNetworks() {
   tbs_blocks_ = UsesTbs() ? BuildCondBlocks(transformer_->segments())
                           : std::vector<CondBlock>();
-  const size_t cond_dim = opts_.conditional ? full_schema_.num_labels()
-                                            : CondDim(tbs_blocks_);
+  const size_t cond_dim = opts_.conditional       ? full_schema_.num_labels()
+                          : opts_.parent_cond_dim > 0
+                              ? opts_.parent_cond_dim
+                              : CondDim(tbs_blocks_);
   const auto& segments = transformer_->segments();
 
   Rng init_rng = rng_.Split();
@@ -183,6 +238,9 @@ void TableSynthesizer::DrawLatents(size_t n, Rng* rng, Matrix* z,
                                    Matrix* cond,
                                    std::vector<size_t>* labels) const {
   DAISY_CHECK(fitted_);
+  // Parent-conditioned models take caller-provided condition rows —
+  // there is no distribution to draw them from here.
+  DAISY_CHECK(opts_.parent_cond_dim == 0);
   const size_t noise_dim = g_->noise_dim();
   const bool tbs_gen = !opts_.conditional && !tbs_blocks_.empty();
   if (tbs_gen) DAISY_CHECK(tbs_weights_.size() == tbs_blocks_.size());
@@ -263,6 +321,46 @@ void TableSynthesizer::GenerateChunked(
     emit(DecodeRows(InferenceSamples(z, cond), labels));
     produced += m;
   }
+}
+
+Result<data::Table> TableSynthesizer::GenerateConditioned(const Matrix& cond,
+                                                          Rng* rng) const {
+  DAISY_CHECK(fitted_);
+  if (opts_.parent_cond_dim == 0)
+    return Status::InvalidArgument(
+        "GenerateConditioned needs a model fitted with parent_cond_dim > 0");
+  if (cond.cols() != opts_.parent_cond_dim)
+    return Status::InvalidArgument(
+        "condition matrix has " + std::to_string(cond.cols()) +
+        " columns, model expects " + std::to_string(opts_.parent_cond_dim));
+  constexpr size_t kGenBatch = 256;
+  const size_t n = cond.rows();
+  const size_t noise_dim = g_->noise_dim();
+  data::Table out(full_schema_);
+  out.Reserve(n);
+  std::vector<double> record(full_schema_.num_attributes());
+  size_t produced = 0;
+  while (produced < n) {
+    const size_t m = std::min(kGenBatch, n - produced);
+    // Noise is drawn in strict per-row order (noise_dim gaussians per
+    // row, nothing else), so the output is a pure function of the model
+    // state, `cond` and the rng stream — independent of kGenBatch.
+    Matrix z(m, noise_dim);
+    for (size_t i = 0; i < m; ++i)
+      for (size_t c = 0; c < noise_dim; ++c)
+        z(i, c) = rng->Gaussian(0.0, 1.0);
+    std::vector<size_t> rows(m);
+    for (size_t i = 0; i < m; ++i) rows[i] = produced + i;
+    const data::Table chunk = DecodeRows(
+        InferenceSamples(z, cond.GatherRows(rows)),
+        std::vector<size_t>(m, 0));
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < record.size(); ++j) record[j] = chunk.value(i, j);
+      out.AppendRecord(record);
+    }
+    produced += m;
+  }
+  return out;
 }
 
 data::Table TableSynthesizer::Generate(size_t n, Rng* rng) const {

@@ -5,6 +5,7 @@
 #define DAISY_SYNTH_SYNTHESIZER_H_
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 
 #include "ckpt/checkpoint.h"
@@ -48,6 +49,20 @@ class TableSynthesizer {
   /// uniform sampling random-faults pages every batch.
   Status Fit(const data::PagedTable& train, obs::MetricSink* sink = nullptr);
 
+  /// Parent-conditioned Fit (requires GanOptions::parent_cond_dim > 0):
+  /// trains with row i of `row_cond` (num_records x parent_cond_dim) as
+  /// the condition vector of record i — the relational layer's encoded
+  /// parent attributes. The fitted model generates via
+  /// GenerateConditioned only.
+  Status FitConditioned(const data::Table& train, const Matrix& row_cond,
+                        obs::MetricSink* sink = nullptr);
+  /// Out-of-core parent-conditioned Fit (see the paged Fit overload for
+  /// the memory contract). `row_cond` is dense in memory — one encoded
+  /// parent row per record — which the relational layer keeps small by
+  /// encoding only the parent's modeled columns.
+  Status FitConditioned(const data::PagedTable& train, const Matrix& row_cond,
+                        obs::MetricSink* sink = nullptr);
+
   /// Health of the training run (same Status that Fit returned).
   const Status& health() const { return result_.health; }
 
@@ -61,6 +76,13 @@ class TableSynthesizer {
   /// ready for Generate (Fit must not be called on it).
   static Result<std::unique_ptr<TableSynthesizer>> Load(
       const std::string& path);
+
+  /// Stream forms of Save/Load: the exact model payload without the
+  /// checksum/atomic-write envelope, so a container format (the
+  /// relational bundle) can embed many models in one checksummed file.
+  Status SaveToStream(std::ostream& os) const;
+  static Result<std::unique_ptr<TableSynthesizer>> LoadFromStream(
+      std::istream& is);
 
   /// Generates n synthetic records. With a conditional model, labels
   /// are drawn from the training label distribution and appended as
@@ -82,6 +104,15 @@ class TableSynthesizer {
   void GenerateChunked(
       size_t n, size_t chunk_rows, Rng* rng,
       const std::function<void(const data::Table&)>& emit) const;
+
+  /// Generation for a parent-conditioned model: one output record per
+  /// row of `cond` (cond.rows() x parent_cond_dim), record i generated
+  /// under condition row i, in order. Latents are noise-only, drawn in
+  /// strict per-row order, so the output is independent of internal
+  /// batching. Fails unless the model was fitted with
+  /// parent_cond_dim == cond.cols().
+  Result<data::Table> GenerateConditioned(const Matrix& cond,
+                                          Rng* rng) const;
 
   /// Serving hooks — the three phases of one Generate chunk, exposed
   /// separately so a request scheduler can draw latents per request

@@ -42,6 +42,16 @@ class TrainDataSource {
   /// builds its per-category row pools from this — one call per
   /// conditionable column at training start, never in the hot loop.
   virtual std::vector<size_t> CategoryColumn(size_t source_col) const = 0;
+
+  /// External per-row condition matrix (num_records x parent_cond_dim),
+  /// set by the relational layer before training when
+  /// GanOptions::parent_cond_dim > 0; empty otherwise. Row i is the
+  /// encoded parent of record i.
+  const Matrix& row_cond() const { return row_cond_; }
+  void set_row_cond(Matrix cond) { row_cond_ = std::move(cond); }
+
+ private:
+  Matrix row_cond_;
 };
 
 /// The historical path: transforms every record once up front, then

@@ -398,8 +398,12 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
   // conditions; kCTrain ignores the sampler knob (label-aware pools).
   const bool tbs =
       !label_aware && opts_.sampler == SamplerKind::kTrainingBySampling;
+  // Externally supplied per-row conditions (the relational layer's
+  // encoded parent attributes): the cond vector is neither the label
+  // nor a TBS attribute draw, it is row_cond() row-for-row.
+  const bool parent_cond = opts_.parent_cond_dim > 0;
   // Label-conditional (paper §5.3): cond vector carries the label.
-  const bool conditional = g_->cond_dim() > 0 && !tbs;
+  const bool conditional = g_->cond_dim() > 0 && !tbs && !parent_cond;
   DAISY_CHECK(!conditional || source.schema().has_label());
   if (conditional) num_labels_ = source.schema().num_labels();
 
@@ -410,6 +414,23 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
     result.snapshots.push_back(GetState(g_->Params()));
     result.snapshot_iters.push_back(0);
     return result;
+  }
+
+  if (parent_cond) {
+    DAISY_CHECK(g_->cond_dim() == opts_.parent_cond_dim);
+    const Matrix& rc = source.row_cond();
+    if (rc.rows() != source.num_records() ||
+        rc.cols() != opts_.parent_cond_dim) {
+      TrainResult result;
+      result.health = Status::InvalidArgument(
+          "parent-conditioned training needs a row_cond matrix of " +
+          std::to_string(source.num_records()) + " x " +
+          std::to_string(opts_.parent_cond_dim) + ", got " +
+          std::to_string(rc.rows()) + " x " + std::to_string(rc.cols()));
+      result.snapshots.push_back(GetState(g_->Params()));
+      result.snapshot_iters.push_back(0);
+      return result;
+    }
   }
 
   const std::vector<size_t>& labels_all = source.labels();
@@ -460,12 +481,21 @@ TrainResult GanTrainer::Train(const TrainDataSource& source, Rng* rng,
   }
 
   auto gather_cond = [&](const std::vector<size_t>& rows) {
+    if (parent_cond) return source.row_cond().GatherRows(rows);
     if (!conditional) return Matrix();
     std::vector<size_t> ls(rows.size());
     for (size_t i = 0; i < rows.size(); ++i) ls[i] = labels_all[rows[i]];
     return OneHotLabels(ls);
   };
   auto random_cond = [&](size_t m) {
+    if (parent_cond) {
+      // Fake-batch conditions are real parents drawn uniformly — the
+      // empirical parent-condition distribution, the analogue of
+      // label_weights below.
+      std::vector<size_t> rows(m);
+      for (auto& r : rows) r = rng->UniformInt(source.num_records());
+      return source.row_cond().GatherRows(rows);
+    }
     if (!conditional) return Matrix();
     std::vector<size_t> ls(m);
     for (auto& l : ls) l = rng->Categorical(label_weights);

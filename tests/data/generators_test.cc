@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generators/realistic.h"
+#include "data/generators/relational_pair.h"
 #include "data/generators/sdata.h"
 #include "data/generators/sim_config.h"
 #include "data/generators/skewed.h"
@@ -263,6 +264,80 @@ TEST(SkewedTableTest, ParetoColumnIsHeavyTailedAndPositive) {
   const double mean = sum / static_cast<double>(t.num_records());
   // Heavy tail: the max dwarfs the mean (a Gaussian would be ~5 sigma).
   EXPECT_GT(max_v, 20.0 * mean);
+}
+
+TEST(RelationalPairTest, SchemaKeysAndPerfectReferences) {
+  Rng rng(5);
+  RelationalPairOptions opts;
+  opts.num_parents = 150;
+  const RelationalPair pair = MakeRelationalPair(opts, &rng);
+
+  EXPECT_EQ(pair.parent.num_records(), 150u);
+  EXPECT_EQ(pair.schema.num_tables(), 2u);
+  EXPECT_EQ(pair.schema.FindTable("users"), 0);
+  EXPECT_EQ(pair.schema.FindTable("orders"), 1);
+
+  // Parent PKs are 1..n in order; child PKs likewise.
+  for (size_t r = 0; r < pair.parent.num_records(); ++r)
+    ASSERT_EQ(pair.parent.value(r, 0), static_cast<double>(r + 1));
+  for (size_t r = 0; r < pair.child.num_records(); ++r)
+    ASSERT_EQ(pair.child.value(r, 0), static_cast<double>(r + 1));
+
+  // Every FK hits an existing parent, by construction.
+  for (size_t r = 0; r < pair.child.num_records(); ++r) {
+    const double fk = pair.child.value(r, 1);
+    ASSERT_GE(fk, 1.0);
+    ASSERT_LE(fk, static_cast<double>(opts.num_parents));
+  }
+}
+
+TEST(RelationalPairTest, DeterministicPerSeedStream) {
+  RelationalPairOptions opts;
+  opts.num_parents = 80;
+  Rng a(9), b(9), c(10);
+  const RelationalPair pa = MakeRelationalPair(opts, &a);
+  const RelationalPair pb = MakeRelationalPair(opts, &b);
+  const RelationalPair pc = MakeRelationalPair(opts, &c);
+  ASSERT_EQ(pa.child.num_records(), pb.child.num_records());
+  for (size_t r = 0; r < pa.child.num_records(); ++r)
+    for (size_t j = 0; j < pa.child.num_attributes(); ++j)
+      ASSERT_EQ(pa.child.value(r, j), pb.child.value(r, j));
+  EXPECT_NE(pa.child.num_records(), pc.child.num_records());
+}
+
+TEST(RelationalPairTest, ZipfFanOutIsHeadHeavy) {
+  RelationalPairOptions opts;
+  opts.num_parents = 4000;
+  opts.max_fanout = 6;
+  Rng rng(21);
+  const RelationalPair pair = MakeRelationalPair(opts, &rng);
+  std::vector<size_t> counts(opts.num_parents, 0);
+  for (size_t r = 0; r < pair.child.num_records(); ++r)
+    ++counts[static_cast<size_t>(pair.child.value(r, 1)) - 1];
+  std::vector<size_t> hist(opts.max_fanout + 1, 0);
+  for (size_t c : counts) ++hist[c];
+  // Zipf: mass decreases with the count; the extremes make it obvious.
+  EXPECT_GT(hist[0], hist[2]);
+  EXPECT_GT(hist[2], hist[opts.max_fanout]);
+  EXPECT_GT(hist[opts.max_fanout], 0u);  // but the tail is populated
+}
+
+TEST(RelationalPairTest, ChildAmountTracksParentBudget) {
+  RelationalPairOptions opts;
+  opts.num_parents = 2000;
+  Rng rng(33);
+  const RelationalPair pair = MakeRelationalPair(opts, &rng);
+  // corr(amount, parent budget) over the join should be strongly
+  // positive (amount = 0.1 * budget + noise).
+  std::vector<double> x, y;
+  for (size_t r = 0; r < pair.child.num_records(); ++r) {
+    const size_t parent =
+        static_cast<size_t>(pair.child.value(r, 1)) - 1;
+    x.push_back(pair.parent.value(parent, 2));
+    y.push_back(pair.child.value(r, 3));
+  }
+  const double corr = stats::PearsonCorrelation(x, y);
+  EXPECT_GT(corr, 0.5);
 }
 
 }  // namespace

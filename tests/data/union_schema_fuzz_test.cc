@@ -1,0 +1,181 @@
+// Property/fuzz test for UnionSchema + RemapToSchema, the alignment
+// step every cross-file comparison (eval, eval-rel) depends on. Over
+// many seeded random schema pairs the invariant is: either the pair is
+// rejected with a descriptive InvalidArgument, or both tables remap
+// onto the union and EVERY cell stringifies to the same value as the
+// original — category indices may move, meanings never do.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/table.h"
+
+namespace daisy::data {
+namespace {
+
+// A pool of category names; each random schema draws a subset in a
+// random order, so two schemas over the same attribute disagree on
+// index assignment and domain coverage.
+std::vector<std::string> RandomCategorySubset(Rng* rng, size_t pool,
+                                              size_t min_take) {
+  std::vector<std::string> all(pool);
+  for (size_t c = 0; c < pool; ++c) all[c] = "cat" + std::to_string(c);
+  // Fisher-Yates with the shared rng keeps the draw reproducible.
+  for (size_t i = pool - 1; i > 0; --i) {
+    const size_t j = static_cast<size_t>(rng->UniformInt(i + 1));
+    std::swap(all[i], all[j]);
+  }
+  const size_t take =
+      min_take + static_cast<size_t>(rng->UniformInt(pool - min_take + 1));
+  all.resize(take);
+  return all;
+}
+
+Schema RandomSchema(Rng* rng, const std::vector<bool>& categorical) {
+  std::vector<Attribute> attrs;
+  for (size_t j = 0; j < categorical.size(); ++j) {
+    const std::string name = "attr" + std::to_string(j);
+    if (categorical[j]) {
+      attrs.push_back(
+          Attribute::Categorical(name, RandomCategorySubset(rng, 6, 2)));
+    } else {
+      attrs.push_back(Attribute::Numerical(name));
+    }
+  }
+  return Schema(std::move(attrs));
+}
+
+Table RandomTable(const Schema& schema, size_t rows, Rng* rng) {
+  Table t(schema);
+  t.Reserve(rows);
+  std::vector<double> record(schema.num_attributes());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      const Attribute& a = schema.attribute(j);
+      record[j] = a.is_categorical()
+                      ? static_cast<double>(
+                            rng->UniformInt(a.domain_size()))
+                      : rng->Gaussian(0.0, 10.0);
+    }
+    t.AppendRecord(record);
+  }
+  return t;
+}
+
+// Every cell of the remapped table must render to the same string as
+// the original cell — the definition of "aligned without corruption".
+void ExpectCellsPreserved(const Table& before, const Table& after) {
+  ASSERT_EQ(before.num_records(), after.num_records());
+  ASSERT_EQ(before.num_attributes(), after.num_attributes());
+  for (size_t i = 0; i < before.num_records(); ++i)
+    for (size_t j = 0; j < before.num_attributes(); ++j)
+      ASSERT_EQ(before.CellToString(i, j), after.CellToString(i, j))
+          << "cell (" << i << ", " << j << ") changed meaning";
+}
+
+TEST(UnionSchemaFuzzTest, RemapRoundTripsOrFailsLoudly) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(1000 + seed);
+    // Same type layout on both sides (the compatible case); mixed
+    // categorical/numerical positions vary per iteration.
+    std::vector<bool> categorical(2 + rng.UniformInt(4));
+    for (size_t j = 0; j < categorical.size(); ++j)
+      categorical[j] = rng.UniformInt(2) == 0;
+
+    const Schema sa = RandomSchema(&rng, categorical);
+    const Schema sb = RandomSchema(&rng, categorical);
+    const Table ta = RandomTable(sa, 1 + rng.UniformInt(20), &rng);
+    const Table tb = RandomTable(sb, 1 + rng.UniformInt(20), &rng);
+
+    auto unified = UnionSchema(sa, sb);
+    ASSERT_TRUE(unified.ok())
+        << "seed " << seed << ": compatible schemas must unify: "
+        << unified.status().ToString();
+
+    auto ra = RemapToSchema(ta, unified.value());
+    auto rb = RemapToSchema(tb, unified.value());
+    ASSERT_TRUE(ra.ok()) << "seed " << seed << ": "
+                         << ra.status().ToString();
+    ASSERT_TRUE(rb.ok()) << "seed " << seed << ": "
+                         << rb.status().ToString();
+    ExpectCellsPreserved(ta, ra.value());
+    ExpectCellsPreserved(tb, rb.value());
+
+    // The union domain covers both sides.
+    for (size_t j = 0; j < categorical.size(); ++j) {
+      if (!categorical[j]) continue;
+      EXPECT_GE(unified.value().attribute(j).domain_size(),
+                std::max(sa.attribute(j).domain_size(),
+                         sb.attribute(j).domain_size()));
+    }
+  }
+}
+
+TEST(UnionSchemaFuzzTest, IncompatiblePairsAreRejectedNotMisaligned) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(9000 + seed);
+    std::vector<bool> categorical(2 + rng.UniformInt(4));
+    for (size_t j = 0; j < categorical.size(); ++j)
+      categorical[j] = rng.UniformInt(2) == 0;
+    const Schema sa = RandomSchema(&rng, categorical);
+
+    // Corrupt one aspect of the pair at random; the union must refuse.
+    const uint64_t mode = rng.UniformInt(3);
+    if (mode == 0) {
+      // Attribute count mismatch.
+      std::vector<bool> longer = categorical;
+      longer.push_back(false);
+      const Schema sb = RandomSchema(&rng, longer);
+      EXPECT_FALSE(UnionSchema(sa, sb).ok()) << "seed " << seed;
+    } else if (mode == 1) {
+      // Type flip at one position.
+      std::vector<bool> flipped = categorical;
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(flipped.size()));
+      flipped[at] = !flipped[at];
+      const Schema sb = RandomSchema(&rng, flipped);
+      EXPECT_FALSE(UnionSchema(sa, sb).ok()) << "seed " << seed;
+    } else {
+      // Remap against a target missing a source category: rejected,
+      // never silently clamped.
+      const Table ta = RandomTable(sa, 5, &rng);
+      std::vector<Attribute> narrowed;
+      bool narrowed_any = false;
+      for (size_t j = 0; j < sa.num_attributes(); ++j) {
+        Attribute a = sa.attribute(j);
+        if (a.is_categorical() && a.categories.size() > 1 &&
+            !narrowed_any) {
+          a.categories.pop_back();
+          narrowed_any = true;
+        }
+        narrowed.push_back(std::move(a));
+      }
+      if (!narrowed_any) continue;  // all-numeric draw; nothing to narrow
+      const Schema target(std::move(narrowed));
+      const Table full_domain = [&] {
+        // Force one record to use the dropped category so the remap
+        // must notice (fit tables may not have sampled it).
+        Table t = ta;
+        for (size_t j = 0; j < sa.num_attributes(); ++j) {
+          if (sa.attribute(j).is_categorical() &&
+              sa.attribute(j).domain_size() >
+                  target.attribute(j).domain_size()) {
+            t.set_value(0, j,
+                        static_cast<double>(sa.attribute(j).domain_size() -
+                                            1));
+            break;
+          }
+        }
+        return t;
+      }();
+      EXPECT_FALSE(RemapToSchema(full_domain, target).ok())
+          << "seed " << seed
+          << ": remap must reject a category the target cannot express";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace daisy::data

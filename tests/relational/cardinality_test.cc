@@ -1,0 +1,93 @@
+// Tests for the children-per-parent cardinality model: exact
+// histogram fit, support-respecting deterministic sampling, serial
+// round-trip, and loud rejection of degenerate inputs.
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relational/cardinality.h"
+
+namespace daisy::rel {
+namespace {
+
+TEST(CardinalityTest, FitBuildsExactHistogram) {
+  auto fitted = CardinalityModel::Fit({0, 2, 2, 5});
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  const CardinalityModel& m = fitted.value();
+  EXPECT_EQ(m.max_count(), 5u);
+  ASSERT_EQ(m.weights().size(), 6u);
+  EXPECT_DOUBLE_EQ(m.weights()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.weights()[1], 0.0);
+  EXPECT_DOUBLE_EQ(m.weights()[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.weights()[5], 1.0);
+  EXPECT_DOUBLE_EQ(m.Mean(), 9.0 / 4.0);
+}
+
+TEST(CardinalityTest, FitEmptyIsInvalidArgument) {
+  auto fitted = CardinalityModel::Fit({});
+  ASSERT_FALSE(fitted.ok());
+  EXPECT_EQ(fitted.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CardinalityTest, FitAbsurdFanoutIsInvalidArgument) {
+  auto fitted = CardinalityModel::Fit({1000001});
+  ASSERT_FALSE(fitted.ok());
+  EXPECT_EQ(fitted.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CardinalityTest, SamplesStayOnObservedSupport) {
+  auto fitted = CardinalityModel::Fit({0, 0, 3, 3, 3, 7});
+  ASSERT_TRUE(fitted.ok());
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const size_t c = fitted.value().Sample(&rng);
+    EXPECT_TRUE(c == 0 || c == 3 || c == 7) << "sampled count " << c
+                                            << " has zero training mass";
+  }
+}
+
+TEST(CardinalityTest, SamplingIsDeterministicPerSeed) {
+  auto fitted = CardinalityModel::Fit({0, 1, 1, 2, 4});
+  ASSERT_TRUE(fitted.ok());
+  Rng a(99), b(99), c(100);
+  std::vector<size_t> sa, sb, sc;
+  for (int i = 0; i < 100; ++i) {
+    sa.push_back(fitted.value().Sample(&a));
+    sb.push_back(fitted.value().Sample(&b));
+    sc.push_back(fitted.value().Sample(&c));
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);  // different seed, different stream
+}
+
+TEST(CardinalityTest, EmpiricalMeanTracksFittedMean) {
+  auto fitted = CardinalityModel::Fit({0, 1, 1, 2, 2, 2, 3, 5});
+  ASSERT_TRUE(fitted.ok());
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(fitted.value().Sample(&rng));
+  EXPECT_NEAR(sum / n, fitted.value().Mean(), 0.1);
+}
+
+TEST(CardinalityTest, SerializeRoundTrips) {
+  auto fitted = CardinalityModel::Fit({0, 2, 2, 9});
+  ASSERT_TRUE(fitted.ok());
+  std::stringstream ss;
+  Serializer out(&ss);
+  fitted.value().Serialize(&out);
+  Deserializer in(&ss);
+  const CardinalityModel back = CardinalityModel::Deserialize(&in);
+  ASSERT_TRUE(in.ok()) << in.error();
+  EXPECT_EQ(back.weights(), fitted.value().weights());
+
+  // Same seed => the restored model draws the identical stream.
+  Rng a(5), b(5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(fitted.value().Sample(&a), back.Sample(&b));
+}
+
+}  // namespace
+}  // namespace daisy::rel

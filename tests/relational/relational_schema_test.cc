@@ -1,0 +1,157 @@
+// Tests for the relational schema layer: constraint validation (every
+// malformed input is a descriptive InvalidArgument, never a silent
+// acceptance), topological ordering, and the modeled-column projection
+// the GAN layer trains on.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/relational_schema.h"
+
+namespace daisy::data {
+namespace {
+
+Schema UserSchema() {
+  return Schema({Attribute::Numerical("user_id"),
+                 Attribute::Categorical("segment", {"a", "b"}),
+                 Attribute::Numerical("budget")});
+}
+
+Schema OrderSchema() {
+  return Schema({Attribute::Numerical("order_id"),
+                 Attribute::Numerical("user_id"),
+                 Attribute::Numerical("amount")});
+}
+
+ForeignKey OrderFk() { return {"orders", "user_id", "users", "user_id"}; }
+
+void ExpectRejected(const Result<RelationalSchema>& r,
+                    const std::string& needle) {
+  ASSERT_FALSE(r.ok()) << "expected rejection mentioning '" << needle << "'";
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("relational schema"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find(needle), std::string::npos)
+      << r.status().message();
+}
+
+TEST(RelationalSchemaTest, ValidTwoTableSchema) {
+  auto schema = RelationalSchema::Create(
+      {{"users", UserSchema(), "user_id"},
+       {"orders", OrderSchema(), "order_id"}},
+      {OrderFk()});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  const RelationalSchema& s = schema.value();
+  EXPECT_EQ(s.num_tables(), 2u);
+  EXPECT_EQ(s.FindTable("users"), 0);
+  EXPECT_EQ(s.FindTable("orders"), 1);
+  EXPECT_EQ(s.FindTable("missing"), -1);
+  EXPECT_EQ(s.PrimaryKeyColumn(0), 0u);
+  EXPECT_EQ(s.PrimaryKeyColumn(1), 0u);
+  EXPECT_EQ(s.ParentEdge(0), nullptr);
+  ASSERT_NE(s.ParentEdge(1), nullptr);
+  EXPECT_EQ(s.ParentEdge(1)->parent_table, "users");
+  EXPECT_EQ(s.TopologicalOrder(), (std::vector<size_t>{0, 1}));
+  // Modeled columns strip the PK (and the FK on the child).
+  EXPECT_EQ(s.ModeledColumns(0), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(s.ModeledColumns(1), (std::vector<size_t>{2}));
+}
+
+TEST(RelationalSchemaTest, ChildDeclaredFirstStillOrdersParentsFirst) {
+  auto schema = RelationalSchema::Create(
+      {{"orders", OrderSchema(), "order_id"},
+       {"users", UserSchema(), "user_id"}},
+      {OrderFk()});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema.value().TopologicalOrder(), (std::vector<size_t>{1, 0}));
+}
+
+TEST(RelationalSchemaTest, ThreeLevelChainOrders) {
+  Schema item({Attribute::Numerical("item_id"),
+               Attribute::Numerical("order_id"),
+               Attribute::Numerical("qty")});
+  auto schema = RelationalSchema::Create(
+      {{"items", item, "item_id"},
+       {"users", UserSchema(), "user_id"},
+       {"orders", OrderSchema(), "order_id"}},
+      {OrderFk(), {"items", "order_id", "orders", "order_id"}});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema.value().TopologicalOrder(),
+            (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(RelationalSchemaTest, RejectsDuplicateTableName) {
+  ExpectRejected(RelationalSchema::Create({{"users", UserSchema(), "user_id"},
+                                           {"users", UserSchema(), "user_id"}},
+                                          {}),
+                 "duplicate");
+}
+
+TEST(RelationalSchemaTest, RejectsMissingPrimaryKeyColumn) {
+  ExpectRejected(
+      RelationalSchema::Create({{"users", UserSchema(), "nope"}}, {}),
+      "nope");
+}
+
+TEST(RelationalSchemaTest, RejectsCategoricalPrimaryKey) {
+  ExpectRejected(
+      RelationalSchema::Create({{"users", UserSchema(), "segment"}}, {}),
+      "numerical");
+}
+
+TEST(RelationalSchemaTest, RejectsFkToUnknownTable) {
+  ExpectRejected(RelationalSchema::Create(
+                     {{"orders", OrderSchema(), "order_id"}},
+                     {{"orders", "user_id", "users", "user_id"}}),
+                 "users");
+}
+
+TEST(RelationalSchemaTest, RejectsFkParentColumnThatIsNotThePk) {
+  ExpectRejected(RelationalSchema::Create(
+                     {{"users", UserSchema(), "user_id"},
+                      {"orders", OrderSchema(), "order_id"}},
+                     {{"orders", "user_id", "users", "budget"}}),
+                 "primary key");
+}
+
+TEST(RelationalSchemaTest, RejectsFkOnOwnPrimaryKey) {
+  ExpectRejected(RelationalSchema::Create(
+                     {{"users", UserSchema(), "user_id"},
+                      {"orders", OrderSchema(), "user_id"}},
+                     {OrderFk()}),
+                 "primary key");
+}
+
+TEST(RelationalSchemaTest, RejectsSecondFkOnOneChild) {
+  Schema two_fk({Attribute::Numerical("order_id"),
+                 Attribute::Numerical("user_id"),
+                 Attribute::Numerical("shop_id")});
+  ExpectRejected(RelationalSchema::Create(
+                     {{"users", UserSchema(), "user_id"},
+                      {"shops", UserSchema(), "user_id"},
+                      {"orders", two_fk, "order_id"}},
+                     {OrderFk(), {"orders", "shop_id", "shops", "user_id"}}),
+                 "one foreign key");
+}
+
+TEST(RelationalSchemaTest, RejectsSelfReference) {
+  Schema self({Attribute::Numerical("id"), Attribute::Numerical("parent_id")});
+  ExpectRejected(RelationalSchema::Create(
+                     {{"nodes", self, "id"}},
+                     {{"nodes", "parent_id", "nodes", "id"}}),
+                 "itself");
+}
+
+TEST(RelationalSchemaTest, RejectsCycle) {
+  Schema a({Attribute::Numerical("a_id"), Attribute::Numerical("b_id")});
+  Schema b({Attribute::Numerical("b_id"), Attribute::Numerical("a_id")});
+  ExpectRejected(RelationalSchema::Create({{"a", a, "a_id"}, {"b", b, "b_id"}},
+                                          {{"a", "b_id", "b", "b_id"},
+                                           {"b", "a_id", "a", "a_id"}}),
+                 "cycle");
+}
+
+}  // namespace
+}  // namespace daisy::data

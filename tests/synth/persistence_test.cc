@@ -1,4 +1,8 @@
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -99,6 +103,74 @@ TEST_F(PersistenceTest, LoadCorruptFileFails) {
   std::fclose(f);
   auto loaded = TableSynthesizer::Load(path_);
   EXPECT_FALSE(loaded.ok());
+}
+
+// Rewrites a current-format stream into an older version by swapping
+// the leading tag and deleting the newline-separated header tokens
+// newer versions appended. Valid only for head tokens (everything
+// before the first length-prefixed string, i.e. before the schema).
+std::string DowngradeStream(const std::string& v3, const char* old_tag,
+                            const std::vector<size_t>& drop_lines) {
+  // Find the first N newline boundaries; all header tokens are numeric
+  // single-line writes, so line == token there.
+  std::vector<std::string> head;
+  size_t pos = 0;
+  const size_t max_line = 1 + *std::max_element(drop_lines.begin(),
+                                                drop_lines.end());
+  while (head.size() <= max_line) {
+    const size_t nl = v3.find('\n', pos);
+    EXPECT_NE(nl, std::string::npos);
+    head.push_back(v3.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  head[0] = old_tag;
+  std::string out;
+  for (size_t i = 0; i < head.size(); ++i) {
+    bool dropped = false;
+    for (size_t d : drop_lines) dropped = dropped || d == i;
+    if (!dropped) out += head[i] + "\n";
+  }
+  return out + v3.substr(pos);
+}
+
+// v2 files predate parent_cond_dim (header token 14 after the tag);
+// v1 files additionally predate the sampler kind (token 13). Both must
+// keep loading — and generating byte-identically — forever.
+TEST_F(PersistenceTest, ReadsV2AndV1StreamsIdentically) {
+  Rng rng(4);
+  data::Table train = data::MakeAdultSim(200, &rng);
+  TableSynthesizer synth(TinyOptions(), {});
+  synth.Fit(train);
+  std::ostringstream os;
+  ASSERT_TRUE(synth.SaveToStream(os).ok());
+  const std::string v3 = os.str();
+  ASSERT_EQ(v3.rfind("daisy-model-v3", 0), 0u);
+
+  // TinyOptions has one generator and one discriminator width, so the
+  // header layout is fixed: tag, gen, disc, cond, simp, noise, ng, w,
+  // nd, w, lstm_hidden, lstm_feature, seed, sampler, parent_cond_dim.
+  const std::string v2 = DowngradeStream(v3, "daisy-model-v2", {14});
+  // v1 additionally predates the mid-stream "tbs" section; for a
+  // non-TBS model that section is the literal empty marker.
+  std::string v1 = DowngradeStream(v3, "daisy-model-v1", {13, 14});
+  const std::string tbs_marker = "\ntbs\n0\n";
+  const size_t tbs_at = v1.find(tbs_marker);
+  ASSERT_NE(tbs_at, std::string::npos);
+  v1.replace(tbs_at, tbs_marker.size(), "\n");
+
+  for (const std::string* bytes :
+       std::initializer_list<const std::string*>{&v2, &v1}) {
+    std::istringstream is(*bytes);
+    auto loaded = TableSynthesizer::LoadFromStream(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    Rng g1(13), g2(13);
+    data::Table a = synth.Generate(50, &g1);
+    data::Table b = loaded.value()->Generate(50, &g2);
+    for (size_t i = 0; i < a.num_records(); ++i)
+      for (size_t j = 0; j < a.num_attributes(); ++j)
+        ASSERT_DOUBLE_EQ(a.value(i, j), b.value(i, j))
+            << "record " << i << " attr " << j;
+  }
 }
 
 TEST(SerialTest, PrimitivesRoundTrip) {

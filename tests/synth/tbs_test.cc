@@ -202,7 +202,7 @@ TEST(TbsPagedTest, DcolFitMatchesInMemoryFitBitwise) {
 }
 
 // ---------------------------------------------------------------------------
-// Persistence: the v2 format round-trips the TBS cond layout and the
+// Persistence: the current format round-trips the TBS cond layout and the
 // raw generation-time frequencies.
 
 TEST(TbsPersistenceTest, SaveLoadGenerateRoundTrip) {
@@ -212,8 +212,8 @@ TEST(TbsPersistenceTest, SaveLoadGenerateRoundTrip) {
   ASSERT_TRUE(synth.Fit(table).ok());
   const std::string path = dir + "/model.bin";
   ASSERT_TRUE(synth.Save(path).ok());
-  EXPECT_EQ(FileBytes(path).rfind("daisy-model-v2", 0), 0u)
-      << "TBS models persist in the v2 format";
+  EXPECT_EQ(FileBytes(path).rfind("daisy-model-v3", 0), 0u)
+      << "TBS models persist in the current (v3) format";
 
   auto loaded = TableSynthesizer::Load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();

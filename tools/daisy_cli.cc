@@ -48,12 +48,25 @@
 // per classifier), clustering, fidelity, privacy (hitting rate, DCR)
 // and AQP — timing each metric; `--log-jsonl` streams one telemetry
 // record per metric.
+//
+// The relational commands work on a multi-table database described by
+// a JSON spec (see data/schema_json.h). `train-rel` fits one GAN per
+// table in topological order — children conditioned on their parent's
+// encoded attributes — plus a children-per-parent cardinality model
+// per FK edge, and persists everything as one checksummed bundle.
+// Table files ending in .dcol are trained out of core. `gen-rel`
+// regenerates the whole database (parents first, FKs valid by
+// construction) into per-table CSVs; `eval-rel` scores the synthetic
+// database against the real one on FK validity, join-size KL and
+// cross-table correlation preservation.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/medgan.h"
 #include "baselines/vae.h"
@@ -61,9 +74,12 @@
 #include "core/parallel.h"
 #include "data/columnar.h"
 #include "data/csv.h"
+#include "data/schema_json.h"
+#include "eval/relational.h"
 #include "eval/report.h"
 #include "eval/suite.h"
 #include "obs/run_logger.h"
+#include "relational/relational_synthesizer.h"
 #include "synth/synthesizer.h"
 
 namespace {
@@ -95,7 +111,17 @@ int Usage() {
                "            [--seed S]\n"
                "  daisy_cli eval --real real.csv --synthetic fake.csv\n"
                "            [--label COLUMN] [--threads T]\n"
-               "            [--log-jsonl PATH] [--report out.md]\n");
+               "            [--log-jsonl PATH] [--report out.md]\n"
+               "  daisy_cli train-rel --schema spec.json --output db.daisyrel\n"
+               "            [--data-dir DIR] [--iterations N] [--seed S]\n"
+               "            [--threads T] [--page-budget N] [--no-mmap]\n"
+               "            [--work-dir DIR]\n"
+               "            [--log-jsonl PATH] [--log-every N]\n"
+               "  daisy_cli gen-rel --bundle db.daisyrel --output-dir DIR\n"
+               "            [--scale X] [--seed S] [--threads T]\n"
+               "  daisy_cli eval-rel --schema spec.json --synth-dir DIR\n"
+               "            [--data-dir DIR] [--threads T]\n"
+               "            [--log-jsonl PATH]\n");
   return 2;
 }
 
@@ -509,6 +535,308 @@ int RunEval(const Args& args) {
   return 0;
 }
 
+/// Spec plus loaded training data, parallel to spec.tables. Exactly
+/// one of tables[i] / paged[i] is populated per table (.dcol files
+/// load paged, everything else through ReadCsv).
+struct RelationalData {
+  daisy::data::RelationalSpec spec;
+  daisy::data::RelationalSchema schema;
+  std::vector<daisy::data::Table> tables;
+  std::vector<std::unique_ptr<daisy::data::PagedTable>> paged;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads the JSON spec and every table file under `data_dir`. When
+/// `materialize` is set, .dcol tables are read fully into memory (the
+/// eval path needs random-access Tables).
+int LoadRelationalData(const std::string& spec_path,
+                       const std::string& data_dir, size_t page_budget,
+                       bool use_mmap, bool materialize, RelationalData* out) {
+  auto spec = daisy::data::LoadRelationalSpec(spec_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", spec_path.c_str(),
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  out->spec = spec.take();
+
+  std::vector<daisy::data::RelationalTableDef> defs;
+  out->tables.resize(out->spec.tables.size());
+  out->paged.resize(out->spec.tables.size());
+  for (size_t i = 0; i < out->spec.tables.size(); ++i) {
+    const auto& t = out->spec.tables[i];
+    const std::string path = data_dir.empty()
+                                 ? t.file
+                                 : data_dir + "/" + t.file;
+    daisy::data::Schema schema;
+    if (EndsWith(t.file, ".dcol")) {
+      daisy::data::PagedTable::Options popts;
+      popts.page_budget = page_budget;
+      popts.use_mmap = use_mmap;
+      auto opened = daisy::data::PagedTable::Open(path, popts);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error opening %s: %s\n", path.c_str(),
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      if (materialize) {
+        auto table = opened.value()->ToTable();
+        if (!table.ok()) {
+          std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                       table.status().ToString().c_str());
+          return 1;
+        }
+        out->tables[i] = table.take();
+        schema = out->tables[i].schema();
+      } else {
+        out->paged[i] = std::move(opened.value());
+        schema = out->paged[i]->schema();
+      }
+    } else {
+      auto loaded = daisy::data::ReadCsv(path, /*label=*/"");
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      out->tables[i] = loaded.take();
+      schema = out->tables[i].schema();
+    }
+    defs.push_back({t.name, schema, t.primary_key});
+  }
+
+  auto schema = daisy::data::RelationalSchema::Create(
+      std::move(defs), out->spec.foreign_keys);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "invalid relational schema: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+  out->schema = schema.take();
+  return 0;
+}
+
+int RunTrainRel(const Args& args) {
+  const std::string spec_path = args.Get("schema");
+  const std::string output = args.Get("output");
+  if (spec_path.empty() || output.empty()) return Usage();
+  const std::string data_dir = args.Get("data-dir");
+  const size_t page_budget = static_cast<size_t>(
+      std::max(1L, args.GetInt("page-budget", 64)));
+  const bool use_mmap = args.Get("no-mmap").empty();
+
+  RelationalData data;
+  const int rc = LoadRelationalData(spec_path, data_dir, page_budget,
+                                    use_mmap, /*materialize=*/false, &data);
+  if (rc != 0) return rc;
+  for (size_t i = 0; i < data.schema.num_tables(); ++i) {
+    const size_t rows = data.paged[i] != nullptr
+                            ? data.paged[i]->num_records()
+                            : data.tables[i].num_records();
+    std::printf("read %zu records x %zu attributes for table '%s'%s\n",
+                rows, data.schema.table(i).schema.num_attributes(),
+                data.schema.table(i).name.c_str(),
+                data.paged[i] != nullptr ? " (paged)" : "");
+  }
+
+  daisy::rel::RelationalOptions opts;
+  opts.gan.iterations = static_cast<size_t>(args.GetInt("iterations", 800));
+  opts.gan.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  opts.gan.log_every =
+      static_cast<size_t>(std::max(1L, args.GetInt("log-every", 1)));
+  // 0 = keep the process default (DAISY_THREADS env, else hardware).
+  opts.gan.num_threads = static_cast<size_t>(args.GetInt("threads", 0));
+  opts.page_budget = page_budget;
+  opts.use_mmap = use_mmap;
+  opts.work_dir = args.Get("work-dir", "daisy_rel_work");
+
+  std::unique_ptr<daisy::obs::RunLogger> logger;
+  const std::string log_path = args.Get("log-jsonl");
+  if (!log_path.empty()) {
+    auto opened = daisy::obs::RunLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    logger = std::move(opened.value());
+  }
+
+  std::vector<daisy::rel::RelationalInput> inputs(data.schema.num_tables());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (data.paged[i] != nullptr) inputs[i].paged = data.paged[i].get();
+    else inputs[i].table = &data.tables[i];
+  }
+
+  daisy::rel::RelationalSynthesizer synth(opts);
+  std::printf("training %zu table models (%zu iterations each)...\n",
+              data.schema.num_tables(), opts.gan.iterations);
+  const Status health = synth.Fit(data.schema, inputs, logger.get());
+  if (!health.ok()) {
+    std::fprintf(stderr, "relational training failed: %s\n",
+                 health.ToString().c_str());
+    return 1;
+  }
+  const Status save_st = synth.Save(output);
+  if (!save_st.ok()) {
+    std::fprintf(stderr, "error saving bundle: %s\n",
+                 save_st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved relational bundle to %s\n", output.c_str());
+  if (logger != nullptr)
+    std::printf("wrote %zu telemetry records to %s\n",
+                logger->lines_written(), logger->path().c_str());
+  return 0;
+}
+
+int RunGenRel(const Args& args) {
+  const std::string bundle = args.Get("bundle");
+  const std::string output_dir = args.Get("output-dir");
+  if (bundle.empty() || output_dir.empty()) return Usage();
+  const double scale = args.GetDouble("scale", 1.0);
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "--scale must be > 0\n");
+    return 1;
+  }
+
+  auto loaded = daisy::rel::RelationalSynthesizer::Load(bundle);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading bundle: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const long threads = args.GetInt("threads", 0);
+  if (threads > 0) daisy::par::SetNumThreads(static_cast<size_t>(threads));
+
+  Rng gen_rng(static_cast<uint64_t>(args.GetInt("seed", 17)) ^ 0xBEEF);
+  auto generated = loaded.value()->Generate(scale, &gen_rng);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", output_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const auto& schema = loaded.value()->schema();
+  for (size_t i = 0; i < schema.num_tables(); ++i) {
+    const std::string path =
+        output_dir + "/" + schema.table(i).name + ".csv";
+    const Status st = daisy::data::WriteCsv(generated.value()[i], path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu synthetic records to %s\n",
+                generated.value()[i].num_records(), path.c_str());
+  }
+  return 0;
+}
+
+int RunEvalRel(const Args& args) {
+  const std::string spec_path = args.Get("schema");
+  const std::string synth_dir = args.Get("synth-dir");
+  if (spec_path.empty() || synth_dir.empty()) return Usage();
+  const std::string data_dir = args.Get("data-dir");
+
+  RelationalData data;
+  const int rc = LoadRelationalData(spec_path, data_dir, /*page_budget=*/64,
+                                    /*use_mmap=*/true, /*materialize=*/true,
+                                    &data);
+  if (rc != 0) return rc;
+
+  // Read the synthetic side and align each table pair on the union
+  // schema — two independently inferred CSV schemas generally disagree
+  // on category indices (see RunEval).
+  std::vector<daisy::data::Table> real(data.schema.num_tables());
+  std::vector<daisy::data::Table> synth(data.schema.num_tables());
+  std::vector<daisy::data::RelationalTableDef> defs;
+  for (size_t i = 0; i < data.schema.num_tables(); ++i) {
+    const std::string path =
+        synth_dir + "/" + data.schema.table(i).name + ".csv";
+    auto loaded = daisy::data::ReadCsv(path, /*label=*/"");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto unified = daisy::data::UnionSchema(data.tables[i].schema(),
+                                            loaded.value().schema());
+    if (!unified.ok()) {
+      std::fprintf(stderr, "schema mismatch for table '%s': %s\n",
+                   data.schema.table(i).name.c_str(),
+                   unified.status().ToString().c_str());
+      return 1;
+    }
+    auto real_aligned =
+        daisy::data::RemapToSchema(data.tables[i], unified.value());
+    auto synth_aligned =
+        daisy::data::RemapToSchema(loaded.value(), unified.value());
+    if (!real_aligned.ok() || !synth_aligned.ok()) {
+      std::fprintf(stderr,
+                   "error aligning table '%s' on the union schema\n",
+                   data.schema.table(i).name.c_str());
+      return 1;
+    }
+    real[i] = real_aligned.take();
+    synth[i] = synth_aligned.take();
+    defs.push_back({data.schema.table(i).name, real[i].schema(),
+                    data.schema.table(i).primary_key});
+  }
+  auto schema = daisy::data::RelationalSchema::Create(
+      std::move(defs), data.spec.foreign_keys);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "invalid relational schema after alignment: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+
+  const long threads = args.GetInt("threads", 0);
+  if (threads > 0) daisy::par::SetNumThreads(static_cast<size_t>(threads));
+
+  std::unique_ptr<daisy::obs::RunLogger> logger;
+  const std::string log_path = args.Get("log-jsonl");
+  if (!log_path.empty()) {
+    auto opened = daisy::obs::RunLogger::Open(log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", log_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    logger = std::move(opened.value());
+  }
+
+  auto result = daisy::eval::RunRelationalSuite(schema.value(), real, synth,
+                                                logger.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("relational suite (fk_validity: higher is better; "
+              "others: lower):\n");
+  for (const auto& m : result.value().metrics)
+    std::printf("  %-36s %10.4f   (%.1f ms)\n", m.name.c_str(), m.value,
+                m.wall_ms);
+  std::printf("total: %.1f ms over %zu metrics\n", result.value().total_ms,
+              result.value().metrics.size());
+  if (logger != nullptr)
+    std::printf("wrote %zu telemetry records to %s\n",
+                logger->lines_written(), logger->path().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -556,6 +884,30 @@ int main(int argc, char** argv) {
     specs = {{"real"},     {"synthetic"},
              {"label"},    {"threads", false, true},
              {"log-jsonl"}, {"report"}};
+  } else if (command == "train-rel") {
+    specs = {{"schema"},
+             {"output"},
+             {"data-dir"},
+             {"iterations", false, true},
+             {"seed", false, true},
+             {"threads", false, true},
+             {"page-budget", false, true},
+             {"no-mmap", true},
+             {"work-dir"},
+             {"log-jsonl"},
+             {"log-every", false, true}};
+  } else if (command == "gen-rel") {
+    specs = {{"bundle"},
+             {"output-dir"},
+             {"scale"},  // real-valued; read via GetDouble
+             {"seed", false, true},
+             {"threads", false, true}};
+  } else if (command == "eval-rel") {
+    specs = {{"schema"},
+             {"synth-dir"},
+             {"data-dir"},
+             {"threads", false, true},
+             {"log-jsonl"}};
   } else {
     std::fprintf(stderr, "daisy_cli: unknown command: %s\n", command.c_str());
     return Usage();
@@ -570,5 +922,8 @@ int main(int argc, char** argv) {
   if (command == "synth") return RunSynth(args);
   if (command == "convert") return RunConvert(args);
   if (command == "generate") return RunGenerate(args);
+  if (command == "train-rel") return RunTrainRel(args);
+  if (command == "gen-rel") return RunGenRel(args);
+  if (command == "eval-rel") return RunEvalRel(args);
   return RunEval(args);
 }
